@@ -1,0 +1,73 @@
+// Ablation: client cache size vs read miss ratio.
+//
+// The BSD study predicted ~10% misses for a 4-MB cache; the paper measured
+// ~40% for Sprite's much larger caches and blamed the growth of large
+// files. This sweep varies the physical memory granted to the file cache
+// and reports the miss ratio with the standard workload and with the
+// large-file (simulation-heavy) workload, showing that the large files are
+// what break the BSD prediction.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/analysis/cache_report.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+
+namespace {
+
+double MissRatioWithCache(const sprite_bench::Scale& scale, int64_t cache_memory_mb,
+                          bool heavy_large_files) {
+  WorkloadParams params = sprite_bench::DefaultWorkload(scale, heavy_large_files ? 77 : 0);
+  if (heavy_large_files) {
+    for (auto& group : params.groups) {
+      group.task_weights[static_cast<int>(TaskKind::kSimulate)] *= 4.0;
+      group.sim_input_bytes *= 2;
+    }
+  }
+  ClusterConfig cluster = sprite_bench::DefaultCluster(scale);
+  // Grant the cache a fixed share: memory sized so the non-floor region is
+  // `cache_memory_mb`.
+  cluster.client.memory_bytes =
+      static_cast<int64_t>(cache_memory_mb * kMegabyte / (1.0 - cluster.client.vm_floor_fraction));
+  Generator generator(params, cluster);
+  generator.Run(scale.duration, scale.warmup);
+  const EffectivenessReport report =
+      ComputeEffectivenessReport(generator.cluster().AggregateCacheCounters());
+  return report.read_miss_ratio;
+}
+
+}  // namespace
+
+int main() {
+  sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  // The sweep runs many clusters; use a shorter window per point.
+  scale.duration = std::min<SimDuration>(scale.duration, 60 * kMinute);
+  scale.warmup = std::min<SimDuration>(scale.warmup, 20 * kMinute);
+
+  sprite_bench::PrintHeader(
+      "Ablation: cache size vs read miss ratio",
+      "BSD 1985 predicted ~10% misses at 4 MB; large files break that.");
+
+  const std::vector<int64_t> sizes_mb = {1, 2, 4, 8, 16};
+  TextTable table({"Max cache (MB)", "Miss ratio (standard)", "Miss ratio (large-file mix)",
+                   "BSD prediction"});
+  for (int64_t mb : sizes_mb) {
+    std::vector<std::string> row{std::to_string(mb),
+                                 FormatPercent(MissRatioWithCache(scale, mb, false)),
+                                 FormatPercent(MissRatioWithCache(scale, mb, true))};
+    if (mb == 4) {
+      row.push_back("~10%");
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Reading: miss ratios fall with cache size but stay far above the BSD\n");
+  std::printf("prediction whenever multi-megabyte files are in the mix — the paper's\n");
+  std::printf("explanation for why Sprite's caches underperformed the 1985 forecast.\n");
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 2: dynamic distribution of file sizes measured at
+// close, weighted by number of accesses (top) and by bytes transferred
+// (bottom).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/accesses.h"
+#include "src/analysis/patterns.h"
+#include "src/util/plot.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Figure 2: Dynamic file sizes",
+                            "CDF of file size at close, by accesses and by bytes.");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const FileSizeCurves curves = ComputeFileSizes(ExtractAccesses(run.trace));
+
+  const std::vector<double> points = {256,           1 * kKilobyte, 10 * kKilobyte,
+                                      100 * kKilobyte, 1 * kMegabyte, 10 * kMegabyte};
+  TextTable table({"File size", "% of accesses <=", "% of bytes <=", "paper anchor"});
+  for (double point : points) {
+    std::vector<std::string> row{FormatBytes(static_cast<int64_t>(point)),
+                                 FormatPercent(curves.by_accesses.FractionAtOrBelow(point), 0),
+                                 FormatPercent(curves.by_bytes.FractionAtOrBelow(point), 0)};
+    if (point == 1 * kKilobyte) {
+      row.push_back("trace 1: 42% of accesses < 1 KB");
+    } else if (point == 1 * kMegabyte) {
+      row.push_back("trace 1: 40% of bytes from files >= 1 MB");
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  {
+    CdfPlot plot(128.0, 32.0 * kMegabyte);
+    plot.AddCurve('f', "weighted by accesses (top graph)",
+                  [&](double x) { return curves.by_accesses.FractionAtOrBelow(x); });
+    plot.AddCurve('b', "weighted by bytes (bottom graph)",
+                  [&](double x) { return curves.by_bytes.FractionAtOrBelow(x); });
+    std::printf("%s\n", plot.Render([](double x) {
+                           return FormatBytes(static_cast<int64_t>(x));
+                         }).c_str());
+  }
+
+  std::printf("Shape checks:\n");
+  std::printf("  * Accesses under 1 KB: %.0f%% (paper trace 1: %.0f%%).\n",
+              curves.by_accesses.FractionAtOrBelow(1 * kKilobyte) * 100,
+              paper::kAccessesUnder1KB * 100);
+  std::printf("  * Bytes to/from files of at least 1 MB: %.0f%% (paper trace 1: %.0f%%; the\n"
+              "    top 20%% of files by bytes are an order of magnitude larger than in 1985).\n",
+              (1.0 - curves.by_bytes.FractionAtOrBelow(1 * kMegabyte)) * 100,
+              paper::kBytesInFilesOver1MB * 100);
+  std::printf("  * Most accesses touch short files while most bytes belong to large ones:\n"
+              "    access-weighted median %s vs byte-weighted median %s.\n",
+              FormatBytes(static_cast<int64_t>(curves.by_accesses.Quantile(0.5))).c_str(),
+              FormatBytes(static_cast<int64_t>(curves.by_bytes.Quantile(0.5))).c_str());
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

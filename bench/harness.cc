@@ -1,0 +1,77 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sprite_bench {
+
+using sprite::ClusterConfig;
+using sprite::Generator;
+using sprite::kMinute;
+using sprite::TraceLog;
+using sprite::WorkloadParams;
+
+Scale DefaultScale() {
+  Scale scale;
+  // Like the paper's cluster, there are more workstations than day-to-day
+  // users; migration targets the idle ones.
+  scale.num_clients = scale.num_users + 6;
+  if (std::getenv("SPRITE_BENCH_QUICK") != nullptr) {
+    scale.duration = 30 * kMinute;
+    scale.warmup = 10 * kMinute;
+    scale.num_users = 10;
+    scale.num_clients = 14;
+  } else if (std::getenv("SPRITE_BENCH_FULL") != nullptr) {
+    scale.duration = 6 * sprite::kHour;
+    scale.warmup = sprite::kHour;
+    scale.num_users = 30;
+    scale.num_clients = 40;
+  }
+  return scale;
+}
+
+WorkloadParams DefaultWorkload(const Scale& scale, uint64_t seed_offset) {
+  WorkloadParams params;
+  params.num_users = scale.num_users;
+  params.seed = 1991 + seed_offset;
+  return params;
+}
+
+ClusterConfig DefaultCluster(const Scale& scale) {
+  ClusterConfig config;
+  config.num_clients = scale.num_clients;
+  config.num_servers = scale.num_servers;
+  return config;
+}
+
+ClusterRun RunStandardCluster(const Scale& scale, uint64_t seed_offset) {
+  ClusterRun run;
+  run.generator =
+      std::make_unique<Generator>(DefaultWorkload(scale, seed_offset), DefaultCluster(scale));
+  run.trace = run.generator->Run(scale.duration, scale.warmup);
+  return run;
+}
+
+std::vector<TraceLog> StandardEightTraces(const Scale& scale) {
+  return Generator::GenerateEight(DefaultWorkload(scale), DefaultCluster(scale), scale.duration,
+                                  scale.warmup);
+}
+
+void PrintHeader(const std::string& title, const std::string& description) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("Baker et al., \"Measurements of a Distributed File System\", SOSP 1991\n");
+  std::printf("==============================================================================\n\n");
+}
+
+void PrintScale(const Scale& scale) {
+  std::printf(
+      "\nScale: %d users, %d clients, %d servers, %.0f simulated minutes "
+      "(+%.0f min warmup). Absolute counts scale with duration and users;\n"
+      "ratios, shapes, and crossovers are the reproduction targets.\n",
+      scale.num_users, scale.num_clients, scale.num_servers,
+      sprite::ToSeconds(scale.duration) / 60.0, sprite::ToSeconds(scale.warmup) / 60.0);
+}
+
+}  // namespace sprite_bench

@@ -1,0 +1,54 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench regenerates its workload deterministically, so runs are
+// reproducible. The default scale (20 users / 20 clients / 4 servers /
+// 90 simulated minutes after a 30-minute warmup) keeps each binary under
+// ~15 s of wall time; set SPRITE_BENCH_QUICK=1 for a fast smoke run or
+// SPRITE_BENCH_FULL=1 for a heavier, lower-variance run.
+
+#ifndef SPRITE_DFS_BENCH_HARNESS_H_
+#define SPRITE_DFS_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+#include "src/workload/generator.h"
+
+namespace sprite_bench {
+
+struct Scale {
+  sprite::SimDuration duration = 90 * sprite::kMinute;
+  sprite::SimDuration warmup = 30 * sprite::kMinute;
+  int num_users = 20;
+  int num_clients = 20;
+  int num_servers = 4;
+};
+
+// Reads the SPRITE_BENCH_QUICK / SPRITE_BENCH_FULL environment switches.
+Scale DefaultScale();
+
+sprite::WorkloadParams DefaultWorkload(const Scale& scale, uint64_t seed_offset = 0);
+sprite::ClusterConfig DefaultCluster(const Scale& scale);
+
+// A generator that has already run the standard workload; the cluster's
+// counters and the trace are ready for analysis.
+struct ClusterRun {
+  std::unique_ptr<sprite::Generator> generator;
+  sprite::TraceLog trace;
+};
+ClusterRun RunStandardCluster(const Scale& scale, uint64_t seed_offset = 0);
+
+// The eight-trace suite (pairs {3,4} and {7,8}, 1-indexed, carry the
+// heavy simulation workload, as in the paper).
+std::vector<sprite::TraceLog> StandardEightTraces(const Scale& scale);
+
+// Prints the bench banner: which paper artifact this binary reproduces.
+void PrintHeader(const std::string& title, const std::string& description);
+// Prints the scale footnote.
+void PrintScale(const Scale& scale);
+
+}  // namespace sprite_bench
+
+#endif  // SPRITE_DFS_BENCH_HARNESS_H_

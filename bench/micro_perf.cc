@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// substrate: cache operations, the trace codec, the event queue, the
+// distributions, and end-to-end workload generation throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/fs/block_cache.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/codec.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+void BM_CacheHitLookup(benchmark::State& state) {
+  CacheConfig config;
+  config.min_blocks = 2048;
+  config.max_blocks = 2048;
+  CacheCounters counters;
+  BlockCache cache(config, &counters);
+  cache.set_limit_blocks(2048);
+  for (int64_t i = 0; i < 2048; ++i) {
+    cache.InsertClean({1, i}, i, nullptr);
+  }
+  int64_t i = 0;
+  SimTime now = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup({1, i & 2047}, ++now));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitLookup);
+
+void BM_CacheMissInsertEvict(benchmark::State& state) {
+  CacheConfig config;
+  config.min_blocks = 1024;
+  config.max_blocks = 1024;
+  CacheCounters counters;
+  BlockCache cache(config, &counters);
+  cache.set_limit_blocks(1024);
+  int64_t i = 0;
+  for (auto _ : state) {
+    cache.InsertClean({1, i++}, i, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissInsertEvict);
+
+void BM_DirtyWriteAndClean(benchmark::State& state) {
+  CacheConfig config;
+  config.min_blocks = 4096;
+  config.max_blocks = 4096;
+  CacheCounters counters;
+  BlockCache cache(config, &counters);
+  cache.set_limit_blocks(4096);
+  SimTime now = 0;
+  for (auto _ : state) {
+    for (int64_t b = 0; b < 64; ++b) {
+      cache.Write({2, b}, now, kBlockSize, nullptr);
+    }
+    now += 31 * kSecond;
+    cache.CleanAged(now, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DirtyWriteAndClean);
+
+void BM_TraceEncode(benchmark::State& state) {
+  TraceLog log;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    Record r;
+    r.kind = static_cast<RecordKind>(i % 11);
+    r.time = i * 500;
+    r.user = static_cast<uint32_t>(rng.NextBelow(50));
+    r.file = rng.NextBelow(100000);
+    r.handle = static_cast<uint64_t>(i);
+    r.run_read_bytes = static_cast<int64_t>(rng.NextBelow(100000));
+    log.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeTrace(log));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_TraceEncode);
+
+void BM_TraceDecode(benchmark::State& state) {
+  TraceLog log;
+  for (int i = 0; i < 1000; ++i) {
+    Record r;
+    r.time = i * 500;
+    r.file = static_cast<uint64_t>(i * 7);
+    log.push_back(r);
+  }
+  const std::string bytes = EncodeTrace(log);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeTrace(bytes));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(log.size()));
+}
+BENCHMARK(BM_TraceDecode);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int i = 0; i < 1000; ++i) {
+      queue.Schedule(i * 7 % 997, [] {});
+    }
+    queue.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(10000, 0.8);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorkloadParams params;
+    params.num_users = 6;
+    params.seed = 7;
+    ClusterConfig cluster;
+    cluster.num_clients = 6;
+    cluster.num_servers = 2;
+    Generator generator(params, cluster);
+    const TraceLog trace = generator.Run(5 * kMinute);
+    benchmark::DoNotOptimize(trace.size());
+    state.counters["records"] = static_cast<double>(trace.size());
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sprite
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Reproduces Table 2: active users and per-user file throughput over
+// 10-minute and 10-second intervals, for all users and for users with
+// active migrated processes, next to the paper's Sprite and BSD-1985
+// values.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/activity.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Table 2: User activity",
+                            "Active users and throughput per interval; migration bursts.");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const ActivityReport ten_min = ComputeActivity(run.trace, 10 * kMinute);
+  const ActivityReport ten_sec = ComputeActivity(run.trace, 10 * kSecond);
+
+  auto kbps = [](double bytes_per_sec) { return bytes_per_sec / 1024.0; };
+
+  TextTable table({"Measurement", "Paper (all)", "Measured (all)", "Paper (migr)",
+                   "Measured (migr)", "BSD 1985"});
+  table.AddRow({"10-min: avg active users", FormatFixed(paper::kAvgActiveUsers10Min, 1),
+                FormatWithStddev(ten_min.all_users.active_users.mean(),
+                                 ten_min.all_users.active_users.stddev()),
+                "4", FormatFixed(ten_min.migrated_users.active_users.mean(), 1), "12.6"});
+  table.AddRow({"10-min: avg KB/s per active user",
+                FormatFixed(paper::kThroughputPerUser10MinKBps, 1),
+                FormatWithStddev(kbps(ten_min.all_users.throughput_per_user.mean()),
+                                 kbps(ten_min.all_users.throughput_per_user.stddev())),
+                FormatFixed(paper::kMigratedThroughput10MinKBps, 1),
+                FormatFixed(kbps(ten_min.migrated_users.throughput_per_user.mean()), 1),
+                FormatFixed(paper::kBsdThroughputPerUser10MinKBps, 2)});
+  table.AddRow({"10-min: peak user KB/s", FormatFixed(paper::kPeakUserThroughput10MinKBps, 0),
+                FormatFixed(kbps(ten_min.all_users.peak_user_throughput), 0), "458",
+                FormatFixed(kbps(ten_min.migrated_users.peak_user_throughput), 0), "NA"});
+  table.AddRow({"10-min: peak total KB/s", FormatFixed(paper::kPeakTotalThroughput10MinKBps, 0),
+                FormatFixed(kbps(ten_min.all_users.peak_total_throughput), 0), "616",
+                FormatFixed(kbps(ten_min.migrated_users.peak_total_throughput), 0), "NA"});
+  table.AddSeparator();
+  table.AddRow({"10-sec: avg active users", FormatFixed(paper::kAvgActiveUsers10Sec, 1),
+                FormatWithStddev(ten_sec.all_users.active_users.mean(),
+                                 ten_sec.all_users.active_users.stddev()),
+                "0.14", FormatFixed(ten_sec.migrated_users.active_users.mean(), 2), "2.5"});
+  table.AddRow({"10-sec: avg KB/s per active user",
+                FormatFixed(paper::kThroughputPerUser10SecKBps, 1),
+                FormatWithStddev(kbps(ten_sec.all_users.throughput_per_user.mean()),
+                                 kbps(ten_sec.all_users.throughput_per_user.stddev())),
+                FormatFixed(paper::kMigratedThroughput10SecKBps, 0),
+                FormatFixed(kbps(ten_sec.migrated_users.throughput_per_user.mean()), 1),
+                FormatFixed(paper::kBsdThroughputPerUser10SecKBps, 1)});
+  table.AddRow({"10-sec: peak user KB/s", FormatFixed(paper::kPeakUserThroughput10SecKBps, 0),
+                FormatFixed(kbps(ten_sec.all_users.peak_user_throughput), 0), "9871",
+                FormatFixed(kbps(ten_sec.migrated_users.peak_user_throughput), 0), "NA"});
+  std::printf("%s\n", table.Render().c_str());
+
+  const double all_avg = kbps(ten_min.all_users.throughput_per_user.mean());
+  const double migrated_avg = kbps(ten_min.migrated_users.throughput_per_user.mean());
+  std::printf("Shape checks:\n");
+  std::printf("  * Throughput is ~20x the BSD study's 0.4 KB/s (measured %.0fx).\n",
+              all_avg / paper::kBsdThroughputPerUser10MinKBps);
+  std::printf("  * Migration produces higher activity: migrated avg / all avg = %.1fx "
+              "(paper: ~6x).\n",
+              migrated_avg / all_avg);
+  std::printf("  * 10-second bursts exceed the 10-minute average: %.1fx (paper: ~6x).\n",
+              kbps(ten_sec.all_users.throughput_per_user.mean()) / all_avg);
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

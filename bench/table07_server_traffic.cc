@@ -1,0 +1,54 @@
+// Reproduces Table 7: breakdown of traffic between clients and servers
+// after the client caches have filtered it, plus the headline filter ratio.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/cache_report.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Table 7: Server traffic",
+                            "Traffic presented to the servers (% of server bytes).");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const ServerCounters server = run.generator->cluster().AggregateServerCounters();
+  const TrafficCounters raw = run.generator->cluster().AggregateTrafficCounters();
+  const ServerTrafficReport report = ComputeServerTrafficReport(server);
+
+  TextTable table({"Type", "Paper (% bytes)", "Measured (% bytes)"});
+  table.AddRow({"File reads (cache misses)", "~32", FormatPercent(report.file_read)});
+  table.AddRow({"File writes (writebacks)", "~18", FormatPercent(report.file_write)});
+  table.AddRow({"Paging reads", "~25", FormatPercent(report.paging_read)});
+  table.AddRow({"Paging writes", "~10", FormatPercent(report.paging_write)});
+  table.AddRow({"Write-shared (pass-through)", FormatPercent(paper::kServerSharedFraction, 0),
+                FormatPercent(report.shared, 2)});
+  table.AddRow({"Directory reads", "~2", FormatPercent(report.dir_read)});
+  table.AddSeparator();
+  table.AddRow({"Paging, total", FormatPercent(paper::kServerPagingFraction, 0),
+                FormatPercent(report.paging_fraction())});
+  std::printf("%s\n", table.Render().c_str());
+
+  const double filter = ComputeFilterRatio(raw, server);
+  const double read_write_ratio =
+      report.file_write > 0 ? report.file_read / report.file_write : 0.0;
+  std::printf("Shape checks:\n");
+  std::printf("  * Client caches filter raw traffic: server sees %.0f%% of raw bytes\n"
+              "    (paper: ~50%%).\n",
+              filter * 100);
+  std::printf("  * Paging is about 35%% of server bytes even with large memories\n"
+              "    (measured %.0f%%).\n",
+              report.paging_fraction() * 100);
+  std::printf("  * Non-paging reads:writes at the server = %.1f:1 (paper: ~2:1; raw traffic\n"
+              "    favors reads ~4:1 — caches absorb reads better than writes).\n",
+              read_write_ratio);
+  std::printf("  * Write-shared pass-through traffic: %.2f%% (paper: ~1%%).\n",
+              report.shared * 100);
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Table 8: why cache blocks are replaced (room for another file
+// block vs page given to virtual memory) and how long they had been
+// unreferenced.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/cache_report.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Table 8: Cache block replacement",
+                            "Replacement reasons and unreferenced ages.");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const ReplacementReport report =
+      ComputeReplacementReport(run.generator->cluster().AggregateCacheCounters());
+
+  TextTable table({"New contents of block", "Paper (% blocks)", "Measured (% blocks)",
+                   "Paper age (min)", "Measured age (min)"});
+  table.AddRow({"Another file block", FormatPercent(paper::kReplacedForFile),
+                FormatPercent(report.for_file_fraction),
+                FormatFixed(paper::kReplacedForFileAgeMin, 0),
+                FormatFixed(report.for_file_age_minutes, 0)});
+  table.AddRow({"Virtual memory page", FormatPercent(paper::kReplacedForVm),
+                FormatPercent(report.for_vm_fraction), "~30-70",
+                FormatFixed(report.for_vm_age_minutes, 0)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape checks:\n");
+  std::printf("  * Most replacements make room for other file data; about one-fifth hand\n"
+              "    the page to VM (measured %.0f%% / %.0f%%, paper 79%% / 21%%).\n",
+              report.for_file_fraction * 100, report.for_vm_fraction * 100);
+  std::printf("  * Blocks sit unreferenced for tens of minutes before replacement\n"
+              "    (measured %.0f / %.0f minutes) — so dirty blocks have long since been\n"
+              "    written back when they are replaced.\n",
+              report.for_file_age_minutes, report.for_vm_age_minutes);
+  std::printf("Replacements observed: %lld.\n", static_cast<long long>(report.total));
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

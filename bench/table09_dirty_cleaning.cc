@@ -1,0 +1,48 @@
+// Reproduces Table 9: why dirty blocks are written back to the server
+// (30-second delay, fsync, server recall, page to VM) and the dirty ages at
+// writeback. Data integrity, not cache pressure, is why dirty bytes leave
+// the cache.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/cache_report.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Table 9: Dirty block cleaning",
+                            "Why dirty blocks were written back, and how old they were.");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const CleaningReport report =
+      ComputeCleaningReport(run.generator->cluster().AggregateCacheCounters());
+
+  const char* names[kCleanReasonCount] = {"30-second delay", "fsync (write-through)",
+                                          "Server recall", "Page to virtual memory",
+                                          "Replacement (dirty at LRU tail)"};
+  const double paper_fracs[kCleanReasonCount] = {paper::kCleanedByDelay, paper::kCleanedByFsync,
+                                                 paper::kCleanedByRecall, paper::kCleanedByVm,
+                                                 0.0};
+  TextTable table({"Reason", "Paper (% blocks)", "Measured (% blocks)", "Measured age (s)"});
+  for (int r = 0; r < kCleanReasonCount; ++r) {
+    table.AddRow({names[r], r < 4 ? FormatPercent(paper_fracs[r]) : "~0 (not in table)",
+                  FormatPercent(report.rows[r].fraction),
+                  FormatFixed(report.rows[r].age_seconds, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape checks:\n");
+  std::printf("  * The 30-second delay accounts for the majority of cleanings\n"
+              "    (measured %.0f%%, paper ~75%%), at ages slightly above 30 s.\n",
+              report.rows[0].fraction * 100);
+  std::printf("  * Dirty blocks almost never leave to make room for other blocks:\n"
+              "    increasing the cache size would NOT reduce write traffic.\n");
+  std::printf("Cleanings observed: %lld.\n", static_cast<long long>(report.total));
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Table 10: how often the server takes special consistency
+// actions — concurrent write-sharing (cache disabling) and dirty-data
+// recalls — as a fraction of file opens.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/analysis/cache_report.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader("Table 10: Consistency action frequency",
+                            "Consistency actions as a percentage of file opens.");
+
+  const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
+  const ConsistencyActionReport report =
+      ComputeConsistencyActionReport(run.generator->cluster().AggregateServerCounters());
+
+  TextTable table({"Type of action", "Paper (% of opens)", "Measured (% of opens)"});
+  table.AddRow({"Concurrent write-sharing", "0.34 (0.18-0.56)",
+                FormatPercent(report.write_sharing_fraction, 2)});
+  table.AddRow({"Server recall", "1.7 (0.79-3.35)", FormatPercent(report.recall_fraction, 2)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape checks:\n");
+  std::printf("  * Write-sharing is rare — roughly one in every few hundred opens\n"
+              "    (measured 1 in %.0f; paper 1 in ~300).\n",
+              report.write_sharing_fraction > 0 ? 1.0 / report.write_sharing_fraction : 0.0);
+  std::printf("  * Recalls are several times more common than write-sharing but still\n"
+              "    rare (measured 1 in %.0f opens; paper 1 in ~60). Recall counts are an\n"
+              "    upper bound: the server cannot tell whether the delayed write already\n"
+              "    flushed.\n",
+              report.recall_fraction > 0 ? 1.0 / report.recall_fraction : 0.0);
+  std::printf("File opens observed: %lld.\n", static_cast<long long>(report.file_opens));
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 11: potential stale-data errors under a weaker,
+// NFS-style polling consistency scheme, simulated over the traces with
+// 60-second and 3-second refresh intervals.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/consistency/polling.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader(
+      "Table 11: Stale data errors under polling consistency",
+      "NFS-style fixed refresh intervals (60 s / 3 s) simulated over the traces.");
+
+  const auto traces = sprite_bench::StandardEightTraces(scale);
+
+  struct Aggregate {
+    StreamingStats errors_per_hour;
+    StreamingStats users_affected;
+    StreamingStats open_errors;
+    StreamingStats migrated_open_errors;
+  };
+  auto simulate = [&](SimDuration interval) {
+    Aggregate agg;
+    for (const TraceLog& trace : traces) {
+      const PollingResult r = SimulatePolling(trace, interval);
+      agg.errors_per_hour.Add(r.errors_per_hour());
+      agg.users_affected.Add(r.affected_user_fraction());
+      agg.open_errors.Add(r.open_error_fraction());
+      agg.migrated_open_errors.Add(r.migrated_open_error_fraction());
+    }
+    return agg;
+  };
+
+  const Aggregate s60 = simulate(60 * kSecond);
+  const Aggregate s3 = simulate(3 * kSecond);
+
+  TextTable table({"Measurement", "Paper 60-s", "Measured 60-s", "Paper 3-s", "Measured 3-s"});
+  table.AddRow({"Average errors per hour", "18 (8-53)",
+                FormatWithRange(s60.errors_per_hour.mean(), s60.errors_per_hour.min(),
+                                s60.errors_per_hour.max(), 1),
+                "0.59 (0.12-1.8)",
+                FormatWithRange(s3.errors_per_hour.mean(), s3.errors_per_hour.min(),
+                                s3.errors_per_hour.max(), 2)});
+  table.AddRow({"% users affected per trace", "48 (38-54)",
+                FormatPercent(s60.users_affected.mean(), 0), "7.1 (4.5-12)",
+                FormatPercent(s3.users_affected.mean())});
+  table.AddRow({"% file opens with error", "0.34 (0.21-0.93)",
+                FormatPercent(s60.open_errors.mean(), 2), "0.011 (0.0001-0.032)",
+                FormatPercent(s3.open_errors.mean(), 3)});
+  table.AddRow({"% migrated opens with error", "0.33 (0.05-2.8)",
+                FormatPercent(s60.migrated_open_errors.mean(), 2), "<0.01 (0.0-0.055)",
+                FormatPercent(s3.migrated_open_errors.mean(), 3)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape checks:\n");
+  std::printf("  * A 60-second interval causes errors many times per hour and touches a\n"
+              "    large share of users; 3 seconds reduces but does not eliminate them\n"
+              "    (measured 60-s/3-s error ratio: %.0fx; paper ~30x).\n",
+              s3.errors_per_hour.mean() > 0
+                  ? s60.errors_per_hour.mean() / s3.errors_per_hour.mean()
+                  : 0.0);
+  std::printf("  * Migrated opens are no more error-prone than ordinary ones (measured\n"
+              "    %.2f%% vs %.2f%%) — processes open most files after migrating.\n",
+              s60.migrated_open_errors.mean() * 100, s60.open_errors.mean() * 100);
+  std::printf("  * Conclusion unchanged: users would be inconvenienced daily without\n"
+              "    consistency; Sprite eliminates these errors entirely.\n");
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Table 12: overhead of three cache-consistency algorithms
+// (Sprite, modified Sprite, token-based) on the accesses made to
+// write-shared files, in bytes transferred and remote procedure calls.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/paper_data.h"
+#include "src/consistency/overhead.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+namespace paper = sprite_paper;
+
+int main() {
+  const sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  sprite_bench::PrintHeader(
+      "Table 12: Cache consistency overhead",
+      "Sprite vs modified-Sprite vs token-based, on write-shared accesses.");
+
+  const auto traces = sprite_bench::StandardEightTraces(scale);
+
+  struct PolicyStats {
+    StreamingStats byte_ratio;
+    StreamingStats rpc_ratio;
+    int64_t events = 0;
+  };
+  auto simulate = [&](ConsistencyPolicy policy) {
+    PolicyStats stats;
+    for (const TraceLog& trace : traces) {
+      const OverheadResult r = SimulateConsistencyOverhead(trace, policy);
+      if (r.events_requested > 0) {
+        stats.byte_ratio.Add(r.byte_ratio());
+        stats.rpc_ratio.Add(r.rpc_ratio());
+        stats.events += r.events_requested;
+      }
+    }
+    return stats;
+  };
+
+  const PolicyStats sprite_stats = simulate(ConsistencyPolicy::kSprite);
+  const PolicyStats modified_stats = simulate(ConsistencyPolicy::kSpriteModified);
+  const PolicyStats token_stats = simulate(ConsistencyPolicy::kToken);
+
+  TextTable table({"Algorithm", "Paper bytes ratio", "Measured bytes ratio", "Paper RPC ratio",
+                   "Measured RPC ratio"});
+  table.AddRow({"Sprite (disable until all close)", "1.00 (exact)",
+                FormatWithRange(sprite_stats.byte_ratio.mean(), sprite_stats.byte_ratio.min(),
+                                sprite_stats.byte_ratio.max()),
+                "1.00",
+                FormatWithRange(sprite_stats.rpc_ratio.mean(), sprite_stats.rpc_ratio.min(),
+                                sprite_stats.rpc_ratio.max())});
+  table.AddRow({"Modified Sprite (re-enable early)", "~1.0 (no improvement)",
+                FormatWithRange(modified_stats.byte_ratio.mean(), modified_stats.byte_ratio.min(),
+                                modified_stats.byte_ratio.max()),
+                "~1.0",
+                FormatWithRange(modified_stats.rpc_ratio.mean(), modified_stats.rpc_ratio.min(),
+                                modified_stats.rpc_ratio.max())});
+  table.AddRow({"Token-based (Locus/Echo style)", "~0.98 (2% better)",
+                FormatWithRange(token_stats.byte_ratio.mean(), token_stats.byte_ratio.min(),
+                                token_stats.byte_ratio.max()),
+                "~0.8 (20% better)",
+                FormatWithRange(token_stats.rpc_ratio.mean(), token_stats.rpc_ratio.min(),
+                                token_stats.rpc_ratio.max())});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Shape checks:\n");
+  std::printf("  * Sprite moves exactly the requested bytes, one RPC per request\n"
+              "    (measured %.3f / %.3f).\n",
+              sprite_stats.byte_ratio.mean(), sprite_stats.rpc_ratio.mean());
+  std::printf("  * No clear winner: the alternatives differ little, and whole-block\n"
+              "    fetches make small shared I/O expensive for the cacheable schemes\n"
+              "    (token byte ratio %.2f, high variance %.2f).\n",
+              token_stats.byte_ratio.mean(), token_stats.byte_ratio.stddev());
+  std::printf("  * The token scheme's RPC count benefits when sharing is coarse-grained\n"
+              "    (measured RPC ratio %.2f vs Sprite's %.2f).\n",
+              token_stats.rpc_ratio.mean(), sprite_stats.rpc_ratio.mean());
+  std::printf("Write-shared events analyzed: %lld.\n",
+              static_cast<long long>(sprite_stats.events));
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

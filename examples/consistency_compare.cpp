@@ -1,0 +1,68 @@
+// Example: compare cache-consistency approaches on a workload with
+// write-sharing — the Section 5.5/5.6 experiments as a library user would
+// run them.
+//
+// Two things are measured:
+//   1. How often a *weaker* (NFS-style polling) scheme would have returned
+//      stale data to users (Table 11's simulation).
+//   2. What the three strong schemes (Sprite, modified Sprite, token) cost
+//      on the write-shared accesses (Table 12's simulation).
+//
+//   $ ./consistency_compare
+
+#include <cstdio>
+
+#include "src/consistency/overhead.h"
+#include "src/consistency/polling.h"
+#include "src/workload/generator.h"
+
+using namespace sprite;
+
+int main() {
+  // A sharing-rich workload: more users appending to shared logs, with
+  // long holds so opens overlap.
+  WorkloadParams params;
+  params.num_users = 16;
+  params.seed = 7;
+  params.num_shared_files = 2;
+  params.shared_hold_mean = 60 * kSecond;
+  for (auto& group : params.groups) {
+    group.task_weights[static_cast<int>(TaskKind::kShareAppend)] *= 3.0;
+  }
+  ClusterConfig cluster_config;
+  cluster_config.num_clients = 16;
+  cluster_config.num_servers = 2;
+
+  std::printf("Generating a sharing-rich workload (16 users, 2 shared logs)...\n");
+  Generator generator(params, cluster_config);
+  const TraceLog trace = generator.Run(2 * kHour, 15 * kMinute);
+
+  // --- 1. Would users notice weaker consistency? ----------------------------
+  std::printf("\n-- Stale data under polling consistency (the NFS-style simulation) --\n");
+  for (const SimDuration interval : {60 * kSecond, 3 * kSecond}) {
+    const PollingResult result = SimulatePolling(trace, interval);
+    std::printf("  refresh every %2lld s: %5.1f potential stale reads/hour, "
+                "%.0f%% of users affected, %.3f%% of opens hit stale data\n",
+                static_cast<long long>(ToSeconds(interval)), result.errors_per_hour(),
+                result.affected_user_fraction() * 100, result.open_error_fraction() * 100);
+  }
+  std::printf("  Sprite's protocol eliminates these errors entirely.\n");
+
+  // --- 2. What does strong consistency cost? ---------------------------------
+  std::printf("\n-- Overhead of the three consistency algorithms on shared accesses --\n");
+  struct NamedPolicy {
+    const char* name;
+    ConsistencyPolicy policy;
+  };
+  for (const NamedPolicy np : {NamedPolicy{"Sprite (disable caching)", ConsistencyPolicy::kSprite},
+                               NamedPolicy{"Modified Sprite", ConsistencyPolicy::kSpriteModified},
+                               NamedPolicy{"Token-based", ConsistencyPolicy::kToken}}) {
+    const OverheadResult result = SimulateConsistencyOverhead(trace, np.policy);
+    std::printf("  %-26s bytes ratio %.2f   RPC ratio %.2f   (%lld shared events)\n", np.name,
+                result.byte_ratio(), result.rpc_ratio(),
+                static_cast<long long>(result.events_requested));
+  }
+  std::printf("\nThe paper's conclusion holds: overheads are comparable, so pick the\n"
+              "simplest implementation — write-sharing is too rare to matter.\n");
+  return 0;
+}

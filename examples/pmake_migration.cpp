@@ -1,0 +1,129 @@
+// Example: a pmake-style parallel build using process migration — the
+// workload that produced the paper's 6x burst rates — driven directly
+// against the cluster API (no workload generator).
+//
+// One user compiles 12 source files. First serially on their own
+// workstation, then fanned out with migration across 4 idle machines, and
+// we compare elapsed simulated time and cache behavior.
+//
+//   $ ./pmake_migration
+
+#include <cstdio>
+#include <vector>
+
+#include "src/fs/cluster.h"
+#include "src/util/units.h"
+
+using namespace sprite;
+
+namespace {
+
+constexpr UserId kUser = 1;
+constexpr int kSources = 12;
+constexpr int64_t kSourceBytes = 24 * kKilobyte;
+constexpr int64_t kObjectBytes = 18 * kKilobyte;
+// A 10-MIPS workstation spends this long compiling one source.
+constexpr SimDuration kCompileCpu = 2 * kSecond;
+
+FileId SourceFile(int i) { return 1000 + static_cast<FileId>(i); }
+FileId ObjectFile(int i) { return 2000 + static_cast<FileId>(i); }
+
+// Compiles source i on `client`: read the source, write the object.
+// Returns the I/O latency incurred.
+SimDuration CompileOne(Cluster& cluster, ClientId client, int i, bool migrated) {
+  Client& c = cluster.client(client);
+  SimTime now = cluster.queue().now();
+  SimDuration latency = 0;
+  auto src = c.Open(kUser, SourceFile(i), OpenMode::kRead, OpenDisposition::kNormal, migrated,
+                    now);
+  latency += c.Read(src.handle, kSourceBytes, now);
+  latency += c.Close(src.handle, now);
+  auto obj = c.Open(kUser, ObjectFile(i), OpenMode::kWrite, OpenDisposition::kTruncate, migrated,
+                    now);
+  latency += c.Write(obj.handle, kObjectBytes, now);
+  latency += c.Close(obj.handle, now);
+  return latency + kCompileCpu;
+}
+
+// Links all objects on the home machine.
+SimDuration Link(Cluster& cluster, ClientId home) {
+  Client& c = cluster.client(home);
+  SimTime now = cluster.queue().now();
+  SimDuration latency = 0;
+  for (int i = 0; i < kSources; ++i) {
+    auto obj = c.Open(kUser, ObjectFile(i), OpenMode::kRead, OpenDisposition::kNormal, false,
+                      now);
+    latency += c.Read(obj.handle, kObjectBytes, now);
+    latency += c.Close(obj.handle, now);
+  }
+  auto bin = c.Open(kUser, 3000, OpenMode::kWrite, OpenDisposition::kTruncate, false, now);
+  latency += c.Write(bin.handle, kSources * kObjectBytes, now);
+  latency += c.Close(bin.handle, now);
+  return latency;
+}
+
+void MakeSources(Cluster& cluster) {
+  for (int i = 0; i < kSources; ++i) {
+    Server& server = cluster.ServerForFile(SourceFile(i));
+    server.CreateFile(SourceFile(i), false, 0);
+    server.SetFileSize(SourceFile(i), kSourceBytes);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig config;
+  config.num_clients = 5;
+  config.num_servers = 1;
+
+  // --- Serial build on the home workstation. --------------------------------
+  SimDuration serial_time = 0;
+  {
+    EventQueue queue;
+    Cluster cluster(config, queue);
+    MakeSources(cluster);
+    for (int i = 0; i < kSources; ++i) {
+      serial_time += CompileOne(cluster, /*client=*/0, i, /*migrated=*/false);
+    }
+    serial_time += Link(cluster, 0);
+  }
+
+  // --- pmake with migration: 4 jobs in parallel on idle machines. -----------
+  SimDuration parallel_time = 0;
+  int64_t recalls = 0;
+  {
+    EventQueue queue;
+    Cluster cluster(config, queue);
+    MakeSources(cluster);
+    const int fanout = 4;
+    std::vector<SimDuration> job_time(fanout, 0);
+    for (int i = 0; i < kSources; ++i) {
+      const ClientId job_client = static_cast<ClientId>(1 + (i % fanout));
+      if (i < fanout) {
+        cluster.client(job_client).NoteMigrationArrival(kUser, /*from=*/0, queue.now());
+      }
+      job_time[static_cast<size_t>(i % fanout)] +=
+          CompileOne(cluster, job_client, i, /*migrated=*/true);
+    }
+    // The build finishes when the slowest job does; then the link runs at
+    // home, recalling the freshly written objects from the job machines.
+    for (SimDuration t : job_time) {
+      parallel_time = std::max(parallel_time, t);
+    }
+    parallel_time += Link(cluster, 0);
+    recalls = cluster.server(0).counters().recall_opens;
+  }
+
+  std::printf("pmake build of %d sources (+link):\n", kSources);
+  std::printf("  serial on one workstation : %s\n", FormatDuration(serial_time).c_str());
+  std::printf("  migrated across 4 machines: %s  (%.1fx speedup)\n",
+              FormatDuration(parallel_time).c_str(),
+              static_cast<double>(serial_time) / static_cast<double>(parallel_time));
+  std::printf("  dirty-object recalls at link time: %lld (the server pulls each remote\n"
+              "  machine's delayed writes so the linker sees current data)\n",
+              static_cast<long long>(recalls));
+  std::printf("\nThis is the mechanism behind the paper's finding that migration raises\n"
+              "burst I/O rates ~6x while cache consistency still holds.\n");
+  return 0;
+}

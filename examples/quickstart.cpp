@@ -1,0 +1,82 @@
+// Quickstart: build a small Sprite cluster, do some file I/O through the
+// public API, and inspect the caches, the consistency machinery, and the
+// kernel-call trace it produced.
+//
+//   $ ./quickstart
+//
+// This walks the same path as the paper's measurements, in miniature:
+// clients cache file blocks, writes sit in the cache for up to 30 seconds,
+// a second client's open triggers a recall, and everything is logged as a
+// trace you can analyze.
+
+#include <cstdio>
+
+#include "src/fs/cluster.h"
+#include "src/trace/summary.h"
+#include "src/util/units.h"
+
+using namespace sprite;
+
+int main() {
+  // --- 1. Build a cluster: 4 diskless clients, 1 file server. ---------------
+  ClusterConfig config;
+  config.num_clients = 4;
+  config.num_servers = 1;
+  EventQueue queue;
+  Cluster cluster(config, queue);
+  cluster.StartDaemons();  // the 5-second dirty-block cleaner, counters
+
+  const UserId alice = 1;
+  const UserId bob = 2;
+  const FileId paper_tex = 100;
+
+  // --- 2. Alice writes a file on client 0. ----------------------------------
+  Client& c0 = cluster.client(0);
+  auto w = c0.Open(alice, paper_tex, OpenMode::kWrite, OpenDisposition::kTruncate,
+                   /*migrated=*/false, queue.now());
+  c0.Write(w.handle, 20 * kKilobyte, queue.now());
+  c0.Close(w.handle, queue.now());
+  std::printf("Alice wrote %s; dirty data sits in client 0's cache (delayed write).\n",
+              FormatBytes(20 * kKilobyte).c_str());
+  std::printf("  client 0 cache: %s, server has seen %s of writes\n",
+              FormatBytes(c0.cache_size_bytes()).c_str(),
+              FormatBytes(cluster.server(0).counters().file_write_bytes).c_str());
+
+  // --- 3. Bob opens the same file from client 1 two seconds later. ----------
+  // Sprite's server recalls Alice's dirty blocks so Bob reads current data.
+  queue.RunUntil(queue.now() + 2 * kSecond);
+  Client& c1 = cluster.client(1);
+  auto r = c1.Open(bob, paper_tex, OpenMode::kRead, OpenDisposition::kNormal, false, queue.now());
+  const SimDuration read_latency = c1.Read(r.handle, 20 * kKilobyte, queue.now());
+  c1.Close(r.handle, queue.now());
+  std::printf("\nBob opened the file on another workstation:\n");
+  std::printf("  server recalls performed: %lld (consistency in action)\n",
+              static_cast<long long>(cluster.server(0).counters().recall_opens));
+  std::printf("  Bob's read took %s (5 cache misses fetched over the Ethernet)\n",
+              FormatDuration(read_latency).c_str());
+
+  // --- 4. Bob re-reads: now it is all cache hits. ----------------------------
+  auto r2 = c1.Open(bob, paper_tex, OpenMode::kRead, OpenDisposition::kNormal, false, queue.now());
+  const SimDuration hit_latency = c1.Read(r2.handle, 20 * kKilobyte, queue.now());
+  c1.Close(r2.handle, queue.now());
+  std::printf("  Bob's second read took %s (all hits in client 1's cache)\n",
+              FormatDuration(hit_latency).c_str());
+
+  // --- 5. Let the 30-second delayed write reach the server. ------------------
+  queue.RunUntil(queue.now() + 40 * kSecond);
+  std::printf("\nAfter 40 simulated seconds the cleaner daemon has written back:\n");
+  std::printf("  server file writes: %s\n",
+              FormatBytes(cluster.server(0).counters().file_write_bytes).c_str());
+
+  // --- 6. Everything was traced, exactly like the paper's instrumentation. ---
+  const TraceSummary summary = Summarize(cluster.trace());
+  std::printf("\nKernel-call trace collected: %lld records "
+              "(%lld opens, %lld closes, %.2f MB read, %.2f MB written)\n",
+              static_cast<long long>(summary.total_records),
+              static_cast<long long>(summary.open_events),
+              static_cast<long long>(summary.close_events), summary.mbytes_read(),
+              summary.mbytes_written());
+  std::printf("\nNext: see examples/trace_analysis and examples/consistency_compare, or run\n"
+              "the bench binaries to regenerate the paper's tables.\n");
+  return 0;
+}

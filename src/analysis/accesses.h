@@ -1,0 +1,65 @@
+// Access reconstruction.
+//
+// The traces record offsets at "anchor" operations (open, reposition,
+// close), not individual reads and writes. Following the BSD-study method,
+// this module replays a trace and reconstructs each *access* — one
+// open/transfer/close episode — including its sequential runs, so the
+// Section 4 analyses (Tables 2-3, Figures 1-4) can classify it.
+
+#ifndef SPRITE_DFS_SRC_ANALYSIS_ACCESSES_H_
+#define SPRITE_DFS_SRC_ANALYSIS_ACCESSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace sprite {
+
+// One maximal sequential transfer: bytes moved between two anchors.
+struct SequentialRun {
+  int64_t start_offset = 0;
+  int64_t read_bytes = 0;
+  int64_t write_bytes = 0;
+
+  int64_t total_bytes() const { return read_bytes + write_bytes; }
+};
+
+// One open ... close episode on a file.
+struct Access {
+  uint32_t user = 0;
+  uint32_t client = 0;
+  uint64_t file = 0;
+  bool migrated = false;
+  bool is_directory = false;
+  OpenMode mode = OpenMode::kRead;
+  SimTime open_time = 0;
+  SimTime close_time = 0;
+  int64_t size_at_open = 0;
+  int64_t size_at_close = 0;
+  std::vector<SequentialRun> runs;  // zero-byte runs are dropped
+
+  int64_t total_read() const;
+  int64_t total_write() const;
+  int64_t total_bytes() const { return total_read() + total_write(); }
+  SimDuration open_duration() const { return close_time - open_time; }
+
+  // The paper classifies by actual usage, not open mode.
+  enum class Type { kReadOnly, kWriteOnly, kReadWrite, kNone };
+  Type type() const;
+
+  // Sequentiality (Table 3): whole-file = the entire file transferred
+  // sequentially start to finish; other-sequential = a single sequential
+  // run; random = everything else.
+  enum class Pattern { kWholeFile, kOtherSequential, kRandom };
+  Pattern pattern() const;
+};
+
+// Replays `log` and returns completed accesses in close-time order.
+// Directory accesses are included (flagged); accesses still open when the
+// trace ends are discarded, as in the paper.
+std::vector<Access> ExtractAccesses(const TraceLog& log);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_ANALYSIS_ACCESSES_H_

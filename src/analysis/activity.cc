@@ -1,0 +1,83 @@
+#include "src/analysis/activity.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace sprite {
+namespace {
+
+// Bytes a record contributes to throughput (file data plus directory data,
+// as in the BSD study's "file throughput").
+int64_t RecordBytes(const Record& r) {
+  switch (r.kind) {
+    case RecordKind::kSeek:
+    case RecordKind::kClose:
+      return r.run_read_bytes + r.run_write_bytes;
+    case RecordKind::kSharedRead:
+    case RecordKind::kSharedWrite:
+    case RecordKind::kDirRead:
+      return r.io_bytes;
+    default:
+      return 0;
+  }
+}
+
+struct IntervalAccumulator {
+  std::map<uint32_t, int64_t> user_bytes;  // user -> bytes (user present = active)
+};
+
+void Finish(const std::vector<IntervalAccumulator>& intervals, double interval_seconds,
+            ActivityStats* stats) {
+  for (const IntervalAccumulator& interval : intervals) {
+    if (interval.user_bytes.empty()) {
+      continue;
+    }
+    ++stats->interval_count;
+    stats->active_users.Add(static_cast<double>(interval.user_bytes.size()));
+    double total = 0.0;
+    for (const auto& [user, bytes] : interval.user_bytes) {
+      (void)user;
+      const double rate = static_cast<double>(bytes) / interval_seconds;
+      stats->throughput_per_user.Add(rate);
+      stats->peak_user_throughput = std::max(stats->peak_user_throughput, rate);
+      total += rate;
+    }
+    stats->peak_total_throughput = std::max(stats->peak_total_throughput, total);
+  }
+}
+
+}  // namespace
+
+ActivityReport ComputeActivity(const TraceLog& log, SimDuration interval) {
+  if (interval <= 0) {
+    throw std::invalid_argument("ComputeActivity: interval must be positive");
+  }
+  ActivityReport report;
+  report.interval = interval;
+  if (log.empty()) {
+    return report;
+  }
+
+  const SimTime start = log.front().time;
+  const size_t num_intervals =
+      static_cast<size_t>((log.back().time - start) / interval) + 1;
+  std::vector<IntervalAccumulator> all(num_intervals);
+  std::vector<IntervalAccumulator> migrated(num_intervals);
+
+  for (const Record& r : log) {
+    const size_t index = static_cast<size_t>((r.time - start) / interval);
+    all[index].user_bytes[r.user] += RecordBytes(r);
+    if (r.migrated) {
+      migrated[index].user_bytes[r.user] += RecordBytes(r);
+    }
+  }
+
+  const double interval_seconds = ToSeconds(interval);
+  Finish(all, interval_seconds, &report.all_users);
+  Finish(migrated, interval_seconds, &report.migrated_users);
+  return report;
+}
+
+}  // namespace sprite

@@ -1,0 +1,39 @@
+// User activity analysis (Table 2): active users and per-user throughput
+// over fixed-size intervals, for all users and for users with active
+// migrated processes.
+
+#ifndef SPRITE_DFS_SRC_ANALYSIS_ACTIVITY_H_
+#define SPRITE_DFS_SRC_ANALYSIS_ACTIVITY_H_
+
+#include "src/trace/record.h"
+#include "src/util/stats.h"
+
+namespace sprite {
+
+struct ActivityStats {
+  // Number of active users per interval.
+  StreamingStats active_users;
+  // Throughput (bytes/second) per active user-interval.
+  StreamingStats throughput_per_user;
+  // Highest single user-interval throughput (bytes/second).
+  double peak_user_throughput = 0.0;
+  // Highest whole-cluster throughput in one interval (bytes/second).
+  double peak_total_throughput = 0.0;
+  int64_t interval_count = 0;
+};
+
+struct ActivityReport {
+  ActivityStats all_users;
+  ActivityStats migrated_users;  // only I/O from migrated processes
+  SimDuration interval = 0;
+};
+
+// Divides `log` into `interval`-sized windows (relative to the first
+// record) and computes Table 2's statistics. A user is active in an
+// interval if any record of theirs appears in it; bytes are attributed to
+// the interval of the record that reports them (anchor records for runs).
+ActivityReport ComputeActivity(const TraceLog& log, SimDuration interval);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_ANALYSIS_ACTIVITY_H_

@@ -1,0 +1,200 @@
+#include "src/analysis/cache_report.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace sprite {
+namespace {
+
+double Ratio(int64_t numerator, int64_t denominator) {
+  return denominator > 0 ? static_cast<double>(numerator) / static_cast<double>(denominator)
+                         : 0.0;
+}
+
+CacheSizeReport::WindowChanges WindowStats(
+    const std::vector<Cluster::CacheSizeSample>& samples, SimDuration window) {
+  // client -> window index -> (min, max)
+  std::map<std::pair<ClientId, int64_t>, std::pair<int64_t, int64_t>> extrema;
+  for (const auto& s : samples) {
+    const auto key = std::make_pair(s.client, s.time / window);
+    auto [it, inserted] = extrema.try_emplace(key, std::make_pair(s.cache_bytes, s.cache_bytes));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, s.cache_bytes);
+      it->second.second = std::max(it->second.second, s.cache_bytes);
+    }
+  }
+  StreamingStats changes;
+  for (const auto& [key, min_max] : extrema) {
+    (void)key;
+    changes.Add(static_cast<double>(min_max.second - min_max.first));
+  }
+  CacheSizeReport::WindowChanges out;
+  out.mean_change = changes.mean();
+  out.stddev_change = changes.stddev();
+  out.max_change = changes.count() > 0 ? changes.max() : 0.0;
+  return out;
+}
+
+}  // namespace
+
+CacheSizeReport ComputeCacheSizeReport(const std::vector<Cluster::CacheSizeSample>& samples) {
+  CacheSizeReport report;
+  StreamingStats sizes;
+  for (const auto& s : samples) {
+    sizes.Add(static_cast<double>(s.cache_bytes));
+  }
+  report.mean_bytes = sizes.mean();
+  report.stddev_bytes = sizes.stddev();
+  report.max_bytes = sizes.count() > 0 ? sizes.max() : 0.0;
+  report.min15 = WindowStats(samples, 15 * kMinute);
+  report.min60 = WindowStats(samples, 60 * kMinute);
+  return report;
+}
+
+TrafficReport ComputeTrafficReport(const TrafficCounters& counters) {
+  TrafficReport report;
+  report.total_bytes = counters.TotalBytes();
+  if (report.total_bytes == 0) {
+    return report;
+  }
+  const double total = static_cast<double>(report.total_bytes);
+  report.file_read_cached = counters.file_read_cacheable / total;
+  report.file_write_cached = counters.file_write_cacheable / total;
+  report.paging_read_cached = counters.paging_read_cacheable / total;
+  report.paging_read_backing = counters.paging_read_backing / total;
+  report.paging_write_backing = counters.paging_write_backing / total;
+  report.shared_read = counters.file_read_shared / total;
+  report.shared_write = counters.file_write_shared / total;
+  report.dir_read = counters.dir_read / total;
+  return report;
+}
+
+EffectivenessReport ComputeEffectivenessReport(const CacheCounters& counters) {
+  EffectivenessReport report;
+  report.read_miss_ratio = Ratio(counters.read_misses, counters.read_ops);
+  report.read_miss_traffic = Ratio(counters.bytes_read_from_server, counters.bytes_read_by_apps);
+  report.writeback_traffic =
+      Ratio(counters.bytes_written_to_server, counters.bytes_written_by_apps);
+  report.write_fetch_ratio = Ratio(counters.write_fetches, counters.write_ops);
+  report.paging_read_miss_ratio = Ratio(counters.paging_read_misses, counters.paging_read_ops);
+  report.migrated_read_miss_ratio =
+      Ratio(counters.migrated_read_misses, counters.migrated_read_ops);
+  report.migrated_read_miss_traffic =
+      Ratio(counters.migrated_bytes_read_from_server, counters.migrated_bytes_read_by_apps);
+  report.cancelled_fraction =
+      Ratio(counters.bytes_cancelled_before_writeback, counters.bytes_written_by_apps);
+  return report;
+}
+
+ServerTrafficReport ComputeServerTrafficReport(const ServerCounters& counters) {
+  ServerTrafficReport report;
+  report.total_bytes = counters.TotalBytes();
+  if (report.total_bytes == 0) {
+    return report;
+  }
+  const double total = static_cast<double>(report.total_bytes);
+  report.file_read = counters.file_read_bytes / total;
+  report.file_write = counters.file_write_bytes / total;
+  report.paging_read = counters.paging_read_bytes / total;
+  report.paging_write = counters.paging_write_bytes / total;
+  report.shared = (counters.shared_read_bytes + counters.shared_write_bytes) / total;
+  report.dir_read = counters.dir_read_bytes / total;
+  return report;
+}
+
+double ComputeFilterRatio(const TrafficCounters& raw, const ServerCounters& server) {
+  return Ratio(server.TotalBytes(), raw.TotalBytes());
+}
+
+namespace {
+
+Spread SpreadOf(const std::vector<double>& values) {
+  Spread spread;
+  StreamingStats stats;
+  for (double v : values) {
+    stats.Add(v);
+  }
+  spread.mean = stats.mean();
+  spread.stddev = stats.stddev();
+  spread.min = stats.count() > 0 ? stats.min() : 0.0;
+  spread.max = stats.count() > 0 ? stats.max() : 0.0;
+  spread.machines = static_cast<int>(stats.count());
+  return spread;
+}
+
+}  // namespace
+
+EffectivenessSpread ComputeEffectivenessSpread(const Cluster& cluster) {
+  std::vector<double> miss_ratio;
+  std::vector<double> miss_traffic;
+  std::vector<double> writeback;
+  std::vector<double> paging_miss;
+  for (int i = 0; i < cluster.num_clients(); ++i) {
+    const CacheCounters& c = cluster.client(static_cast<ClientId>(i)).cache_counters();
+    if (c.read_ops > 0) {
+      miss_ratio.push_back(Ratio(c.read_misses, c.read_ops));
+    }
+    if (c.bytes_read_by_apps > 0) {
+      miss_traffic.push_back(Ratio(c.bytes_read_from_server, c.bytes_read_by_apps));
+    }
+    if (c.bytes_written_by_apps > 0) {
+      writeback.push_back(Ratio(c.bytes_written_to_server, c.bytes_written_by_apps));
+    }
+    if (c.paging_read_ops > 0) {
+      paging_miss.push_back(Ratio(c.paging_read_misses, c.paging_read_ops));
+    }
+  }
+  EffectivenessSpread spread;
+  spread.read_miss_ratio = SpreadOf(miss_ratio);
+  spread.read_miss_traffic = SpreadOf(miss_traffic);
+  spread.writeback_traffic = SpreadOf(writeback);
+  spread.paging_read_miss_ratio = SpreadOf(paging_miss);
+  return spread;
+}
+
+ReplacementReport ComputeReplacementReport(const CacheCounters& counters) {
+  ReplacementReport report;
+  report.total = counters.replaced_for_file + counters.replaced_for_vm;
+  if (report.total == 0) {
+    return report;
+  }
+  report.for_file_fraction = Ratio(counters.replaced_for_file, report.total);
+  report.for_vm_fraction = Ratio(counters.replaced_for_vm, report.total);
+  if (counters.replaced_for_file > 0) {
+    report.for_file_age_minutes =
+        ToSeconds(counters.replaced_for_file_age_us / counters.replaced_for_file) / 60.0;
+  }
+  if (counters.replaced_for_vm > 0) {
+    report.for_vm_age_minutes =
+        ToSeconds(counters.replaced_for_vm_age_us / counters.replaced_for_vm) / 60.0;
+  }
+  return report;
+}
+
+CleaningReport ComputeCleaningReport(const CacheCounters& counters) {
+  CleaningReport report;
+  for (int r = 0; r < kCleanReasonCount; ++r) {
+    report.total += counters.cleaned[r];
+  }
+  for (int r = 0; r < kCleanReasonCount; ++r) {
+    report.rows[r].count = counters.cleaned[r];
+    report.rows[r].fraction = Ratio(counters.cleaned[r], report.total);
+    if (counters.cleaned[r] > 0) {
+      report.rows[r].age_seconds = ToSeconds(counters.cleaned_age_us[r] / counters.cleaned[r]);
+    }
+  }
+  return report;
+}
+
+ConsistencyActionReport ComputeConsistencyActionReport(const ServerCounters& counters) {
+  ConsistencyActionReport report;
+  report.file_opens = counters.file_opens;
+  report.write_sharing_fraction = Ratio(counters.write_sharing_opens, counters.file_opens);
+  report.recall_fraction = Ratio(counters.recall_opens, counters.file_opens);
+  return report;
+}
+
+}  // namespace sprite

@@ -1,0 +1,138 @@
+// Cache measurement reports: Tables 4-10 computed from the simulated
+// kernel counters and the periodic cache-size samples.
+
+#ifndef SPRITE_DFS_SRC_ANALYSIS_CACHE_REPORT_H_
+#define SPRITE_DFS_SRC_ANALYSIS_CACHE_REPORT_H_
+
+#include <vector>
+
+#include "src/fs/cluster.h"
+#include "src/fs/counters.h"
+
+namespace sprite {
+
+// Table 4: client cache sizes and their variation over time.
+struct CacheSizeReport {
+  double mean_bytes = 0.0;
+  double stddev_bytes = 0.0;
+  double max_bytes = 0.0;
+  struct WindowChanges {
+    double mean_change = 0.0;    // avg of (max - min) within the window
+    double stddev_change = 0.0;
+    double max_change = 0.0;
+  };
+  WindowChanges min15;  // 15-minute windows
+  WindowChanges min60;  // 60-minute windows
+};
+CacheSizeReport ComputeCacheSizeReport(const std::vector<Cluster::CacheSizeSample>& samples);
+
+// Table 5: sources of raw client traffic, as fractions of all raw bytes.
+struct TrafficReport {
+  double file_read_cached = 0.0;
+  double file_write_cached = 0.0;
+  double paging_read_cached = 0.0;   // code + initialized data faults
+  double paging_read_backing = 0.0;  // uncacheable
+  double paging_write_backing = 0.0;
+  double shared_read = 0.0;  // uncacheable (write-shared files)
+  double shared_write = 0.0;
+  double dir_read = 0.0;  // uncacheable ("other")
+  int64_t total_bytes = 0;
+
+  double total_cacheable() const {
+    return file_read_cached + file_write_cached + paging_read_cached;
+  }
+  double total_uncacheable() const {
+    return paging_read_backing + paging_write_backing + shared_read + shared_write + dir_read;
+  }
+  double total_paging() const {
+    return paging_read_cached + paging_read_backing + paging_write_backing;
+  }
+};
+TrafficReport ComputeTrafficReport(const TrafficCounters& counters);
+
+// Table 6: client cache effectiveness (fractions in [0, 1], may exceed 1
+// for writeback traffic).
+struct EffectivenessReport {
+  double read_miss_ratio = 0.0;          // misses / read ops
+  double read_miss_traffic = 0.0;        // server bytes / app bytes read
+  double writeback_traffic = 0.0;        // server bytes / app bytes written
+  double write_fetch_ratio = 0.0;        // fetches / write ops
+  double paging_read_miss_ratio = 0.0;   // paging misses / paging ops
+  double migrated_read_miss_ratio = 0.0;
+  double migrated_read_miss_traffic = 0.0;
+  // 1 - (bytes cancelled before writeback / bytes written by apps): the
+  // 30-second delay saves roughly 10% in the paper.
+  double cancelled_fraction = 0.0;
+};
+EffectivenessReport ComputeEffectivenessReport(const CacheCounters& counters);
+
+// Table 7: traffic presented to the servers, as fractions of server bytes.
+struct ServerTrafficReport {
+  double file_read = 0.0;
+  double file_write = 0.0;
+  double paging_read = 0.0;
+  double paging_write = 0.0;
+  double shared = 0.0;
+  double dir_read = 0.0;
+  int64_t total_bytes = 0;
+  double paging_fraction() const { return paging_read + paging_write; }
+};
+ServerTrafficReport ComputeServerTrafficReport(const ServerCounters& counters);
+
+// Overall client-cache filtering: server bytes / raw client bytes (the
+// paper's headline "caches filter out about 50% of raw traffic").
+double ComputeFilterRatio(const TrafficCounters& raw, const ServerCounters& server);
+
+// Mean and dispersion of one ratio across machines — the paper reports every
+// Table 5-9 cell as "mean (stddev of per-machine values)".
+struct Spread {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int machines = 0;
+};
+
+// Per-machine spread of the Table 6 ratios. Clients with no relevant
+// operations (e.g. pure idle pool machines) are excluded per-ratio.
+struct EffectivenessSpread {
+  Spread read_miss_ratio;
+  Spread read_miss_traffic;
+  Spread writeback_traffic;
+  Spread paging_read_miss_ratio;
+};
+EffectivenessSpread ComputeEffectivenessSpread(const Cluster& cluster);
+
+// Table 8: block replacement.
+struct ReplacementReport {
+  double for_file_fraction = 0.0;  // replaced to hold another file block
+  double for_vm_fraction = 0.0;    // page handed to virtual memory
+  double for_file_age_minutes = 0.0;
+  double for_vm_age_minutes = 0.0;
+  int64_t total = 0;
+};
+ReplacementReport ComputeReplacementReport(const CacheCounters& counters);
+
+// Table 9: dirty block cleaning, one row per CleanReason.
+struct CleaningReport {
+  struct Row {
+    double fraction = 0.0;
+    double age_seconds = 0.0;
+    int64_t count = 0;
+  };
+  Row rows[kCleanReasonCount];
+  int64_t total = 0;
+};
+CleaningReport ComputeCleaningReport(const CacheCounters& counters);
+
+// Table 10: consistency actions as fractions of file opens.
+struct ConsistencyActionReport {
+  double write_sharing_fraction = 0.0;
+  double recall_fraction = 0.0;
+  int64_t file_opens = 0;
+};
+ConsistencyActionReport ComputeConsistencyActionReport(const ServerCounters& counters);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_ANALYSIS_CACHE_REPORT_H_

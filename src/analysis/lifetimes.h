@@ -1,0 +1,35 @@
+// File lifetime analysis (Figure 4).
+//
+// A file's life runs from its creation to its deletion or truncation to
+// zero length. Lifetimes are estimated exactly as in the paper, from the
+// ages of the oldest and newest bytes:
+//   * per-file (top graph): the lifetime is the average age of the oldest
+//     and newest bytes at death;
+//   * per-byte (bottom graph): the file is assumed to have been written
+//     sequentially, so a byte's write time interpolates linearly between
+//     the first and last writes; each byte's age at death is weighted by
+//     one byte.
+
+#ifndef SPRITE_DFS_SRC_ANALYSIS_LIFETIMES_H_
+#define SPRITE_DFS_SRC_ANALYSIS_LIFETIMES_H_
+
+#include "src/trace/record.h"
+#include "src/util/stats.h"
+
+namespace sprite {
+
+struct LifetimeCurves {
+  WeightedSamples by_files;  // lifetime in seconds, one sample per death
+  WeightedSamples by_bytes;  // lifetime in seconds, weighted by bytes
+  int64_t deaths_observed = 0;
+  // Deaths of files whose creation was not in the trace are skipped.
+  int64_t deaths_skipped = 0;
+};
+
+// Fraction helpers for the headline numbers ("65-80% live less than 30 s",
+// "4-27% of new bytes die within 30 s").
+LifetimeCurves ComputeLifetimes(const TraceLog& log);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_ANALYSIS_LIFETIMES_H_

@@ -1,0 +1,126 @@
+#include "src/analysis/patterns.h"
+
+namespace sprite {
+namespace {
+
+struct TypeAccumulator {
+  int64_t accesses = 0;
+  int64_t bytes = 0;
+  int64_t by_pattern_accesses[3] = {0, 0, 0};
+  int64_t by_pattern_bytes[3] = {0, 0, 0};
+};
+
+AccessPatternStats::TypeRow FinishRow(const TypeAccumulator& acc, int64_t total_accesses,
+                                      int64_t total_bytes) {
+  AccessPatternStats::TypeRow row;
+  if (total_accesses > 0) {
+    row.accesses_fraction = static_cast<double>(acc.accesses) / total_accesses;
+  }
+  if (total_bytes > 0) {
+    row.bytes_fraction = static_cast<double>(acc.bytes) / total_bytes;
+  }
+  if (acc.accesses > 0) {
+    row.whole_file = static_cast<double>(acc.by_pattern_accesses[0]) / acc.accesses;
+    row.other_sequential = static_cast<double>(acc.by_pattern_accesses[1]) / acc.accesses;
+    row.random = static_cast<double>(acc.by_pattern_accesses[2]) / acc.accesses;
+  }
+  if (acc.bytes > 0) {
+    row.whole_file_bytes = static_cast<double>(acc.by_pattern_bytes[0]) / acc.bytes;
+    row.other_sequential_bytes = static_cast<double>(acc.by_pattern_bytes[1]) / acc.bytes;
+    row.random_bytes = static_cast<double>(acc.by_pattern_bytes[2]) / acc.bytes;
+  }
+  return row;
+}
+
+int PatternIndex(Access::Pattern pattern) {
+  switch (pattern) {
+    case Access::Pattern::kWholeFile:
+      return 0;
+    case Access::Pattern::kOtherSequential:
+      return 1;
+    case Access::Pattern::kRandom:
+      return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+AccessPatternStats ComputeAccessPatterns(const std::vector<Access>& accesses) {
+  TypeAccumulator acc[3];  // read-only, write-only, read-write
+  int64_t total_accesses = 0;
+  int64_t total_bytes = 0;
+  for (const Access& access : accesses) {
+    if (access.is_directory) {
+      continue;
+    }
+    const Access::Type type = access.type();
+    if (type == Access::Type::kNone) {
+      continue;
+    }
+    const int type_index = static_cast<int>(type);
+    const int pattern_index = PatternIndex(access.pattern());
+    const int64_t bytes = access.total_bytes();
+    ++acc[type_index].accesses;
+    acc[type_index].bytes += bytes;
+    ++acc[type_index].by_pattern_accesses[pattern_index];
+    acc[type_index].by_pattern_bytes[pattern_index] += bytes;
+    ++total_accesses;
+    total_bytes += bytes;
+  }
+
+  AccessPatternStats stats;
+  stats.total_accesses = total_accesses;
+  stats.total_bytes = total_bytes;
+  stats.read_only = FinishRow(acc[0], total_accesses, total_bytes);
+  stats.write_only = FinishRow(acc[1], total_accesses, total_bytes);
+  stats.read_write = FinishRow(acc[2], total_accesses, total_bytes);
+  return stats;
+}
+
+RunLengthCurves ComputeRunLengths(const std::vector<Access>& accesses) {
+  RunLengthCurves curves;
+  for (const Access& access : accesses) {
+    if (access.is_directory) {
+      continue;
+    }
+    for (const SequentialRun& run : access.runs) {
+      const double length = static_cast<double>(run.total_bytes());
+      if (length <= 0) {
+        continue;
+      }
+      curves.by_runs.Add(length, 1.0);
+      curves.by_bytes.Add(length, length);
+    }
+  }
+  return curves;
+}
+
+FileSizeCurves ComputeFileSizes(const std::vector<Access>& accesses) {
+  FileSizeCurves curves;
+  for (const Access& access : accesses) {
+    if (access.is_directory || access.type() == Access::Type::kNone) {
+      continue;
+    }
+    const double size = static_cast<double>(access.size_at_close);
+    const double bytes = static_cast<double>(access.total_bytes());
+    curves.by_accesses.Add(size, 1.0);
+    if (bytes > 0) {
+      curves.by_bytes.Add(size, bytes);
+    }
+  }
+  return curves;
+}
+
+WeightedSamples ComputeOpenDurations(const std::vector<Access>& accesses) {
+  WeightedSamples durations;
+  for (const Access& access : accesses) {
+    if (access.is_directory) {
+      continue;
+    }
+    durations.Add(ToSeconds(access.open_duration()), 1.0);
+  }
+  return durations;
+}
+
+}  // namespace sprite

@@ -1,0 +1,60 @@
+// Access-pattern statistics: Table 3 (access mix x sequentiality), Figure 1
+// (sequential run lengths), Figure 2 (dynamic file sizes), and Figure 3
+// (open durations).
+
+#ifndef SPRITE_DFS_SRC_ANALYSIS_PATTERNS_H_
+#define SPRITE_DFS_SRC_ANALYSIS_PATTERNS_H_
+
+#include <vector>
+
+#include "src/analysis/accesses.h"
+#include "src/util/stats.h"
+
+namespace sprite {
+
+// Table 3. All percentages are fractions in [0, 1].
+struct AccessPatternStats {
+  struct TypeRow {
+    double accesses_fraction = 0.0;  // of all accesses
+    double bytes_fraction = 0.0;     // of all bytes transferred
+    // Within this type, by accesses:
+    double whole_file = 0.0;
+    double other_sequential = 0.0;
+    double random = 0.0;
+    // Within this type, by bytes:
+    double whole_file_bytes = 0.0;
+    double other_sequential_bytes = 0.0;
+    double random_bytes = 0.0;
+  };
+  TypeRow read_only;
+  TypeRow write_only;
+  TypeRow read_write;
+  int64_t total_accesses = 0;
+  int64_t total_bytes = 0;
+};
+
+// Computes Table 3 over file (non-directory) accesses that transferred at
+// least one byte.
+AccessPatternStats ComputeAccessPatterns(const std::vector<Access>& accesses);
+
+// Figure 1: sequential run lengths, weighted by runs and by bytes.
+struct RunLengthCurves {
+  WeightedSamples by_runs;   // weight 1 per run
+  WeightedSamples by_bytes;  // weight = run bytes
+};
+RunLengthCurves ComputeRunLengths(const std::vector<Access>& accesses);
+
+// Figure 2: dynamic file sizes measured at close, weighted by accesses and
+// by bytes transferred in the access.
+struct FileSizeCurves {
+  WeightedSamples by_accesses;
+  WeightedSamples by_bytes;
+};
+FileSizeCurves ComputeFileSizes(const std::vector<Access>& accesses);
+
+// Figure 3: distribution of open durations (seconds).
+WeightedSamples ComputeOpenDurations(const std::vector<Access>& accesses);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_ANALYSIS_PATTERNS_H_

@@ -1,0 +1,304 @@
+#include "src/consistency/overhead.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/util/units.h"
+
+namespace sprite {
+namespace {
+
+// Per-client cached state of one file in the simulator's infinite cache.
+struct ClientCache {
+  std::set<int64_t> resident;                 // block indices
+  std::map<int64_t, SimTime> dirty_since;     // block -> first-dirty time
+  std::map<int64_t, int64_t> dirty_extent;    // block -> bytes to write back
+};
+
+// Simulation state of one write-shared file.
+struct SharedFile {
+  // Open bookkeeping (from kOpen/kClose records): client -> (readers,
+  // writers).
+  std::map<uint32_t, std::pair<int, int>> opens;
+  std::unordered_map<uint32_t, ClientCache> caches;
+  std::optional<uint32_t> last_writer;
+  // Token state: a write holder excludes all others; otherwise any number
+  // of read holders.
+  std::optional<uint32_t> write_token;
+  std::set<uint32_t> read_tokens;
+
+  bool IsWriteShared() const {
+    if (opens.size() < 2) {
+      return false;
+    }
+    for (const auto& [client, counts] : opens) {
+      if (counts.second > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class OverheadSimulator {
+ public:
+  OverheadSimulator(ConsistencyPolicy policy, SimDuration delay)
+      : policy_(policy), delay_(delay) {}
+
+  OverheadResult Run(const TraceLog& log) {
+    // Pass 1: find the files that ever experience pass-through I/O (the
+    // write-shared population the paper's simulator considers).
+    std::set<uint64_t> shared_files;
+    for (const Record& r : log) {
+      if (r.kind == RecordKind::kSharedRead || r.kind == RecordKind::kSharedWrite) {
+        shared_files.insert(r.file);
+      }
+    }
+
+    // Pass 2: replay.
+    for (const Record& r : log) {
+      if (shared_files.count(r.file) == 0) {
+        continue;
+      }
+      SharedFile& file = files_[r.file];
+      switch (r.kind) {
+        case RecordKind::kOpen:
+          if (!r.is_directory) {
+            OnOpen(file, r);
+          }
+          break;
+        case RecordKind::kClose:
+          OnClose(file, r);
+          break;
+        case RecordKind::kSharedRead:
+          FlushAged(file, r.time);
+          ++result_.events_requested;
+          result_.bytes_requested += r.io_bytes;
+          OnRead(file, r.client, r.offset_before, r.io_bytes, r.time);
+          break;
+        case RecordKind::kSharedWrite:
+          FlushAged(file, r.time);
+          ++result_.events_requested;
+          result_.bytes_requested += r.io_bytes;
+          OnWrite(file, r.client, r.offset_before, r.io_bytes, r.time);
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Delayed data still dirty at the end of the trace eventually reaches
+    // the server; charge it.
+    for (auto& [id, file] : files_) {
+      (void)id;
+      for (auto& [client, cache] : file.caches) {
+        (void)client;
+        FlushClient(cache);
+      }
+    }
+    return result_;
+  }
+
+ private:
+  static std::pair<int64_t, int64_t> BlockRange(int64_t offset, int64_t bytes) {
+    return {offset / kBlockSize, (offset + bytes - 1) / kBlockSize};
+  }
+
+  // Writes back everything dirty in `cache` as one piggybacked transfer.
+  void FlushClient(ClientCache& cache) {
+    if (cache.dirty_since.empty()) {
+      return;
+    }
+    for (const auto& [block, extent] : cache.dirty_extent) {
+      (void)block;
+      result_.bytes_transferred += extent;
+    }
+    ++result_.rpcs;
+    cache.dirty_since.clear();
+    cache.dirty_extent.clear();
+  }
+
+  void InvalidateClient(ClientCache& cache) {
+    cache.resident.clear();
+    cache.dirty_since.clear();
+    cache.dirty_extent.clear();
+  }
+
+  // The 30-second delayed-write policy: anything dirty longer than the
+  // delay goes back to the server.
+  void FlushAged(SharedFile& file, SimTime now) {
+    for (auto& [client, cache] : file.caches) {
+      (void)client;
+      bool due = false;
+      for (const auto& [block, since] : cache.dirty_since) {
+        (void)block;
+        if (now - since >= delay_) {
+          due = true;
+          break;
+        }
+      }
+      if (due) {
+        FlushClient(cache);
+      }
+    }
+  }
+
+  void OnOpen(SharedFile& file, const Record& r) {
+    auto& counts = file.opens[r.client];
+    if (r.mode != OpenMode::kRead) {
+      ++counts.second;
+    } else {
+      ++counts.first;
+    }
+    if (policy_ != ConsistencyPolicy::kToken) {
+      // Sprite-style recall: the opener must see the last writer's data.
+      if (file.last_writer.has_value() && *file.last_writer != r.client) {
+        FlushClient(file.caches[*file.last_writer]);
+        file.last_writer.reset();
+      }
+      if (file.IsWriteShared()) {
+        // Caching disabled: everyone flushes and invalidates.
+        for (auto& [client, cache] : file.caches) {
+          (void)client;
+          FlushClient(cache);
+          InvalidateClient(cache);
+        }
+      }
+    }
+  }
+
+  void OnClose(SharedFile& file, const Record& r) {
+    auto it = file.opens.find(r.client);
+    if (it == file.opens.end()) {
+      return;
+    }
+    int& counter = r.mode != OpenMode::kRead ? it->second.second : it->second.first;
+    if (counter > 0) {
+      --counter;
+    }
+    if (it->second.first == 0 && it->second.second == 0) {
+      file.opens.erase(it);
+    }
+    if (r.run_write_bytes > 0) {
+      file.last_writer = r.client;
+    }
+  }
+
+  bool CachingAllowed(const SharedFile& file) const {
+    switch (policy_) {
+      case ConsistencyPolicy::kSprite:
+        // Uncacheable while ANY client still has the file open after
+        // sharing (the trace only contains pass-through events during that
+        // window, so: uncacheable whenever the file is open at all).
+        return file.opens.empty();
+      case ConsistencyPolicy::kSpriteModified:
+        return !file.IsWriteShared();
+      case ConsistencyPolicy::kToken:
+        return true;
+    }
+    return true;
+  }
+
+  void AcquireReadToken(SharedFile& file, uint32_t client) {
+    if (file.write_token.has_value() && *file.write_token != client) {
+      // Recall the write token; the flush is piggybacked on the recall.
+      FlushClient(file.caches[*file.write_token]);
+      file.read_tokens.insert(*file.write_token);
+      file.write_token.reset();
+    }
+    if (!file.write_token.has_value()) {
+      file.read_tokens.insert(client);
+    }
+  }
+
+  void AcquireWriteToken(SharedFile& file, uint32_t client) {
+    if (file.write_token.has_value() && *file.write_token != client) {
+      FlushClient(file.caches[*file.write_token]);
+      InvalidateClient(file.caches[*file.write_token]);
+      ++result_.rpcs;  // recall round-trip (data rides along when dirty)
+      file.write_token.reset();
+    }
+    for (uint32_t holder : file.read_tokens) {
+      if (holder != client) {
+        InvalidateClient(file.caches[holder]);
+        ++result_.rpcs;  // read-token recall
+      }
+    }
+    file.read_tokens.clear();
+    file.write_token = client;
+  }
+
+  void OnRead(SharedFile& file, uint32_t client, int64_t offset, int64_t bytes, SimTime now) {
+    (void)now;
+    if (!CachingAllowed(file) || file.opens.count(client) == 0) {
+      // Unknown open state (the open predates the trace window): the event
+      // was logged because Sprite had the file uncacheable; pass through.
+      // Pass through: exactly the requested bytes, one RPC.
+      result_.bytes_transferred += bytes;
+      ++result_.rpcs;
+      return;
+    }
+    if (policy_ == ConsistencyPolicy::kToken) {
+      AcquireReadToken(file, client);
+    }
+    ClientCache& cache = file.caches[client];
+    const auto [first, last] = BlockRange(offset, bytes);
+    for (int64_t b = first; b <= last; ++b) {
+      if (cache.resident.insert(b).second) {
+        // Miss: fetch the whole block.
+        result_.bytes_transferred += kBlockSize;
+        ++result_.rpcs;
+      }
+    }
+  }
+
+  void OnWrite(SharedFile& file, uint32_t client, int64_t offset, int64_t bytes, SimTime now) {
+    if (!CachingAllowed(file) || file.opens.count(client) == 0) {
+      result_.bytes_transferred += bytes;
+      ++result_.rpcs;
+      return;
+    }
+    if (policy_ == ConsistencyPolicy::kToken) {
+      AcquireWriteToken(file, client);
+    }
+    ClientCache& cache = file.caches[client];
+    const auto [first, last] = BlockRange(offset, bytes);
+    for (int64_t b = first; b <= last; ++b) {
+      const int64_t block_start = b * kBlockSize;
+      const int64_t write_begin = std::max(offset, block_start);
+      const int64_t write_end = std::min(offset + bytes, block_start + kBlockSize);
+      const bool partial = (write_begin != block_start) || (write_end != block_start + kBlockSize);
+      if (partial && cache.resident.count(b) == 0) {
+        // Write fetch: small writes to uncached blocks pull whole blocks —
+        // the effect the paper says makes cacheable schemes surprisingly
+        // expensive for fine-grained sharing.
+        result_.bytes_transferred += kBlockSize;
+        ++result_.rpcs;
+      }
+      cache.resident.insert(b);
+      cache.dirty_since.try_emplace(b, now);
+      auto [it, inserted] = cache.dirty_extent.try_emplace(b, write_end - block_start);
+      if (!inserted) {
+        it->second = std::max(it->second, write_end - block_start);
+      }
+    }
+    file.last_writer = client;
+  }
+
+  ConsistencyPolicy policy_;
+  SimDuration delay_;
+  OverheadResult result_;
+  std::unordered_map<uint64_t, SharedFile> files_;
+};
+
+}  // namespace
+
+OverheadResult SimulateConsistencyOverhead(const TraceLog& log, ConsistencyPolicy policy,
+                                           SimDuration writeback_delay) {
+  OverheadSimulator simulator(policy, writeback_delay);
+  return simulator.Run(log);
+}
+
+}  // namespace sprite

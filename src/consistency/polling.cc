@@ -1,0 +1,136 @@
+#include "src/consistency/polling.h"
+
+#include <unordered_map>
+
+namespace sprite {
+namespace {
+
+struct ClientFileState {
+  uint64_t cached_version = 0;      // version the cache copy reflects
+  SimTime last_validate = -1;       // last time the server was consulted
+  bool has_copy = false;
+};
+
+struct FileState {
+  uint64_t version = 1;  // bumped on every write-through
+  // (client -> cache state) for clients that have touched the file.
+  std::unordered_map<uint32_t, ClientFileState> clients;
+};
+
+struct OpenHandleState {
+  uint64_t file = 0;
+  uint32_t client = 0;
+  uint32_t user = 0;
+  bool migrated = false;
+  bool saw_error = false;
+};
+
+}  // namespace
+
+PollingResult SimulatePolling(const TraceLog& log, SimDuration refresh_interval) {
+  PollingResult result;
+  if (log.empty()) {
+    return result;
+  }
+  result.trace_hours = ToSeconds(log.back().time - log.front().time) / 3600.0;
+
+  std::unordered_map<uint64_t, FileState> files;
+  std::unordered_map<uint64_t, OpenHandleState> handles;
+
+  // A read of `bytes` at time `t` by `client`; returns true if it used
+  // stale data.
+  auto do_read = [&](uint64_t file, uint32_t client, SimTime t, int64_t bytes) {
+    if (bytes <= 0) {
+      return false;
+    }
+    FileState& fs = files[file];
+    ClientFileState& cs = fs.clients[client];
+    if (!cs.has_copy || cs.last_validate < 0 ||
+        t - cs.last_validate >= refresh_interval) {
+      // Cache expired (or no copy): consult the server and refresh.
+      cs.cached_version = fs.version;
+      cs.last_validate = t;
+      cs.has_copy = true;
+      return false;
+    }
+    // Within the validity interval: use the cached copy blindly.
+    return cs.cached_version != fs.version;
+  };
+
+  auto do_write = [&](uint64_t file, uint32_t client, SimTime t, int64_t bytes) {
+    if (bytes <= 0) {
+      return;
+    }
+    FileState& fs = files[file];
+    // Write-through: the server sees the new data almost immediately, and
+    // the writer's own cache holds it.
+    ++fs.version;
+    ClientFileState& cs = fs.clients[client];
+    cs.cached_version = fs.version;
+    cs.last_validate = t;
+    cs.has_copy = true;
+  };
+
+  auto note_error = [&](OpenHandleState& h) {
+    ++result.errors;
+    result.users_affected.insert(h.user);
+    h.saw_error = true;
+  };
+
+  for (const Record& r : log) {
+    result.users_seen.insert(r.user);
+    switch (r.kind) {
+      case RecordKind::kOpen:
+        if (!r.is_directory) {
+          ++result.file_opens;
+          if (r.migrated) {
+            ++result.migrated_opens;
+          }
+          handles[r.handle] =
+              OpenHandleState{r.file, r.client, r.user, r.migrated, /*saw_error=*/false};
+        }
+        break;
+      case RecordKind::kSeek:
+      case RecordKind::kClose: {
+        auto it = handles.find(r.handle);
+        if (it == handles.end()) {
+          break;
+        }
+        OpenHandleState& h = it->second;
+        if (do_read(h.file, h.client, r.time, r.run_read_bytes)) {
+          note_error(h);
+        }
+        do_write(h.file, h.client, r.time, r.run_write_bytes);
+        if (r.kind == RecordKind::kClose) {
+          if (h.saw_error) {
+            ++result.opens_with_error;
+            if (h.migrated) {
+              ++result.migrated_opens_with_error;
+            }
+          }
+          handles.erase(it);
+        }
+        break;
+      }
+      case RecordKind::kSharedRead: {
+        auto it = handles.find(r.handle);
+        if (it != handles.end() && do_read(r.file, r.client, r.time, r.io_bytes)) {
+          note_error(it->second);
+        }
+        break;
+      }
+      case RecordKind::kSharedWrite:
+        do_write(r.file, r.client, r.time, r.io_bytes);
+        break;
+      case RecordKind::kDelete:
+      case RecordKind::kTruncate:
+        files[r.file].version += 1;
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sprite

@@ -1,0 +1,53 @@
+// Stale-data simulation for polling-based (NFS-style) cache consistency
+// (Table 11).
+//
+// The simulated mechanism, exactly as the paper describes it: a client
+// considers cached data for a file valid for a fixed interval; on the first
+// access after the interval expires it checks with the server and refreshes
+// its cache. New data is written through to the server almost immediately.
+// If another workstation modified the file while a client's cached copy was
+// still "valid", the client's reads use stale data — each such potential
+// use is an error.
+
+#ifndef SPRITE_DFS_SRC_CONSISTENCY_POLLING_H_
+#define SPRITE_DFS_SRC_CONSISTENCY_POLLING_H_
+
+#include <cstdint>
+#include <set>
+
+#include "src/trace/record.h"
+
+namespace sprite {
+
+struct PollingResult {
+  int64_t errors = 0;             // potential uses of stale data
+  int64_t file_opens = 0;         // non-directory opens examined
+  int64_t opens_with_error = 0;   // opens during which stale data was read
+  int64_t migrated_opens = 0;
+  int64_t migrated_opens_with_error = 0;
+  std::set<uint32_t> users_seen;
+  std::set<uint32_t> users_affected;
+  double trace_hours = 0.0;
+
+  double errors_per_hour() const { return trace_hours > 0 ? errors / trace_hours : 0.0; }
+  double affected_user_fraction() const {
+    return users_seen.empty() ? 0.0
+                              : static_cast<double>(users_affected.size()) / users_seen.size();
+  }
+  double open_error_fraction() const {
+    return file_opens > 0 ? static_cast<double>(opens_with_error) / file_opens : 0.0;
+  }
+  double migrated_open_error_fraction() const {
+    return migrated_opens > 0
+               ? static_cast<double>(migrated_opens_with_error) / migrated_opens
+               : 0.0;
+  }
+};
+
+// Replays `log` under a polling consistency scheme with the given refresh
+// interval (the paper simulated 3 s and 60 s).
+PollingResult SimulatePolling(const TraceLog& log, SimDuration refresh_interval);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_CONSISTENCY_POLLING_H_

@@ -1,0 +1,287 @@
+#include "src/fs/block_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sprite {
+
+BlockCache::BlockCache(const CacheConfig& config, CacheCounters* counters)
+    : config_(config), counters_(counters), limit_blocks_(config.min_blocks) {}
+
+bool BlockCache::Lookup(BlockKey key, SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (it->second.prefetched) {
+    it->second.prefetched = false;
+    if (counters_ != nullptr) {
+      ++counters_->prefetch_useful;
+    }
+  }
+  TouchLru(key, it->second, now);
+  return true;
+}
+
+void BlockCache::TouchLru(BlockKey key, Entry& entry, SimTime now) {
+  entry.last_ref = now;
+  lru_.erase(entry.lru_it);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+}
+
+void BlockCache::InsertClean(BlockKey key, SimTime now, WritebackFn writeback) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    TouchLru(key, it->second, now);
+    return;
+  }
+  while (block_count() >= limit_blocks_ && !lru_.empty()) {
+    EvictBlock(lru_.back(), now, CleanReason::kReplacement, ReplaceReason::kForFileBlock,
+               writeback);
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.last_ref = now;
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, entry);
+  file_blocks_[key.file].insert(key.index);
+}
+
+void BlockCache::InsertPrefetched(BlockKey key, SimTime now, WritebackFn writeback) {
+  const bool was_resident = Contains(key);
+  InsertClean(key, now, std::move(writeback));
+  if (!was_resident) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.prefetched = true;
+      if (counters_ != nullptr) {
+        ++counters_->prefetch_fetches;
+      }
+    }
+  }
+}
+
+bool BlockCache::Write(BlockKey key, SimTime now, int64_t end_in_block, WritebackFn writeback) {
+  auto it = entries_.find(key);
+  const bool was_resident = it != entries_.end();
+  if (!was_resident) {
+    InsertClean(key, now, writeback);
+    it = entries_.find(key);
+    assert(it != entries_.end());
+  } else {
+    TouchLru(key, it->second, now);
+  }
+  Entry& entry = it->second;
+  if (!entry.dirty) {
+    entry.dirty = true;
+    entry.dirty_since = now;
+    entry.dirty_extent = 0;
+  }
+  entry.dirty_extent = std::clamp<int64_t>(end_in_block, entry.dirty_extent, kBlockSize);
+  return was_resident;
+}
+
+bool BlockCache::IsDirty(BlockKey key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && it->second.dirty;
+}
+
+void BlockCache::CleanBlock(BlockKey key, Entry& entry, SimTime now, CleanReason reason,
+                            const WritebackFn& writeback) {
+  (void)key;
+  if (!entry.dirty) {
+    return;
+  }
+  if (counters_ != nullptr) {
+    const int r = static_cast<int>(reason);
+    ++counters_->cleaned[r];
+    counters_->cleaned_age_us[r] += now - entry.dirty_since;
+    counters_->bytes_written_to_server += entry.dirty_extent;
+  }
+  if (writeback) {
+    writeback(key, entry.dirty_extent);
+  }
+  entry.dirty = false;
+  entry.dirty_extent = 0;
+}
+
+void BlockCache::EraseEntry(BlockKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  auto fb = file_blocks_.find(key.file);
+  if (fb != file_blocks_.end()) {
+    fb->second.erase(key.index);
+    if (fb->second.empty()) {
+      file_blocks_.erase(fb);
+    }
+  }
+  entries_.erase(it);
+}
+
+void BlockCache::EvictBlock(BlockKey key, SimTime now, CleanReason reason,
+                            ReplaceReason replace_reason, const WritebackFn& writeback) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  CleanBlock(key, it->second, now, reason, writeback);
+  if (counters_ != nullptr) {
+    const SimDuration age = now - it->second.last_ref;
+    if (replace_reason == ReplaceReason::kForFileBlock) {
+      ++counters_->replaced_for_file;
+      counters_->replaced_for_file_age_us += age;
+    } else {
+      ++counters_->replaced_for_vm;
+      counters_->replaced_for_vm_age_us += age;
+    }
+  }
+  EraseEntry(key);
+}
+
+int64_t BlockCache::CleanAged(SimTime now, WritebackFn writeback) {
+  // Pass 1: find files with at least one block dirty >= delay.
+  std::set<uint64_t> files_due;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.dirty && now - entry.dirty_since >= config_.writeback_delay) {
+      files_due.insert(key.file);
+    }
+  }
+  // Pass 2: write back every dirty block of those files ("All dirty blocks
+  // for a file are written to the server if any block ... has been dirty for
+  // 30 seconds").
+  int64_t cleaned = 0;
+  for (uint64_t file : files_due) {
+    auto fb = file_blocks_.find(file);
+    if (fb == file_blocks_.end()) {
+      continue;
+    }
+    for (int64_t index : fb->second) {
+      auto it = entries_.find(BlockKey{file, index});
+      if (it != entries_.end() && it->second.dirty) {
+        CleanBlock(it->first, it->second, now, CleanReason::kDelay, writeback);
+        ++cleaned;
+      }
+    }
+  }
+  return cleaned;
+}
+
+int64_t BlockCache::CleanFile(uint64_t file, SimTime now, CleanReason reason,
+                              WritebackFn writeback) {
+  auto fb = file_blocks_.find(file);
+  if (fb == file_blocks_.end()) {
+    return 0;
+  }
+  int64_t bytes = 0;
+  for (int64_t index : fb->second) {
+    auto it = entries_.find(BlockKey{file, index});
+    if (it != entries_.end() && it->second.dirty) {
+      bytes += it->second.dirty_extent;
+      CleanBlock(it->first, it->second, now, reason, writeback);
+    }
+  }
+  return bytes;
+}
+
+bool BlockCache::HasDirtyBlocks(uint64_t file) const {
+  auto fb = file_blocks_.find(file);
+  if (fb == file_blocks_.end()) {
+    return false;
+  }
+  for (int64_t index : fb->second) {
+    auto it = entries_.find(BlockKey{file, index});
+    if (it != entries_.end() && it->second.dirty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BlockCache::InvalidateFile(uint64_t file, SimTime now) {
+  (void)now;
+  auto fb = file_blocks_.find(file);
+  if (fb == file_blocks_.end()) {
+    file_versions_.erase(file);
+    return;
+  }
+  // Copy: EraseEntry mutates file_blocks_.
+  const std::set<int64_t> indices = fb->second;
+  for (int64_t index : indices) {
+    const BlockKey key{file, index};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.dirty && counters_ != nullptr) {
+        counters_->bytes_cancelled_before_writeback += it->second.dirty_extent;
+      }
+      EraseEntry(key);
+    }
+  }
+  file_versions_.erase(file);
+}
+
+SimDuration BlockCache::LruAge(SimTime now) const {
+  if (lru_.empty()) {
+    return -1;
+  }
+  auto it = entries_.find(lru_.back());
+  return it == entries_.end() ? -1 : now - it->second.last_ref;
+}
+
+bool BlockCache::ReleaseLruToVm(SimTime now, WritebackFn writeback) {
+  if (lru_.empty() || limit_blocks_ <= config_.min_blocks) {
+    return false;
+  }
+  EvictBlock(lru_.back(), now, CleanReason::kVm, ReplaceReason::kForVmPage, writeback);
+  --limit_blocks_;
+  return true;
+}
+
+void BlockCache::DemoteToLruTail(BlockKey key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_it);
+  lru_.push_back(key);
+  it->second.lru_it = std::prev(lru_.end());
+}
+
+std::pair<int64_t, int64_t> BlockCache::CrashReset(const WritebackFn& nvram_recovery) {
+  int64_t lost = 0;
+  int64_t recovered = 0;
+  for (auto& [key, entry] : entries_) {
+    if (!entry.dirty) {
+      continue;
+    }
+    if (nvram_recovery) {
+      nvram_recovery(key, entry.dirty_extent);
+      recovered += entry.dirty_extent;
+    } else {
+      lost += entry.dirty_extent;
+    }
+  }
+  entries_.clear();
+  lru_.clear();
+  file_blocks_.clear();
+  file_versions_.clear();
+  limit_blocks_ = config_.min_blocks;
+  return {lost, recovered};
+}
+
+bool BlockCache::SyncVersion(uint64_t file, uint64_t server_version, SimTime now) {
+  auto it = file_versions_.find(file);
+  const bool had_version = it != file_versions_.end();
+  const bool stale = had_version && it->second != server_version;
+  const bool has_blocks = file_blocks_.count(file) != 0;
+  if (stale && has_blocks) {
+    InvalidateFile(file, now);
+  }
+  file_versions_[file] = server_version;
+  return stale && has_blocks;
+}
+
+}  // namespace sprite

@@ -1,0 +1,181 @@
+// Block-granularity file cache with LRU replacement, delayed writes, and
+// dynamic sizing — the mechanism at the center of Section 5 of the paper.
+//
+// One BlockCache instance lives in each simulated client kernel (and a
+// larger one in each server). Key behaviours reproduced from the paper:
+//   * 4-Kbyte blocks, least-recently-used replacement.
+//   * Writes are delayed: dirty data is written back only when it has been
+//     dirty for `writeback_delay` (30 s), when an application fsyncs, when
+//     the server recalls it, or when the page is given to virtual memory.
+//   * When any block of a file exceeds the delay, ALL dirty blocks of that
+//     file are written back together.
+//   * The cache grows and shrinks: insertions may be denied pages (the VM
+//     system has preference), and the VM system can take the LRU page.
+//   * Per-file version numbers let a client flush stale blocks when the
+//     server reports a newer version at open time.
+
+#ifndef SPRITE_DFS_SRC_FS_BLOCK_CACHE_H_
+#define SPRITE_DFS_SRC_FS_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/fs/config.h"
+#include "src/fs/counters.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+struct BlockKey {
+  uint64_t file = 0;
+  int64_t index = 0;  // block number within the file
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& k) const {
+    return std::hash<uint64_t>()(k.file * 0x9e3779b97f4a7c15ULL ^
+                                 static_cast<uint64_t>(k.index));
+  }
+};
+
+class BlockCache {
+ public:
+  // `counters` may be null (e.g. in unit tests that only check structure).
+  BlockCache(const CacheConfig& config, CacheCounters* counters);
+
+  // Called when the cache must push a dirty block to the server:
+  // (key, bytes) where bytes is the dirty extent of the block.
+  using WritebackFn = std::function<void(BlockKey key, int64_t bytes)>;
+
+  // --- Size management -----------------------------------------------------
+  int64_t block_count() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t size_bytes() const { return block_count() * kBlockSize; }
+  int64_t limit_blocks() const { return limit_blocks_; }
+  // Raises or lowers the limit; lowering does not evict immediately (the
+  // next insertions will shrink the population).
+  void set_limit_blocks(int64_t blocks) { limit_blocks_ = blocks; }
+
+  // --- Read path -----------------------------------------------------------
+  // True if the block is resident (does not touch LRU state).
+  bool Contains(BlockKey key) const { return entries_.count(key) != 0; }
+  // Read hit check: if resident, refreshes LRU position and returns true.
+  bool Lookup(BlockKey key, SimTime now);
+
+  // Inserts a block just fetched from the server (clean). Evicts the LRU
+  // block(s) if at the size limit; a dirty victim is written back first via
+  // `writeback` with CleanReason::kReplacement.
+  void InsertClean(BlockKey key, SimTime now, WritebackFn writeback);
+
+  // Inserts a block fetched by sequential readahead. Counted as a prefetch;
+  // the first later demand Lookup that hits it counts as prefetch_useful.
+  void InsertPrefetched(BlockKey key, SimTime now, WritebackFn writeback);
+
+  // --- Write path ----------------------------------------------------------
+  // Writes `bytes` into the block ending at in-block offset `end_in_block`
+  // (the dirty extent grows to `end_in_block`). Inserts the block if absent.
+  // Returns true if the block was already resident.
+  bool Write(BlockKey key, SimTime now, int64_t end_in_block, WritebackFn writeback);
+
+  bool IsDirty(BlockKey key) const;
+
+  // --- Cleaning ------------------------------------------------------------
+  // The 5-second daemon scan: writes back every dirty block belonging to any
+  // file that has at least one block dirty for >= writeback_delay.
+  // Returns the number of blocks cleaned.
+  int64_t CleanAged(SimTime now, WritebackFn writeback);
+
+  // Cleans all dirty blocks of `file` for the given reason (fsync, server
+  // recall). Returns bytes written back.
+  int64_t CleanFile(uint64_t file, SimTime now, CleanReason reason, WritebackFn writeback);
+
+  // True if `file` has any dirty block.
+  bool HasDirtyBlocks(uint64_t file) const;
+
+  // --- Invalidation --------------------------------------------------------
+  // Drops all blocks of `file` (stale version, delete, or caching disabled).
+  // Dirty data is discarded and counted as cancelled (never reached the
+  // server) — used when the file was deleted; for recalls use CleanFile
+  // first.
+  void InvalidateFile(uint64_t file, SimTime now);
+
+  // --- Page trading with virtual memory -------------------------------------
+  // Age (now - last reference) of the least-recently-used block, or -1 if
+  // the cache is empty. Used for the global-LRU page trade with VM.
+  SimDuration LruAge(SimTime now) const;
+
+  // Releases the LRU block so its page can be given to the VM system.
+  // A dirty victim is written back first (CleanReason::kVm). Also lowers the
+  // limit by one block. Returns false if the cache is empty or at its
+  // minimum size.
+  bool ReleaseLruToVm(SimTime now, WritebackFn writeback);
+
+  // Grows the limit by one block (a page acquired from the VM system).
+  void GrantPageFromVm() { ++limit_blocks_; }
+
+  // Moves a resident block to the LRU tail so it is replaced first. Sprite
+  // does this to code-page blocks after copying their contents to the VM
+  // system ("the file cache block is marked for replacement").
+  void DemoteToLruTail(BlockKey key);
+
+  // --- Consistency support --------------------------------------------------
+  // Compares the server-reported version at open; if it differs from the
+  // cached version, flushes the file's blocks and records the new version.
+  // Returns true if stale data was flushed.
+  bool SyncVersion(uint64_t file, uint64_t server_version, SimTime now);
+
+  // Records `version` as the cached version WITHOUT flushing — used when
+  // this client itself produced the new version (its cached blocks are the
+  // newest data in the system).
+  void AdoptVersion(uint64_t file, uint64_t version) { file_versions_[file] = version; }
+
+  // Simulates a machine crash + reboot. Every block is dropped and the
+  // limit returns to the minimum (rebooted caches start small). Dirty data
+  // is LOST unless `nvram_recovery` is provided, in which case it is pushed
+  // through it (non-volatile cache memory surviving the crash). Returns
+  // {lost_bytes, recovered_bytes}.
+  std::pair<int64_t, int64_t> CrashReset(const WritebackFn& nvram_recovery);
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    SimTime last_ref = 0;
+    bool prefetched = false;  // inserted by readahead, not yet demanded
+    bool dirty = false;
+    SimTime dirty_since = 0;   // first write after last clean
+    int64_t dirty_extent = 0;  // bytes from block start covered by writeback
+    std::list<BlockKey>::iterator lru_it;
+  };
+
+  void TouchLru(BlockKey key, Entry& entry, SimTime now);
+  // Writes the block back (if dirty) and erases it. `reason` applies when
+  // dirty.
+  void EvictBlock(BlockKey key, SimTime now, CleanReason reason, ReplaceReason replace_reason,
+                  const WritebackFn& writeback);
+  void CleanBlock(BlockKey key, Entry& entry, SimTime now, CleanReason reason,
+                  const WritebackFn& writeback);
+  void EraseEntry(BlockKey key);
+
+  CacheConfig config_;
+  CacheCounters* counters_;
+  int64_t limit_blocks_;
+
+  std::unordered_map<BlockKey, Entry, BlockKeyHash> entries_;
+  std::list<BlockKey> lru_;  // front = most recent, back = least recent
+  // file -> resident block indices (for per-file clean/invalidate).
+  std::unordered_map<uint64_t, std::set<int64_t>> file_blocks_;
+  // file -> cached version, as last reported by the server.
+  std::unordered_map<uint64_t, uint64_t> file_versions_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_BLOCK_CACHE_H_

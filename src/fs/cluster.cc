@@ -1,0 +1,155 @@
+#include "src/fs/cluster.h"
+
+#include <stdexcept>
+
+namespace sprite {
+
+Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
+    : config_(config), queue_(queue), network_(std::make_unique<Network>(config.network)) {
+  if (config.num_clients <= 0 || config.num_servers <= 0) {
+    throw std::invalid_argument("Cluster: need at least one client and one server");
+  }
+  servers_.reserve(static_cast<size_t>(config.num_servers));
+  for (int s = 0; s < config.num_servers; ++s) {
+    servers_.push_back(std::make_unique<Server>(static_cast<ServerId>(s), config.server,
+                                                config.disk, config.consistency,
+                                                network_.get()));
+  }
+
+  Client::TraceSink sink;
+  if (config.tracing_enabled) {
+    sink = [this](const Record& r) { trace_.push_back(r); };
+  }
+  Client::ServerRouter router = [this](FileId file) -> Server& { return ServerForFile(file); };
+
+  clients_.reserve(static_cast<size_t>(config.num_clients));
+  for (int c = 0; c < config.num_clients; ++c) {
+    clients_.push_back(std::make_unique<Client>(static_cast<ClientId>(c), config.client, router,
+                                                sink, &handle_counter_));
+    for (auto& server : servers_) {
+      server->RegisterClient(static_cast<ClientId>(c), clients_.back().get());
+    }
+  }
+}
+
+Server& Cluster::ServerForFile(FileId file) {
+  return *servers_[file % servers_.size()];
+}
+
+void Cluster::StartDaemons(SimDuration sample_period) {
+  const SimDuration period = config_.client.cache.cleaner_period;
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    // Stagger cleaner wakeups so all clients do not write back in lockstep.
+    const SimTime first = queue_.now() + period + static_cast<SimDuration>(c) * (period / 40 + 1);
+    Client* client = clients_[c].get();
+    daemons_.push_back(std::make_unique<PeriodicTask>(
+        queue_, first, period, [client](SimTime now) { client->CleanerTick(now); }));
+  }
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    const SimTime first = queue_.now() + period + static_cast<SimDuration>(s) * (period / 8 + 1);
+    Server* server = servers_[s].get();
+    daemons_.push_back(std::make_unique<PeriodicTask>(
+        queue_, first, period, [server](SimTime now) { server->CleanerTick(now); }));
+  }
+  daemons_.push_back(std::make_unique<PeriodicTask>(
+      queue_, queue_.now() + sample_period, sample_period, [this](SimTime now) {
+        for (const auto& client : clients_) {
+          cache_size_samples_.push_back(
+              CacheSizeSample{now, client->id(), client->cache_size_bytes()});
+        }
+      }));
+}
+
+CacheCounters Cluster::AggregateCacheCounters() const {
+  CacheCounters total;
+  for (const auto& client : clients_) {
+    const CacheCounters& c = client->cache_counters();
+    total.read_ops += c.read_ops;
+    total.read_misses += c.read_misses;
+    total.migrated_read_ops += c.migrated_read_ops;
+    total.migrated_read_misses += c.migrated_read_misses;
+    total.bytes_read_by_apps += c.bytes_read_by_apps;
+    total.bytes_read_from_server += c.bytes_read_from_server;
+    total.bytes_written_by_apps += c.bytes_written_by_apps;
+    total.bytes_written_to_server += c.bytes_written_to_server;
+    total.migrated_bytes_read_by_apps += c.migrated_bytes_read_by_apps;
+    total.migrated_bytes_read_from_server += c.migrated_bytes_read_from_server;
+    total.write_ops += c.write_ops;
+    total.write_fetches += c.write_fetches;
+    total.write_fetch_bytes += c.write_fetch_bytes;
+    total.paging_read_ops += c.paging_read_ops;
+    total.paging_read_misses += c.paging_read_misses;
+    total.replaced_for_file += c.replaced_for_file;
+    total.replaced_for_vm += c.replaced_for_vm;
+    total.replaced_for_file_age_us += c.replaced_for_file_age_us;
+    total.replaced_for_vm_age_us += c.replaced_for_vm_age_us;
+    for (int r = 0; r < kCleanReasonCount; ++r) {
+      total.cleaned[r] += c.cleaned[r];
+      total.cleaned_age_us[r] += c.cleaned_age_us[r];
+    }
+    total.bytes_cancelled_before_writeback += c.bytes_cancelled_before_writeback;
+    total.prefetch_fetches += c.prefetch_fetches;
+    total.prefetch_useful += c.prefetch_useful;
+    total.bypass_read_bytes += c.bypass_read_bytes;
+    total.crashes += c.crashes;
+    total.bytes_lost_in_crashes += c.bytes_lost_in_crashes;
+    total.bytes_recovered_from_nvram += c.bytes_recovered_from_nvram;
+  }
+  return total;
+}
+
+TrafficCounters Cluster::AggregateTrafficCounters() const {
+  TrafficCounters total;
+  for (const auto& client : clients_) {
+    const TrafficCounters& t = client->traffic_counters();
+    total.file_read_cacheable += t.file_read_cacheable;
+    total.file_write_cacheable += t.file_write_cacheable;
+    total.file_read_shared += t.file_read_shared;
+    total.file_write_shared += t.file_write_shared;
+    total.dir_read += t.dir_read;
+    total.paging_read_cacheable += t.paging_read_cacheable;
+    total.paging_read_backing += t.paging_read_backing;
+    total.paging_write_backing += t.paging_write_backing;
+  }
+  return total;
+}
+
+int64_t Cluster::CrashClient(ClientId client, SimTime now) {
+  const int64_t lost = clients_.at(client)->Crash(now);
+  for (auto& server : servers_) {
+    server->ClientCrashed(client, now);
+  }
+  return lost;
+}
+
+void Cluster::ResetMeasurements() {
+  for (auto& client : clients_) {
+    client->ResetCounters();
+  }
+  for (auto& server : servers_) {
+    server->ResetCounters();
+  }
+  trace_.clear();
+  cache_size_samples_.clear();
+}
+
+ServerCounters Cluster::AggregateServerCounters() const {
+  ServerCounters total;
+  for (const auto& server : servers_) {
+    const ServerCounters& s = server->counters();
+    total.file_read_bytes += s.file_read_bytes;
+    total.file_write_bytes += s.file_write_bytes;
+    total.shared_read_bytes += s.shared_read_bytes;
+    total.shared_write_bytes += s.shared_write_bytes;
+    total.dir_read_bytes += s.dir_read_bytes;
+    total.paging_read_bytes += s.paging_read_bytes;
+    total.paging_write_bytes += s.paging_write_bytes;
+    total.rpcs += s.rpcs;
+    total.file_opens += s.file_opens;
+    total.write_sharing_opens += s.write_sharing_opens;
+    total.recall_opens += s.recall_opens;
+  }
+  return total;
+}
+
+}  // namespace sprite

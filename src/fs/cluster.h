@@ -1,0 +1,93 @@
+// The simulated Sprite cluster: N diskless clients, M file servers, one
+// shared Ethernet, kernel daemons, and the instrumentation that the paper's
+// measurements ran on (server-side tracing and per-client kernel counters).
+//
+// This is the main entry point of the fs library:
+//
+//   EventQueue queue;
+//   Cluster cluster(ClusterConfig{}, queue);
+//   cluster.StartDaemons();
+//   auto open = cluster.client(0).Open(user, file, OpenMode::kRead,
+//                                      /*append=*/false, /*migrated=*/false,
+//                                      queue.now());
+//   ...
+//   queue.RunAll();
+//   TraceLog trace = cluster.TakeTrace();
+
+#ifndef SPRITE_DFS_SRC_FS_CLUSTER_H_
+#define SPRITE_DFS_SRC_FS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/fs/client.h"
+#include "src/fs/config.h"
+#include "src/fs/server.h"
+#include "src/sim/event_queue.h"
+#include "src/trace/record.h"
+
+namespace sprite {
+
+class Cluster {
+ public:
+  // One cache-size observation (input to Table 4).
+  struct CacheSizeSample {
+    SimTime time = 0;
+    ClientId client = 0;
+    int64_t cache_bytes = 0;
+  };
+
+  Cluster(const ClusterConfig& config, EventQueue& queue);
+
+  // Starts the kernel daemons: per-client and per-server dirty-block
+  // cleaners (every cleaner_period, staggered), and the counter collector
+  // sampling each client's cache size every `sample_period`.
+  void StartDaemons(SimDuration sample_period = kMinute);
+
+  Client& client(ClientId id) { return *clients_.at(id); }
+  const Client& client(ClientId id) const { return *clients_.at(id); }
+  Server& server(ServerId id) { return *servers_.at(id); }
+  const Server& server(ServerId id) const { return *servers_.at(id); }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  EventQueue& queue() { return queue_; }
+  const ClusterConfig& config() const { return config_; }
+  const Network& network() const { return *network_; }
+
+  // The server that owns `file` (files are partitioned across servers).
+  Server& ServerForFile(FileId file);
+
+  const TraceLog& trace() const { return trace_; }
+  TraceLog TakeTrace() { return std::move(trace_); }
+
+  const std::vector<CacheSizeSample>& cache_size_samples() const { return cache_size_samples_; }
+
+  // Cluster-wide counter aggregates.
+  CacheCounters AggregateCacheCounters() const;
+  TrafficCounters AggregateTrafficCounters() const;
+  ServerCounters AggregateServerCounters() const;
+
+  // Zeroes all counters, the trace, and the cache-size samples (cache and
+  // VM *contents* are preserved) — used to discard a warmup window.
+  void ResetMeasurements();
+
+  // Crashes and reboots one client: its caches restart cold, dirty data is
+  // lost (unless the client has NVRAM), and every server forgets its open
+  // state. Returns the dirty bytes lost.
+  int64_t CrashClient(ClientId client, SimTime now);
+
+ private:
+  ClusterConfig config_;
+  EventQueue& queue_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<PeriodicTask>> daemons_;
+  TraceLog trace_;
+  uint64_t handle_counter_ = 0;
+  std::vector<CacheSizeSample> cache_size_samples_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_CLUSTER_H_

@@ -1,0 +1,136 @@
+// Kernel counters.
+//
+// The study's second data source was "approximately 50 counters" in each
+// workstation's kernel, read at regular intervals by a user-level process
+// over two weeks. The structs below are those counters; client, cache, VM,
+// and server code increment them inline, and the harness snapshots them
+// periodically to compute the statistics in Tables 4-9.
+
+#ifndef SPRITE_DFS_SRC_FS_COUNTERS_H_
+#define SPRITE_DFS_SRC_FS_COUNTERS_H_
+
+#include <cstdint>
+
+namespace sprite {
+
+// Why a cache block was replaced (Table 8).
+enum class ReplaceReason {
+  kForFileBlock = 0,  // evicted to make room for another file block
+  kForVmPage = 1,     // page handed to the virtual memory system
+};
+
+// Why a dirty block was written back to the server (Table 9). kReplacement
+// does not appear in the paper's table because it essentially never happens
+// (dirty blocks are written back long before they reach the LRU tail); we
+// track it separately so that if it does occur it is visible rather than
+// mis-attributed.
+enum class CleanReason {
+  kDelay = 0,        // 30-second delayed-write policy
+  kFsync = 1,        // application requested write-through
+  kRecall = 2,       // server recalled dirty data for another client's open
+  kVm = 3,           // page given to the virtual memory system
+  kReplacement = 4,  // dirty block reached the LRU tail under cache pressure
+};
+inline constexpr int kCleanReasonCount = 5;
+
+// Per-client cache counters (Table 6 plus Tables 8 and 9 inputs).
+struct CacheCounters {
+  // Block-granularity read operations issued to the cache.
+  int64_t read_ops = 0;
+  int64_t read_misses = 0;
+  // ...split for migrated processes (Table 6, "Client Migrated" column).
+  int64_t migrated_read_ops = 0;
+  int64_t migrated_read_misses = 0;
+
+  // Byte-granularity traffic.
+  int64_t bytes_read_by_apps = 0;       // cacheable file bytes apps requested
+  int64_t bytes_read_from_server = 0;   // miss traffic (whole blocks)
+  int64_t bytes_written_by_apps = 0;    // cacheable file bytes apps wrote
+  int64_t bytes_written_to_server = 0;  // writeback traffic (whole blocks)
+  int64_t migrated_bytes_read_by_apps = 0;
+  int64_t migrated_bytes_read_from_server = 0;
+
+  // Write operations (block granularity) and write fetches: partial-block
+  // writes to non-resident blocks that first fetch the block from the
+  // server.
+  int64_t write_ops = 0;
+  int64_t write_fetches = 0;
+  int64_t write_fetch_bytes = 0;  // server bytes fetched to satisfy partial writes
+
+  // Paging reads that consulted the file cache (code / initialized data).
+  int64_t paging_read_ops = 0;
+  int64_t paging_read_misses = 0;
+
+  // Replacement statistics (Table 8): counts and total unreferenced age.
+  int64_t replaced_for_file = 0;
+  int64_t replaced_for_vm = 0;
+  int64_t replaced_for_file_age_us = 0;  // sum of (now - last_ref)
+  int64_t replaced_for_vm_age_us = 0;
+
+  // Cleaning statistics (Table 9): counts and total dirty age per reason.
+  int64_t cleaned[kCleanReasonCount] = {0, 0, 0, 0, 0};
+  int64_t cleaned_age_us[kCleanReasonCount] = {0, 0, 0, 0, 0};
+
+  // Bytes written to cache that were deleted/overwritten before writeback
+  // (the ~10% the 30-second delay saves).
+  int64_t bytes_cancelled_before_writeback = 0;
+
+  // --- Extension counters ---------------------------------------------------
+  // Blocks fetched by sequential readahead (not demand misses).
+  int64_t prefetch_fetches = 0;
+  // Prefetched blocks that a later demand access actually used.
+  int64_t prefetch_useful = 0;
+  // Bytes read through the large-file cache bypass.
+  int64_t bypass_read_bytes = 0;
+  // Crash accounting: dirty bytes destroyed by crashes (0 with NVRAM) and
+  // dirty bytes recovered from NVRAM during reboot.
+  int64_t crashes = 0;
+  int64_t bytes_lost_in_crashes = 0;
+  int64_t bytes_recovered_from_nvram = 0;
+};
+
+// Per-client raw traffic counters (Table 5): traffic as presented by
+// applications to the client OS, before any cache filtering.
+struct TrafficCounters {
+  int64_t file_read_cacheable = 0;
+  int64_t file_write_cacheable = 0;
+  int64_t file_read_shared = 0;    // pass-through on write-shared files
+  int64_t file_write_shared = 0;
+  int64_t dir_read = 0;            // directory reads (uncacheable on clients)
+  int64_t paging_read_cacheable = 0;   // code + initialized data faults
+  int64_t paging_read_backing = 0;     // backing-file reads (uncacheable)
+  int64_t paging_write_backing = 0;    // backing-file writes
+
+  int64_t TotalBytes() const {
+    return file_read_cacheable + file_write_cacheable + file_read_shared + file_write_shared +
+           dir_read + paging_read_cacheable + paging_read_backing + paging_write_backing;
+  }
+};
+
+// Per-server traffic counters (Table 7): traffic arriving at the server
+// after the client caches have filtered it, and consistency actions
+// (Table 10).
+struct ServerCounters {
+  int64_t file_read_bytes = 0;     // cache-miss fetches
+  int64_t file_write_bytes = 0;    // writebacks
+  int64_t shared_read_bytes = 0;   // pass-through on write-shared files
+  int64_t shared_write_bytes = 0;
+  int64_t dir_read_bytes = 0;
+  int64_t paging_read_bytes = 0;   // code/data fetches + backing reads
+  int64_t paging_write_bytes = 0;  // backing writes
+  int64_t rpcs = 0;
+
+  // Table 10: consistency actions as a fraction of file opens.
+  int64_t file_opens = 0;            // opens of regular files
+  int64_t write_sharing_opens = 0;   // opens causing concurrent write-sharing
+  int64_t recall_opens = 0;          // opens requiring a dirty-data recall
+
+  int64_t TotalBytes() const {
+    return file_read_bytes + file_write_bytes + shared_read_bytes + shared_write_bytes +
+           dir_read_bytes + paging_read_bytes + paging_write_bytes;
+  }
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_COUNTERS_H_

@@ -1,0 +1,26 @@
+#include "src/fs/disk.h"
+
+namespace sprite {
+
+SimDuration Disk::AccessTime(int64_t bytes) const {
+  const double transfer_sec = static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  return config_.access_time + FromSeconds(transfer_sec);
+}
+
+SimDuration Disk::Read(int64_t bytes) {
+  ++reads_;
+  bytes_read_ += bytes;
+  const SimDuration t = AccessTime(bytes);
+  busy_time_ += t;
+  return t;
+}
+
+SimDuration Disk::Write(int64_t bytes) {
+  ++writes_;
+  bytes_written_ += bytes;
+  const SimDuration t = AccessTime(bytes);
+  busy_time_ += t;
+  return t;
+}
+
+}  // namespace sprite

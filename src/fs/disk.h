@@ -1,0 +1,42 @@
+// Server disk model: fixed positioning time plus a transfer rate.
+
+#ifndef SPRITE_DFS_SRC_FS_DISK_H_
+#define SPRITE_DFS_SRC_FS_DISK_H_
+
+#include <cstdint>
+
+#include "src/fs/config.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+class Disk {
+ public:
+  explicit Disk(const DiskConfig& config) : config_(config) {}
+
+  // Accounts one read of `bytes` and returns its service time.
+  SimDuration Read(int64_t bytes);
+  // Accounts one write of `bytes` and returns its service time.
+  SimDuration Write(int64_t bytes);
+
+  // Service time for a transfer of `bytes` without recording it.
+  SimDuration AccessTime(int64_t bytes) const;
+
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  DiskConfig config_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  int64_t bytes_read_ = 0;
+  int64_t bytes_written_ = 0;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_DISK_H_

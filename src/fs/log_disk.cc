@@ -1,0 +1,184 @@
+#include "src/fs/log_disk.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sprite {
+
+SegmentLog::SegmentLog(const SegmentLogConfig& config) : config_(config) {
+  if (config.segment_bytes <= 0 || config.total_segments < 4 ||
+      config.clean_low_water <= 0 || config.clean_high_water < config.clean_low_water) {
+    throw std::invalid_argument("SegmentLog: invalid configuration");
+  }
+  segment_live_bytes_[head_segment_] = 0;
+  segment_used_bytes_[head_segment_] = 0;
+}
+
+int64_t SegmentLog::free_segments() const {
+  return static_cast<int64_t>(free_list_.size()) +
+         (config_.total_segments - next_new_segment_);
+}
+
+int64_t SegmentLog::SegmentsInUse() const { return config_.total_segments - free_segments(); }
+
+void SegmentLog::KillOldCopy(BlockKey key) {
+  auto it = locations_.find(key);
+  if (it == locations_.end()) {
+    return;
+  }
+  segment_live_bytes_[it->second.segment] -= it->second.bytes;
+  locations_.erase(it);
+}
+
+SimDuration SegmentLog::AppendRaw(int64_t bytes) {
+  SimDuration time = 0;
+  if (head_offset_ + bytes > config_.segment_bytes) {
+    // Advance to a fresh segment: one positioning operation.
+    int64_t next;
+    if (!free_list_.empty()) {
+      next = free_list_.back();
+      free_list_.pop_back();
+    } else if (next_new_segment_ < config_.total_segments) {
+      next = next_new_segment_++;
+    } else {
+      throw std::runtime_error("SegmentLog: device full of live data");
+    }
+    head_segment_ = next;
+    head_offset_ = 0;
+    segment_live_bytes_[next] = 0;
+    segment_used_bytes_[next] = 0;
+    segment_blocks_[next].clear();
+    time += config_.device.access_time;
+  }
+  head_offset_ += bytes;
+  time += FromSeconds(static_cast<double>(bytes) / config_.device.bandwidth_bytes_per_sec);
+  busy_time_ += time;
+  return time;
+}
+
+SimDuration SegmentLog::CleanIfNeeded() {
+  if (cleaning_ || free_segments() >= config_.clean_low_water) {
+    return 0;
+  }
+  cleaning_ = true;
+  SimDuration time = 0;
+  int64_t rounds = 0;
+  while (free_segments() < config_.clean_high_water) {
+    if (++rounds > config_.total_segments * 4) {
+      break;  // defensive bound; utilization is pathologically high
+    }
+    // Greedy policy: the allocated segment (not the head) with the least
+    // live data is the cheapest to clean.
+    int64_t victim = -1;
+    int64_t victim_live = std::numeric_limits<int64_t>::max();
+    for (const auto& [segment, live] : segment_live_bytes_) {
+      if (segment == head_segment_) {
+        continue;
+      }
+      if (live < victim_live) {
+        victim_live = live;
+        victim = segment;
+      }
+    }
+    if (victim < 0) {
+      break;  // only the head exists; nothing to clean
+    }
+    if (victim_live >= config_.segment_bytes) {
+      // Every candidate is fully live: cleaning cannot reclaim space.
+      break;
+    }
+
+    // Read the victim's live data...
+    const SimDuration read_time =
+        config_.device.access_time +
+        FromSeconds(static_cast<double>(std::max<int64_t>(victim_live, 0)) /
+                    config_.device.bandwidth_bytes_per_sec);
+    busy_time_ += read_time;
+    time += read_time;
+
+    // ...and rewrite it at the log head.
+    auto blocks_it = segment_blocks_.find(victim);
+    if (blocks_it != segment_blocks_.end()) {
+      // Copy out: AppendRaw below may create fresh segment_blocks_ entries.
+      const std::vector<BlockKey> keys = blocks_it->second;
+      for (const BlockKey& key : keys) {
+        auto loc = locations_.find(key);
+        if (loc == locations_.end() || loc->second.segment != victim) {
+          continue;  // dead or already moved
+        }
+        const int64_t bytes = loc->second.bytes;
+        time += AppendRaw(bytes);
+        loc->second.segment = head_segment_;
+        segment_blocks_[head_segment_].push_back(key);
+        segment_live_bytes_[head_segment_] += bytes;
+        segment_used_bytes_[head_segment_] += bytes;
+        cleaning_bytes_copied_ += bytes;
+      }
+    }
+
+    segment_live_bytes_.erase(victim);
+    segment_used_bytes_.erase(victim);
+    segment_blocks_.erase(victim);
+    free_list_.push_back(victim);
+    ++segments_cleaned_;
+  }
+  cleaning_ = false;
+  return time;
+}
+
+SimDuration SegmentLog::Write(BlockKey key, int64_t bytes) {
+  if (bytes <= 0) {
+    return 0;
+  }
+  bytes = std::min(bytes, config_.segment_bytes);
+  KillOldCopy(key);
+  SimDuration time = CleanIfNeeded();
+  time += AppendRaw(bytes);
+  locations_[key] = Location{head_segment_, bytes};
+  segment_blocks_[head_segment_].push_back(key);
+  segment_live_bytes_[head_segment_] += bytes;
+  segment_used_bytes_[head_segment_] += bytes;
+  user_bytes_written_ += bytes;
+  return time;
+}
+
+SimDuration SegmentLog::Read(BlockKey key, int64_t bytes) {
+  (void)key;
+  const SimDuration time =
+      config_.device.access_time +
+      FromSeconds(static_cast<double>(bytes) / config_.device.bandwidth_bytes_per_sec);
+  busy_time_ += time;
+  return time;
+}
+
+void SegmentLog::DeleteFile(uint64_t file) {
+  for (auto it = locations_.begin(); it != locations_.end();) {
+    if (it->first.file == file) {
+      segment_live_bytes_[it->second.segment] -= it->second.bytes;
+      it = locations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double SegmentLog::WriteCost() const {
+  if (user_bytes_written_ == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(user_bytes_written_ + cleaning_bytes_copied_) /
+         static_cast<double>(user_bytes_written_);
+}
+
+double SegmentLog::Utilization() const {
+  int64_t live = 0;
+  for (const auto& [segment, bytes] : segment_live_bytes_) {
+    (void)segment;
+    live += bytes;
+  }
+  const int64_t capacity = SegmentsInUse() * config_.segment_bytes;
+  return capacity > 0 ? static_cast<double>(live) / static_cast<double>(capacity) : 0.0;
+}
+
+}  // namespace sprite

@@ -1,0 +1,25 @@
+#include "src/fs/net.h"
+
+namespace sprite {
+
+SimDuration Network::RpcTime(int64_t payload_bytes) const {
+  const double transfer_sec = static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec;
+  return config_.rpc_latency + FromSeconds(transfer_sec);
+}
+
+SimDuration Network::Rpc(int64_t payload_bytes) {
+  ++rpc_count_;
+  bytes_carried_ += payload_bytes;
+  const SimDuration t = RpcTime(payload_bytes);
+  busy_time_ += FromSeconds(static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec);
+  return t;
+}
+
+double Network::Utilization(SimDuration elapsed) const {
+  if (elapsed <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+}
+
+}  // namespace sprite

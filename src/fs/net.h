@@ -1,0 +1,44 @@
+// Network model: a shared 10 Mbit/s Ethernet carrying RPCs between diskless
+// clients and file servers. The model is analytic (per-transfer service
+// time, plus utilization accounting), which is all the paper's analyses
+// need; queueing contention is deliberately not modeled, matching the
+// paper's observation that the network was only ~4% utilized by paging.
+
+#ifndef SPRITE_DFS_SRC_FS_NET_H_
+#define SPRITE_DFS_SRC_FS_NET_H_
+
+#include <cstdint>
+
+#include "src/fs/config.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config) : config_(config) {}
+
+  // Accounts one RPC carrying `payload_bytes` and returns its latency
+  // (fixed RPC overhead + transfer time).
+  SimDuration Rpc(int64_t payload_bytes);
+
+  // Latency without accounting.
+  SimDuration RpcTime(int64_t payload_bytes) const;
+
+  int64_t rpc_count() const { return rpc_count_; }
+  int64_t bytes_carried() const { return bytes_carried_; }
+  SimDuration busy_time() const { return busy_time_; }
+
+  // Fraction of capacity used over `elapsed` of simulated time.
+  double Utilization(SimDuration elapsed) const;
+
+ private:
+  NetworkConfig config_;
+  int64_t rpc_count_ = 0;
+  int64_t bytes_carried_ = 0;
+  SimDuration busy_time_ = 0;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_NET_H_

@@ -1,0 +1,399 @@
+#include "src/fs/server.h"
+
+#include <stdexcept>
+
+namespace sprite {
+namespace {
+
+// Small control RPC payload (open/close/name operations).
+constexpr int64_t kControlRpcBytes = 128;
+
+}  // namespace
+
+Server::Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_config,
+               ConsistencyPolicy policy, Network* network)
+    : id_(id),
+      policy_(policy),
+      network_(network),
+      disk_(disk_config),
+      cache_([&] {
+        CacheConfig c = config.cache;
+        c.max_blocks = config.memory_bytes / kBlockSize;
+        // Server caches "automatically adjust themselves to fill nearly all
+        // of memory"; start them at capacity.
+        c.min_blocks = c.max_blocks;
+        return c;
+      }(), &cache_counters_) {
+  cache_.set_limit_blocks(config.memory_bytes / kBlockSize);
+  if (config.disk_layout == DiskLayout::kLogStructured) {
+    SegmentLogConfig log_config;
+    log_config.device = disk_config;
+    segment_log_ = std::make_unique<SegmentLog>(log_config);
+  }
+}
+
+SimDuration Server::DiskWrite(BlockKey key, int64_t bytes) {
+  if (segment_log_ != nullptr) {
+    return segment_log_->Write(key, bytes);
+  }
+  return disk_.Write(bytes);
+}
+
+SimDuration Server::DiskRead(BlockKey key, int64_t bytes) {
+  if (segment_log_ != nullptr) {
+    return segment_log_->Read(key, bytes);
+  }
+  return disk_.Read(bytes);
+}
+
+void Server::RegisterClient(ClientId client, CacheControl* control) {
+  clients_[client] = control;
+}
+
+CacheControl* Server::ControlFor(ClientId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? nullptr : it->second;
+}
+
+Server::FileMeta& Server::EnsureFile(FileId file) {
+  auto [it, inserted] = files_.try_emplace(file);
+  if (inserted) {
+    it->second = FileMeta{};
+  }
+  return it->second;
+}
+
+void Server::CreateFile(FileId file, bool is_directory, SimTime now) {
+  (void)now;
+  FileMeta& meta = EnsureFile(file);
+  meta.exists = true;
+  meta.is_directory = is_directory;
+  meta.size = 0;
+  ++meta.version;
+  meta.last_writer.reset();
+  ++counters_.rpcs;
+}
+
+void Server::DiscardRemoteDirtyData(FileId file, FileMeta& meta, ClientId caller, SimTime now) {
+  if (meta.last_writer.has_value() && *meta.last_writer != caller) {
+    if (CacheControl* control = ControlFor(*meta.last_writer)) {
+      control->DiscardFile(file, now);
+    }
+  }
+  meta.last_writer.reset();
+}
+
+int64_t Server::DeleteFile(FileId file, ClientId caller, SimTime now) {
+  ++counters_.rpcs;
+  auto it = files_.find(file);
+  if (it == files_.end() || !it->second.exists) {
+    return 0;
+  }
+  FileMeta& meta = it->second;
+  DiscardRemoteDirtyData(file, meta, caller, now);
+  if (segment_log_ != nullptr) {
+    segment_log_->DeleteFile(file);
+  }
+  const int64_t size = meta.size;
+  meta.exists = false;
+  meta.size = 0;
+  ++meta.version;
+  return size;
+}
+
+int64_t Server::TruncateFile(FileId file, ClientId caller, SimTime now) {
+  ++counters_.rpcs;
+  auto it = files_.find(file);
+  if (it == files_.end() || !it->second.exists) {
+    return 0;
+  }
+  FileMeta& meta = it->second;
+  DiscardRemoteDirtyData(file, meta, caller, now);
+  if (segment_log_ != nullptr) {
+    segment_log_->DeleteFile(file);
+  }
+  const int64_t size = meta.size;
+  meta.size = 0;
+  ++meta.version;
+  return size;
+}
+
+bool Server::FileExists(FileId file) const {
+  auto it = files_.find(file);
+  return it != files_.end() && it->second.exists;
+}
+
+int64_t Server::FileSize(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+void Server::SetFileSize(FileId file, int64_t size) { EnsureFile(file).size = size; }
+
+bool Server::IsWriteShared(const OpenState& state) {
+  if (state.opens.size() < 2) {
+    return false;
+  }
+  for (const auto& [client, counts] : state.opens) {
+    if (counts.second > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool is_directory,
+                               SimTime now) {
+  OpenReply reply;
+  reply.latency = network_ != nullptr ? network_->Rpc(kControlRpcBytes) : 0;
+  ++counters_.rpcs;
+
+  FileMeta& meta = EnsureFile(file);
+  if (!meta.exists) {
+    meta.exists = true;  // open-creates for simplicity of the workload layer
+  }
+  meta.is_directory = is_directory;
+  if (is_directory) {
+    // Directories are not client-cacheable in Sprite and take no part in the
+    // consistency machinery.
+    reply.version = meta.version;
+    reply.cacheable = false;
+    return reply;
+  }
+  ++counters_.file_opens;
+
+  OpenState& state = open_states_[file];
+
+  // Recall: if another client may hold newer (dirty) data, retrieve it so
+  // this open sees the most recent version. Like the real Sprite server we
+  // do not know whether the client has finished its delayed writeback, so
+  // this is an upper bound on recalls (the paper says the same).
+  if (meta.last_writer.has_value() && *meta.last_writer != client) {
+    CacheControl* writer = ControlFor(*meta.last_writer);
+    if (writer != nullptr) {
+      writer->RecallDirtyData(file, now);
+    }
+    ++counters_.recall_opens;
+    reply.caused_recall = true;
+    meta.last_writer.reset();
+  }
+
+  // Register this open.
+  auto& counts = state.opens[client];
+  const bool writer_open = mode != OpenMode::kRead;
+  if (writer_open) {
+    ++counts.second;
+  } else {
+    ++counts.first;
+  }
+
+  switch (policy_) {
+    case ConsistencyPolicy::kSprite:
+    case ConsistencyPolicy::kSpriteModified: {
+      if (IsWriteShared(state)) {
+        ++counters_.write_sharing_opens;
+        reply.caused_write_sharing = true;
+        if (state.cacheable) {
+          state.cacheable = false;
+          for (const auto& [open_client, open_counts] : state.opens) {
+            (void)open_counts;
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->DisableCaching(file, now);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case ConsistencyPolicy::kToken: {
+      // The file stays cacheable; conflicting opens recall tokens instead.
+      if (IsWriteShared(state)) {
+        ++counters_.write_sharing_opens;
+        reply.caused_write_sharing = true;
+      }
+      if (writer_open) {
+        // A write token conflicts with every other client's token.
+        for (const auto& [open_client, open_counts] : state.opens) {
+          (void)open_counts;
+          if (open_client != client) {
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->RecallToken(file, now, /*invalidate=*/true);
+            }
+          }
+        }
+      } else {
+        // A read token conflicts only with another client's write token.
+        for (const auto& [open_client, open_counts] : state.opens) {
+          if (open_client != client && open_counts.second > 0) {
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->RecallToken(file, now, /*invalidate=*/false);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  reply.version = meta.version;
+  reply.cacheable = state.cacheable;
+  return reply;
+}
+
+Server::CloseReply Server::Close(ClientId client, FileId file, OpenMode mode, bool wrote,
+                                 int64_t final_size, SimTime now) {
+  CloseReply reply;
+  reply.latency = network_ != nullptr ? network_->Rpc(kControlRpcBytes) : 0;
+  ++counters_.rpcs;
+
+  FileMeta& meta = EnsureFile(file);
+  reply.version = meta.version;
+  if (meta.is_directory) {
+    return reply;
+  }
+  if (wrote) {
+    ++meta.version;
+    meta.last_writer = client;
+    meta.size = final_size;
+  }
+  reply.version = meta.version;
+
+  auto state_it = open_states_.find(file);
+  if (state_it == open_states_.end()) {
+    return reply;
+  }
+  OpenState& state = state_it->second;
+  auto open_it = state.opens.find(client);
+  if (open_it != state.opens.end()) {
+    const bool writer_open = mode != OpenMode::kRead;
+    int& counter = writer_open ? open_it->second.second : open_it->second.first;
+    if (counter > 0) {
+      --counter;
+    }
+    if (open_it->second.first == 0 && open_it->second.second == 0) {
+      state.opens.erase(open_it);
+    }
+  }
+
+  if (!state.cacheable) {
+    const bool reenable =
+        policy_ == ConsistencyPolicy::kSpriteModified ? !IsWriteShared(state) : state.opens.empty();
+    if (reenable) {
+      state.cacheable = true;
+      for (const auto& [open_client, open_counts] : state.opens) {
+        (void)open_counts;
+        if (CacheControl* control = ControlFor(open_client)) {
+          control->EnableCaching(file, now);
+        }
+      }
+    }
+  }
+  if (state.opens.empty()) {
+    open_states_.erase(state_it);
+  }
+  return reply;
+}
+
+SimDuration Server::TouchServerCache(FileId file, int64_t block, bool write, int64_t bytes,
+                                     SimTime now) {
+  const BlockKey key{file, block};
+  SimDuration disk_time = 0;
+  if (write) {
+    cache_.Write(key, now, std::min<int64_t>(bytes, kBlockSize), /*writeback=*/nullptr);
+  } else if (!cache_.Lookup(key, now)) {
+    disk_time = DiskRead(key, kBlockSize);
+    cache_.InsertClean(key, now, /*writeback=*/nullptr);
+  }
+  return disk_time;
+}
+
+SimDuration Server::FetchBlock(FileId file, int64_t block, bool paging, SimTime now) {
+  ++counters_.rpcs;
+  if (paging) {
+    counters_.paging_read_bytes += kBlockSize;
+  } else {
+    counters_.file_read_bytes += kBlockSize;
+  }
+  const SimDuration disk_time = TouchServerCache(file, block, /*write=*/false, kBlockSize, now);
+  const SimDuration net_time = network_ != nullptr ? network_->Rpc(kBlockSize) : 0;
+  return disk_time + net_time;
+}
+
+SimDuration Server::Writeback(FileId file, int64_t block, int64_t bytes, bool paging,
+                              SimTime now) {
+  ++counters_.rpcs;
+  if (paging) {
+    counters_.paging_write_bytes += bytes;
+  } else {
+    counters_.file_write_bytes += bytes;
+  }
+  TouchServerCache(file, block, /*write=*/true, bytes, now);
+  FileMeta& meta = EnsureFile(file);
+  const int64_t end = block * kBlockSize + bytes;
+  if (end > meta.size) {
+    meta.size = end;
+  }
+  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+}
+
+SimDuration Server::PassThroughRead(FileId file, int64_t bytes, SimTime now) {
+  ++counters_.rpcs;
+  counters_.shared_read_bytes += bytes;
+  const SimDuration disk_time = TouchServerCache(file, 0, /*write=*/false, bytes, now);
+  return disk_time + (network_ != nullptr ? network_->Rpc(bytes) : 0);
+}
+
+SimDuration Server::PassThroughWrite(FileId file, int64_t bytes, SimTime now) {
+  ++counters_.rpcs;
+  counters_.shared_write_bytes += bytes;
+  TouchServerCache(file, 0, /*write=*/true, bytes, now);
+  FileMeta& meta = EnsureFile(file);
+  ++meta.version;
+  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+}
+
+SimDuration Server::ReadDirectory(FileId dir, int64_t bytes, SimTime now) {
+  (void)dir;
+  (void)now;
+  ++counters_.rpcs;
+  counters_.dir_read_bytes += bytes;
+  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+}
+
+void Server::ClientCrashed(ClientId client, SimTime now) {
+  for (auto& [file, meta] : files_) {
+    (void)file;
+    if (meta.last_writer == client) {
+      meta.last_writer.reset();
+    }
+  }
+  for (auto it = open_states_.begin(); it != open_states_.end();) {
+    OpenState& state = it->second;
+    state.opens.erase(client);
+    if (!state.cacheable) {
+      const bool reenable = policy_ == ConsistencyPolicy::kSpriteModified
+                                ? !IsWriteShared(state)
+                                : state.opens.empty();
+      if (reenable) {
+        state.cacheable = true;
+        for (const auto& [open_client, counts] : state.opens) {
+          (void)counts;
+          if (CacheControl* control = ControlFor(open_client)) {
+            control->EnableCaching(it->first, now);
+          }
+        }
+      }
+    }
+    if (state.opens.empty()) {
+      it = open_states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::CleanerTick(SimTime now) {
+  cache_.CleanAged(now, [this](BlockKey key, int64_t bytes) { DiskWrite(key, bytes); });
+}
+
+}  // namespace sprite

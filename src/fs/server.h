@@ -1,0 +1,176 @@
+// Simulated Sprite file server.
+//
+// The server owns file metadata (sizes, versions, last writer), a large
+// main-memory block cache in front of its disk, and the cache-consistency
+// engine. Sprite's shipped consistency mechanism uses three tools
+// (Section 5 of the paper):
+//   * version timestamps, returned at open so clients can flush stale data;
+//   * recall of dirty data from the last writer when another client opens;
+//   * cache disabling during concurrent write-sharing, with all read/write
+//     requests passed through to the server until every client closes.
+// The modified-Sprite and token-based alternatives of Section 5.6 are also
+// implemented, selected by ConsistencyPolicy.
+
+#ifndef SPRITE_DFS_SRC_FS_SERVER_H_
+#define SPRITE_DFS_SRC_FS_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/fs/block_cache.h"
+#include "src/fs/config.h"
+#include "src/fs/counters.h"
+#include "src/fs/disk.h"
+#include "src/fs/log_disk.h"
+#include "src/fs/net.h"
+#include "src/fs/types.h"
+#include "src/trace/record.h"  // OpenMode
+
+namespace sprite {
+
+// Server-to-client control callbacks (cache consistency commands). The
+// Client implements this; an interface keeps fs/server decoupled from
+// fs/client.
+class CacheControl {
+ public:
+  virtual ~CacheControl() = default;
+  // Flush any dirty data for `file` back to the server (CleanReason::kRecall).
+  virtual void RecallDirtyData(FileId file, SimTime now) = 0;
+  // Flush dirty data and stop caching `file`; subsequent I/O on open handles
+  // passes through to the server.
+  virtual void DisableCaching(FileId file, SimTime now) = 0;
+  // Caching for `file` is allowed again (modified-Sprite / token policies).
+  virtual void EnableCaching(FileId file, SimTime now) = 0;
+  // Token recall: flush dirty data; if `invalidate`, also drop cached blocks
+  // (the client lost read permission).
+  virtual void RecallToken(FileId file, SimTime now, bool invalidate) = 0;
+  // The file's contents were destroyed (delete/truncate by another client):
+  // drop cached blocks, discarding dirty data without writing it back.
+  virtual void DiscardFile(FileId file, SimTime now) = 0;
+};
+
+class Server {
+ public:
+  struct FileMeta {
+    int64_t size = 0;
+    uint64_t version = 1;
+    bool exists = true;
+    bool is_directory = false;
+    // Client whose cache may hold the newest data (delayed writes).
+    std::optional<ClientId> last_writer;
+  };
+
+  struct OpenReply {
+    uint64_t version = 1;
+    bool cacheable = true;
+    bool caused_write_sharing = false;
+    bool caused_recall = false;
+    SimDuration latency = 0;
+  };
+
+  Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_config,
+         ConsistencyPolicy policy, Network* network);
+
+  ServerId id() const { return id_; }
+
+  // Clients register their control interface at cluster construction.
+  void RegisterClient(ClientId client, CacheControl* control);
+
+  // --- Naming operations (always pass through to the server in Sprite) ----
+  void CreateFile(FileId file, bool is_directory, SimTime now);
+  // Returns bytes destroyed (0 if the file did not exist). `caller` is the
+  // client issuing the operation; if another client holds the newest (dirty)
+  // data for the file, that data is doomed and is discarded remotely so a
+  // later delayed writeback cannot resurrect destroyed contents.
+  int64_t DeleteFile(FileId file, ClientId caller, SimTime now);
+  int64_t TruncateFile(FileId file, ClientId caller, SimTime now);
+  bool FileExists(FileId file) const;
+  int64_t FileSize(FileId file) const;
+  void SetFileSize(FileId file, int64_t size);
+
+  struct CloseReply {
+    SimDuration latency = 0;
+    // Version after the close (bumped if the client wrote); the closing
+    // client adopts it, since its cache holds the newest data.
+    uint64_t version = 1;
+  };
+
+  OpenReply Open(ClientId client, FileId file, OpenMode mode, bool is_directory, SimTime now);
+  // `wrote` marks the closing client as the file's last writer and bumps the
+  // version. `final_size` updates metadata.
+  CloseReply Close(ClientId client, FileId file, OpenMode mode, bool wrote, int64_t final_size,
+                   SimTime now);
+
+  // --- Data path -----------------------------------------------------------
+  // Client cache miss: fetch one block. `paging` marks code/backing reads.
+  SimDuration FetchBlock(FileId file, int64_t block, bool paging, SimTime now);
+  // Client cache writeback (or backing-file page-out when `paging`).
+  SimDuration Writeback(FileId file, int64_t block, int64_t bytes, bool paging, SimTime now);
+  // Pass-through I/O on uncacheable (write-shared) files.
+  SimDuration PassThroughRead(FileId file, int64_t bytes, SimTime now);
+  SimDuration PassThroughWrite(FileId file, int64_t bytes, SimTime now);
+  // Directory contents read by a user process (uncacheable on clients).
+  SimDuration ReadDirectory(FileId dir, int64_t bytes, SimTime now);
+
+  // Server-side cleaner tick: writes aged dirty cache blocks to disk.
+  void CleanerTick(SimTime now);
+
+  // Forgets all open-file state for a crashed client: its opens vanish,
+  // which may end concurrent write-sharing (re-enabling caching for the
+  // survivors), and it can no longer be the last writer.
+  void ClientCrashed(ClientId client, SimTime now);
+
+  const ServerCounters& counters() const { return counters_; }
+  // Log-structured backend statistics (null when update-in-place).
+  const SegmentLog* segment_log() const { return segment_log_.get(); }
+  // Zeroes the traffic/consistency counters (cache contents are untouched).
+  void ResetCounters() { counters_ = ServerCounters{}; }
+  const Disk& disk() const { return disk_; }
+  int64_t cache_size_bytes() const { return cache_.size_bytes(); }
+  ConsistencyPolicy policy() const { return policy_; }
+
+ private:
+  struct OpenState {
+    // client -> (reader handles, writer handles)
+    std::map<ClientId, std::pair<int, int>> opens;
+    bool cacheable = true;
+  };
+
+  FileMeta& EnsureFile(FileId file);
+  // True if `state` is in concurrent write-sharing (open on more than one
+  // client with at least one writer).
+  static bool IsWriteShared(const OpenState& state);
+  CacheControl* ControlFor(ClientId client) const;
+  // If a client other than `caller` may hold dirty data for `file`, tell it
+  // to discard (the contents were destroyed).
+  void DiscardRemoteDirtyData(FileId file, FileMeta& meta, ClientId caller, SimTime now);
+  // Server cache access backing a transfer of `bytes` at `block` of `file`;
+  // returns disk time incurred (0 on a server-cache hit).
+  SimDuration TouchServerCache(FileId file, int64_t block, bool write, int64_t bytes,
+                               SimTime now);
+
+  // Routes one disk write/read through whichever layout is configured.
+  SimDuration DiskWrite(BlockKey key, int64_t bytes);
+  SimDuration DiskRead(BlockKey key, int64_t bytes);
+
+  ServerId id_;
+  ConsistencyPolicy policy_;
+  Network* network_;
+  Disk disk_;
+  std::unique_ptr<SegmentLog> segment_log_;
+  CacheCounters cache_counters_;
+  BlockCache cache_;
+  ServerCounters counters_;
+
+  std::unordered_map<FileId, FileMeta> files_;
+  std::unordered_map<FileId, OpenState> open_states_;
+  std::map<ClientId, CacheControl*> clients_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_SERVER_H_

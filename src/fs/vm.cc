@@ -1,0 +1,70 @@
+#include "src/fs/vm.h"
+
+#include <algorithm>
+
+namespace sprite {
+
+Vm::Vm(int64_t total_pages, SimDuration preference_age, int64_t floor_pages)
+    : total_pages_(total_pages), preference_age_(preference_age), floor_pages_(floor_pages) {
+  for (int64_t i = 0; i < floor_pages; ++i) {
+    pages_.push_back(Page{PageKind::kCode, 0});
+  }
+}
+
+void Vm::AddPage(PageKind kind, SimTime now) { pages_.push_front(Page{kind, now}); }
+
+void Vm::TouchWorkingSet(SimTime now, int64_t count) {
+  const int64_t n = std::min<int64_t>(count, static_cast<int64_t>(pages_.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    pages_[static_cast<size_t>(i)].last_ref = now;
+  }
+}
+
+Vm::Evicted Vm::EvictLru() {
+  if (static_cast<int64_t>(pages_.size()) <= floor_pages_) {
+    return {};
+  }
+  const Page page = pages_.back();
+  pages_.pop_back();
+  return Evicted{page.kind, true};
+}
+
+SimDuration Vm::EvictableLruAge(SimTime now) const {
+  if (static_cast<int64_t>(pages_.size()) <= floor_pages_) {
+    return -1;
+  }
+  return now - pages_.back().last_ref;
+}
+
+bool Vm::TryYieldIdlePage(SimTime now) {
+  if (static_cast<int64_t>(pages_.size()) <= floor_pages_) {
+    return false;
+  }
+  if (now - pages_.back().last_ref < preference_age_) {
+    return false;
+  }
+  pages_.pop_back();
+  return true;
+}
+
+void Vm::CrashReset() {
+  pages_.clear();
+  for (int64_t i = 0; i < floor_pages_; ++i) {
+    pages_.push_back(Page{PageKind::kCode, 0});
+  }
+}
+
+int64_t Vm::EvictColdPages(int64_t count) {
+  int64_t dirty = 0;
+  for (int64_t i = 0;
+       i < count && static_cast<int64_t>(pages_.size()) > floor_pages_; ++i) {
+    const Page& page = pages_.back();
+    if (page.kind == PageKind::kModifiedData || page.kind == PageKind::kStack) {
+      ++dirty;
+    }
+    pages_.pop_back();
+  }
+  return dirty;
+}
+
+}  // namespace sprite

@@ -1,0 +1,82 @@
+#include "src/sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace sprite {
+
+void EventQueue::Schedule(SimTime at, Callback callback) {
+  if (at < now_) {
+    throw std::logic_error("EventQueue::Schedule: scheduling into the past");
+  }
+  heap_.push(Entry{at, next_sequence_++, std::make_shared<Callback>(std::move(callback))});
+}
+
+void EventQueue::ScheduleAfter(SimDuration delay, Callback callback) {
+  if (delay < 0) {
+    throw std::logic_error("EventQueue::ScheduleAfter: negative delay");
+  }
+  Schedule(now_ + delay, std::move(callback));
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) {
+    return false;
+  }
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.at;
+  ++dispatched_;
+  (*entry.callback)();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    RunNext();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (RunNext()) {
+    if (++ran > max_events) {
+      throw std::runtime_error("EventQueue::RunAll: event budget exceeded (runaway loop?)");
+    }
+  }
+}
+
+PeriodicTask::PeriodicTask(EventQueue& queue, SimTime first_at, SimDuration period,
+                           std::function<void(SimTime)> callback)
+    : queue_(queue),
+      period_(period),
+      callback_(std::move(callback)),
+      cancelled_(std::make_shared<bool>(false)) {
+  if (period <= 0) {
+    throw std::logic_error("PeriodicTask: period must be positive");
+  }
+  Arm(first_at);
+}
+
+PeriodicTask::~PeriodicTask() { Cancel(); }
+
+void PeriodicTask::Cancel() { *cancelled_ = true; }
+
+void PeriodicTask::Arm(SimTime at) {
+  // The scheduled closure holds the cancel flag by value; `this` is only
+  // touched after checking the flag, and Cancel() is always called before
+  // destruction, so a fired-after-destruction closure is a no-op.
+  queue_.Schedule(at, [this, at, flag = cancelled_]() {
+    if (*flag) {
+      return;
+    }
+    callback_(at);
+    if (!*flag) {
+      Arm(at + period_);
+    }
+  });
+}
+
+}  // namespace sprite

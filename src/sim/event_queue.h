@@ -1,0 +1,103 @@
+// Discrete-event simulation kernel.
+//
+// The distributed file system in src/fs and the workload generator in
+// src/workload both run on this queue. Events scheduled for the same
+// timestamp run in scheduling (FIFO) order, which makes runs deterministic
+// given a fixed seed.
+
+#ifndef SPRITE_DFS_SRC_SIM_EVENT_QUEUE_H_
+#define SPRITE_DFS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace sprite {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Advances only as events are dispatched.
+  SimTime now() const { return now_; }
+
+  // Schedules `callback` at absolute time `at`. Scheduling in the past is an
+  // error (throws std::logic_error) — it would silently reorder causality.
+  void Schedule(SimTime at, Callback callback);
+
+  // Schedules `callback` `delay` microseconds from now (delay >= 0).
+  void ScheduleAfter(SimDuration delay, Callback callback);
+
+  // Runs the earliest pending event. Returns false if the queue is empty.
+  bool RunNext();
+
+  // Runs events until the queue is empty or the next event is later than
+  // `deadline`; afterwards now() == max(now, deadline).
+  void RunUntil(SimTime deadline);
+
+  // Drains the queue completely. `max_events` guards against runaway
+  // self-rescheduling loops; throws std::runtime_error if exceeded.
+  void RunAll(uint64_t max_events = 1ULL << 40);
+
+  size_t pending_count() const { return heap_.size(); }
+  uint64_t dispatched_count() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t sequence;
+    // Heap entries hold the callback by shared_ptr so Entry stays copyable
+    // for priority_queue.
+    std::shared_ptr<Callback> callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+// Repeats a callback at a fixed period until cancelled or the owning handle
+// is destroyed. Models Sprite's kernel daemons (the 5-second dirty-block
+// scan) and the user-level counter collector.
+class PeriodicTask {
+ public:
+  // Starts firing at `first_at`, then every `period` thereafter.
+  PeriodicTask(EventQueue& queue, SimTime first_at, SimDuration period,
+               std::function<void(SimTime)> callback);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Cancel();
+  bool cancelled() const { return *cancelled_; }
+
+ private:
+  void Arm(SimTime at);
+
+  EventQueue& queue_;
+  SimDuration period_;
+  std::function<void(SimTime)> callback_;
+  std::shared_ptr<bool> cancelled_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,239 @@
+#include "src/trace/codec.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sprite {
+namespace {
+
+// Per-record field layout (after the kind byte and delta time):
+//   varint user, client, server, file, handle
+//   u8 packed flags: mode (2 bits) | migrated | is_directory
+//   zigzag offset_before, offset_after, file_size,
+//   varint run_read_bytes, run_write_bytes, io_bytes, peer_client
+// Fields that are zero for a given kind cost one byte each; acceptable for
+// the simplicity of a single layout.
+
+constexpr uint8_t kModeMask = 0x3;
+constexpr uint8_t kMigratedBit = 0x4;
+constexpr uint8_t kDirectoryBit = 0x8;
+
+}  // namespace
+
+void PutVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::optional<uint64_t> GetVarint(const std::string& buffer, size_t& pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos < buffer.size()) {
+    const uint8_t byte = static_cast<uint8_t>(buffer[pos++]);
+    if (shift >= 64) {
+      throw std::runtime_error("varint overflow");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) {
+  out_.write(kTraceMagic, sizeof(kTraceMagic));
+  out_.put(static_cast<char>(kTraceVersion));
+}
+
+void TraceWriter::Write(const Record& r) {
+  buffer_.clear();
+  buffer_.push_back(static_cast<char>(r.kind));
+  PutVarint(buffer_, ZigZagEncode(r.time - last_time_));
+  last_time_ = r.time;
+  PutVarint(buffer_, r.user);
+  PutVarint(buffer_, r.client);
+  PutVarint(buffer_, r.server);
+  PutVarint(buffer_, r.file);
+  PutVarint(buffer_, r.handle);
+  uint8_t flags = static_cast<uint8_t>(r.mode) & kModeMask;
+  if (r.migrated) {
+    flags |= kMigratedBit;
+  }
+  if (r.is_directory) {
+    flags |= kDirectoryBit;
+  }
+  buffer_.push_back(static_cast<char>(flags));
+  PutVarint(buffer_, ZigZagEncode(r.offset_before));
+  PutVarint(buffer_, ZigZagEncode(r.offset_after));
+  PutVarint(buffer_, ZigZagEncode(r.file_size));
+  PutVarint(buffer_, static_cast<uint64_t>(r.run_read_bytes));
+  PutVarint(buffer_, static_cast<uint64_t>(r.run_write_bytes));
+  PutVarint(buffer_, static_cast<uint64_t>(r.io_bytes));
+  PutVarint(buffer_, r.peer_client);
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  ++written_;
+}
+
+void TraceWriter::WriteAll(const TraceLog& log) {
+  for (const Record& r : log) {
+    Write(r);
+  }
+}
+
+void TraceWriter::Flush() { out_.flush(); }
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  char magic[4];
+  in_.read(magic, sizeof(magic));
+  const bool magic_ok = in_.gcount() == sizeof(magic) &&
+                        std::string(magic, 4) == std::string(kTraceMagic, 4);
+  const int version = in_.get();
+  if (!magic_ok || version != kTraceVersion) {
+    throw std::runtime_error("TraceReader: bad trace header");
+  }
+}
+
+bool TraceReader::FillTo(size_t bytes_needed) {
+  while (buffer_.size() - pos_ < bytes_needed) {
+    char chunk[4096];
+    in_.read(chunk, sizeof(chunk));
+    const std::streamsize got = in_.gcount();
+    if (got <= 0) {
+      return false;
+    }
+    // Compact the consumed prefix occasionally to bound memory.
+    if (pos_ > (1 << 20)) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+  return true;
+}
+
+std::optional<Record> TraceReader::Next() {
+  // Ensure we have a generous upper bound of one record's worth of bytes
+  // available; records are at most ~14 varints * 10 bytes + 2.
+  constexpr size_t kMaxRecordBytes = 160;
+  FillTo(kMaxRecordBytes);  // best effort; short reads handled below
+  if (pos_ >= buffer_.size()) {
+    return std::nullopt;
+  }
+
+  const size_t start = pos_;
+  auto fail = [&]() -> std::optional<Record> {
+    // Truncated mid-record: corrupt stream.
+    if (pos_ != start) {
+      throw std::runtime_error("TraceReader: truncated record");
+    }
+    return std::nullopt;
+  };
+
+  Record r;
+  r.kind = static_cast<RecordKind>(static_cast<uint8_t>(buffer_[pos_++]));
+  auto read_varint = [&]() { return GetVarint(buffer_, pos_); };
+
+  const auto dt = read_varint();
+  if (!dt) {
+    return fail();
+  }
+  r.time = last_time_ + ZigZagDecode(*dt);
+
+  const auto user = read_varint();
+  const auto client = read_varint();
+  const auto server = read_varint();
+  const auto file = read_varint();
+  const auto handle = read_varint();
+  if (!user || !client || !server || !file || !handle) {
+    return fail();
+  }
+  if (pos_ >= buffer_.size()) {
+    return fail();
+  }
+  const uint8_t flags = static_cast<uint8_t>(buffer_[pos_++]);
+  const auto offset_before = read_varint();
+  const auto offset_after = read_varint();
+  const auto file_size = read_varint();
+  const auto run_read = read_varint();
+  const auto run_write = read_varint();
+  const auto io_bytes = read_varint();
+  const auto peer = read_varint();
+  if (!offset_before || !offset_after || !file_size || !run_read || !run_write || !io_bytes ||
+      !peer) {
+    return fail();
+  }
+
+  last_time_ = r.time;
+  r.user = static_cast<uint32_t>(*user);
+  r.client = static_cast<uint32_t>(*client);
+  r.server = static_cast<uint32_t>(*server);
+  r.file = *file;
+  r.handle = *handle;
+  r.mode = static_cast<OpenMode>(flags & kModeMask);
+  r.migrated = (flags & kMigratedBit) != 0;
+  r.is_directory = (flags & kDirectoryBit) != 0;
+  r.offset_before = ZigZagDecode(*offset_before);
+  r.offset_after = ZigZagDecode(*offset_after);
+  r.file_size = ZigZagDecode(*file_size);
+  r.run_read_bytes = static_cast<int64_t>(*run_read);
+  r.run_write_bytes = static_cast<int64_t>(*run_write);
+  r.io_bytes = static_cast<int64_t>(*io_bytes);
+  r.peer_client = static_cast<uint32_t>(*peer);
+  return r;
+}
+
+TraceLog TraceReader::ReadAll() {
+  TraceLog log;
+  while (auto r = Next()) {
+    log.push_back(*r);
+  }
+  return log;
+}
+
+std::string EncodeTrace(const TraceLog& log) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  writer.WriteAll(log);
+  return out.str();
+}
+
+TraceLog DecodeTrace(const std::string& bytes) {
+  std::istringstream in(bytes);
+  TraceReader reader(in);
+  return reader.ReadAll();
+}
+
+void WriteTraceFile(const std::string& path, const TraceLog& log) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("WriteTraceFile: cannot open " + path);
+  }
+  TraceWriter writer(out);
+  writer.WriteAll(log);
+  writer.Flush();
+}
+
+TraceLog ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("ReadTraceFile: cannot open " + path);
+  }
+  TraceReader reader(in);
+  return reader.ReadAll();
+}
+
+}  // namespace sprite

@@ -1,0 +1,93 @@
+#include "src/trace/merge.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sprite {
+
+TraceLog MergeSorted(const std::vector<TraceLog>& per_server_logs) {
+  struct Cursor {
+    size_t log_index;
+    size_t position;
+    SimTime time;
+  };
+  struct Later {
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      if (a.log_index != b.log_index) {
+        return a.log_index > b.log_index;
+      }
+      return a.position > b.position;
+    }
+  };
+
+  size_t total = 0;
+  for (const TraceLog& log : per_server_logs) {
+    if (!IsTimeOrdered(log)) {
+      throw std::invalid_argument("MergeSorted: input log is not time-ordered");
+    }
+    total += log.size();
+  }
+
+  std::priority_queue<Cursor, std::vector<Cursor>, Later> heap;
+  for (size_t i = 0; i < per_server_logs.size(); ++i) {
+    if (!per_server_logs[i].empty()) {
+      heap.push(Cursor{i, 0, per_server_logs[i][0].time});
+    }
+  }
+
+  TraceLog merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    const Cursor cursor = heap.top();
+    heap.pop();
+    const TraceLog& log = per_server_logs[cursor.log_index];
+    merged.push_back(log[cursor.position]);
+    const size_t next = cursor.position + 1;
+    if (next < log.size()) {
+      heap.push(Cursor{cursor.log_index, next, log[next].time});
+    }
+  }
+  return merged;
+}
+
+TraceLog Filter(const TraceLog& log, const std::function<bool(const Record&)>& keep) {
+  TraceLog out;
+  out.reserve(log.size());
+  std::copy_if(log.begin(), log.end(), std::back_inserter(out), keep);
+  return out;
+}
+
+TraceLog DropUser(const TraceLog& log, uint32_t user) {
+  return Filter(log, [user](const Record& r) { return r.user != user; });
+}
+
+TraceLog DropUsers(const TraceLog& log, const std::vector<uint32_t>& users) {
+  return Filter(log, [&users](const Record& r) {
+    return std::find(users.begin(), users.end(), r.user) == users.end();
+  });
+}
+
+std::vector<TraceLog> SplitByWindow(const TraceLog& log, SimDuration window) {
+  if (window <= 0) {
+    throw std::invalid_argument("SplitByWindow: window must be positive");
+  }
+  std::vector<TraceLog> windows;
+  if (log.empty()) {
+    return windows;
+  }
+  const SimTime start = log.front().time;
+  for (const Record& r : log) {
+    const size_t index = static_cast<size_t>((r.time - start) / window);
+    if (index >= windows.size()) {
+      windows.resize(index + 1);
+    }
+    windows[index].push_back(r);
+  }
+  return windows;
+}
+
+}  // namespace sprite

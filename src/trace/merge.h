@@ -1,0 +1,44 @@
+// Multi-server trace merging and record filtering.
+//
+// The 1991 study gathered traces on four file servers, each producing its
+// own time-stamped log, and merged them "into a single ordered list of
+// records". The merging code also removed all records related to writing
+// the trace files themselves and to the nightly tape backup. MergeSorted and
+// the filters below reproduce that pipeline.
+
+#ifndef SPRITE_DFS_SRC_TRACE_MERGE_H_
+#define SPRITE_DFS_SRC_TRACE_MERGE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/trace/record.h"
+
+namespace sprite {
+
+// K-way merges per-server logs (each individually time-ordered) into one
+// time-ordered log. Ties are broken by server index then original order, so
+// the result is deterministic. Throws std::invalid_argument if an input log
+// is not time-ordered.
+TraceLog MergeSorted(const std::vector<TraceLog>& per_server_logs);
+
+// Returns the records for which `keep` is true, preserving order.
+TraceLog Filter(const TraceLog& log, const std::function<bool(const Record&)>& keep);
+
+// Drops all records attributed to `user` (used to strip the trace-collector
+// daemon and the nightly backup pseudo-users, and to reproduce the paper's
+// "reprocess without the kernel development group" experiment).
+TraceLog DropUser(const TraceLog& log, uint32_t user);
+
+// Drops all records whose user is in `users`.
+TraceLog DropUsers(const TraceLog& log, const std::vector<uint32_t>& users);
+
+// Splits a log into consecutive windows of `window` duration (the study
+// split 48-hour collections into 24-hour traces). Records at exactly a
+// boundary go to the later window. Returns ceil(span/window) logs; empty
+// windows are preserved so indices map to time.
+std::vector<TraceLog> SplitByWindow(const TraceLog& log, SimDuration window);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_TRACE_MERGE_H_

@@ -1,0 +1,42 @@
+#include "src/trace/record.h"
+
+namespace sprite {
+
+std::string RecordKindName(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kOpen:
+      return "open";
+    case RecordKind::kClose:
+      return "close";
+    case RecordKind::kSeek:
+      return "seek";
+    case RecordKind::kCreate:
+      return "create";
+    case RecordKind::kDelete:
+      return "delete";
+    case RecordKind::kTruncate:
+      return "truncate";
+    case RecordKind::kDirRead:
+      return "dirread";
+    case RecordKind::kSharedRead:
+      return "sharedread";
+    case RecordKind::kSharedWrite:
+      return "sharedwrite";
+    case RecordKind::kMigrate:
+      return "migrate";
+    case RecordKind::kFsync:
+      return "fsync";
+  }
+  return "unknown";
+}
+
+bool IsTimeOrdered(const TraceLog& log) {
+  for (size_t i = 1; i < log.size(); ++i) {
+    if (log[i].time < log[i - 1].time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sprite

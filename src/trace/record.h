@@ -1,0 +1,101 @@
+// Kernel-call-level trace records.
+//
+// The 1991 study instrumented the Sprite kernel to log file-system events at
+// the level of kernel calls: opens, closes, repositions (lseek), deletes,
+// and truncations, plus the pass-through read/write requests on files
+// undergoing concurrent write-sharing. Crucially the traces did NOT record
+// individual read/write calls; instead they recorded the file offset before
+// and after each "anchor" operation (open/seek/close), from which the exact
+// ranges of bytes accessed are deduced. This module reproduces that format.
+//
+// A trace is an ordered sequence of `Record`s. Each record carries the
+// fields of every kind (a flat struct rather than a variant keeps the codec
+// and the analysis passes simple and fast); kind-irrelevant fields are zero.
+
+#ifndef SPRITE_DFS_SRC_TRACE_RECORD_H_
+#define SPRITE_DFS_SRC_TRACE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace sprite {
+
+enum class RecordKind : uint8_t {
+  kOpen = 0,        // file or directory opened
+  kClose = 1,       // file closed (final offset + totals since last anchor)
+  kSeek = 2,        // lseek: offset repositioned
+  kCreate = 3,      // file created
+  kDelete = 4,      // file or directory removed
+  kTruncate = 5,    // file truncated to zero length
+  kDirRead = 6,     // user-level directory read (e.g. ls)
+  kSharedRead = 7,  // pass-through read on a write-shared (uncacheable) file
+  kSharedWrite = 8, // pass-through write on a write-shared file
+  kMigrate = 9,     // process migrated from `client` to `peer_client`
+  kFsync = 10,      // application requested synchronous write-through
+};
+
+// How the file was opened. Note the paper classifies *accesses* by actual
+// usage (read-only / write-only / read-write), not by open mode; the close
+// record's `run_read_bytes`/`run_write_bytes` totals support that.
+enum class OpenMode : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kReadWrite = 2,
+};
+
+struct Record {
+  RecordKind kind = RecordKind::kOpen;
+  SimTime time = 0;       // microseconds since trace start
+  uint32_t user = 0;      // user id
+  uint32_t client = 0;    // workstation id
+  uint32_t server = 0;    // file server that logged the record
+  uint64_t file = 0;      // file id (unique per file incarnation)
+  uint64_t handle = 0;    // open-instance id, unique across the trace
+  OpenMode mode = OpenMode::kRead;
+  bool migrated = false;  // issued on behalf of a migrated process
+  bool is_directory = false;
+
+  // Offset bookkeeping (kOpen / kSeek / kClose):
+  //  kOpen : offset_after = starting offset (0, or file_size when appending).
+  //  kSeek : offset_before = position reached by sequential transfer since
+  //          the previous anchor; offset_after = new position.
+  //  kClose: offset_before = final position.
+  int64_t offset_before = 0;
+  int64_t offset_after = 0;
+
+  // File size at the time of the record (kOpen: size at open; kClose: size
+  // at close; kDelete/kTruncate: size destroyed).
+  int64_t file_size = 0;
+
+  // Bytes read/written since the previous anchor operation on this handle
+  // (kSeek and kClose). The kernel knows which portions were read vs
+  // written; the offsets alone would leave direction ambiguous for
+  // read-write opens.
+  int64_t run_read_bytes = 0;
+  int64_t run_write_bytes = 0;
+
+  // kDirRead: bytes of directory data returned.
+  // kSharedRead/kSharedWrite: bytes transferred by the pass-through request.
+  int64_t io_bytes = 0;
+
+  // kMigrate: destination workstation.
+  uint32_t peer_client = 0;
+
+  bool operator==(const Record&) const = default;
+};
+
+// In-memory trace: records in nondecreasing time order.
+using TraceLog = std::vector<Record>;
+
+// Returns a short lowercase name ("open", "seek", ...) for diagnostics.
+std::string RecordKindName(RecordKind kind);
+
+// True if `log` is sorted by time (ties allowed).
+bool IsTimeOrdered(const TraceLog& log);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_TRACE_RECORD_H_

@@ -1,0 +1,66 @@
+#include "src/trace/summary.h"
+
+#include <set>
+
+namespace sprite {
+
+TraceSummary Summarize(const TraceLog& log) {
+  TraceSummary s;
+  if (log.empty()) {
+    return s;
+  }
+  s.duration = log.back().time - log.front().time;
+  s.total_records = static_cast<int64_t>(log.size());
+
+  std::set<uint32_t> users;
+  std::set<uint32_t> migration_users;
+  for (const Record& r : log) {
+    users.insert(r.user);
+    if (r.migrated || r.kind == RecordKind::kMigrate) {
+      migration_users.insert(r.user);
+    }
+    switch (r.kind) {
+      case RecordKind::kOpen:
+        ++s.open_events;
+        break;
+      case RecordKind::kClose:
+        ++s.close_events;
+        s.bytes_read += r.run_read_bytes;
+        s.bytes_written += r.run_write_bytes;
+        break;
+      case RecordKind::kSeek:
+        ++s.seek_events;
+        s.bytes_read += r.run_read_bytes;
+        s.bytes_written += r.run_write_bytes;
+        break;
+      case RecordKind::kDelete:
+        ++s.delete_events;
+        break;
+      case RecordKind::kTruncate:
+        ++s.truncate_events;
+        break;
+      case RecordKind::kDirRead:
+        s.bytes_dir_read += r.io_bytes;
+        break;
+      case RecordKind::kSharedRead:
+        ++s.shared_read_events;
+        s.bytes_read += r.io_bytes;
+        break;
+      case RecordKind::kSharedWrite:
+        ++s.shared_write_events;
+        s.bytes_written += r.io_bytes;
+        break;
+      case RecordKind::kMigrate:
+        ++s.migrate_events;
+        break;
+      case RecordKind::kCreate:
+      case RecordKind::kFsync:
+        break;
+    }
+  }
+  s.distinct_users = static_cast<int64_t>(users.size());
+  s.migration_users = static_cast<int64_t>(migration_users.size());
+  return s;
+}
+
+}  // namespace sprite

@@ -1,0 +1,39 @@
+// Overall trace statistics — the inputs to the paper's Table 1.
+
+#ifndef SPRITE_DFS_SRC_TRACE_SUMMARY_H_
+#define SPRITE_DFS_SRC_TRACE_SUMMARY_H_
+
+#include <cstdint>
+
+#include "src/trace/record.h"
+
+namespace sprite {
+
+struct TraceSummary {
+  SimDuration duration = 0;       // last record time - first record time
+  int64_t distinct_users = 0;     // "Different users"
+  int64_t migration_users = 0;    // "Users of migration"
+  int64_t bytes_read = 0;         // "Mbytes read from files" (incl. shared)
+  int64_t bytes_written = 0;      // "Mbytes written to files"
+  int64_t bytes_dir_read = 0;     // "Mbytes read from directories"
+  int64_t open_events = 0;
+  int64_t close_events = 0;
+  int64_t seek_events = 0;        // "Reposition events"
+  int64_t delete_events = 0;
+  int64_t truncate_events = 0;
+  int64_t shared_read_events = 0;
+  int64_t shared_write_events = 0;
+  int64_t migrate_events = 0;
+  int64_t total_records = 0;
+
+  double duration_hours() const { return ToSeconds(duration) / 3600.0; }
+  double mbytes_read() const { return static_cast<double>(bytes_read) / (1 << 20); }
+  double mbytes_written() const { return static_cast<double>(bytes_written) / (1 << 20); }
+  double mbytes_dir_read() const { return static_cast<double>(bytes_dir_read) / (1 << 20); }
+};
+
+TraceSummary Summarize(const TraceLog& log);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_TRACE_SUMMARY_H_

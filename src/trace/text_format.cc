@@ -1,0 +1,191 @@
+#include "src/trace/text_format.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sprite {
+namespace {
+
+const char* ModeName(OpenMode mode) {
+  switch (mode) {
+    case OpenMode::kRead:
+      return "r";
+    case OpenMode::kWrite:
+      return "w";
+    case OpenMode::kReadWrite:
+      return "rw";
+  }
+  return "?";
+}
+
+OpenMode ParseMode(const std::string& s, int line) {
+  if (s == "r") {
+    return OpenMode::kRead;
+  }
+  if (s == "w") {
+    return OpenMode::kWrite;
+  }
+  if (s == "rw") {
+    return OpenMode::kReadWrite;
+  }
+  throw std::runtime_error("trace text line " + std::to_string(line) + ": bad mode '" + s + "'");
+}
+
+RecordKind ParseKind(const std::string& s, int line) {
+  for (int k = 0; k <= 10; ++k) {
+    if (s == RecordKindName(static_cast<RecordKind>(k))) {
+      return static_cast<RecordKind>(k);
+    }
+  }
+  throw std::runtime_error("trace text line " + std::to_string(line) + ": bad kind '" + s + "'");
+}
+
+int64_t ParseInt(const std::string& s, int line) {
+  int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw std::runtime_error("trace text line " + std::to_string(line) + ": bad integer '" + s +
+                             "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void DumpText(const TraceLog& log, std::ostream& out) {
+  out << "# sprite-dfs trace: " << log.size() << " records\n";
+  out << "# <time_us> <kind> key=value...\n";
+  for (const Record& r : log) {
+    out << r.time << '\t' << RecordKindName(r.kind);
+    out << "\tuser=" << r.user << "\tclient=" << r.client << "\tserver=" << r.server;
+    if (r.file != 0) {
+      out << "\tfile=" << r.file;
+    }
+    if (r.handle != 0) {
+      out << "\thandle=" << r.handle;
+    }
+    if (r.kind == RecordKind::kOpen || r.kind == RecordKind::kSeek ||
+        r.kind == RecordKind::kClose) {
+      out << "\tmode=" << ModeName(r.mode);
+    }
+    if (r.migrated) {
+      out << "\tmigrated=1";
+    }
+    if (r.is_directory) {
+      out << "\tdir=1";
+    }
+    if (r.offset_before != 0) {
+      out << "\toff_before=" << r.offset_before;
+    }
+    if (r.offset_after != 0) {
+      out << "\toff_after=" << r.offset_after;
+    }
+    if (r.file_size != 0) {
+      out << "\tsize=" << r.file_size;
+    }
+    if (r.run_read_bytes != 0) {
+      out << "\trun_read=" << r.run_read_bytes;
+    }
+    if (r.run_write_bytes != 0) {
+      out << "\trun_write=" << r.run_write_bytes;
+    }
+    if (r.io_bytes != 0) {
+      out << "\tio=" << r.io_bytes;
+    }
+    if (r.peer_client != 0) {
+      out << "\tpeer=" << r.peer_client;
+    }
+    out << '\n';
+  }
+}
+
+std::string DumpTextToString(const TraceLog& log) {
+  std::ostringstream out;
+  DumpText(log, out);
+  return out.str();
+}
+
+TraceLog ParseText(std::istream& in) {
+  TraceLog log;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+      const size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    if (fields.size() < 2) {
+      throw std::runtime_error("trace text line " + std::to_string(line_number) +
+                               ": need time and kind");
+    }
+    Record r;
+    r.time = ParseInt(fields[0], line_number);
+    r.kind = ParseKind(fields[1], line_number);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      const std::string& field = fields[i];
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        throw std::runtime_error("trace text line " + std::to_string(line_number) +
+                                 ": expected key=value, got '" + field + "'");
+      }
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "user") {
+        r.user = static_cast<uint32_t>(ParseInt(value, line_number));
+      } else if (key == "client") {
+        r.client = static_cast<uint32_t>(ParseInt(value, line_number));
+      } else if (key == "server") {
+        r.server = static_cast<uint32_t>(ParseInt(value, line_number));
+      } else if (key == "file") {
+        r.file = static_cast<uint64_t>(ParseInt(value, line_number));
+      } else if (key == "handle") {
+        r.handle = static_cast<uint64_t>(ParseInt(value, line_number));
+      } else if (key == "mode") {
+        r.mode = ParseMode(value, line_number);
+      } else if (key == "migrated") {
+        r.migrated = ParseInt(value, line_number) != 0;
+      } else if (key == "dir") {
+        r.is_directory = ParseInt(value, line_number) != 0;
+      } else if (key == "off_before") {
+        r.offset_before = ParseInt(value, line_number);
+      } else if (key == "off_after") {
+        r.offset_after = ParseInt(value, line_number);
+      } else if (key == "size") {
+        r.file_size = ParseInt(value, line_number);
+      } else if (key == "run_read") {
+        r.run_read_bytes = ParseInt(value, line_number);
+      } else if (key == "run_write") {
+        r.run_write_bytes = ParseInt(value, line_number);
+      } else if (key == "io") {
+        r.io_bytes = ParseInt(value, line_number);
+      } else if (key == "peer") {
+        r.peer_client = static_cast<uint32_t>(ParseInt(value, line_number));
+      } else {
+        throw std::runtime_error("trace text line " + std::to_string(line_number) +
+                                 ": unknown key '" + key + "'");
+      }
+    }
+    log.push_back(r);
+  }
+  return log;
+}
+
+TraceLog ParseTextFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseText(in);
+}
+
+}  // namespace sprite

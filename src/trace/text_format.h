@@ -1,0 +1,32 @@
+// Human-readable text format for traces.
+//
+// One record per line, tab-separated:
+//   <time_us> <kind> user=<u> client=<c> server=<s> file=<f> handle=<h> ...
+// with kind-irrelevant fields omitted. `# comments` and blank lines are
+// ignored on parse. The format round-trips exactly (ParseText(DumpText(x))
+// == x) and is meant for grep/awk archaeology and for writing traces by
+// hand in tests; the binary codec in codec.h is the storage format.
+
+#ifndef SPRITE_DFS_SRC_TRACE_TEXT_FORMAT_H_
+#define SPRITE_DFS_SRC_TRACE_TEXT_FORMAT_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "src/trace/record.h"
+
+namespace sprite {
+
+// Writes the whole log, one line per record, with a header comment.
+void DumpText(const TraceLog& log, std::ostream& out);
+std::string DumpTextToString(const TraceLog& log);
+
+// Parses a text dump. Throws std::runtime_error with a line number on
+// malformed input. Unknown key=value fields are rejected (typo safety).
+TraceLog ParseText(std::istream& in);
+TraceLog ParseTextFromString(const std::string& text);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_TRACE_TEXT_FORMAT_H_

@@ -1,0 +1,233 @@
+#include "src/util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sprite {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+int64_t Distribution::SampleInt(Rng& rng) const {
+  const double v = Sample(rng);
+  if (v <= 0.0) {
+    return 0;
+  }
+  return static_cast<int64_t>(std::llround(v));
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (hi < lo) {
+    throw std::invalid_argument("UniformDistribution: hi < lo");
+  }
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.NextDouble();
+}
+
+std::string UniformDistribution::Describe() const {
+  return "Uniform[" + FormatDouble(lo_) + ", " + FormatDouble(hi_) + ")";
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("ExponentialDistribution: mean must be positive");
+  }
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const { return rng.NextExponential(mean_); }
+
+std::string ExponentialDistribution::Describe() const {
+  return "Exp(mean=" + FormatDouble(mean_) + ")";
+}
+
+LogNormalDistribution::LogNormalDistribution(double median, double sigma)
+    : median_(median), sigma_(sigma) {
+  if (median <= 0.0 || sigma < 0.0) {
+    throw std::invalid_argument("LogNormalDistribution: median > 0 and sigma >= 0 required");
+  }
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return median_ * std::exp(sigma_ * rng.NextGaussian());
+}
+
+std::string LogNormalDistribution::Describe() const {
+  return "LogNormal(median=" + FormatDouble(median_) + ", sigma=" + FormatDouble(sigma_) + ")";
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double alpha, double minimum, double maximum)
+    : alpha_(alpha), minimum_(minimum), maximum_(maximum) {
+  if (alpha <= 0.0 || minimum <= 0.0 || maximum < minimum) {
+    throw std::invalid_argument("BoundedParetoDistribution: invalid parameters");
+  }
+}
+
+double BoundedParetoDistribution::Sample(Rng& rng) const {
+  // Inverse-CDF of the bounded Pareto: u ~ U[0,1),
+  // x = (-(u*H^a - u*L^a - H^a) / (H^a * L^a))^(-1/a)  with L=min, H=max.
+  const double la = std::pow(minimum_, alpha_);
+  const double ha = std::pow(maximum_, alpha_);
+  const double u = rng.NextDouble();
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha_);
+}
+
+std::string BoundedParetoDistribution::Describe() const {
+  return "BoundedPareto(alpha=" + FormatDouble(alpha_) + ", min=" + FormatDouble(minimum_) +
+         ", max=" + FormatDouble(maximum_) + ")";
+}
+
+ConstantDistribution::ConstantDistribution(double value) : value_(value) {}
+
+double ConstantDistribution::Sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+std::string ConstantDistribution::Describe() const {
+  return "Constant(" + FormatDouble(value_) + ")";
+}
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixtureDistribution: no components");
+  }
+  double total = 0.0;
+  for (const Component& c : components_) {
+    if (c.weight < 0.0 || c.distribution == nullptr) {
+      throw std::invalid_argument("MixtureDistribution: bad component");
+    }
+    total += c.weight;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("MixtureDistribution: total weight must be positive");
+  }
+  double acc = 0.0;
+  cumulative_.reserve(components_.size());
+  for (const Component& c : components_) {
+    acc += c.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // absorb float rounding
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  const size_t index =
+      std::min(static_cast<size_t>(it - cumulative_.begin()), components_.size() - 1);
+  return components_[index].distribution->Sample(rng);
+}
+
+std::string MixtureDistribution::Describe() const {
+  std::string out = "Mixture(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) {
+      out += " + ";
+    }
+    out += FormatDouble(components_[i].weight) + "*" + components_[i].distribution->Describe();
+  }
+  out += ")";
+  return out;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("EmpiricalDistribution: need at least two anchor points");
+  }
+  if (points_.front().fraction != 0.0 || points_.back().fraction != 1.0) {
+    throw std::invalid_argument("EmpiricalDistribution: fractions must span [0, 1]");
+  }
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].fraction < points_[i - 1].fraction || points_[i].value < points_[i - 1].value) {
+      throw std::invalid_argument("EmpiricalDistribution: anchors must be nondecreasing");
+    }
+  }
+}
+
+double EmpiricalDistribution::Quantile(double fraction) const {
+  if (fraction <= 0.0) {
+    return points_.front().value;
+  }
+  if (fraction >= 1.0) {
+    return points_.back().value;
+  }
+  // First anchor with fraction >= requested.
+  size_t hi = 1;
+  while (hi < points_.size() && points_[hi].fraction < fraction) {
+    ++hi;
+  }
+  const Point& a = points_[hi - 1];
+  const Point& b = points_[hi];
+  const double span = b.fraction - a.fraction;
+  if (span <= 0.0) {
+    return b.value;
+  }
+  const double t = (fraction - a.fraction) / span;
+  return a.value + t * (b.value - a.value);
+}
+
+double EmpiricalDistribution::CdfAt(double value) const {
+  if (value <= points_.front().value) {
+    return value < points_.front().value ? 0.0 : points_.front().fraction;
+  }
+  if (value >= points_.back().value) {
+    return 1.0;
+  }
+  size_t hi = 1;
+  while (hi < points_.size() && points_[hi].value < value) {
+    ++hi;
+  }
+  const Point& a = points_[hi - 1];
+  const Point& b = points_[hi];
+  const double span = b.value - a.value;
+  if (span <= 0.0) {
+    return b.fraction;
+  }
+  const double t = (value - a.value) / span;
+  return a.fraction + t * (b.fraction - a.fraction);
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const { return Quantile(rng.NextDouble()); }
+
+std::string EmpiricalDistribution::Describe() const {
+  return "Empirical(" + std::to_string(points_.size()) + " anchors, [" +
+         FormatDouble(points_.front().value) + ", " + FormatDouble(points_.back().value) + "])";
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfDistribution: n must be positive");
+  }
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_[k] = acc;
+  }
+  for (double& c : cumulative_) {
+    c /= acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return std::min(static_cast<size_t>(it - cumulative_.begin()), cumulative_.size() - 1);
+}
+
+}  // namespace sprite

@@ -1,0 +1,164 @@
+// Stable, implementation-independent random distributions.
+//
+// The workload generator must reproduce the *published* 1991 distributions
+// (file sizes, run lengths, lifetimes, open durations), so the sampling code
+// here is written from first principles rather than delegating to <random>:
+// standard-library distributions are allowed to differ between
+// implementations, which would break golden tests.
+//
+// All distributions are immutable after construction and sample through an
+// explicit `Rng&`.
+
+#ifndef SPRITE_DFS_SRC_UTIL_DISTRIBUTIONS_H_
+#define SPRITE_DFS_SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace sprite {
+
+// Interface for a nonnegative real-valued distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  // Draws one sample.
+  virtual double Sample(Rng& rng) const = 0;
+  // Human-readable description, used in bench/table footers.
+  virtual std::string Describe() const = 0;
+
+  // Convenience: sample rounded to a nonnegative integer (e.g. a byte count).
+  int64_t SampleInt(Rng& rng) const;
+};
+
+// Uniform over [lo, hi).
+class UniformDistribution final : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Exponential with the given mean.
+class ExponentialDistribution final : public Distribution {
+ public:
+  explicit ExponentialDistribution(double mean);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  double mean_;
+};
+
+// Log-normal parameterized by its *median* and the shape sigma (the standard
+// deviation of the underlying normal). Median parameterization makes the
+// calibration constants in workload/params.cc directly readable: "median
+// file size 2 KB, sigma 1.6".
+class LogNormalDistribution final : public Distribution {
+ public:
+  LogNormalDistribution(double median, double sigma);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+  double median() const { return median_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double median_;
+  double sigma_;
+};
+
+// Pareto with shape `alpha`, truncated to [minimum, maximum]. Models the
+// heavy multi-megabyte tail of 1991 file sizes (kernel binaries 2–10 MB,
+// simulation inputs up to 20 MB).
+class BoundedParetoDistribution final : public Distribution {
+ public:
+  BoundedParetoDistribution(double alpha, double minimum, double maximum);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  double alpha_;
+  double minimum_;
+  double maximum_;
+};
+
+// Fixed point mass at `value` (useful for tests and degenerate configs).
+class ConstantDistribution final : public Distribution {
+ public:
+  explicit ConstantDistribution(double value);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  double value_;
+};
+
+// Mixture of component distributions with the given nonnegative weights
+// (normalized internally). The file-size model is a mixture of a log-normal
+// body and a bounded-Pareto tail.
+class MixtureDistribution final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    std::shared_ptr<const Distribution> distribution;
+  };
+
+  explicit MixtureDistribution(std::vector<Component> components);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;  // normalized cumulative weights
+};
+
+// Piecewise-linear inverse-CDF distribution built from (value, cumulative
+// fraction) anchor points — the natural encoding of a CDF read off a figure
+// in the paper. Fractions must be nondecreasing, start at 0 and end at 1;
+// values must be nondecreasing.
+class EmpiricalDistribution final : public Distribution {
+ public:
+  struct Point {
+    double value;
+    double fraction;  // P(X <= value)
+  };
+
+  explicit EmpiricalDistribution(std::vector<Point> points);
+  double Sample(Rng& rng) const override;
+  std::string Describe() const override;
+
+  // Evaluates the CDF at `value` (piecewise-linear interpolation).
+  double CdfAt(double value) const;
+  // Evaluates the inverse CDF at `fraction` in [0, 1].
+  double Quantile(double fraction) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Zipf-like integer distribution over ranks [0, n): P(rank = k) ∝ 1/(k+1)^s.
+// Used for file popularity (a few files absorb most opens). Sampling is by
+// binary search over the precomputed cumulative mass, O(log n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+  size_t n() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_UTIL_DISTRIBUTIONS_H_

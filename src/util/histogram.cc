@@ -1,0 +1,88 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sprite {
+
+LogHistogram::LogHistogram(double min, double max, double base)
+    : min_(min), max_(max), base_(base), log_base_(std::log(base)) {
+  if (min <= 0.0 || max <= min || base <= 1.0) {
+    throw std::invalid_argument("LogHistogram: require 0 < min < max and base > 1");
+  }
+  const size_t log_buckets =
+      static_cast<size_t>(std::ceil(std::log(max / min) / log_base_)) + 1;
+  // +1 underflow bucket ([0, min)) and +1 overflow bucket (> max).
+  counts_.assign(log_buckets + 2, 0.0);
+}
+
+void LogHistogram::Add(double value, double weight) {
+  if (weight <= 0.0) {
+    return;
+  }
+  size_t index;
+  if (value < min_) {
+    index = 0;
+  } else if (value > max_) {
+    index = counts_.size() - 1;
+  } else {
+    index = 1 + static_cast<size_t>(std::floor(std::log(value / min_) / log_base_));
+    index = std::min(index, counts_.size() - 2);
+  }
+  counts_[index] += weight;
+  total_weight_ += weight;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.min_ != min_ || other.base_ != base_) {
+    throw std::invalid_argument("LogHistogram::Merge: incompatible layouts");
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_weight_ += other.total_weight_;
+}
+
+double LogHistogram::BucketUpperBound(size_t i) const {
+  if (i == 0) {
+    return min_;
+  }
+  if (i >= counts_.size() - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return min_ * std::pow(base_, static_cast<double>(i));
+}
+
+double LogHistogram::CumulativeFraction(size_t i) const {
+  if (total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (size_t j = 0; j <= i && j < counts_.size(); ++j) {
+    acc += counts_[j];
+  }
+  return acc / total_weight_;
+}
+
+double LogHistogram::ApproxQuantile(double q) const {
+  if (total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  const double target = std::clamp(q, 0.0, 1.0) * total_weight_;
+  double acc = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (acc + counts_[i] >= target && counts_[i] > 0.0) {
+      const double fraction_in_bucket = (target - acc) / counts_[i];
+      const double lo = (i == 0) ? min_ / base_ : min_ * std::pow(base_, static_cast<double>(i - 1));
+      const double hi = (i >= counts_.size() - 1) ? max_ * base_ : BucketUpperBound(i);
+      // Log-interpolate within the bucket.
+      return lo * std::pow(hi / lo, fraction_in_bucket);
+    }
+    acc += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace sprite

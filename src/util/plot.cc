@@ -1,0 +1,81 @@
+#include "src/util/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sprite {
+
+CdfPlot::CdfPlot(double x_min, double x_max, int width, int height)
+    : x_min_(x_min), x_max_(x_max), width_(width), height_(height) {
+  if (x_min <= 0.0 || x_max <= x_min || width < 16 || height < 4) {
+    throw std::invalid_argument("CdfPlot: invalid frame");
+  }
+}
+
+void CdfPlot::AddCurve(char glyph, const std::string& label,
+                       std::function<double(double)> cdf) {
+  curves_.push_back(Curve{glyph, label, std::move(cdf)});
+}
+
+double CdfPlot::XForColumn(int column) const {
+  const double t = static_cast<double>(column) / (width_ - 1);
+  return x_min_ * std::pow(x_max_ / x_min_, t);
+}
+
+std::string CdfPlot::Render(const std::function<std::string(double)>& format_x) const {
+  // grid[row][col]; row 0 is the TOP (100%).
+  std::vector<std::string> grid(static_cast<size_t>(height_),
+                                std::string(static_cast<size_t>(width_), ' '));
+  for (const Curve& curve : curves_) {
+    for (int col = 0; col < width_; ++col) {
+      const double fraction = std::clamp(curve.cdf(XForColumn(col)), 0.0, 1.0);
+      const int row = static_cast<int>(std::lround((1.0 - fraction) * (height_ - 1)));
+      char& cell = grid[static_cast<size_t>(row)][static_cast<size_t>(col)];
+      // Later curves overwrite blanks but show overlap as '*'.
+      cell = (cell == ' ' || cell == curve.glyph) ? curve.glyph : '*';
+    }
+  }
+
+  std::string out;
+  for (int row = 0; row < height_; ++row) {
+    const double percent = 100.0 * (1.0 - static_cast<double>(row) / (height_ - 1));
+    char label[8];
+    std::snprintf(label, sizeof(label), "%4.0f%%", percent);
+    // Label only the top, middle, and bottom rows to reduce clutter.
+    const bool labeled = row == 0 || row == height_ - 1 || row == (height_ - 1) / 2;
+    out += labeled ? label : "     ";
+    out += " |";
+    out += grid[static_cast<size_t>(row)];
+    out += '\n';
+  }
+  out += "      +";
+  out.append(static_cast<size_t>(width_), '-');
+  out += '\n';
+
+  // X tick labels at the left edge, middle, and right edge.
+  const std::string left = format_x(x_min_);
+  const std::string mid = format_x(XForColumn(width_ / 2));
+  const std::string right = format_x(x_max_);
+  std::string ticks(static_cast<size_t>(width_ + 7), ' ');
+  auto place = [&](size_t at, const std::string& text) {
+    for (size_t i = 0; i < text.size() && at + i < ticks.size(); ++i) {
+      ticks[at + i] = text[i];
+    }
+  };
+  place(7, left);
+  place(7 + static_cast<size_t>(width_) / 2 - mid.size() / 2, mid);
+  place(7 + static_cast<size_t>(width_) - right.size(), right);
+  out += ticks;
+  out += '\n';
+
+  for (const Curve& curve : curves_) {
+    out += "      ";
+    out += curve.glyph;
+    out += " = " + curve.label + "\n";
+  }
+  return out;
+}
+
+}  // namespace sprite

@@ -1,0 +1,47 @@
+// ASCII plotting of cumulative distribution curves.
+//
+// The paper's four figures are CDFs on log-scaled x axes; the figure bench
+// binaries use this renderer so their output visually resembles the
+// original plots. Multiple curves share one frame, each drawn with its own
+// glyph.
+
+#ifndef SPRITE_DFS_SRC_UTIL_PLOT_H_
+#define SPRITE_DFS_SRC_UTIL_PLOT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sprite {
+
+class CdfPlot {
+ public:
+  // The x axis is log-scaled over [x_min, x_max]; y is 0..100%.
+  CdfPlot(double x_min, double x_max, int width = 68, int height = 16);
+
+  // Adds a curve: `cdf(x)` returns the cumulative fraction at x in [0, 1].
+  void AddCurve(char glyph, const std::string& label, std::function<double(double)> cdf);
+
+  // Renders the frame, curves, y-axis labels, x-axis tick labels (via
+  // `format_x`), and a legend.
+  std::string Render(const std::function<std::string(double)>& format_x) const;
+
+ private:
+  struct Curve {
+    char glyph;
+    std::string label;
+    std::function<double(double)> cdf;
+  };
+
+  double XForColumn(int column) const;
+
+  double x_min_;
+  double x_max_;
+  int width_;
+  int height_;
+  std::vector<Curve> curves_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_UTIL_PLOT_H_

@@ -1,0 +1,147 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprite {
+
+void StreamingStats::Add(double value) { AddWeighted(value, 1.0); }
+
+void StreamingStats::AddWeighted(double value, double weight) {
+  if (weight <= 0.0) {
+    return;
+  }
+  if (!any_) {
+    min_ = max_ = value;
+    any_ = true;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  // Weighted Welford update (West 1979).
+  weight_ += weight;
+  const double delta = value - mean_;
+  mean_ += (weight / weight_) * delta;
+  m2_ += weight * delta * (value - mean_);
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (!other.any_) {
+    return;
+  }
+  if (!any_) {
+    *this = other;
+    return;
+  }
+  const double combined = weight_ + other.weight_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / combined;
+  mean_ += delta * other.weight_ / combined;
+  weight_ = combined;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::mean() const { return weight_ > 0.0 ? mean_ : 0.0; }
+
+double StreamingStats::variance() const {
+  if (weight_ <= 1.0) {
+    return 0.0;
+  }
+  return m2_ / weight_;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::sum() const { return mean_ * weight_; }
+
+void WeightedSamples::Add(double value, double weight) {
+  if (weight <= 0.0) {
+    return;
+  }
+  samples_.emplace_back(value, weight);
+  total_weight_ += weight;
+  sorted_ = false;
+}
+
+void WeightedSamples::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    sorted_ = true;
+  }
+}
+
+double WeightedSamples::FractionAtOrBelow(double v) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  // Linear scan with early exit is fine for analysis-sized data; keep a
+  // binary search on value then accumulate a prefix? Prefix sums would need
+  // invalidation discipline; analysis calls this a handful of times per
+  // table, so accumulate directly.
+  double acc = 0.0;
+  for (const auto& [value, weight] : samples_) {
+    if (value > v) {
+      break;
+    }
+    acc += weight;
+  }
+  return acc / total_weight_;
+}
+
+double WeightedSamples::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double target = std::clamp(q, 0.0, 1.0) * total_weight_;
+  double acc = 0.0;
+  for (const auto& [value, weight] : samples_) {
+    acc += weight;
+    if (acc >= target) {
+      return value;
+    }
+  }
+  return samples_.back().first;
+}
+
+double WeightedSamples::WeightedMean() const {
+  if (samples_.empty() || total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (const auto& [value, weight] : samples_) {
+    acc += value * weight;
+  }
+  return acc / total_weight_;
+}
+
+std::vector<WeightedSamples::CdfPoint> WeightedSamples::CdfCurve(size_t max_points) const {
+  std::vector<CdfPoint> curve;
+  if (samples_.empty() || max_points == 0) {
+    return curve;
+  }
+  EnsureSorted();
+  // Collapse duplicates into (value, cumulative) steps.
+  std::vector<CdfPoint> steps;
+  double acc = 0.0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    acc += samples_[i].second;
+    if (i + 1 == samples_.size() || samples_[i + 1].first != samples_[i].first) {
+      steps.push_back({samples_[i].first, acc / total_weight_});
+    }
+  }
+  if (steps.size() <= max_points) {
+    return steps;
+  }
+  curve.reserve(max_points);
+  for (size_t i = 0; i < max_points; ++i) {
+    const size_t index = (i * (steps.size() - 1)) / (max_points - 1);
+    curve.push_back(steps[index]);
+  }
+  return curve;
+}
+
+}  // namespace sprite

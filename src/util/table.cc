@@ -1,0 +1,96 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sprite {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("TextTable: row has more cells than headers");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) {
+        line += " | ";
+      }
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  auto render_rule = [&]() {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) {
+        line += "-+-";
+      }
+      line.append(widths[c], '-');
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_line(headers_);
+  out += render_rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_rule() : render_line(row.cells);
+  }
+  return out;
+}
+
+std::string FormatFixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatFixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string FormatWithStddev(double value, double stddev, int decimals) {
+  return FormatFixed(value, decimals) + " (" + FormatFixed(stddev, decimals) + ")";
+}
+
+std::string FormatWithRange(double value, double lo, double hi, int decimals) {
+  return FormatFixed(value, decimals) + " (" + FormatFixed(lo, decimals) + "-" +
+         FormatFixed(hi, decimals) + ")";
+}
+
+}  // namespace sprite

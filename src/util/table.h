@@ -1,0 +1,53 @@
+// ASCII table renderer.
+//
+// Every bench binary reproduces one of the paper's tables by printing the
+// paper's reported value next to our measured value. TextTable keeps that
+// output aligned and uniform across the harness.
+
+#ifndef SPRITE_DFS_SRC_UTIL_TABLE_H_
+#define SPRITE_DFS_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sprite {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Adds one row; missing trailing cells render empty, extra cells are an
+  // error.
+  void AddRow(std::vector<std::string> cells);
+  // Adds a horizontal separator line.
+  void AddSeparator();
+
+  // Renders with a header rule and column padding:
+  //   Name        | Paper | Measured
+  //   ------------+-------+---------
+  //   ...
+  std::string Render() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+// Formatting helpers shared by bench binaries.
+std::string FormatFixed(double value, int decimals);
+std::string FormatPercent(double fraction, int decimals = 1);  // 0.42 -> "42.0%"
+// "8.0 (36)" style cell: value with standard deviation in parentheses.
+std::string FormatWithStddev(double value, double stddev, int decimals = 1);
+// "0.34 (0.18-0.56)" style cell: value with min-max range in parentheses.
+std::string FormatWithRange(double value, double lo, double hi, int decimals = 2);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_UTIL_TABLE_H_

@@ -1,0 +1,60 @@
+#include "src/util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sprite {
+namespace {
+
+std::string FormatScaled(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes < 0) {
+    return "-" + FormatBytes(-bytes);
+  }
+  if (bytes >= kGigabyte) {
+    return FormatScaled(b / static_cast<double>(kGigabyte), "GB");
+  }
+  if (bytes >= kMegabyte) {
+    return FormatScaled(b / static_cast<double>(kMegabyte), "MB");
+  }
+  if (bytes >= kKilobyte) {
+    return FormatScaled(b / static_cast<double>(kKilobyte), "KB");
+  }
+  return FormatScaled(b, "B");
+}
+
+std::string FormatDuration(SimDuration d) {
+  if (d < 0) {
+    return "-" + FormatDuration(-d);
+  }
+  const double v = static_cast<double>(d);
+  if (d >= kHour) {
+    return FormatScaled(v / static_cast<double>(kHour), "h");
+  }
+  if (d >= kMinute) {
+    return FormatScaled(v / static_cast<double>(kMinute), "min");
+  }
+  if (d >= kSecond) {
+    return FormatScaled(v / static_cast<double>(kSecond), "s");
+  }
+  if (d >= kMillisecond) {
+    return FormatScaled(v / static_cast<double>(kMillisecond), "ms");
+  }
+  return FormatScaled(v, "us");
+}
+
+}  // namespace sprite

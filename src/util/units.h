@@ -1,0 +1,54 @@
+// Byte and time unit helpers shared across the simulator, workload generator,
+// and analysis code.
+//
+// Simulated time is an integer count of microseconds (`SimTime` /
+// `SimDuration`). The trace study spans 24-hour windows, so 64 bits of
+// microseconds (≈292k years) is comfortable, and integer time keeps the
+// event queue deterministic across platforms.
+
+#ifndef SPRITE_DFS_SRC_UTIL_UNITS_H_
+#define SPRITE_DFS_SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sprite {
+
+// Absolute simulated time in microseconds since the start of the run.
+using SimTime = int64_t;
+// Difference between two SimTime values, also in microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+inline constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+inline constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+inline constexpr int64_t kKilobyte = 1024;
+inline constexpr int64_t kMegabyte = 1024 * kKilobyte;
+inline constexpr int64_t kGigabyte = 1024 * kMegabyte;
+
+// The Sprite file cache block size (4 Kbytes in the paper).
+inline constexpr int64_t kBlockSize = 4 * kKilobyte;
+
+// Number of cache blocks needed to hold `bytes` bytes.
+inline constexpr int64_t BlocksForBytes(int64_t bytes) {
+  return (bytes + kBlockSize - 1) / kBlockSize;
+}
+
+// Renders a byte count with a binary-unit suffix, e.g. "7.2 MB", "493 KB".
+std::string FormatBytes(int64_t bytes);
+
+// Renders a duration in an adaptive unit, e.g. "38 us", "1.4 s", "2.3 h".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_UTIL_UNITS_H_

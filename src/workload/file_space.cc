@@ -1,0 +1,85 @@
+#include "src/workload/file_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sprite {
+
+FileSpace::FileSpace(const WorkloadParams& params, Rng& rng)
+    : num_users_(params.num_users),
+      files_per_user_(params.files_per_user),
+      num_shared_(params.num_shared_files),
+      next_temp_(kTempBase) {
+  if (params.num_users <= 0 || params.files_per_user <= 0 || params.num_executables <= 0 ||
+      params.num_shared_files <= 0) {
+    throw std::invalid_argument("FileSpace: population sizes must be positive");
+  }
+  if (params.files_per_user > static_cast<int>(kUserFileStride) - 2) {
+    throw std::invalid_argument("FileSpace: files_per_user exceeds the id-space stride");
+  }
+  // Executable sizes: log-uniform between min and max, so small tools
+  // dominate but multi-megabyte kernels exist.
+  executable_sizes_.reserve(static_cast<size_t>(params.num_executables));
+  const double log_min = std::log(static_cast<double>(params.executable_min));
+  const double log_max = std::log(static_cast<double>(params.executable_max));
+  for (int i = 0; i < params.num_executables; ++i) {
+    const double t = rng.NextDouble();
+    executable_sizes_.push_back(static_cast<int64_t>(std::exp(log_min + t * (log_max - log_min))));
+  }
+  executable_popularity_ =
+      std::make_unique<ZipfDistribution>(static_cast<size_t>(params.num_executables), 1.1);
+  user_file_popularity_ = std::make_unique<ZipfDistribution>(
+      static_cast<size_t>(params.files_per_user), params.file_popularity_s);
+  persistent_size_ = std::make_unique<MixtureDistribution>(std::vector<MixtureDistribution::Component>{
+      {1.0 - params.large_file_probability,
+       std::make_shared<LogNormalDistribution>(params.small_file_median, params.small_file_sigma)},
+      {params.large_file_probability,
+       std::make_shared<BoundedParetoDistribution>(params.large_file_alpha,
+                                                   static_cast<double>(params.large_file_min),
+                                                   static_cast<double>(params.large_file_max))},
+  });
+}
+
+FileId FileSpace::SampleExecutable(Rng& rng) const {
+  return kExecutableBase + executable_popularity_->Sample(rng);
+}
+
+int64_t FileSpace::ExecutableSize(FileId file) const {
+  const size_t index = static_cast<size_t>(file - kExecutableBase);
+  if (index >= executable_sizes_.size()) {
+    throw std::out_of_range("FileSpace::ExecutableSize: not an executable id");
+  }
+  return executable_sizes_[index];
+}
+
+FileId FileSpace::SampleUserFile(UserId user, Rng& rng) const {
+  return kUserFileBase + static_cast<FileId>(user) * kUserFileStride +
+         user_file_popularity_->Sample(rng);
+}
+
+int64_t FileSpace::SamplePersistentSize(Rng& rng) const {
+  return std::max<int64_t>(1, persistent_size_->SampleInt(rng));
+}
+
+FileId FileSpace::UserMailbox(UserId user) const { return kMailboxBase + user; }
+
+FileId FileSpace::UserSimInput(UserId user) const {
+  return kUserFileBase + static_cast<FileId>(user) * kUserFileStride + kUserFileStride - 2;
+}
+
+FileId FileSpace::UserDataFile(UserId user) const {
+  return kUserFileBase + static_cast<FileId>(user) * kUserFileStride + kUserFileStride - 1;
+}
+
+FileId FileSpace::UserDirectory(UserId user) const { return kDirectoryBase + user; }
+
+FileId FileSpace::SampleSharedFile(Rng& rng) const {
+  return kSharedBase + rng.NextBelow(static_cast<uint64_t>(num_shared_));
+}
+
+FileId FileSpace::NewTempFile() { return next_temp_++; }
+
+FileId FileSpace::BackingFile(ClientId client) const { return kBackingBase + client; }
+
+}  // namespace sprite

@@ -1,0 +1,87 @@
+// File namespace for the synthetic workload.
+//
+// Allocates file ids and tracks nominal sizes for:
+//   * shared executables (editors, compilers, simulators, kernel binaries),
+//   * per-user persistent files (sources, documents, data) with Zipf
+//     popularity,
+//   * per-user mailboxes and directories,
+//   * cluster-wide shared append files,
+//   * fresh temporaries (object files, simulator outputs) — the short-lived
+//     population,
+//   * per-client VM backing files.
+//
+// Sizes here are what the generator *intends* to produce; the authoritative
+// size lives in the fs server metadata once the file has been written.
+
+#ifndef SPRITE_DFS_SRC_WORKLOAD_FILE_SPACE_H_
+#define SPRITE_DFS_SRC_WORKLOAD_FILE_SPACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/fs/types.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/params.h"
+
+namespace sprite {
+
+class FileSpace {
+ public:
+  FileSpace(const WorkloadParams& params, Rng& rng);
+
+  // --- Executables -----------------------------------------------------------
+  // Popular executables (editors/compilers get most launches).
+  FileId SampleExecutable(Rng& rng) const;
+  int64_t ExecutableSize(FileId file) const;
+
+  // --- Per-user persistent files ----------------------------------------------
+  // A user's working file, Zipf-popular within their own population.
+  FileId SampleUserFile(UserId user, Rng& rng) const;
+  // The intended size of a persistent file when (re)written.
+  int64_t SamplePersistentSize(Rng& rng) const;
+
+  FileId UserMailbox(UserId user) const;
+  FileId UserDirectory(UserId user) const;
+  // Dedicated large simulation-input file (the "20-Mbyte input" of traces
+  // 3/4) and a seek-heavy data file, one per user.
+  FileId UserSimInput(UserId user) const;
+  FileId UserDataFile(UserId user) const;
+
+  // --- Shared files ------------------------------------------------------------
+  FileId SampleSharedFile(Rng& rng) const;
+
+  // --- Temporaries --------------------------------------------------------------
+  // A brand-new file id (object file, simulator output, editor scratch).
+  FileId NewTempFile();
+
+  // --- Paging artifacts -----------------------------------------------------------
+  FileId BackingFile(ClientId client) const;
+
+  int num_users() const { return num_users_; }
+
+ private:
+  // Id-space layout (stable, non-overlapping ranges).
+  static constexpr FileId kExecutableBase = 1'000;
+  static constexpr FileId kMailboxBase = 10'000;
+  static constexpr FileId kDirectoryBase = 20'000;
+  static constexpr FileId kSharedBase = 30'000;
+  static constexpr FileId kBackingBase = 40'000;
+  static constexpr FileId kUserFileBase = 100'000;
+  static constexpr FileId kUserFileStride = 1'000;
+  static constexpr FileId kTempBase = 10'000'000;
+
+  int num_users_;
+  int files_per_user_;
+  int num_shared_;
+  std::vector<int64_t> executable_sizes_;
+  std::unique_ptr<ZipfDistribution> executable_popularity_;
+  std::unique_ptr<ZipfDistribution> user_file_popularity_;
+  std::unique_ptr<MixtureDistribution> persistent_size_;
+  FileId next_temp_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_WORKLOAD_FILE_SPACE_H_

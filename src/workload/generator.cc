@@ -1,0 +1,155 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/trace/merge.h"
+
+namespace sprite {
+
+Generator::Generator(const WorkloadParams& params, const ClusterConfig& cluster_config)
+    : params_(params), rng_(params.seed) {
+  cluster_ = std::make_unique<Cluster>(cluster_config, queue_);
+  files_ = std::make_unique<FileSpace>(params_, rng_);
+  PopulateNamespace();
+
+  const int num_clients = cluster_->num_clients();
+  for (int u = 0; u < params_.num_users; ++u) {
+    const UserGroup group = static_cast<UserGroup>(u % kUserGroupCount);
+    const ClientId home = static_cast<ClientId>(u % num_clients);
+    const bool occasional = rng_.NextDouble() < params_.occasional_fraction;
+    users_.push_back(std::make_unique<SyntheticUser>(static_cast<UserId>(u), group, home,
+                                                     occasional, params_, *files_, *cluster_,
+                                                     rng_.Fork()));
+  }
+}
+
+void Generator::PopulateNamespace() {
+  // Pre-create the persistent population directly in server metadata, so
+  // the first day of simulated activity reads realistic file sizes instead
+  // of an empty disk.
+  Rng rng = rng_.Fork();
+  // Executables: sample the popularity distribution generously so every
+  // frequently launched executable exists with its size.
+  for (int i = 0; i < 64 * 16; ++i) {
+    const FileId file = files_->SampleExecutable(rng);
+    Server& server = cluster_->ServerForFile(file);
+    if (!server.FileExists(file) || server.FileSize(file) == 0) {
+      server.CreateFile(file, /*is_directory=*/false, 0);
+      server.SetFileSize(file, files_->ExecutableSize(file));
+    }
+  }
+  for (int u = 0; u < params_.num_users; ++u) {
+    const UserId user = static_cast<UserId>(u);
+    // Ordinary files.
+    for (int i = 0; i < params_.files_per_user * 4; ++i) {
+      const FileId file = files_->SampleUserFile(user, rng);
+      Server& server = cluster_->ServerForFile(file);
+      if (!server.FileExists(file) || server.FileSize(file) == 0) {
+        server.CreateFile(file, false, 0);
+        server.SetFileSize(file, files_->SamplePersistentSize(rng));
+      }
+    }
+    // Mailbox and directory.
+    const FileId mailbox = files_->UserMailbox(user);
+    cluster_->ServerForFile(mailbox).CreateFile(mailbox, false, 0);
+    cluster_->ServerForFile(mailbox).SetFileSize(mailbox,
+                                                 8192 + static_cast<int64_t>(rng.NextBelow(32768)));
+    const FileId dir = files_->UserDirectory(user);
+    cluster_->ServerForFile(dir).CreateFile(dir, /*is_directory=*/true, 0);
+  }
+  // Shared append files and simulation inputs materialize on first use.
+}
+
+TraceLog Generator::Run(SimDuration duration, SimDuration warmup) {
+  if (ran_) {
+    throw std::logic_error("Generator::Run: may only run once per instance");
+  }
+  ran_ = true;
+  if (duration <= 0) {
+    throw std::invalid_argument("Generator::Run: duration must be positive");
+  }
+
+  cluster_->StartDaemons();
+  const SimTime end_time = warmup + duration;
+
+  // The measurement apparatus itself generates file activity, exactly as in
+  // the paper: a user-level collector appends counter snapshots to trace
+  // files every minute, and a backup daemon periodically streams a sample
+  // of files to tape. Both are stripped from the returned trace below.
+  const ClientId collector_client =
+      static_cast<ClientId>(cluster_->num_clients() - 1);
+  daemons_.push_back(std::make_unique<PeriodicTask>(
+      queue_, kMinute, kMinute, [this, collector_client](SimTime now) {
+        Client& client = cluster_->client(collector_client);
+        const FileId counter_file = 90000;  // outside every other id range
+        auto open = client.Open(kCollectorUser, counter_file, OpenMode::kWrite,
+                                OpenDisposition::kAppend, false, now);
+        client.Write(open.handle, 2048, now);
+        client.Close(open.handle, now);
+      }));
+  daemons_.push_back(std::make_unique<PeriodicTask>(
+      queue_, 20 * kMinute, 20 * kMinute, [this, collector_client](SimTime now) {
+        // Incremental backup: read a sample of user files sequentially.
+        Client& client = cluster_->client(collector_client);
+        Rng backup_rng(static_cast<uint64_t>(now));
+        for (int i = 0; i < 24; ++i) {
+          const UserId owner = static_cast<UserId>(backup_rng.NextBelow(
+              static_cast<uint64_t>(params_.num_users)));
+          const FileId file = files_->SampleUserFile(owner, backup_rng);
+          const int64_t size = cluster_->ServerForFile(file).FileSize(file);
+          if (size <= 0) {
+            continue;
+          }
+          auto open = client.Open(kBackupUser, file, OpenMode::kRead,
+                                  OpenDisposition::kNormal, false, now);
+          client.Read(open.handle, size, now);
+          client.Close(open.handle, now);
+        }
+      }));
+  // Stagger the first sessions across the first half hour (or the first
+  // fifth of a short run) so the cluster does not wake in lockstep.
+  const SimDuration stagger = std::max<SimDuration>(
+      1, std::min<SimDuration>(30 * kMinute, end_time / 5));
+  for (auto& user : users_) {
+    const SimTime first = static_cast<SimTime>(rng_.NextBelow(static_cast<uint64_t>(stagger)));
+    user->Start(first, end_time);
+  }
+
+  if (warmup > 0) {
+    queue_.RunUntil(warmup);
+    cluster_->ResetMeasurements();
+  }
+  queue_.RunUntil(end_time);
+  const TraceLog raw = cluster_->TakeTrace();
+  // Post-merge filtering, as in the paper: drop the trace-collector's and
+  // the backup daemon's own records.
+  TraceLog trace = DropUsers(raw, {kBackupUser, kCollectorUser});
+  records_stripped_ = static_cast<int64_t>(raw.size() - trace.size());
+  return trace;
+}
+
+std::vector<TraceLog> Generator::GenerateEight(const WorkloadParams& base,
+                                               const ClusterConfig& cluster_config,
+                                               SimDuration duration, SimDuration warmup) {
+  std::vector<TraceLog> traces;
+  traces.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    WorkloadParams params = base;
+    params.seed = base.seed + static_cast<uint64_t>(t) * 7919;
+    if (t == 2 || t == 3 || t == 6 || t == 7) {
+      // The paper's traces 3/4 and 7/8 were dominated by users running
+      // simulations with very large inputs/outputs.
+      for (auto& group : params.groups) {
+        group.task_weights[static_cast<int>(TaskKind::kSimulate)] *= 4.0;
+      }
+      params.groups[static_cast<int>(UserGroup::kArchitecture)].sim_input_bytes *= 4;
+      params.groups[static_cast<int>(UserGroup::kVlsiParallel)].sim_output_bytes *= 4;
+    }
+    Generator generator(params, cluster_config);
+    traces.push_back(generator.Run(duration, warmup));
+  }
+  return traces;
+}
+
+}  // namespace sprite

@@ -1,0 +1,738 @@
+#include "src/workload/user.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprite {
+namespace {
+
+constexpr int kSlotCount = 16;
+
+}  // namespace
+
+SyntheticUser::SyntheticUser(UserId id, UserGroup group, ClientId home_client, bool occasional,
+                             const WorkloadParams& params, FileSpace& files, Cluster& cluster,
+                             Rng rng)
+    : id_(id),
+      group_(group),
+      home_client_(home_client),
+      occasional_(occasional),
+      params_(params),
+      files_(files),
+      cluster_(cluster),
+      rng_(rng),
+      slots_(kSlotCount, 0) {}
+
+const GroupParams& SyntheticUser::group_params() const {
+  return params_.groups[static_cast<int>(group_)];
+}
+
+ClientId SyntheticUser::JobClient(int j) const {
+  // Migration targets idle machines: clients beyond the user population
+  // have no owner (the paper's cluster had ~40 workstations for ~30
+  // day-to-day users). The selection reuses the same hosts over and over,
+  // as the paper observes of Sprite's host-selection policy.
+  const int idle = cluster_.num_clients() - files_.num_users();
+  if (idle > 0) {
+    return static_cast<ClientId>(files_.num_users() +
+                                 (static_cast<int>(home_client_) + j) % idle);
+  }
+  return static_cast<ClientId>((static_cast<int>(home_client_) + 1 + j) %
+                               cluster_.num_clients());
+}
+
+void SyntheticUser::Start(SimTime first_session_at, SimTime end_time) {
+  end_time_ = end_time;
+  cluster_.queue().Schedule(first_session_at, [this] {
+    session_end_ = cluster_.queue().now() +
+                   FromSeconds(rng_.NextExponential(ToSeconds(group_params().mean_session)));
+    session_boot_pending_ = true;
+    Pump();
+  });
+}
+
+void SyntheticUser::Pump() {
+  EventQueue& queue = cluster_.queue();
+  const SimTime now = queue.now();
+
+  if (ops_.empty()) {
+    if (now >= end_time_) {
+      return;  // the trace window is over
+    }
+    if (now >= session_end_) {
+      // Session over: sleep until the next one.
+      SimDuration gap =
+          FromSeconds(rng_.NextExponential(ToSeconds(group_params().mean_session_gap)));
+      if (occasional_) {
+        gap *= 4;
+      }
+      queue.ScheduleAfter(std::max<SimDuration>(gap, kSecond), [this] {
+        session_end_ = cluster_.queue().now() +
+                       FromSeconds(rng_.NextExponential(ToSeconds(group_params().mean_session)));
+        session_boot_pending_ = true;
+        Pump();
+      });
+      return;
+    }
+    PlanTask();
+    if (ops_.empty()) {
+      // Defensive: a planner produced nothing; try again shortly.
+      queue.ScheduleAfter(kSecond, [this] { Pump(); });
+      return;
+    }
+  }
+
+  const Op op = ops_.front();
+  ops_.pop_front();
+  SimDuration took = Execute(op);
+  if (op.kind != Op::Kind::kThink) {
+    took += params_.per_op_overhead;
+  }
+  queue.ScheduleAfter(std::max<SimDuration>(took, 1), [this] { Pump(); });
+}
+
+SimDuration SyntheticUser::Execute(const Op& op) {
+  Client& client = cluster_.client(op.client);
+  const SimTime now = cluster_.queue().now();
+  const auto cpu_time = [&](int64_t bytes) {
+    return FromSeconds(static_cast<double>(bytes) / params_.cpu_bytes_per_sec);
+  };
+  switch (op.kind) {
+    case Op::Kind::kOpen: {
+      const Client::OpenResult result =
+          client.Open(id_, op.file, op.mode, op.disposition, op.migrated, now);
+      slots_[static_cast<size_t>(op.slot)] = result.handle;
+      return result.latency;
+    }
+    case Op::Kind::kRead:
+      return client.Read(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
+             cpu_time(op.bytes);
+    case Op::Kind::kWrite:
+      return client.Write(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
+             cpu_time(op.bytes);
+    case Op::Kind::kSeek:
+      client.Seek(slots_[static_cast<size_t>(op.slot)], op.offset, now);
+      return 0;
+    case Op::Kind::kClose:
+      return client.Close(slots_[static_cast<size_t>(op.slot)], now);
+    case Op::Kind::kFsync:
+      return client.Fsync(slots_[static_cast<size_t>(op.slot)], now);
+    case Op::Kind::kDelete:
+      return client.Delete(id_, op.file, now);
+    case Op::Kind::kTruncate:
+      return client.Truncate(id_, op.file, now);
+    case Op::Kind::kDirRead:
+      return client.ReadDirectory(id_, op.file, op.bytes, now);
+    case Op::Kind::kPageFault:
+      return client.PageFault(op.page_kind, op.file, op.page_index, now);
+    case Op::Kind::kTouchVm:
+      client.vm().TouchWorkingSet(now, op.bytes);
+      return 0;
+    case Op::Kind::kThink:
+      return op.think;
+    case Op::Kind::kMigrateNote:
+      client.NoteMigrationArrival(id_, home_client_, now);
+      return 0;
+    case Op::Kind::kEvictVm:
+      return client.EvictVmPages(op.bytes, files_.BackingFile(op.client), now);
+  }
+  return 0;
+}
+
+TaskKind SyntheticUser::SampleTask() {
+  const GroupParams& gp = group_params();
+  double total = 0.0;
+  for (double w : gp.task_weights) {
+    total += w;
+  }
+  double u = rng_.NextDouble() * total;
+  for (int k = 0; k < kTaskKindCount; ++k) {
+    u -= gp.task_weights[k];
+    if (u <= 0.0) {
+      return static_cast<TaskKind>(k);
+    }
+  }
+  return TaskKind::kEdit;
+}
+
+void SyntheticUser::PlanTask() {
+  ++tasks_planned_;
+  if (session_boot_pending_) {
+    // The user returned to their workstation: migrated and stale process
+    // pages are evicted (dirty ones stream to backing files — the paper's
+    // "major changes of activity" paging bursts), and the login session's
+    // working set faults back in.
+    session_boot_pending_ = false;
+    Op evict;
+    evict.kind = Op::Kind::kEvictVm;
+    evict.bytes = 128 + static_cast<int64_t>(rng_.NextBelow(384));
+    evict.client = home_client_;
+    ops_.push_back(evict);
+    const FileId shell = files_.SampleExecutable(rng_);
+    PlanPaging(home_client_, shell, files_.ExecutableSize(shell), false, 3.0);
+  }
+  PushThink(group_params().mean_think);
+  switch (SampleTask()) {
+    case TaskKind::kEdit:
+      PlanEdit();
+      break;
+    case TaskKind::kCompile:
+      PlanCompile();
+      break;
+    case TaskKind::kSimulate:
+      PlanSimulate();
+      break;
+    case TaskKind::kMail:
+      PlanMail();
+      break;
+    case TaskKind::kListDir:
+      PlanListDir();
+      break;
+    case TaskKind::kRandomAccess:
+      PlanRandomAccess();
+      break;
+    case TaskKind::kShareAppend:
+      PlanShareAppend();
+      break;
+    case TaskKind::kBrowse:
+      PlanBrowse();
+      break;
+  }
+}
+
+void SyntheticUser::PushOpen(int slot, FileId file, OpenMode mode, OpenDisposition disposition,
+                             ClientId client, bool migrated) {
+  Op op;
+  op.kind = Op::Kind::kOpen;
+  op.slot = slot;
+  op.file = file;
+  op.mode = mode;
+  op.disposition = disposition;
+  op.client = client;
+  op.migrated = migrated;
+  ops_.push_back(op);
+}
+
+void SyntheticUser::PushTransfer(int slot, bool write, int64_t bytes, ClientId client,
+                                 bool migrated) {
+  while (bytes > 0) {
+    const int64_t chunk = std::min(bytes, params_.chunk_bytes);
+    Op op;
+    op.kind = write ? Op::Kind::kWrite : Op::Kind::kRead;
+    op.slot = slot;
+    op.bytes = chunk;
+    op.client = client;
+    op.migrated = migrated;
+    ops_.push_back(op);
+    bytes -= chunk;
+  }
+}
+
+void SyntheticUser::PushClose(int slot, ClientId client, bool migrated) {
+  Op op;
+  op.kind = Op::Kind::kClose;
+  op.slot = slot;
+  op.client = client;
+  op.migrated = migrated;
+  ops_.push_back(op);
+}
+
+void SyntheticUser::PushThink(SimDuration mean) {
+  Op op;
+  op.kind = Op::Kind::kThink;
+  op.think = FromSeconds(rng_.NextExponential(ToSeconds(mean)));
+  op.client = home_client_;
+  ops_.push_back(op);
+}
+
+void SyntheticUser::PushDelete(FileId file, ClientId client) {
+  Op op;
+  op.kind = Op::Kind::kDelete;
+  op.file = file;
+  op.client = client == 0 ? home_client_ : client;
+  ops_.push_back(op);
+}
+
+void SyntheticUser::PushFsync(int slot, ClientId client, bool migrated) {
+  Op op;
+  op.kind = Op::Kind::kFsync;
+  op.slot = slot;
+  op.client = client;
+  op.migrated = migrated;
+  ops_.push_back(op);
+}
+
+void SyntheticUser::PlanPaging(ClientId client, FileId executable, int64_t executable_bytes,
+                               bool migrated, double fault_scale) {
+  const double mean = params_.faults_per_task_mean * fault_scale;
+  const int64_t faults = std::max<int64_t>(1, static_cast<int64_t>(rng_.NextExponential(mean)));
+  const int64_t exec_pages = std::max<int64_t>(1, BlocksForBytes(executable_bytes));
+  for (int64_t i = 0; i < faults; ++i) {
+    Op op;
+    op.kind = Op::Kind::kPageFault;
+    op.client = client;
+    op.migrated = migrated;
+    const double u = rng_.NextDouble();
+    if (u < params_.fault_backing_fraction) {
+      op.page_kind = rng_.NextBool(0.5) ? PageKind::kModifiedData : PageKind::kStack;
+      op.file = files_.BackingFile(client);
+      op.page_index = static_cast<int64_t>(rng_.NextBelow(4096));
+    } else if (u < params_.fault_backing_fraction + params_.fault_code_fraction) {
+      // Code pages spread across the whole text segment; the file cache
+      // rarely holds them (only after a recompilation), so these mostly
+      // miss.
+      op.page_kind = PageKind::kCode;
+      op.file = executable;
+      op.page_index = static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(exec_pages)));
+    } else {
+      // Initialized data is a small, hot region re-copied from the file
+      // cache at every invocation — almost always a hit after first touch.
+      op.page_kind = PageKind::kInitData;
+      op.file = executable;
+      op.page_index = static_cast<int64_t>(
+          rng_.NextBelow(static_cast<uint64_t>(std::min<int64_t>(exec_pages, 48))));
+    }
+    ops_.push_back(op);
+  }
+  Op touch;
+  touch.kind = Op::Kind::kTouchVm;
+  touch.client = client;
+  touch.bytes = params_.working_set_pages;
+  ops_.push_back(touch);
+}
+
+void SyntheticUser::PlanEdit() {
+  const FileId file = files_.SampleUserFile(id_, rng_);
+  const FileId editor = files_.SampleExecutable(rng_);
+  PlanPaging(home_client_, editor, files_.ExecutableSize(editor), false, 0.5);
+
+  // Read the current version (whole file); the editor parses while the
+  // file is open, so some opens last a noticeable fraction of a second.
+  PushOpen(0, file, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+  if (rng_.NextBool(0.5)) {
+    PushThink(300 * kMillisecond);
+  }
+  const int64_t current = std::max<int64_t>(cluster_.ServerForFile(file).FileSize(file), 512);
+  PushTransfer(0, /*write=*/false, current, home_client_, false);
+  PushClose(0, home_client_, false);
+
+  // Edit for a while, then save the new version.
+  PushThink(5 * kSecond);
+  const int64_t new_size = files_.SamplePersistentSize(rng_);
+  if (new_size <= 256 * kKilobyte && rng_.NextBool(0.7)) {
+    // Careful editors write a scratch file first and rename; the scratch
+    // dies instantly (the very-short-lifetime population).
+    const FileId scratch = files_.NewTempFile();
+    PushOpen(1, scratch, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+    PushTransfer(1, /*write=*/true, new_size, home_client_, false);
+    PushClose(1, home_client_, false);
+    PushDelete(scratch);
+  }
+  PushOpen(2, file, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+  PushTransfer(2, /*write=*/true, new_size, home_client_, false);
+  if (rng_.NextBool(params_.fsync_probability)) {
+    PushFsync(2, home_client_, false);
+  }
+  PushClose(2, home_client_, false);
+}
+
+void SyntheticUser::PlanCompile() {
+  const GroupParams& gp = group_params();
+  // Start by removing the leftovers of the previous build.
+  for (FileId object : stale_objects_) {
+    PushDelete(object);
+  }
+  stale_objects_.clear();
+
+  const bool big_build = rng_.NextBool(params_.big_build_probability);
+  const int sources =
+      big_build
+          ? static_cast<int>(rng_.NextInRange(params_.big_build_sources_min,
+                                              params_.big_build_sources_max))
+          : static_cast<int>(rng_.NextInRange(params_.compile_sources_min,
+                                              params_.compile_sources_max));
+  // Full builds are what pmake migration is for; incremental ones rarely
+  // migrate.
+  const bool migrate = rng_.NextBool(big_build ? 0.9 : gp.migration_probability * 0.2);
+  const int fanout =
+      migrate ? static_cast<int>(rng_.NextInRange(params_.pmake_fanout_min,
+                                                  params_.pmake_fanout_max))
+              : 1;
+  const FileId compiler = files_.SampleExecutable(rng_);
+  const int64_t compiler_bytes = files_.ExecutableSize(compiler);
+
+  // pmake reads the makefile and lists the directory.
+  Op dir;
+  dir.kind = Op::Kind::kDirRead;
+  dir.file = files_.UserDirectory(id_);
+  dir.bytes = 512 + static_cast<int64_t>(rng_.NextBelow(4096));
+  dir.client = home_client_;
+  ops_.push_back(dir);
+
+  std::vector<ClientId> job_clients;
+  for (int j = 0; j < fanout; ++j) {
+    job_clients.push_back(migrate ? JobClient(j) : home_client_);
+  }
+
+  std::vector<FileId> objects;
+  std::vector<int64_t> object_sizes;
+  objects.reserve(static_cast<size_t>(sources));
+  for (int s = 0; s < sources; ++s) {
+    const bool on_remote = migrate && fanout > 0;
+    const ClientId job_client = on_remote ? job_clients[static_cast<size_t>(s % fanout)]
+                                          : home_client_;
+    const bool migrated = on_remote && job_client != home_client_;
+    if (migrated && s < fanout) {
+      Op note;
+      note.kind = Op::Kind::kMigrateNote;
+      note.client = job_client;
+      ops_.push_back(note);
+    }
+    PlanPaging(job_client, compiler, compiler_bytes, migrated, 0.4);
+    if (migrated && rng_.NextBool(0.25)) {
+      // pmake jobs log progress to a shared build log and glance at what
+      // the other jobs have reported — migrated processes participating in
+      // write-sharing, which the paper checked for extra stale-data risk.
+      const FileId build_log = files_.SampleSharedFile(rng_);
+      PushOpen(5, build_log, OpenMode::kWrite, OpenDisposition::kAppend, job_client, migrated);
+      PushTransfer(5, true, 64 + static_cast<int64_t>(rng_.NextBelow(256)), job_client,
+                   migrated);
+      PushClose(5, job_client, migrated);
+      PushOpen(5, build_log, OpenMode::kRead, OpenDisposition::kNormal, job_client, migrated);
+      PushTransfer(5, false, 1024, job_client, migrated);
+      Op pause;
+      pause.kind = Op::Kind::kThink;
+      pause.think = 1200 * kMillisecond;
+      pause.client = job_client;
+      ops_.push_back(pause);
+      Op rewind;
+      rewind.kind = Op::Kind::kSeek;
+      rewind.slot = 5;
+      rewind.offset = 0;
+      rewind.client = job_client;
+      ops_.push_back(rewind);
+      PushTransfer(5, false, 1024, job_client, migrated);
+      PushClose(5, job_client, migrated);
+    }
+
+    // Read the source and a couple of headers, whole-file (compilers read
+    // everything).
+    const FileId source = files_.SampleUserFile(id_, rng_);
+    PushOpen(0, source, OpenMode::kRead, OpenDisposition::kNormal, job_client, migrated);
+    const int64_t src_size =
+        std::max<int64_t>(cluster_.ServerForFile(source).FileSize(source), 1024);
+    PushTransfer(0, false, src_size, job_client, migrated);
+    PushClose(0, job_client, migrated);
+    const int headers = static_cast<int>(rng_.NextInRange(1, 2));
+    for (int h = 0; h < headers; ++h) {
+      const FileId header = files_.SampleUserFile(id_, rng_);
+      PushOpen(1, header, OpenMode::kRead, OpenDisposition::kNormal, job_client, migrated);
+      PushTransfer(1, false,
+                   std::max<int64_t>(cluster_.ServerForFile(header).FileSize(header), 256),
+                   job_client, migrated);
+      PushClose(1, job_client, migrated);
+    }
+
+    // Compiling takes real CPU time on a 10-MIPS machine; a long build's
+    // early objects are flushed by the 30-second delay before the link
+    // reads them.
+    PushThink(8 * kSecond);
+
+    // Write the object file on the job's machine.
+    const FileId object = files_.NewTempFile();
+    const int64_t object_size = src_size / 4 + static_cast<int64_t>(rng_.NextBelow(4096));
+    objects.push_back(object);
+    object_sizes.push_back(object_size);
+    PushOpen(2, object, OpenMode::kWrite, OpenDisposition::kTruncate, job_client, migrated);
+    PushTransfer(2, true, object_size, job_client, migrated);
+    PushClose(2, job_client, migrated);
+  }
+
+  // Link on the home machine: read every object, write the binary.
+  int64_t binary_size = 16 * kKilobyte;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    PushOpen(3, objects[i], OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+    PushTransfer(3, false, object_sizes[i] + 16 * kKilobyte, home_client_, false);
+    PushClose(3, home_client_, false);
+    binary_size += object_sizes[i] / 2;
+  }
+  if (big_build) {
+    binary_size += 2 * kMegabyte;  // kernel-style binaries are 2-10 MB
+  }
+  const FileId binary = files_.NewTempFile();
+  PushOpen(4, binary, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+  PushTransfer(4, true, binary_size, home_client_, false);
+  PushClose(4, home_client_, false);
+
+  // Half the objects die right after the link; the rest survive until the
+  // next build (minutes-to-hours lifetimes).
+  for (FileId object : objects) {
+    if (rng_.NextBool(params_.object_delete_probability)) {
+      PushDelete(object);
+    } else {
+      stale_objects_.push_back(object);
+    }
+  }
+
+  // Run the freshly linked binary: its pages are still in the file cache
+  // from the write, so these code/data faults mostly hit (the paper's
+  // explanation for the high paging hit rate).
+  PushThink(2 * kSecond);
+  PlanPaging(home_client_, binary, binary_size, false, 1.0);
+  PushThink(kMinute);
+  PushDelete(binary);
+}
+
+void SyntheticUser::PlanSimulate() {
+  const GroupParams& gp = group_params();
+  const FileId simulator = files_.SampleExecutable(rng_);
+  const FileId input = files_.UserSimInput(id_);
+  // Simulations are frequently offloaded to an idle machine.
+  const bool migrated = rng_.NextBool(group_params().sim_migration_probability);
+  const ClientId run_client = migrated ? JobClient(0) : home_client_;
+  if (migrated) {
+    Op note;
+    note.kind = Op::Kind::kMigrateNote;
+    note.client = run_client;
+    ops_.push_back(note);
+  }
+  PlanPaging(run_client, simulator, files_.ExecutableSize(simulator), migrated, 2.0);
+
+  // Create the big input on first use.
+  if (cluster_.ServerForFile(input).FileSize(input) < gp.sim_input_bytes) {
+    PushOpen(0, input, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+    PushTransfer(0, true, gp.sim_input_bytes, home_client_, false);
+    PushClose(0, home_client_, false);
+  }
+
+  // The runs: simulators are run "repeatedly" (the paper's words) over the
+  // same input with different parameters; on a machine whose cache can hold
+  // the input, later runs hit.
+  const int runs = static_cast<int>(rng_.NextInRange(1, 3));
+  const FileId output = files_.NewTempFile();
+  for (int r = 0; r < runs; ++r) {
+    PushOpen(1, input, OpenMode::kRead, OpenDisposition::kNormal, run_client, migrated);
+    PushTransfer(1, false, gp.sim_input_bytes, run_client, migrated);
+    PushClose(1, run_client, migrated);
+    PushOpen(2, output, OpenMode::kWrite, OpenDisposition::kTruncate, run_client, migrated);
+    PushTransfer(2, true, gp.sim_output_bytes, run_client, migrated);
+    PushClose(2, run_client, migrated);
+    PushThink(10 * kSecond);
+  }
+
+  // The user inspects the results before postprocessing (the output lives
+  // minutes, not seconds — big files die slowly).
+  PushThink(kMinute);
+
+  // Postprocess: read the output, write a small summary, delete the output
+  // (the cache-simulation workload the paper describes).
+  PushOpen(3, output, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+  PushTransfer(3, false, gp.sim_output_bytes, home_client_, false);
+  PushClose(3, home_client_, false);
+  const FileId summary = files_.SampleUserFile(id_, rng_);
+  PushOpen(4, summary, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+  PushTransfer(4, true, 2048 + static_cast<int64_t>(rng_.NextBelow(8192)), home_client_, false);
+  PushFsync(4, home_client_, false);
+  PushClose(4, home_client_, false);
+  PushThink(30 * kSecond);
+  PushDelete(output);
+}
+
+void SyntheticUser::PlanMail() {
+  const FileId mailbox = files_.UserMailbox(id_);
+  const FileId mailer = files_.SampleExecutable(rng_);
+  PlanPaging(home_client_, mailer, files_.ExecutableSize(mailer), false, 0.3);
+
+  // New mail arrives (append, synced by the deliverer), then the user reads
+  // the tail of the mailbox.
+  PushOpen(0, mailbox, OpenMode::kWrite, OpenDisposition::kAppend, home_client_, false);
+  PushTransfer(0, true, 256 + static_cast<int64_t>(rng_.NextBelow(4096)), home_client_, false);
+  if (rng_.NextBool(params_.fsync_probability)) {
+    PushFsync(0, home_client_, false);
+  }
+  PushClose(0, home_client_, false);
+
+  PushOpen(1, mailbox, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+  if (rng_.NextBool(0.4)) {
+    // Reading messages keeps the mailbox open for a while.
+    PushThink(2 * kSecond);
+  }
+  const int64_t size = std::max<int64_t>(cluster_.ServerForFile(mailbox).FileSize(mailbox), 256);
+  if (rng_.NextBool(0.5) && size > 4096) {
+    // Jump to a message in the middle: an "other sequential" access.
+    Op seek;
+    seek.kind = Op::Kind::kSeek;
+    seek.slot = 1;
+    seek.offset = static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(size / 2)));
+    seek.client = home_client_;
+    ops_.push_back(seek);
+    PushTransfer(1, false, size / 4, home_client_, false);
+  } else {
+    PushTransfer(1, false, size, home_client_, false);
+  }
+  PushClose(1, home_client_, false);
+}
+
+void SyntheticUser::PlanListDir() {
+  // List one's own directory and occasionally someone else's.
+  Op op;
+  op.kind = Op::Kind::kDirRead;
+  op.file = files_.UserDirectory(id_);
+  op.bytes = 2048 + static_cast<int64_t>(rng_.NextBelow(14336));
+  op.client = home_client_;
+  ops_.push_back(op);
+  if (rng_.NextBool(0.3)) {
+    Op other;
+    other.kind = Op::Kind::kDirRead;
+    other.file = files_.UserDirectory(
+        static_cast<UserId>(rng_.NextBelow(static_cast<uint64_t>(files_.num_users()))));
+    other.bytes = 512 + static_cast<int64_t>(rng_.NextBelow(4096));
+    other.client = home_client_;
+    ops_.push_back(other);
+  }
+}
+
+void SyntheticUser::PlanRandomAccess() {
+  const FileId data = files_.UserDataFile(id_);
+  // Ensure the data file has some substance.
+  if (cluster_.ServerForFile(data).FileSize(data) < 64 * kKilobyte) {
+    PushOpen(0, data, OpenMode::kWrite, OpenDisposition::kTruncate, home_client_, false);
+    PushTransfer(0, true, 128 * kKilobyte, home_client_, false);
+    PushClose(0, home_client_, false);
+  }
+  PushOpen(1, data, OpenMode::kReadWrite, OpenDisposition::kNormal, home_client_, false);
+  const int probes = static_cast<int>(rng_.NextInRange(3, 10));
+  for (int p = 0; p < probes; ++p) {
+    Op seek;
+    seek.kind = Op::Kind::kSeek;
+    seek.slot = 1;
+    seek.offset = static_cast<int64_t>(rng_.NextBelow(120 * kKilobyte));
+    seek.client = home_client_;
+    ops_.push_back(seek);
+    // First probe reads, second writes, so the access is genuinely
+    // read-write; later probes mix.
+    const bool write = p == 1 || (p > 1 && rng_.NextBool(0.4));
+    PushTransfer(1, write, 64 + static_cast<int64_t>(rng_.NextBelow(2048)), home_client_, false);
+  }
+  if (rng_.NextBool(params_.fsync_probability)) {
+    PushFsync(1, home_client_, false);
+  }
+  PushClose(1, home_client_, false);
+}
+
+void SyntheticUser::PlanBrowse() {
+  // cat/grep/more over a handful of files: the read-only bulk of the
+  // workload.
+  const int reads = static_cast<int>(rng_.NextInRange(2, 6));
+  for (int i = 0; i < reads; ++i) {
+    const FileId file = files_.SampleUserFile(
+        rng_.NextBool(0.15)
+            ? static_cast<UserId>(rng_.NextBelow(static_cast<uint64_t>(files_.num_users())))
+            : id_,
+        rng_);
+    PushOpen(0, file, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+    if (rng_.NextBool(0.4)) {
+      // Paging through with `more`: the file stays open while the user
+      // reads (the tail of the paper's open-duration distribution).
+      PushThink(2 * kSecond);
+    }
+    const int64_t size = std::max<int64_t>(cluster_.ServerForFile(file).FileSize(file), 256);
+    if (rng_.NextBool(0.06) && size > 8192) {
+      // Index-style lookups: a few reads at scattered offsets (the
+      // read-only random class in Table 3).
+      for (int p = 0; p < 3; ++p) {
+        Op seek;
+        seek.kind = Op::Kind::kSeek;
+        seek.slot = 0;
+        seek.offset = static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(size / 2)));
+        seek.client = home_client_;
+        ops_.push_back(seek);
+        PushTransfer(0, false, 128 + static_cast<int64_t>(rng_.NextBelow(1024)), home_client_,
+                     false);
+      }
+    } else if (rng_.NextBool(0.2)) {
+      // more/head: only part of the file, sequentially.
+      PushTransfer(0, false, std::max<int64_t>(size / 3, 128), home_client_, false);
+    } else {
+      PushTransfer(0, false, size, home_client_, false);
+    }
+    PushClose(0, home_client_, false);
+  }
+}
+
+void SyntheticUser::PlanShareAppend() {
+  const FileId shared = files_.SampleSharedFile(rng_);
+  if (rng_.NextBool(0.15)) {
+    // Monitor variant: hold the file open read-only and poll it for many
+    // minutes (watching a log or a score file). While a writer appends
+    // concurrently, Sprite keeps the file uncacheable until the monitor
+    // finally closes — so every poll passes through; a token scheme caches
+    // the unchanged data between appends. This is the coarse-grained
+    // sharing for which the paper found the token approach cheaper.
+    PushOpen(1, shared, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+    const int polls = static_cast<int>(rng_.NextInRange(6, 12));
+    for (int poll = 0; poll < polls; ++poll) {
+      Op seek;
+      seek.kind = Op::Kind::kSeek;
+      seek.slot = 1;
+      seek.offset = 0;
+      seek.client = home_client_;
+      ops_.push_back(seek);
+      PushTransfer(1, false, 2048 + static_cast<int64_t>(rng_.NextBelow(4096)), home_client_,
+                   false);
+      PushThink(15 * kSecond);
+    }
+    PushClose(1, home_client_, false);
+    return;
+  }
+  // Hold the file open while composing the entry; overlapping holds from
+  // two users are exactly the paper's concurrent write-sharing.
+  PushOpen(0, shared, OpenMode::kWrite, OpenDisposition::kAppend, home_client_, false);
+  PushThink(params_.shared_hold_mean);
+  PushTransfer(0, true, 256 + static_cast<int64_t>(rng_.NextBelow(2048)), home_client_, false);
+  PushThink(params_.shared_hold_mean / 2);
+  PushTransfer(0, true, 128 + static_cast<int64_t>(rng_.NextBelow(1024)), home_client_, false);
+  PushClose(0, home_client_, false);
+  // Immediately double-check the entry (read, pause a beat, re-read):
+  // under a polling scheme even a short refresh interval can serve the
+  // second read stale if another user appends in between.
+  if (rng_.NextBool(0.5)) {
+    PushOpen(2, shared, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+    PushTransfer(2, false, 2048, home_client_, false);
+    Op pause;
+    pause.kind = Op::Kind::kThink;
+    pause.think = 1500 * kMillisecond;
+    pause.client = home_client_;
+    ops_.push_back(pause);
+    Op rewind;
+    rewind.kind = Op::Kind::kSeek;
+    rewind.slot = 2;
+    rewind.offset = 0;
+    rewind.client = home_client_;
+    ops_.push_back(rewind);
+    PushTransfer(2, false, 2048, home_client_, false);
+    PushClose(2, home_client_, false);
+  }
+  // Watch the file for a while (tail -f style): repeated re-reads of the
+  // same region. Under Sprite these all pass through while the file is
+  // write-shared; a token scheme would cache them — and under a weak
+  // polling scheme a concurrent append makes the re-reads stale.
+  if (rng_.NextBool(0.8)) {
+    PushOpen(1, shared, OpenMode::kRead, OpenDisposition::kNormal, home_client_, false);
+    const int polls = static_cast<int>(rng_.NextInRange(2, 5));
+    for (int poll = 0; poll < polls; ++poll) {
+      Op seek;
+      seek.kind = Op::Kind::kSeek;
+      seek.slot = 1;
+      seek.offset = 0;
+      seek.client = home_client_;
+      ops_.push_back(seek);
+      PushTransfer(1, false, 2048 + static_cast<int64_t>(rng_.NextBelow(6144)), home_client_,
+                   false);
+      PushThink(15 * kSecond);
+    }
+    PushClose(1, home_client_, false);
+  }
+}
+
+}  // namespace sprite

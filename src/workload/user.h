@@ -1,0 +1,130 @@
+// A synthetic Sprite user.
+//
+// Each user is a discrete-event process: sessions arrive, each session is a
+// series of tasks (edit, pmake compile, simulation, mail, directory
+// listing, random access, shared append) drawn from the user's group
+// profile, and each task expands into a queue of kernel-call operations
+// executed one event at a time against the user's home client (or, for
+// migrated pmake jobs, against other clients in the cluster). Operation
+// pacing combines the fs-layer latency of each call, CPU time proportional
+// to bytes touched, and think time — this is what produces realistic open
+// durations, run lengths, burstiness, and overlapping opens (write-sharing).
+
+#ifndef SPRITE_DFS_SRC_WORKLOAD_USER_H_
+#define SPRITE_DFS_SRC_WORKLOAD_USER_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/fs/cluster.h"
+#include "src/util/rng.h"
+#include "src/workload/file_space.h"
+#include "src/workload/params.h"
+
+namespace sprite {
+
+class SyntheticUser {
+ public:
+  SyntheticUser(UserId id, UserGroup group, ClientId home_client, bool occasional,
+                const WorkloadParams& params, FileSpace& files, Cluster& cluster, Rng rng);
+
+  // Schedules the user's first session. The user stops planning new work
+  // after `end_time` (in-flight operations drain).
+  void Start(SimTime first_session_at, SimTime end_time);
+
+  UserId id() const { return id_; }
+  UserGroup group() const { return group_; }
+  ClientId home_client() const { return home_client_; }
+
+ private:
+  // One queued kernel-call-level operation.
+  struct Op {
+    enum class Kind {
+      kOpen,
+      kRead,
+      kWrite,
+      kSeek,
+      kClose,
+      kFsync,
+      kDelete,
+      kTruncate,
+      kDirRead,
+      kPageFault,
+      kTouchVm,
+      kThink,
+      kMigrateNote,
+      kEvictVm,  // user returned: evict cold (migrated/old) process pages
+    };
+    Kind kind = Kind::kThink;
+    int slot = 0;  // handle slot index
+    FileId file = 0;
+    OpenMode mode = OpenMode::kRead;
+    OpenDisposition disposition = OpenDisposition::kNormal;
+    int64_t bytes = 0;
+    int64_t offset = 0;
+    PageKind page_kind = PageKind::kCode;
+    int64_t page_index = 0;
+    ClientId client = 0;
+    bool migrated = false;
+    SimDuration think = 0;
+  };
+
+  // Event-loop step: execute the head op (or plan the next task/session)
+  // and reschedule itself.
+  void Pump();
+  // Executes one op; returns the simulated duration it occupied.
+  SimDuration Execute(const Op& op);
+
+  // --- Task planners (append ops to ops_) ---------------------------------
+  void PlanTask();
+  void PlanEdit();
+  void PlanCompile();
+  void PlanSimulate();
+  void PlanMail();
+  void PlanListDir();
+  void PlanRandomAccess();
+  void PlanShareAppend();
+  void PlanBrowse();
+  // Paging activity accompanying a task run on `client`, faulting pages of
+  // `executable` (whose size is `executable_bytes`).
+  void PlanPaging(ClientId client, FileId executable, int64_t executable_bytes, bool migrated,
+                  double fault_scale = 1.0);
+
+  // Helpers appending common sequences.
+  void PushOpen(int slot, FileId file, OpenMode mode, OpenDisposition disposition,
+                ClientId client, bool migrated);
+  // Chunked sequential transfer on the open slot.
+  void PushTransfer(int slot, bool write, int64_t bytes, ClientId client, bool migrated);
+  void PushClose(int slot, ClientId client, bool migrated);
+  void PushThink(SimDuration mean);
+  void PushDelete(FileId file, ClientId client = 0);
+  void PushFsync(int slot, ClientId client, bool migrated);
+
+  const GroupParams& group_params() const;
+  TaskKind SampleTask();
+  // Chooses the j-th machine for a migrated job (idle machines preferred).
+  ClientId JobClient(int j) const;
+
+  UserId id_;
+  UserGroup group_;
+  ClientId home_client_;
+  bool occasional_;
+  const WorkloadParams& params_;
+  FileSpace& files_;
+  Cluster& cluster_;
+  Rng rng_;
+
+  std::deque<Op> ops_;
+  std::vector<HandleId> slots_;
+  // Object files surviving the previous build; deleted when the next build
+  // starts (the medium-lifetime population).
+  std::vector<FileId> stale_objects_;
+  SimTime session_end_ = 0;
+  SimTime end_time_ = 0;
+  bool session_boot_pending_ = false;
+  int tasks_planned_ = 0;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_WORKLOAD_USER_H_

@@ -1,0 +1,174 @@
+#include "src/analysis/accesses.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+// Builds records for one access: open at offset 0 on a file of `size`,
+// optional seeks, close.
+class TraceBuilder {
+ public:
+  uint64_t Open(uint64_t file, int64_t size, SimTime t, int64_t start_offset = 0,
+                OpenMode mode = OpenMode::kRead, bool migrated = false) {
+    Record r;
+    r.kind = RecordKind::kOpen;
+    r.time = t;
+    r.file = file;
+    r.handle = ++next_handle_;
+    r.mode = mode;
+    r.migrated = migrated;
+    r.file_size = size;
+    r.offset_after = start_offset;
+    log_.push_back(r);
+    return next_handle_;
+  }
+
+  void Seek(uint64_t handle, SimTime t, int64_t pos_before, int64_t pos_after, int64_t run_read,
+            int64_t run_write) {
+    Record r;
+    r.kind = RecordKind::kSeek;
+    r.time = t;
+    r.handle = handle;
+    r.offset_before = pos_before;
+    r.offset_after = pos_after;
+    r.run_read_bytes = run_read;
+    r.run_write_bytes = run_write;
+    log_.push_back(r);
+  }
+
+  void Close(uint64_t handle, SimTime t, int64_t final_pos, int64_t size, int64_t run_read,
+             int64_t run_write) {
+    Record r;
+    r.kind = RecordKind::kClose;
+    r.time = t;
+    r.handle = handle;
+    r.offset_before = final_pos;
+    r.file_size = size;
+    r.run_read_bytes = run_read;
+    r.run_write_bytes = run_write;
+    log_.push_back(r);
+  }
+
+  const TraceLog& log() const { return log_; }
+
+ private:
+  TraceLog log_;
+  uint64_t next_handle_ = 0;
+};
+
+TEST(ExtractAccessesTest, WholeFileRead) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0);
+  b.Close(h, 10, 1000, 1000, /*run_read=*/1000, /*run_write=*/0);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  const Access& a = accesses[0];
+  EXPECT_EQ(a.type(), Access::Type::kReadOnly);
+  EXPECT_EQ(a.pattern(), Access::Pattern::kWholeFile);
+  EXPECT_EQ(a.total_read(), 1000);
+  EXPECT_EQ(a.open_duration(), 10);
+  ASSERT_EQ(a.runs.size(), 1u);
+  EXPECT_EQ(a.runs[0].start_offset, 0);
+}
+
+TEST(ExtractAccessesTest, PartialReadIsOtherSequential) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0);
+  b.Close(h, 10, 500, 1000, 500, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].pattern(), Access::Pattern::kOtherSequential);
+}
+
+TEST(ExtractAccessesTest, SkippedPrefixIsOtherSequential) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0, /*start_offset=*/0);
+  // Seek with no transfer, then one run to the end: still sequential.
+  b.Seek(h, 1, 0, 500, 0, 0);
+  b.Close(h, 10, 1000, 1000, 500, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  ASSERT_EQ(accesses[0].runs.size(), 1u);
+  EXPECT_EQ(accesses[0].runs[0].start_offset, 500);
+  EXPECT_EQ(accesses[0].pattern(), Access::Pattern::kOtherSequential);
+}
+
+TEST(ExtractAccessesTest, MultipleRunsAreRandom) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 10000, 0);
+  b.Seek(h, 1, 100, 5000, 100, 0);
+  b.Close(h, 10, 5200, 10000, 200, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].pattern(), Access::Pattern::kRandom);
+  ASSERT_EQ(accesses[0].runs.size(), 2u);
+  EXPECT_EQ(accesses[0].runs[1].start_offset, 5000);
+}
+
+TEST(ExtractAccessesTest, WholeFileWriteUsesSizeAtClose) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 0, 0, 0, OpenMode::kWrite);
+  b.Close(h, 10, 2000, 2000, 0, 2000);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].type(), Access::Type::kWriteOnly);
+  EXPECT_EQ(accesses[0].pattern(), Access::Pattern::kWholeFile);
+}
+
+TEST(ExtractAccessesTest, ReadWriteClassification) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0, 0, OpenMode::kReadWrite);
+  b.Close(h, 10, 500, 1000, 300, 200);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].type(), Access::Type::kReadWrite);
+}
+
+TEST(ExtractAccessesTest, ModeDoesNotDetermineType) {
+  // Opened read-write but only read: classified read-only (actual usage).
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0, 0, OpenMode::kReadWrite);
+  b.Close(h, 10, 1000, 1000, 1000, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  EXPECT_EQ(accesses[0].type(), Access::Type::kReadOnly);
+}
+
+TEST(ExtractAccessesTest, NoTransferIsTypeNone) {
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0);
+  b.Close(h, 10, 0, 1000, 0, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  EXPECT_EQ(accesses[0].type(), Access::Type::kNone);
+}
+
+TEST(ExtractAccessesTest, UnclosedAccessDiscarded) {
+  TraceBuilder b;
+  b.Open(1, 1000, 0);
+  EXPECT_TRUE(ExtractAccesses(b.log()).empty());
+}
+
+TEST(ExtractAccessesTest, InterleavedHandles) {
+  TraceBuilder b;
+  const auto h1 = b.Open(1, 100, 0);
+  const auto h2 = b.Open(2, 200, 1);
+  b.Close(h2, 5, 200, 200, 200, 0);
+  b.Close(h1, 9, 100, 100, 100, 0);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 2u);
+  EXPECT_EQ(accesses[0].file, 2u);  // close-time order
+  EXPECT_EQ(accesses[1].file, 1u);
+}
+
+TEST(ExtractAccessesTest, AppendOpenWholeFileCheck) {
+  // Open at the end and write: single run from old EOF, not whole-file.
+  TraceBuilder b;
+  const auto h = b.Open(1, 1000, 0, /*start_offset=*/1000, OpenMode::kWrite);
+  b.Close(h, 10, 1100, 1100, 0, 100);
+  const auto accesses = ExtractAccesses(b.log());
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].pattern(), Access::Pattern::kOtherSequential);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,99 @@
+#include "src/analysis/activity.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+Record CloseWithBytes(SimTime t, uint32_t user, int64_t read_bytes, bool migrated = false) {
+  Record r;
+  r.kind = RecordKind::kClose;
+  r.time = t;
+  r.user = user;
+  r.run_read_bytes = read_bytes;
+  r.migrated = migrated;
+  return r;
+}
+
+TEST(ActivityTest, EmptyTrace) {
+  const ActivityReport report = ComputeActivity({}, kMinute);
+  EXPECT_EQ(report.all_users.interval_count, 0);
+}
+
+TEST(ActivityTest, RejectsBadInterval) {
+  EXPECT_THROW(ComputeActivity({}, 0), std::invalid_argument);
+}
+
+TEST(ActivityTest, SingleUserThroughput) {
+  TraceLog log;
+  // 10,000 bytes in a 10-second interval -> 1000 B/s.
+  log.push_back(CloseWithBytes(0, 1, 4000));
+  log.push_back(CloseWithBytes(5 * kSecond, 1, 6000));
+  const ActivityReport report = ComputeActivity(log, 10 * kSecond);
+  EXPECT_EQ(report.all_users.interval_count, 1);
+  EXPECT_DOUBLE_EQ(report.all_users.active_users.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(report.all_users.throughput_per_user.mean(), 1000.0);
+  EXPECT_DOUBLE_EQ(report.all_users.peak_user_throughput, 1000.0);
+}
+
+TEST(ActivityTest, EmptyIntervalsSkipped) {
+  TraceLog log;
+  log.push_back(CloseWithBytes(0, 1, 1000));
+  log.push_back(CloseWithBytes(10 * kMinute, 1, 1000));
+  const ActivityReport report = ComputeActivity(log, kMinute);
+  // Only the two occupied intervals count toward active-user averages.
+  EXPECT_EQ(report.all_users.interval_count, 2);
+}
+
+TEST(ActivityTest, ActiveUserWithZeroBytesCounts) {
+  TraceLog log;
+  Record open;
+  open.kind = RecordKind::kOpen;
+  open.time = 0;
+  open.user = 5;
+  log.push_back(open);
+  const ActivityReport report = ComputeActivity(log, kMinute);
+  EXPECT_EQ(report.all_users.interval_count, 1);
+  EXPECT_DOUBLE_EQ(report.all_users.active_users.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(report.all_users.throughput_per_user.mean(), 0.0);
+}
+
+TEST(ActivityTest, MultipleUsersAndPeaks) {
+  TraceLog log;
+  log.push_back(CloseWithBytes(0, 1, 1000));
+  log.push_back(CloseWithBytes(1, 2, 3000));
+  const ActivityReport report = ComputeActivity(log, kSecond);
+  EXPECT_DOUBLE_EQ(report.all_users.active_users.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(report.all_users.peak_user_throughput, 3000.0);
+  EXPECT_DOUBLE_EQ(report.all_users.peak_total_throughput, 4000.0);
+}
+
+TEST(ActivityTest, MigratedColumnOnlyMigratedIo) {
+  TraceLog log;
+  log.push_back(CloseWithBytes(0, 1, 1000, /*migrated=*/false));
+  log.push_back(CloseWithBytes(1, 2, 8000, /*migrated=*/true));
+  const ActivityReport report = ComputeActivity(log, kSecond);
+  EXPECT_DOUBLE_EQ(report.migrated_users.active_users.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(report.migrated_users.throughput_per_user.mean(), 8000.0);
+}
+
+TEST(ActivityTest, SharedAndDirBytesCount) {
+  TraceLog log;
+  Record shared;
+  shared.kind = RecordKind::kSharedWrite;
+  shared.time = 0;
+  shared.user = 1;
+  shared.io_bytes = 500;
+  log.push_back(shared);
+  Record dir;
+  dir.kind = RecordKind::kDirRead;
+  dir.time = 1;
+  dir.user = 1;
+  dir.io_bytes = 250;
+  log.push_back(dir);
+  const ActivityReport report = ComputeActivity(log, kSecond);
+  EXPECT_DOUBLE_EQ(report.all_users.throughput_per_user.mean(), 750.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,146 @@
+#include "src/analysis/cache_report.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+TEST(CacheSizeReportTest, EmptySamples) {
+  const CacheSizeReport report = ComputeCacheSizeReport({});
+  EXPECT_DOUBLE_EQ(report.mean_bytes, 0.0);
+}
+
+TEST(CacheSizeReportTest, MeanAndWindows) {
+  std::vector<Cluster::CacheSizeSample> samples;
+  // Client 0: grows 1 MB over each 15-minute window.
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back({i * 5 * kMinute, 0, (4 + (i % 3)) * kMegabyte});
+  }
+  const CacheSizeReport report = ComputeCacheSizeReport(samples);
+  EXPECT_NEAR(report.mean_bytes, 5.0 * kMegabyte, 0.2 * kMegabyte);
+  EXPECT_GT(report.min15.mean_change, 0.0);
+  EXPECT_GE(report.min60.max_change, report.min15.mean_change);
+}
+
+TEST(CacheSizeReportTest, PerClientWindowsSeparate) {
+  std::vector<Cluster::CacheSizeSample> samples;
+  samples.push_back({0, 0, 1 * kMegabyte});
+  samples.push_back({kMinute, 0, 1 * kMegabyte});
+  samples.push_back({0, 1, 9 * kMegabyte});
+  samples.push_back({kMinute, 1, 9 * kMegabyte});
+  const CacheSizeReport report = ComputeCacheSizeReport(samples);
+  // Neither client changed size; cross-client difference must not count as
+  // a change.
+  EXPECT_DOUBLE_EQ(report.min15.mean_change, 0.0);
+  EXPECT_DOUBLE_EQ(report.min15.max_change, 0.0);
+}
+
+TEST(TrafficReportTest, FractionsSumToOne) {
+  TrafficCounters counters;
+  counters.file_read_cacheable = 400;
+  counters.file_write_cacheable = 100;
+  counters.paging_read_cacheable = 200;
+  counters.paging_read_backing = 150;
+  counters.paging_write_backing = 50;
+  counters.file_read_shared = 5;
+  counters.file_write_shared = 5;
+  counters.dir_read = 90;
+  const TrafficReport report = ComputeTrafficReport(counters);
+  EXPECT_EQ(report.total_bytes, 1000);
+  EXPECT_NEAR(report.total_cacheable() + report.total_uncacheable(), 1.0, 1e-9);
+  EXPECT_NEAR(report.total_paging(), 0.4, 1e-9);
+  EXPECT_NEAR(report.dir_read, 0.09, 1e-9);
+}
+
+TEST(TrafficReportTest, EmptyCountersSafe) {
+  const TrafficReport report = ComputeTrafficReport(TrafficCounters{});
+  EXPECT_EQ(report.total_bytes, 0);
+  EXPECT_DOUBLE_EQ(report.total_cacheable(), 0.0);
+}
+
+TEST(EffectivenessReportTest, Ratios) {
+  CacheCounters counters;
+  counters.read_ops = 100;
+  counters.read_misses = 40;
+  counters.bytes_read_by_apps = 10000;
+  counters.bytes_read_from_server = 3700;
+  counters.bytes_written_by_apps = 1000;
+  counters.bytes_written_to_server = 884;
+  counters.write_ops = 50;
+  counters.write_fetches = 1;
+  counters.paging_read_ops = 10;
+  counters.paging_read_misses = 3;
+  counters.migrated_read_ops = 10;
+  counters.migrated_read_misses = 2;
+  const EffectivenessReport report = ComputeEffectivenessReport(counters);
+  EXPECT_DOUBLE_EQ(report.read_miss_ratio, 0.4);
+  EXPECT_DOUBLE_EQ(report.read_miss_traffic, 0.37);
+  EXPECT_DOUBLE_EQ(report.writeback_traffic, 0.884);
+  EXPECT_DOUBLE_EQ(report.write_fetch_ratio, 0.02);
+  EXPECT_DOUBLE_EQ(report.paging_read_miss_ratio, 0.3);
+  EXPECT_DOUBLE_EQ(report.migrated_read_miss_ratio, 0.2);
+}
+
+TEST(ServerTrafficReportTest, Fractions) {
+  ServerCounters counters;
+  counters.file_read_bytes = 300;
+  counters.file_write_bytes = 200;
+  counters.paging_read_bytes = 250;
+  counters.paging_write_bytes = 100;
+  counters.shared_read_bytes = 5;
+  counters.shared_write_bytes = 5;
+  counters.dir_read_bytes = 140;
+  const ServerTrafficReport report = ComputeServerTrafficReport(counters);
+  EXPECT_EQ(report.total_bytes, 1000);
+  EXPECT_NEAR(report.paging_fraction(), 0.35, 1e-9);
+  EXPECT_NEAR(report.shared, 0.01, 1e-9);
+}
+
+TEST(FilterRatioTest, HalfFiltered) {
+  TrafficCounters raw;
+  raw.file_read_cacheable = 1000;
+  ServerCounters server;
+  server.file_read_bytes = 500;
+  EXPECT_DOUBLE_EQ(ComputeFilterRatio(raw, server), 0.5);
+}
+
+TEST(ReplacementReportTest, FractionsAndAges) {
+  CacheCounters counters;
+  counters.replaced_for_file = 80;
+  counters.replaced_for_vm = 20;
+  counters.replaced_for_file_age_us = 80 * kHour;  // 1 hour each
+  counters.replaced_for_vm_age_us = 20 * 30 * kMinute;
+  const ReplacementReport report = ComputeReplacementReport(counters);
+  EXPECT_DOUBLE_EQ(report.for_file_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(report.for_vm_fraction, 0.2);
+  EXPECT_NEAR(report.for_file_age_minutes, 60.0, 1e-6);
+  EXPECT_NEAR(report.for_vm_age_minutes, 30.0, 1e-6);
+}
+
+TEST(CleaningReportTest, RowsPerReason) {
+  CacheCounters counters;
+  counters.cleaned[static_cast<int>(CleanReason::kDelay)] = 75;
+  counters.cleaned_age_us[static_cast<int>(CleanReason::kDelay)] = 75 * 35 * kSecond;
+  counters.cleaned[static_cast<int>(CleanReason::kFsync)] = 15;
+  counters.cleaned_age_us[static_cast<int>(CleanReason::kFsync)] = 15 * 2 * kSecond;
+  counters.cleaned[static_cast<int>(CleanReason::kRecall)] = 10;
+  counters.cleaned_age_us[static_cast<int>(CleanReason::kRecall)] = 10 * 12 * kSecond;
+  const CleaningReport report = ComputeCleaningReport(counters);
+  EXPECT_EQ(report.total, 100);
+  EXPECT_DOUBLE_EQ(report.rows[static_cast<int>(CleanReason::kDelay)].fraction, 0.75);
+  EXPECT_NEAR(report.rows[static_cast<int>(CleanReason::kDelay)].age_seconds, 35.0, 1e-6);
+  EXPECT_DOUBLE_EQ(report.rows[static_cast<int>(CleanReason::kVm)].fraction, 0.0);
+}
+
+TEST(ConsistencyActionReportTest, Fractions) {
+  ServerCounters counters;
+  counters.file_opens = 10000;
+  counters.write_sharing_opens = 34;
+  counters.recall_opens = 170;
+  const ConsistencyActionReport report = ComputeConsistencyActionReport(counters);
+  EXPECT_NEAR(report.write_sharing_fraction, 0.0034, 1e-9);
+  EXPECT_NEAR(report.recall_fraction, 0.017, 1e-9);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,113 @@
+#include "src/analysis/lifetimes.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+Record Create(uint64_t file, SimTime t) {
+  Record r;
+  r.kind = RecordKind::kCreate;
+  r.time = t;
+  r.file = file;
+  return r;
+}
+
+Record WriteClose(uint64_t file, SimTime t, int64_t bytes) {
+  Record r;
+  r.kind = RecordKind::kClose;
+  r.time = t;
+  r.file = file;
+  r.run_write_bytes = bytes;
+  return r;
+}
+
+Record Delete(uint64_t file, SimTime t) {
+  Record r;
+  r.kind = RecordKind::kDelete;
+  r.time = t;
+  r.file = file;
+  return r;
+}
+
+TEST(LifetimesTest, SingleWriteLifetime) {
+  TraceLog log;
+  log.push_back(Create(1, 0));
+  log.push_back(WriteClose(1, 10 * kSecond, 1000));
+  log.push_back(Delete(1, 40 * kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  EXPECT_EQ(curves.deaths_observed, 1);
+  // Oldest and newest bytes both written at t=10 -> lifetime 30 s.
+  EXPECT_DOUBLE_EQ(curves.by_files.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(curves.by_bytes.WeightedMean(), 30.0);
+  EXPECT_DOUBLE_EQ(curves.by_bytes.total_weight(), 1000.0);
+}
+
+TEST(LifetimesTest, SpreadWritesInterpolate) {
+  TraceLog log;
+  log.push_back(Create(1, 0));
+  log.push_back(WriteClose(1, 0, 500));
+  log.push_back(WriteClose(1, 60 * kSecond, 500));
+  log.push_back(Delete(1, 60 * kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  // Oldest byte is 60 s old, newest 0 s: per-file lifetime = 30 s.
+  EXPECT_DOUBLE_EQ(curves.by_files.Quantile(0.5), 30.0);
+  // Byte ages spread between 0 and 60; mean 30.
+  EXPECT_NEAR(curves.by_bytes.WeightedMean(), 30.0, 1.0);
+  EXPECT_GT(curves.by_bytes.Quantile(0.9), 45.0);
+  EXPECT_LT(curves.by_bytes.Quantile(0.1), 15.0);
+}
+
+TEST(LifetimesTest, DeathWithoutObservedCreationSkipped) {
+  TraceLog log;
+  log.push_back(Delete(7, kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  EXPECT_EQ(curves.deaths_observed, 0);
+  EXPECT_EQ(curves.deaths_skipped, 1);
+}
+
+TEST(LifetimesTest, CreateWithoutWriteSkippedAtDeath) {
+  TraceLog log;
+  log.push_back(Create(1, 0));
+  log.push_back(Delete(1, kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  EXPECT_EQ(curves.deaths_observed, 0);
+  EXPECT_EQ(curves.deaths_skipped, 1);
+}
+
+TEST(LifetimesTest, TruncateIsDeathAndRebirth) {
+  TraceLog log;
+  log.push_back(Create(1, 0));
+  log.push_back(WriteClose(1, 0, 100));
+  Record trunc;
+  trunc.kind = RecordKind::kTruncate;
+  trunc.time = 10 * kSecond;
+  trunc.file = 1;
+  log.push_back(trunc);
+  // Second incarnation.
+  log.push_back(WriteClose(1, 20 * kSecond, 100));
+  log.push_back(Delete(1, 25 * kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  EXPECT_EQ(curves.deaths_observed, 2);
+  // Lifetimes: 10 s (truncate) and 5 s (delete).
+  EXPECT_DOUBLE_EQ(curves.by_files.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(curves.by_files.Quantile(1.0), 10.0);
+}
+
+TEST(LifetimesTest, SharedWritesCount) {
+  TraceLog log;
+  log.push_back(Create(1, 0));
+  Record shared;
+  shared.kind = RecordKind::kSharedWrite;
+  shared.time = 5 * kSecond;
+  shared.file = 1;
+  shared.io_bytes = 64;
+  log.push_back(shared);
+  log.push_back(Delete(1, 10 * kSecond));
+  const LifetimeCurves curves = ComputeLifetimes(log);
+  EXPECT_EQ(curves.deaths_observed, 1);
+  EXPECT_DOUBLE_EQ(curves.by_files.Quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,133 @@
+#include "src/analysis/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+Access MakeAccess(Access::Type type, Access::Pattern pattern, int64_t bytes, int64_t size,
+                  SimDuration duration = kSecond) {
+  Access a;
+  a.open_time = 0;
+  a.close_time = duration;
+  a.size_at_open = size;
+  a.size_at_close = size;
+  switch (pattern) {
+    case Access::Pattern::kWholeFile:
+      a.runs.push_back({0,
+                        type != Access::Type::kWriteOnly ? bytes : 0,
+                        type == Access::Type::kWriteOnly ? bytes : 0});
+      a.size_at_open = bytes;
+      a.size_at_close = bytes;
+      break;
+    case Access::Pattern::kOtherSequential:
+      a.runs.push_back({size / 2,
+                        type != Access::Type::kWriteOnly ? bytes : 0,
+                        type == Access::Type::kWriteOnly ? bytes : 0});
+      break;
+    case Access::Pattern::kRandom:
+      a.runs.push_back({0, type != Access::Type::kWriteOnly ? bytes / 2 : 0,
+                        type == Access::Type::kWriteOnly ? bytes / 2 : 0});
+      a.runs.push_back({size / 2, type != Access::Type::kWriteOnly ? bytes - bytes / 2 : 0,
+                        type == Access::Type::kWriteOnly ? bytes - bytes / 2 : 0});
+      break;
+  }
+  if (type == Access::Type::kReadWrite) {
+    // Make it genuinely read-write: add write bytes to the first run.
+    a.runs[0].write_bytes += 1;
+  }
+  return a;
+}
+
+TEST(AccessPatternsTest, TypeFractions) {
+  std::vector<Access> accesses;
+  for (int i = 0; i < 88; ++i) {
+    accesses.push_back(MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 100, 100));
+  }
+  for (int i = 0; i < 11; ++i) {
+    accesses.push_back(
+        MakeAccess(Access::Type::kWriteOnly, Access::Pattern::kWholeFile, 100, 100));
+  }
+  accesses.push_back(MakeAccess(Access::Type::kReadWrite, Access::Pattern::kRandom, 100, 1000));
+  const AccessPatternStats stats = ComputeAccessPatterns(accesses);
+  EXPECT_EQ(stats.total_accesses, 100);
+  EXPECT_NEAR(stats.read_only.accesses_fraction, 0.88, 1e-9);
+  EXPECT_NEAR(stats.write_only.accesses_fraction, 0.11, 1e-9);
+  EXPECT_NEAR(stats.read_write.accesses_fraction, 0.01, 1e-9);
+}
+
+TEST(AccessPatternsTest, PatternFractionsWithinType) {
+  std::vector<Access> accesses;
+  for (int i = 0; i < 8; ++i) {
+    accesses.push_back(
+        MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 1000, 1000));
+  }
+  accesses.push_back(
+      MakeAccess(Access::Type::kReadOnly, Access::Pattern::kOtherSequential, 500, 5000));
+  accesses.push_back(MakeAccess(Access::Type::kReadOnly, Access::Pattern::kRandom, 500, 5000));
+  const AccessPatternStats stats = ComputeAccessPatterns(accesses);
+  EXPECT_NEAR(stats.read_only.whole_file, 0.8, 1e-9);
+  EXPECT_NEAR(stats.read_only.other_sequential, 0.1, 1e-9);
+  EXPECT_NEAR(stats.read_only.random, 0.1, 1e-9);
+}
+
+TEST(AccessPatternsTest, ByteFractionsUseByteWeights) {
+  std::vector<Access> accesses;
+  accesses.push_back(MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 900, 900));
+  accesses.push_back(MakeAccess(Access::Type::kWriteOnly, Access::Pattern::kWholeFile, 100, 100));
+  const AccessPatternStats stats = ComputeAccessPatterns(accesses);
+  EXPECT_NEAR(stats.read_only.bytes_fraction, 0.9, 1e-9);
+  EXPECT_NEAR(stats.write_only.bytes_fraction, 0.1, 1e-9);
+}
+
+TEST(AccessPatternsTest, DirectoriesAndEmptyAccessesExcluded) {
+  std::vector<Access> accesses;
+  Access dir = MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 100, 100);
+  dir.is_directory = true;
+  accesses.push_back(dir);
+  Access none;
+  none.size_at_open = 100;
+  accesses.push_back(none);
+  const AccessPatternStats stats = ComputeAccessPatterns(accesses);
+  EXPECT_EQ(stats.total_accesses, 0);
+}
+
+TEST(RunLengthsTest, TwoWeightings) {
+  std::vector<Access> accesses;
+  // Nine short runs of 100 bytes, one long run of 9100 bytes.
+  for (int i = 0; i < 9; ++i) {
+    accesses.push_back(
+        MakeAccess(Access::Type::kReadOnly, Access::Pattern::kOtherSequential, 100, 1000));
+  }
+  accesses.push_back(
+      MakeAccess(Access::Type::kReadOnly, Access::Pattern::kOtherSequential, 9100, 10000));
+  const RunLengthCurves curves = ComputeRunLengths(accesses);
+  // By runs: 90% are 100-byte runs.
+  EXPECT_NEAR(curves.by_runs.FractionAtOrBelow(100.0), 0.9, 1e-9);
+  // By bytes: the long run holds 9100/10000 of the bytes.
+  EXPECT_NEAR(curves.by_bytes.FractionAtOrBelow(100.0), 0.09, 1e-9);
+}
+
+TEST(FileSizesTest, AccessAndByteWeighted) {
+  std::vector<Access> accesses;
+  accesses.push_back(MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 100, 100));
+  accesses.push_back(
+      MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 999900, 999900));
+  const FileSizeCurves curves = ComputeFileSizes(accesses);
+  EXPECT_NEAR(curves.by_accesses.FractionAtOrBelow(100.0), 0.5, 1e-9);
+  EXPECT_NEAR(curves.by_bytes.FractionAtOrBelow(100.0), 0.0001, 1e-9);
+}
+
+TEST(OpenDurationsTest, SecondsReported) {
+  std::vector<Access> accesses;
+  accesses.push_back(
+      MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 10, 10, kSecond / 4));
+  accesses.push_back(
+      MakeAccess(Access::Type::kReadOnly, Access::Pattern::kWholeFile, 10, 10, 2 * kSecond));
+  const WeightedSamples durations = ComputeOpenDurations(accesses);
+  EXPECT_NEAR(durations.FractionAtOrBelow(0.25), 0.5, 1e-9);
+  EXPECT_NEAR(durations.Quantile(1.0), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sprite

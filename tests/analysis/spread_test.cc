@@ -1,0 +1,79 @@
+// Tests for the per-machine spread computation (the paper's "mean (stddev
+// of per-machine averages)" presentation).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/cache_report.h"
+
+namespace sprite {
+namespace {
+
+TEST(EffectivenessSpreadTest, EmptyClusterIsZero) {
+  EventQueue queue;
+  ClusterConfig config;
+  config.num_clients = 3;
+  config.num_servers = 1;
+  Cluster cluster(config, queue);
+  const EffectivenessSpread spread = ComputeEffectivenessSpread(cluster);
+  EXPECT_EQ(spread.read_miss_ratio.machines, 0);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.mean, 0.0);
+}
+
+TEST(EffectivenessSpreadTest, PerMachineRatiosAggregated) {
+  EventQueue queue;
+  ClusterConfig config;
+  config.num_clients = 3;
+  config.num_servers = 1;
+  Cluster cluster(config, queue);
+
+  // Client 0: all misses (cold file made on the server).
+  cluster.server(0).CreateFile(100, false, 0);
+  cluster.server(0).SetFileSize(100, 4 * kBlockSize);
+  auto a = cluster.client(0).Open(1, 100, OpenMode::kRead, OpenDisposition::kNormal, false, 0);
+  cluster.client(0).Read(a.handle, 4 * kBlockSize, 0);
+  cluster.client(0).Close(a.handle, 0);
+
+  // Client 1: writes then re-reads its own data (all hits).
+  auto b = cluster.client(1).Open(2, 101, OpenMode::kWrite, OpenDisposition::kTruncate, false, 1);
+  cluster.client(1).Write(b.handle, 4 * kBlockSize, 1);
+  cluster.client(1).Close(b.handle, 1);
+  auto b2 = cluster.client(1).Open(2, 101, OpenMode::kRead, OpenDisposition::kNormal, false, 2);
+  cluster.client(1).Read(b2.handle, 4 * kBlockSize, 2);
+  cluster.client(1).Close(b2.handle, 2);
+
+  // Client 2: idle (must not appear in the spread).
+  const EffectivenessSpread spread = ComputeEffectivenessSpread(cluster);
+  EXPECT_EQ(spread.read_miss_ratio.machines, 2);
+  // Machine ratios are 1.0 and 0.0 -> mean 0.5, stddev 0.5, range [0, 1].
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.mean, 0.5);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.stddev, 0.5);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.min, 0.0);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.max, 1.0);
+  // Only client 1 wrote.
+  EXPECT_EQ(spread.writeback_traffic.machines, 1);
+}
+
+TEST(EffectivenessSpreadTest, SpreadMeanTracksUniformCluster) {
+  EventQueue queue;
+  ClusterConfig config;
+  config.num_clients = 4;
+  config.num_servers = 1;
+  Cluster cluster(config, queue);
+  // Every client does identical cold reads: stddev across machines must be 0.
+  for (int c = 0; c < 4; ++c) {
+    const FileId file = 200 + static_cast<FileId>(c);
+    cluster.server(0).CreateFile(file, false, 0);
+    cluster.server(0).SetFileSize(file, 2 * kBlockSize);
+    auto open = cluster.client(static_cast<ClientId>(c))
+                    .Open(1, file, OpenMode::kRead, OpenDisposition::kNormal, false, 0);
+    cluster.client(static_cast<ClientId>(c)).Read(open.handle, 2 * kBlockSize, 0);
+    cluster.client(static_cast<ClientId>(c)).Close(open.handle, 0);
+  }
+  const EffectivenessSpread spread = ComputeEffectivenessSpread(cluster);
+  EXPECT_EQ(spread.read_miss_ratio.machines, 4);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.mean, 1.0);
+  EXPECT_DOUBLE_EQ(spread.read_miss_ratio.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,166 @@
+#include "src/consistency/polling.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+struct Builder {
+  TraceLog log;
+  uint64_t next_handle = 0;
+
+  uint64_t Open(uint64_t file, uint32_t client, uint32_t user, SimTime t,
+                bool migrated = false) {
+    Record r;
+    r.kind = RecordKind::kOpen;
+    r.time = t;
+    r.file = file;
+    r.client = client;
+    r.user = user;
+    r.handle = ++next_handle;
+    r.migrated = migrated;
+    log.push_back(r);
+    return next_handle;
+  }
+
+  void CloseRead(uint64_t handle, uint64_t file, uint32_t client, uint32_t user, SimTime t,
+                 int64_t read_bytes) {
+    Record r;
+    r.kind = RecordKind::kClose;
+    r.time = t;
+    r.file = file;
+    r.client = client;
+    r.user = user;
+    r.handle = handle;
+    r.run_read_bytes = read_bytes;
+    log.push_back(r);
+  }
+
+  void CloseWrite(uint64_t handle, uint64_t file, uint32_t client, uint32_t user, SimTime t,
+                  int64_t write_bytes) {
+    Record r;
+    r.kind = RecordKind::kClose;
+    r.time = t;
+    r.file = file;
+    r.client = client;
+    r.user = user;
+    r.handle = handle;
+    r.run_write_bytes = write_bytes;
+    log.push_back(r);
+  }
+
+  // One whole read access.
+  void ReadAccess(uint64_t file, uint32_t client, uint32_t user, SimTime t, int64_t bytes) {
+    const uint64_t h = Open(file, client, user, t);
+    CloseRead(h, file, client, user, t + kMillisecond, bytes);
+  }
+
+  void WriteAccess(uint64_t file, uint32_t client, uint32_t user, SimTime t, int64_t bytes) {
+    const uint64_t h = Open(file, client, user, t);
+    CloseWrite(h, file, client, user, t + kMillisecond, bytes);
+  }
+};
+
+TEST(PollingTest, EmptyTrace) {
+  const PollingResult result = SimulatePolling({}, 60 * kSecond);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(PollingTest, StaleReadWithinInterval) {
+  Builder b;
+  // Client 1 reads (caches) the file at t=0.
+  b.ReadAccess(7, 1, 100, 0, 1000);
+  // Client 2 writes at t=10 s.
+  b.WriteAccess(7, 2, 200, 10 * kSecond, 1000);
+  // Client 1 reads again at t=20 s: within the 60-second validity window,
+  // so it uses its stale copy -> error.
+  b.ReadAccess(7, 1, 100, 20 * kSecond, 1000);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.errors, 1);
+  EXPECT_EQ(result.opens_with_error, 1);
+  EXPECT_EQ(result.users_affected.size(), 1u);
+  EXPECT_TRUE(result.users_affected.count(100));
+}
+
+TEST(PollingTest, ShortIntervalAvoidsError) {
+  Builder b;
+  b.ReadAccess(7, 1, 100, 0, 1000);
+  b.WriteAccess(7, 2, 200, 10 * kSecond, 1000);
+  b.ReadAccess(7, 1, 100, 20 * kSecond, 1000);
+  // 3-second interval: client 1's copy expired long before the re-read.
+  const PollingResult result = SimulatePolling(b.log, 3 * kSecond);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(PollingTest, ReadWithinIntervalButNoRemoteWriteIsFine) {
+  Builder b;
+  b.ReadAccess(7, 1, 100, 0, 1000);
+  b.ReadAccess(7, 1, 100, 5 * kSecond, 1000);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.errors, 0);
+}
+
+TEST(PollingTest, WriterSeesOwnData) {
+  Builder b;
+  b.WriteAccess(7, 1, 100, 0, 1000);
+  b.ReadAccess(7, 1, 100, 5 * kSecond, 1000);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.errors, 0) << "write-through updates the writer's own cache";
+}
+
+TEST(PollingTest, ErrorsPerHourScaling) {
+  Builder b;
+  // One error per exchange, 10 exchanges over one hour.
+  for (int i = 0; i < 10; ++i) {
+    const SimTime base = i * 6 * kMinute;
+    b.ReadAccess(7, 1, 100, base, 1000);
+    b.WriteAccess(7, 2, 200, base + 5 * kSecond, 1000);
+    b.ReadAccess(7, 1, 100, base + 10 * kSecond, 1000);
+  }
+  // Stretch the trace to exactly 1 hour.
+  b.ReadAccess(8, 3, 300, kHour, 10);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.errors, 10);
+  EXPECT_NEAR(result.errors_per_hour(), 10.0, 0.2);
+}
+
+TEST(PollingTest, AffectedUserFraction) {
+  Builder b;
+  b.ReadAccess(7, 1, 100, 0, 1000);
+  b.WriteAccess(7, 2, 200, kSecond, 1000);
+  b.ReadAccess(7, 1, 100, 2 * kSecond, 1000);
+  b.ReadAccess(9, 3, 300, 3 * kSecond, 1000);  // uninvolved user
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.users_seen.size(), 3u);
+  EXPECT_NEAR(result.affected_user_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(PollingTest, MigratedOpensTracked) {
+  Builder b;
+  const uint64_t h = b.Open(7, 1, 100, 0, /*migrated=*/true);
+  b.CloseRead(h, 7, 1, 100, kMillisecond, 100);
+  b.WriteAccess(7, 2, 200, kSecond, 100);
+  const uint64_t h2 = b.Open(7, 1, 100, 2 * kSecond, /*migrated=*/true);
+  b.CloseRead(h2, 7, 1, 100, 2 * kSecond + kMillisecond, 100);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.migrated_opens, 2);
+  EXPECT_EQ(result.migrated_opens_with_error, 1);
+}
+
+TEST(PollingTest, DeleteInvalidatesVersion) {
+  Builder b;
+  b.ReadAccess(7, 1, 100, 0, 1000);
+  Record del;
+  del.kind = RecordKind::kDelete;
+  del.time = kSecond;
+  del.file = 7;
+  del.client = 2;
+  del.user = 200;
+  b.log.push_back(del);
+  b.ReadAccess(7, 1, 100, 2 * kSecond, 1000);
+  const PollingResult result = SimulatePolling(b.log, 60 * kSecond);
+  EXPECT_EQ(result.errors, 1) << "reading a cached copy of deleted/replaced data is stale";
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,248 @@
+#include "src/fs/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sprite {
+namespace {
+
+CacheConfig SmallConfig(int64_t max_blocks = 4, int64_t min_blocks = 1) {
+  CacheConfig c;
+  c.max_blocks = max_blocks;
+  c.min_blocks = min_blocks;
+  return c;
+}
+
+class BlockCacheTest : public ::testing::Test {
+ protected:
+  CacheCounters counters_;
+  std::vector<std::pair<BlockKey, int64_t>> writebacks_;
+
+  BlockCache::WritebackFn Sink() {
+    return [this](BlockKey key, int64_t bytes) { writebacks_.emplace_back(key, bytes); };
+  }
+};
+
+TEST_F(BlockCacheTest, StartsAtMinLimit) {
+  BlockCache cache(SmallConfig(100, 7), &counters_);
+  EXPECT_EQ(cache.limit_blocks(), 7);
+  EXPECT_EQ(cache.block_count(), 0);
+}
+
+TEST_F(BlockCacheTest, LookupMissThenHit) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(4);
+  const BlockKey key{1, 0};
+  EXPECT_FALSE(cache.Lookup(key, 10));
+  cache.InsertClean(key, 10, Sink());
+  EXPECT_TRUE(cache.Lookup(key, 20));
+  EXPECT_TRUE(cache.Contains(key));
+}
+
+TEST_F(BlockCacheTest, LruEvictionOrder) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(2);
+  cache.InsertClean({1, 0}, 1, Sink());
+  cache.InsertClean({1, 1}, 2, Sink());
+  // Touch block 0 so block 1 becomes LRU.
+  EXPECT_TRUE(cache.Lookup({1, 0}, 3));
+  cache.InsertClean({1, 2}, 4, Sink());
+  EXPECT_TRUE(cache.Contains({1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 1}));
+  EXPECT_TRUE(cache.Contains({1, 2}));
+  EXPECT_EQ(counters_.replaced_for_file, 1);
+}
+
+TEST_F(BlockCacheTest, ReplacementAgeRecorded) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(1);
+  cache.InsertClean({1, 0}, 100, Sink());
+  cache.InsertClean({1, 1}, 100 + kMinute, Sink());
+  EXPECT_EQ(counters_.replaced_for_file, 1);
+  EXPECT_EQ(counters_.replaced_for_file_age_us, kMinute);
+}
+
+TEST_F(BlockCacheTest, WriteMarksDirtyAndTracksExtent) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(4);
+  const BlockKey key{1, 0};
+  cache.Write(key, 10, 100, Sink());
+  EXPECT_TRUE(cache.IsDirty(key));
+  cache.Write(key, 20, 50, Sink());  // extent must not shrink
+  cache.CleanFile(1, 30, CleanReason::kFsync, Sink());
+  ASSERT_EQ(writebacks_.size(), 1u);
+  EXPECT_EQ(writebacks_[0].second, 100);
+}
+
+TEST_F(BlockCacheTest, ExtentClampedToBlockSize) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(4);
+  cache.Write({1, 0}, 10, 2 * kBlockSize, Sink());
+  cache.CleanFile(1, 30, CleanReason::kFsync, Sink());
+  ASSERT_EQ(writebacks_.size(), 1u);
+  EXPECT_EQ(writebacks_[0].second, kBlockSize);
+}
+
+TEST_F(BlockCacheTest, WriteReturnsResidency) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(4);
+  EXPECT_FALSE(cache.Write({1, 0}, 10, 10, Sink()));
+  EXPECT_TRUE(cache.Write({1, 0}, 11, 20, Sink()));
+}
+
+TEST_F(BlockCacheTest, CleanAgedRespectsDelay) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  cache.Write({1, 0}, 0, 100, Sink());
+  // At 29 s the block is not yet due.
+  EXPECT_EQ(cache.CleanAged(29 * kSecond, Sink()), 0);
+  EXPECT_TRUE(cache.IsDirty({1, 0}));
+  // At 30 s it is.
+  EXPECT_EQ(cache.CleanAged(30 * kSecond, Sink()), 1);
+  EXPECT_FALSE(cache.IsDirty({1, 0}));
+  EXPECT_EQ(counters_.cleaned[static_cast<int>(CleanReason::kDelay)], 1);
+  EXPECT_EQ(counters_.cleaned_age_us[static_cast<int>(CleanReason::kDelay)], 30 * kSecond);
+}
+
+TEST_F(BlockCacheTest, CleanAgedFlushesWholeFile) {
+  // "All dirty blocks for a file are written to the server if any block in
+  // the file has been dirty for 30 seconds."
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  cache.Write({1, 0}, 0, 100, Sink());
+  cache.Write({1, 1}, 25 * kSecond, 100, Sink());  // only 5 s dirty at the scan
+  cache.Write({2, 0}, 25 * kSecond, 100, Sink());  // different file, not due
+  EXPECT_EQ(cache.CleanAged(30 * kSecond, Sink()), 2);
+  EXPECT_FALSE(cache.IsDirty({1, 1}));
+  EXPECT_TRUE(cache.IsDirty({2, 0}));
+}
+
+TEST_F(BlockCacheTest, CleanFileReasonAttribution) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  cache.Write({1, 0}, 0, 100, Sink());
+  cache.CleanFile(1, 5 * kSecond, CleanReason::kRecall, Sink());
+  EXPECT_EQ(counters_.cleaned[static_cast<int>(CleanReason::kRecall)], 1);
+  EXPECT_EQ(counters_.cleaned_age_us[static_cast<int>(CleanReason::kRecall)], 5 * kSecond);
+  EXPECT_EQ(cache.CleanFile(1, 6 * kSecond, CleanReason::kRecall, Sink()), 0)
+      << "second clean should find nothing dirty";
+}
+
+TEST_F(BlockCacheTest, HasDirtyBlocks) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  EXPECT_FALSE(cache.HasDirtyBlocks(1));
+  cache.InsertClean({1, 0}, 0, Sink());
+  EXPECT_FALSE(cache.HasDirtyBlocks(1));
+  cache.Write({1, 1}, 0, 10, Sink());
+  EXPECT_TRUE(cache.HasDirtyBlocks(1));
+}
+
+TEST_F(BlockCacheTest, InvalidateDropsBlocksAndCountsCancelledBytes) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  cache.Write({1, 0}, 0, 300, Sink());
+  cache.InsertClean({1, 1}, 0, Sink());
+  cache.InvalidateFile(1, 1);
+  EXPECT_FALSE(cache.Contains({1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 1}));
+  EXPECT_EQ(counters_.bytes_cancelled_before_writeback, 300);
+  EXPECT_TRUE(writebacks_.empty()) << "invalidated dirty data must not reach the server";
+}
+
+TEST_F(BlockCacheTest, DirtyEvictionWritesBackFirst) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(1);
+  cache.Write({1, 0}, 0, 200, Sink());
+  cache.InsertClean({2, 0}, 1, Sink());
+  ASSERT_EQ(writebacks_.size(), 1u);
+  EXPECT_EQ(writebacks_[0].first, (BlockKey{1, 0}));
+  EXPECT_EQ(writebacks_[0].second, 200);
+  EXPECT_EQ(counters_.cleaned[static_cast<int>(CleanReason::kReplacement)], 1);
+}
+
+TEST_F(BlockCacheTest, ReleaseLruToVmShrinksLimit) {
+  BlockCache cache(SmallConfig(8, 1), &counters_);
+  cache.set_limit_blocks(4);
+  cache.InsertClean({1, 0}, 0, Sink());
+  cache.InsertClean({1, 1}, 1, Sink());
+  EXPECT_TRUE(cache.ReleaseLruToVm(2, Sink()));
+  EXPECT_EQ(cache.limit_blocks(), 3);
+  EXPECT_FALSE(cache.Contains({1, 0}));
+  EXPECT_EQ(counters_.replaced_for_vm, 1);
+}
+
+TEST_F(BlockCacheTest, ReleaseLruToVmStopsAtMinimum) {
+  BlockCache cache(SmallConfig(8, 2), &counters_);
+  cache.set_limit_blocks(2);
+  cache.InsertClean({1, 0}, 0, Sink());
+  EXPECT_FALSE(cache.ReleaseLruToVm(1, Sink()));
+  EXPECT_TRUE(cache.Contains({1, 0}));
+}
+
+TEST_F(BlockCacheTest, ReleaseLruToVmCleansDirtyVictim) {
+  BlockCache cache(SmallConfig(8, 1), &counters_);
+  cache.set_limit_blocks(4);
+  cache.Write({1, 0}, 0, 64, Sink());
+  EXPECT_TRUE(cache.ReleaseLruToVm(1, Sink()));
+  ASSERT_EQ(writebacks_.size(), 1u);
+  EXPECT_EQ(counters_.cleaned[static_cast<int>(CleanReason::kVm)], 1);
+}
+
+TEST_F(BlockCacheTest, GrantPageFromVmGrowsLimit) {
+  BlockCache cache(SmallConfig(8, 1), &counters_);
+  cache.set_limit_blocks(2);
+  cache.GrantPageFromVm();
+  EXPECT_EQ(cache.limit_blocks(), 3);
+}
+
+TEST_F(BlockCacheTest, SyncVersionFlushesStaleBlocks) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  EXPECT_FALSE(cache.SyncVersion(1, 5, 0)) << "first contact is never stale";
+  cache.InsertClean({1, 0}, 0, Sink());
+  EXPECT_FALSE(cache.SyncVersion(1, 5, 1)) << "same version keeps blocks";
+  EXPECT_TRUE(cache.Contains({1, 0}));
+  EXPECT_TRUE(cache.SyncVersion(1, 6, 2)) << "newer version flushes";
+  EXPECT_FALSE(cache.Contains({1, 0}));
+}
+
+TEST_F(BlockCacheTest, SyncVersionNoBlocksNoFlush) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.SyncVersion(1, 5, 0);
+  EXPECT_FALSE(cache.SyncVersion(1, 7, 1)) << "no resident blocks -> nothing flushed";
+}
+
+TEST_F(BlockCacheTest, DemoteToLruTailEvictedFirst) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(2);
+  cache.InsertClean({1, 0}, 0, Sink());
+  cache.InsertClean({1, 1}, 1, Sink());
+  // Block 1 is MRU; demote it so it becomes the replacement victim.
+  cache.DemoteToLruTail({1, 1});
+  cache.InsertClean({1, 2}, 2, Sink());
+  EXPECT_TRUE(cache.Contains({1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 1}));
+}
+
+TEST_F(BlockCacheTest, NullCountersSafe) {
+  BlockCache cache(SmallConfig(), nullptr);
+  cache.set_limit_blocks(1);
+  cache.Write({1, 0}, 0, 100, Sink());
+  cache.InsertClean({2, 0}, 1, Sink());  // forces dirty eviction
+  cache.InvalidateFile(2, 2);
+  EXPECT_EQ(cache.block_count(), 0);
+}
+
+TEST_F(BlockCacheTest, WritebackBytesCounted) {
+  BlockCache cache(SmallConfig(), &counters_);
+  cache.set_limit_blocks(8);
+  cache.Write({1, 0}, 0, 1000, Sink());
+  cache.Write({1, 1}, 0, kBlockSize, Sink());
+  cache.CleanAged(30 * kSecond, Sink());
+  EXPECT_EQ(counters_.bytes_written_to_server, 1000 + kBlockSize);
+}
+
+}  // namespace
+}  // namespace sprite

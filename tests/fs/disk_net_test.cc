@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "src/fs/disk.h"
+#include "src/fs/net.h"
+
+namespace sprite {
+namespace {
+
+TEST(DiskTest, AccessTimeIncludesPositioningAndTransfer) {
+  DiskConfig config;
+  config.access_time = 25 * kMillisecond;
+  config.bandwidth_bytes_per_sec = 1.0e6;
+  Disk disk(config);
+  // 4 KB at 1 MB/s = ~4.1 ms transfer on top of 25 ms positioning.
+  const SimDuration t = disk.AccessTime(4096);
+  EXPECT_GT(t, 25 * kMillisecond);
+  EXPECT_LT(t, 35 * kMillisecond);
+}
+
+TEST(DiskTest, CountsTraffic) {
+  Disk disk(DiskConfig{});
+  disk.Read(4096);
+  disk.Read(4096);
+  disk.Write(1000);
+  EXPECT_EQ(disk.reads(), 2);
+  EXPECT_EQ(disk.writes(), 1);
+  EXPECT_EQ(disk.bytes_read(), 8192);
+  EXPECT_EQ(disk.bytes_written(), 1000);
+  EXPECT_GT(disk.busy_time(), 0);
+}
+
+TEST(NetworkTest, BlockFetchMatchesPaperLatency) {
+  // The paper: fetching a 4-Kbyte page from a server's cache over the
+  // Ethernet takes about 6 to 7 ms.
+  Network net(NetworkConfig{});
+  const SimDuration t = net.RpcTime(4096);
+  EXPECT_GE(t, 6 * kMillisecond);
+  EXPECT_LE(t, 7 * kMillisecond);
+}
+
+TEST(NetworkTest, CountsRpcsAndBytes) {
+  Network net(NetworkConfig{});
+  net.Rpc(4096);
+  net.Rpc(128);
+  EXPECT_EQ(net.rpc_count(), 2);
+  EXPECT_EQ(net.bytes_carried(), 4096 + 128);
+}
+
+TEST(NetworkTest, UtilizationFortyClientsPagingIsSmall) {
+  // The paper: 40 workstations generate ~42 KB/s of paging traffic, about
+  // four percent of Ethernet bandwidth.
+  Network net(NetworkConfig{});
+  const SimDuration elapsed = kSecond;
+  // 42 KB over one second.
+  for (int i = 0; i < 10; ++i) {
+    net.Rpc(4300);
+  }
+  const double util = net.Utilization(elapsed);
+  EXPECT_NEAR(util, 0.034, 0.01);
+}
+
+TEST(NetworkTest, ZeroElapsedUtilization) {
+  Network net(NetworkConfig{});
+  EXPECT_DOUBLE_EQ(net.Utilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,80 @@
+#include "src/fs/vm.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+constexpr SimDuration kPref = 20 * kMinute;
+
+TEST(VmTest, StartsEmpty) {
+  Vm vm(100, kPref);
+  EXPECT_EQ(vm.resident_pages(), 0);
+  EXPECT_EQ(vm.total_pages(), 100);
+  EXPECT_FALSE(vm.EvictLru().valid);
+}
+
+TEST(VmTest, AddAndEvictLruOrder) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kCode, 1);
+  vm.AddPage(PageKind::kStack, 2);
+  // LRU is the first added.
+  const Vm::Evicted e = vm.EvictLru();
+  ASSERT_TRUE(e.valid);
+  EXPECT_EQ(e.kind, PageKind::kCode);
+  EXPECT_EQ(vm.resident_pages(), 1);
+}
+
+TEST(VmTest, YieldRequiresPreferenceAge) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kCode, 0);
+  EXPECT_FALSE(vm.TryYieldIdlePage(kPref - 1));
+  EXPECT_TRUE(vm.TryYieldIdlePage(kPref));
+  EXPECT_EQ(vm.resident_pages(), 0);
+}
+
+TEST(VmTest, TouchWorkingSetKeepsPagesHot) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kInitData, 0);
+  vm.TouchWorkingSet(kPref, 1);
+  EXPECT_FALSE(vm.TryYieldIdlePage(kPref + 1)) << "recently touched page is not yieldable";
+  EXPECT_TRUE(vm.TryYieldIdlePage(2 * kPref));
+}
+
+TEST(VmTest, TouchWorkingSetOnlyPrefix) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kCode, 0);  // will be at the back (LRU)
+  vm.AddPage(PageKind::kCode, 0);
+  vm.TouchWorkingSet(kPref, 1);  // refreshes only the MRU page
+  EXPECT_TRUE(vm.TryYieldIdlePage(kPref)) << "the untouched LRU page is yieldable";
+  EXPECT_FALSE(vm.TryYieldIdlePage(kPref));
+}
+
+TEST(VmTest, TouchMoreThanResidentIsSafe) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kCode, 0);
+  vm.TouchWorkingSet(1, 50);
+  EXPECT_EQ(vm.resident_pages(), 1);
+}
+
+TEST(VmTest, EvictColdPagesCountsDirty) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kModifiedData, 0);
+  vm.AddPage(PageKind::kCode, 1);
+  vm.AddPage(PageKind::kStack, 2);
+  vm.AddPage(PageKind::kInitData, 3);
+  // Evict the three LRU pages: modified-data (dirty), code (clean),
+  // stack (dirty).
+  EXPECT_EQ(vm.EvictColdPages(3), 2);
+  EXPECT_EQ(vm.resident_pages(), 1);
+}
+
+TEST(VmTest, EvictColdPagesMoreThanResident) {
+  Vm vm(100, kPref);
+  vm.AddPage(PageKind::kStack, 0);
+  EXPECT_EQ(vm.EvictColdPages(10), 1);
+  EXPECT_EQ(vm.resident_pages(), 0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,180 @@
+// Calibration regression tests.
+//
+// These pin the reproduction's headline numbers to generous bands around
+// the paper's reported values, so future changes to the workload model or
+// the simulator cannot silently drift away from the published shapes. Each
+// band is wide enough to absorb seed-to-seed noise but tight enough to
+// catch a real regression (e.g. losing the delayed-write savings or the
+// access-mix balance).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/accesses.h"
+#include "src/analysis/activity.h"
+#include "src/analysis/cache_report.h"
+#include "src/analysis/lifetimes.h"
+#include "src/analysis/patterns.h"
+#include "src/trace/summary.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadParams params;
+    params.num_users = 16;
+    params.seed = 1991;
+    ClusterConfig cluster;
+    cluster.num_clients = 20;  // idle pool for migration
+    cluster.num_servers = 4;
+    generator_ = new Generator(params, cluster);
+    trace_ = new TraceLog(generator_->Run(75 * kMinute, 25 * kMinute));
+    accesses_ = new std::vector<Access>(ExtractAccesses(*trace_));
+  }
+  static void TearDownTestSuite() {
+    delete accesses_;
+    delete trace_;
+    delete generator_;
+    accesses_ = nullptr;
+    trace_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static Generator* generator_;
+  static TraceLog* trace_;
+  static std::vector<Access>* accesses_;
+};
+
+Generator* CalibrationTest::generator_ = nullptr;
+TraceLog* CalibrationTest::trace_ = nullptr;
+std::vector<Access>* CalibrationTest::accesses_ = nullptr;
+
+TEST_F(CalibrationTest, AccessMixNearPaper) {
+  const AccessPatternStats stats = ComputeAccessPatterns(*accesses_);
+  // Paper: 88% (82-94) read-only, 11% (6-17) write-only, ~1% read-write.
+  EXPECT_GT(stats.read_only.accesses_fraction, 0.70);
+  EXPECT_LT(stats.read_only.accesses_fraction, 0.95);
+  EXPECT_GT(stats.write_only.accesses_fraction, 0.05);
+  EXPECT_LT(stats.write_only.accesses_fraction, 0.30);
+  EXPECT_LT(stats.read_write.accesses_fraction, 0.05);
+}
+
+TEST_F(CalibrationTest, SequentialityNearPaper) {
+  const AccessPatternStats stats = ComputeAccessPatterns(*accesses_);
+  // Paper: ~78% of read-only accesses whole-file; >90% of RO bytes
+  // sequential.
+  EXPECT_GT(stats.read_only.whole_file, 0.65);
+  EXPECT_GT(stats.read_only.whole_file_bytes + stats.read_only.other_sequential_bytes, 0.90);
+  EXPECT_LT(stats.read_only.random, 0.10);
+}
+
+TEST_F(CalibrationTest, OpenDurationsNearPaper) {
+  const WeightedSamples durations = ComputeOpenDurations(*accesses_);
+  // Paper: ~75% of opens < 0.25 s.
+  const double f = durations.FractionAtOrBelow(0.25);
+  EXPECT_GT(f, 0.60);
+  EXPECT_LT(f, 0.95);
+}
+
+TEST_F(CalibrationTest, LifetimesNearPaper) {
+  const LifetimeCurves lifetimes = ComputeLifetimes(*trace_);
+  // Paper: 65-80% of files die within 30 s, but only 4-27% of bytes.
+  const double files = lifetimes.by_files.FractionAtOrBelow(30.0);
+  const double bytes = lifetimes.by_bytes.FractionAtOrBelow(30.0);
+  EXPECT_GT(files, 0.5);
+  EXPECT_LT(files, 0.9);
+  EXPECT_LT(bytes, 0.5);
+  EXPECT_LT(bytes, files) << "short-lived files must be short";
+}
+
+TEST_F(CalibrationTest, ThroughputNearPaper) {
+  const ActivityReport activity = ComputeActivity(*trace_, 10 * kMinute);
+  // Paper: 8.0 KB/s per active user over 10-minute intervals (20x BSD).
+  const double kbps = activity.all_users.throughput_per_user.mean() / 1024.0;
+  EXPECT_GT(kbps, 3.0);
+  EXPECT_LT(kbps, 25.0);
+}
+
+TEST_F(CalibrationTest, BurstinessShape) {
+  const ActivityReport ten_min = ComputeActivity(*trace_, 10 * kMinute);
+  const ActivityReport ten_sec = ComputeActivity(*trace_, 10 * kSecond);
+  // 10-second rates must exceed 10-minute rates substantially (paper ~6x).
+  EXPECT_GT(ten_sec.all_users.throughput_per_user.mean(),
+            1.5 * ten_min.all_users.throughput_per_user.mean());
+  // Peak bursts dwarf the average (paper: 458 KB/s peak vs 8 KB/s average).
+  EXPECT_GT(ten_min.all_users.peak_user_throughput,
+            3.0 * ten_min.all_users.throughput_per_user.mean());
+}
+
+TEST_F(CalibrationTest, CacheSizeNearPaper) {
+  const CacheSizeReport report =
+      ComputeCacheSizeReport(generator_->cluster().cache_size_samples());
+  // Paper: ~7 MB mean, one-quarter to one-third of 24 MB memory.
+  EXPECT_GT(report.mean_bytes, 3.0 * kMegabyte);
+  EXPECT_LT(report.mean_bytes, 12.0 * kMegabyte);
+}
+
+TEST_F(CalibrationTest, CacheEffectivenessNearPaper) {
+  const EffectivenessReport report =
+      ComputeEffectivenessReport(generator_->cluster().AggregateCacheCounters());
+  // Paper: 41.4% read misses (sigma 26.9), ~88% writeback traffic, rare
+  // write fetches, ~29% paging misses.
+  // The paper's per-machine dispersion is enormous (sigma 26.9, max 97%),
+  // so the band here is wide.
+  EXPECT_GT(report.read_miss_ratio, 0.2);
+  EXPECT_LT(report.read_miss_ratio, 0.85);
+  EXPECT_GT(report.writeback_traffic, 0.7);
+  EXPECT_LT(report.writeback_traffic, 1.2);
+  EXPECT_LT(report.write_fetch_ratio, 0.05);
+  EXPECT_GT(report.paging_read_miss_ratio, 0.1);
+  EXPECT_LT(report.paging_read_miss_ratio, 0.5);
+  // The delayed-write savings: roughly one-tenth of new bytes die first.
+  EXPECT_GT(report.cancelled_fraction, 0.02);
+  EXPECT_LT(report.cancelled_fraction, 0.30);
+}
+
+TEST_F(CalibrationTest, ServerTrafficShapeNearPaper) {
+  const ServerCounters server = generator_->cluster().AggregateServerCounters();
+  const TrafficCounters raw = generator_->cluster().AggregateTrafficCounters();
+  const ServerTrafficReport report = ComputeServerTrafficReport(server);
+  // Paper: paging ~35% of server bytes; caches filter ~50% of raw traffic;
+  // write-shared pass-through ~1%.
+  EXPECT_GT(report.paging_fraction(), 0.15);
+  EXPECT_LT(report.paging_fraction(), 0.55);
+  EXPECT_LT(report.shared, 0.05);
+  const double filter = ComputeFilterRatio(raw, server);
+  EXPECT_GT(filter, 0.35);
+  EXPECT_LT(filter, 0.85);
+}
+
+TEST_F(CalibrationTest, ConsistencyActionsNearPaper) {
+  const ConsistencyActionReport report =
+      ComputeConsistencyActionReport(generator_->cluster().AggregateServerCounters());
+  // Paper: write-sharing 0.34% (0.18-0.56) of opens; recalls 1.7%
+  // (0.79-3.35).
+  EXPECT_GT(report.write_sharing_fraction, 0.0005);
+  EXPECT_LT(report.write_sharing_fraction, 0.02);
+  EXPECT_GT(report.recall_fraction, 0.003);
+  EXPECT_LT(report.recall_fraction, 0.06);
+}
+
+TEST_F(CalibrationTest, LargeFilesCarryTheBytes) {
+  const FileSizeCurves sizes = ComputeFileSizes(*accesses_);
+  // Paper Fig 2: most accesses are small files, most bytes big files.
+  EXPECT_GT(sizes.by_accesses.FractionAtOrBelow(10 * kKilobyte), 0.6);
+  EXPECT_GT(1.0 - sizes.by_bytes.FractionAtOrBelow(kMegabyte), 0.3);
+}
+
+TEST_F(CalibrationTest, RunLengthShape) {
+  const RunLengthCurves runs = ComputeRunLengths(*accesses_);
+  // Paper Fig 1: ~80% of runs < 10 KB; >= 10% of bytes in runs > 1 MB.
+  const double short_runs = runs.by_runs.FractionAtOrBelow(10 * kKilobyte);
+  EXPECT_GT(short_runs, 0.65);
+  EXPECT_LT(short_runs, 0.95);
+  EXPECT_GT(1.0 - runs.by_bytes.FractionAtOrBelow(kMegabyte), 0.10);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,101 @@
+// End-to-end runs of the paper-motivated extension configurations: the full
+// workload generator driving clusters with the log-structured server
+// backend, readahead, bypass, and crash injection.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/cache_report.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+WorkloadParams SmallParams(uint64_t seed) {
+  WorkloadParams params;
+  params.num_users = 6;
+  params.seed = seed;
+  return params;
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.num_clients = 8;
+  config.num_servers = 2;
+  return config;
+}
+
+TEST(ExtensionsPipelineTest, LogStructuredServerRunsFullWorkload) {
+  ClusterConfig config = SmallCluster();
+  config.server.disk_layout = DiskLayout::kLogStructured;
+  Generator generator(SmallParams(5), config);
+  const TraceLog trace = generator.Run(30 * kMinute, 10 * kMinute);
+  EXPECT_FALSE(trace.empty());
+  int64_t log_bytes = 0;
+  for (int s = 0; s < generator.cluster().num_servers(); ++s) {
+    const Server& server = generator.cluster().server(static_cast<ServerId>(s));
+    ASSERT_NE(server.segment_log(), nullptr);
+    log_bytes += server.segment_log()->user_bytes_written();
+    EXPECT_GE(server.segment_log()->WriteCost(), 1.0);
+    EXPECT_GE(server.segment_log()->Utilization(), 0.0);
+    EXPECT_LE(server.segment_log()->Utilization(), 1.0 + 1e-9);
+  }
+  EXPECT_GT(log_bytes, 0) << "writebacks must have reached the log";
+}
+
+TEST(ExtensionsPipelineTest, LogLayoutDoesNotChangeClientVisibleBehavior) {
+  // The disk layout is below the caches: the trace (client-visible events)
+  // must be identical either way.
+  auto run = [](DiskLayout layout) {
+    ClusterConfig config = SmallCluster();
+    config.server.disk_layout = layout;
+    Generator generator(SmallParams(6), config);
+    return generator.Run(20 * kMinute);
+  };
+  EXPECT_EQ(run(DiskLayout::kUpdateInPlace), run(DiskLayout::kLogStructured));
+}
+
+TEST(ExtensionsPipelineTest, ReadaheadAndBypassRunFullWorkload) {
+  ClusterConfig config = SmallCluster();
+  config.client.readahead_blocks = 4;
+  config.client.large_file_bypass_bytes = 2 * kMegabyte;
+  Generator generator(SmallParams(7), config);
+  generator.Run(30 * kMinute, 10 * kMinute);
+  const CacheCounters counters = generator.cluster().AggregateCacheCounters();
+  EXPECT_GT(counters.prefetch_fetches, 0);
+  EXPECT_GT(counters.prefetch_useful, 0);
+  EXPECT_LE(counters.prefetch_useful, counters.prefetch_fetches);
+  EXPECT_GT(counters.bypass_read_bytes, 0);
+}
+
+TEST(ExtensionsPipelineTest, CrashInjectionDuringWorkload) {
+  ClusterConfig config = SmallCluster();
+  Generator generator(SmallParams(8), config);
+  // Crash a busy (user-homed) client every 90 simulated seconds: over ~25
+  // crashes some dirty data is virtually certain to be in flight.
+  Rng rng(3);
+  PeriodicTask crasher(generator.queue(), 90 * kSecond, 90 * kSecond, [&](SimTime now) {
+    generator.cluster().CrashClient(static_cast<ClientId>(rng.NextBelow(6)), now);
+  });
+  generator.Run(40 * kMinute);
+  const CacheCounters counters = generator.cluster().AggregateCacheCounters();
+  EXPECT_GE(counters.crashes, 20);
+  EXPECT_GT(counters.bytes_lost_in_crashes, 0);
+  EXPECT_EQ(counters.bytes_recovered_from_nvram, 0);
+}
+
+TEST(ExtensionsPipelineTest, NvramEliminatesCrashLoss) {
+  ClusterConfig config = SmallCluster();
+  config.client.nvram = true;
+  Generator generator(SmallParams(8), config);
+  Rng rng(3);
+  PeriodicTask crasher(generator.queue(), 90 * kSecond, 90 * kSecond, [&](SimTime now) {
+    generator.cluster().CrashClient(static_cast<ClientId>(rng.NextBelow(6)), now);
+  });
+  generator.Run(40 * kMinute);
+  const CacheCounters counters = generator.cluster().AggregateCacheCounters();
+  EXPECT_EQ(counters.bytes_lost_in_crashes, 0);
+  EXPECT_GT(counters.bytes_recovered_from_nvram, 0);
+}
+
+}  // namespace
+}  // namespace sprite

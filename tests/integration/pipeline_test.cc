@@ -1,0 +1,203 @@
+// Integration tests: the whole pipeline — workload generator -> cluster
+// simulation -> trace -> analyses -> reports — with cross-module
+// consistency checks (the same quantity computed two ways must agree).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/accesses.h"
+#include "src/analysis/activity.h"
+#include "src/analysis/cache_report.h"
+#include "src/analysis/lifetimes.h"
+#include "src/analysis/patterns.h"
+#include "src/consistency/overhead.h"
+#include "src/consistency/polling.h"
+#include "src/trace/codec.h"
+#include "src/trace/merge.h"
+#include "src/trace/summary.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadParams params;
+    params.num_users = 10;
+    params.seed = 31415;
+    ClusterConfig cluster;
+    cluster.num_clients = 10;
+    cluster.num_servers = 3;
+    generator_ = new Generator(params, cluster);
+    trace_ = new TraceLog(generator_->Run(kHour, 15 * kMinute));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete generator_;
+    trace_ = nullptr;
+    generator_ = nullptr;
+  }
+
+  static Generator* generator_;
+  static TraceLog* trace_;
+};
+
+Generator* PipelineTest::generator_ = nullptr;
+TraceLog* PipelineTest::trace_ = nullptr;
+
+TEST_F(PipelineTest, TraceIsWellFormed) {
+  ASSERT_FALSE(trace_->empty());
+  EXPECT_TRUE(IsTimeOrdered(*trace_));
+  for (const Record& r : *trace_) {
+    ASSERT_GE(r.time, 15 * kMinute) << "warmup records must have been discarded";
+    ASSERT_GE(r.run_read_bytes, 0);
+    ASSERT_GE(r.run_write_bytes, 0);
+    ASSERT_GE(r.io_bytes, 0);
+    ASSERT_GE(r.file_size, 0);
+  }
+}
+
+TEST_F(PipelineTest, CodecRoundTripsFullWorkloadTrace) {
+  const std::string bytes = EncodeTrace(*trace_);
+  EXPECT_EQ(DecodeTrace(bytes), *trace_);
+  // And the encoding is compact (well under the in-memory footprint).
+  EXPECT_LT(bytes.size(), trace_->size() * sizeof(Record) / 2);
+}
+
+TEST_F(PipelineTest, AccessesMatchCloseEvents) {
+  const TraceSummary summary = Summarize(*trace_);
+  const auto accesses = ExtractAccesses(*trace_);
+  // Every completed access corresponds to a close; a few opens may still be
+  // in flight at the cut.
+  EXPECT_LE(static_cast<int64_t>(accesses.size()), summary.close_events);
+  EXPECT_GE(static_cast<int64_t>(accesses.size()), summary.close_events - 64);
+}
+
+TEST_F(PipelineTest, BytesAgreeBetweenSummaryAndAccesses) {
+  const TraceSummary summary = Summarize(*trace_);
+  const auto accesses = ExtractAccesses(*trace_);
+  int64_t access_read = 0;
+  int64_t access_write = 0;
+  for (const Access& a : accesses) {
+    access_read += a.total_read();
+    access_write += a.total_write();
+  }
+  // Access totals exclude shared pass-through I/O (counted separately in the
+  // summary) and in-flight handles; they must not exceed the summary and
+  // should account for nearly all of it.
+  EXPECT_LE(access_read, summary.bytes_read);
+  EXPECT_LE(access_write, summary.bytes_written);
+  EXPECT_GT(access_read, summary.bytes_read * 9 / 10);
+}
+
+TEST_F(PipelineTest, CdfMonotonicityEverywhere) {
+  const auto accesses = ExtractAccesses(*trace_);
+  const RunLengthCurves runs = ComputeRunLengths(accesses);
+  const FileSizeCurves sizes = ComputeFileSizes(accesses);
+  const WeightedSamples opens = ComputeOpenDurations(accesses);
+  const LifetimeCurves lifetimes = ComputeLifetimes(*trace_);
+  for (const WeightedSamples* curve :
+       {&runs.by_runs, &runs.by_bytes, &sizes.by_accesses, &sizes.by_bytes, &opens,
+        &lifetimes.by_files, &lifetimes.by_bytes}) {
+    double previous = 0.0;
+    for (double x : {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}) {
+      const double f = curve->FractionAtOrBelow(x);
+      ASSERT_GE(f, previous);
+      ASSERT_LE(f, 1.0 + 1e-9);
+      previous = f;
+    }
+    EXPECT_NEAR(curve->FractionAtOrBelow(1e18), 1.0, 1e-9);
+  }
+}
+
+TEST_F(PipelineTest, ActivityBytesMatchSummary) {
+  const TraceSummary summary = Summarize(*trace_);
+  const ActivityReport activity = ComputeActivity(*trace_, 10 * kMinute);
+  // Sum of per-user-interval throughput * interval length == all bytes
+  // (file + dir + shared).
+  const double total_bytes =
+      activity.all_users.throughput_per_user.sum() * ToSeconds(10 * kMinute);
+  const double expected = static_cast<double>(summary.bytes_read + summary.bytes_written +
+                                              summary.bytes_dir_read);
+  EXPECT_NEAR(total_bytes, expected, expected * 1e-6);
+}
+
+TEST_F(PipelineTest, CacheCountersInternallyConsistent) {
+  const CacheCounters cache = generator_->cluster().AggregateCacheCounters();
+  EXPECT_LE(cache.read_misses, cache.read_ops);
+  EXPECT_LE(cache.migrated_read_ops, cache.read_ops);
+  EXPECT_LE(cache.migrated_read_misses, cache.read_misses);
+  EXPECT_LE(cache.paging_read_misses, cache.paging_read_ops);
+  EXPECT_LE(cache.write_fetches, cache.write_ops);
+  // Miss traffic is whole blocks: at least one block per miss.
+  EXPECT_GE(cache.bytes_read_from_server, cache.read_misses * kBlockSize);
+}
+
+TEST_F(PipelineTest, ServerSeesExactlyClientMissAndWritebackFileBytes) {
+  const CacheCounters cache = generator_->cluster().AggregateCacheCounters();
+  const ServerCounters server = generator_->cluster().AggregateServerCounters();
+  // Server file reads = client miss fetches + write fetches (all in whole
+  // blocks).
+  EXPECT_EQ(server.file_read_bytes, cache.bytes_read_from_server + cache.write_fetch_bytes);
+  EXPECT_EQ(server.file_write_bytes, cache.bytes_written_to_server);
+}
+
+TEST_F(PipelineTest, TrafficCountersCoverSummaryBytes) {
+  const TraceSummary summary = Summarize(*trace_);
+  const TrafficCounters traffic = generator_->cluster().AggregateTrafficCounters();
+  // Raw cacheable + shared file traffic matches the trace's file bytes up
+  // to boundary effects: an access straddling the warmup cut reports its
+  // whole run at the first post-cut anchor, while the counters were zeroed
+  // exactly at the cut.
+  const auto near = [](int64_t a, int64_t b) {
+    EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b),
+                static_cast<double>(b) * 0.01 + 4096);
+  };
+  near(traffic.file_read_cacheable + traffic.file_read_shared, summary.bytes_read);
+  near(traffic.file_write_cacheable + traffic.file_write_shared, summary.bytes_written);
+  near(traffic.dir_read, summary.bytes_dir_read);
+}
+
+TEST_F(PipelineTest, ConsistencySimulatorsRunOnRealTrace) {
+  const PollingResult p60 = SimulatePolling(*trace_, 60 * kSecond);
+  const PollingResult p3 = SimulatePolling(*trace_, 3 * kSecond);
+  EXPECT_GE(p60.errors, p3.errors);
+  EXPECT_GT(p60.file_opens, 0);
+
+  const OverheadResult sprite = SimulateConsistencyOverhead(*trace_, ConsistencyPolicy::kSprite);
+  if (sprite.events_requested > 0) {
+    EXPECT_DOUBLE_EQ(sprite.byte_ratio(), 1.0);
+  }
+}
+
+TEST_F(PipelineTest, SplitAndMergeRoundTrip) {
+  // Split the merged trace back into per-server logs and re-merge: must be
+  // the identical sequence (server logs preserve relative order).
+  std::vector<TraceLog> per_server(4);
+  for (const Record& r : *trace_) {
+    per_server[r.server % 4].push_back(r);
+  }
+  const TraceLog remerged = MergeSorted(per_server);
+  ASSERT_EQ(remerged.size(), trace_->size());
+  EXPECT_TRUE(IsTimeOrdered(remerged));
+  const TraceSummary a = Summarize(*trace_);
+  const TraceSummary b = Summarize(remerged);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.open_events, b.open_events);
+}
+
+TEST_F(PipelineTest, CacheSizesWithinPhysicalMemory) {
+  const auto& samples = generator_->cluster().cache_size_samples();
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    ASSERT_GE(s.cache_bytes, 0);
+    ASSERT_LE(s.cache_bytes, 24 * kMegabyte);
+  }
+  const CacheSizeReport report = ComputeCacheSizeReport(samples);
+  EXPECT_GT(report.mean_bytes, kMegabyte) << "caches should be multi-megabyte";
+  EXPECT_LT(report.mean_bytes, 16 * kMegabyte)
+      << "VM pressure should keep caches well under full memory";
+}
+
+}  // namespace
+}  // namespace sprite

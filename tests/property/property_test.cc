@@ -1,0 +1,285 @@
+// Parameterized property tests: invariants that must hold across seeds,
+// sizes, and policies, exercised with TEST_P sweeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/consistency/overhead.h"
+#include "src/consistency/polling.h"
+#include "src/fs/block_cache.h"
+#include "src/trace/codec.h"
+#include "src/trace/merge.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+// ---------- BlockCache: LRU and accounting invariants across sizes ----------
+
+class CacheSizeProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(CacheSizeProperty, PopulationNeverExceedsLimitAndLruHolds) {
+  const int64_t limit = GetParam();
+  CacheConfig config;
+  config.min_blocks = 1;
+  config.max_blocks = limit;
+  CacheCounters counters;
+  BlockCache cache(config, &counters);
+  cache.set_limit_blocks(limit);
+  Rng rng(static_cast<uint64_t>(limit) * 977 + 5);
+
+  int64_t writebacks = 0;
+  auto sink = [&](BlockKey, int64_t) { ++writebacks; };
+
+  for (SimTime t = 1; t <= 4000; ++t) {
+    const BlockKey key{rng.NextBelow(4), static_cast<int64_t>(rng.NextBelow(64))};
+    switch (rng.NextBelow(4)) {
+      case 0:
+        cache.Lookup(key, t);
+        break;
+      case 1:
+        cache.InsertClean(key, t, sink);
+        break;
+      case 2:
+        cache.Write(key, t, 1 + static_cast<int64_t>(rng.NextBelow(kBlockSize)), sink);
+        break;
+      case 3:
+        cache.CleanAged(t, sink);
+        break;
+    }
+    ASSERT_LE(cache.block_count(), limit) << "population must respect the limit";
+  }
+  // Cleaning everything leaves no dirty blocks anywhere.
+  for (uint64_t f = 0; f < 4; ++f) {
+    cache.CleanFile(f, 5000, CleanReason::kFsync, sink);
+    EXPECT_FALSE(cache.HasDirtyBlocks(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, CacheSizeProperty, ::testing::Values(1, 2, 3, 8, 64, 1024));
+
+// ---------- Distributions: CDF/quantile consistency across shapes -----------
+
+class DistributionProperty
+    : public ::testing::TestWithParam<std::shared_ptr<const Distribution>> {};
+
+TEST_P(DistributionProperty, SamplesNonNegativeAndDeterministic) {
+  const Distribution& d = *GetParam();
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d.Sample(a);
+    const double y = d.Sample(b);
+    ASSERT_EQ(x, y) << "same seed must give the same stream";
+    ASSERT_GE(x, 0.0) << d.Describe();
+  }
+}
+
+TEST_P(DistributionProperty, EmpiricalCdfMonotone) {
+  const Distribution& d = *GetParam();
+  Rng rng(11);
+  std::vector<double> samples(5000);
+  for (double& s : samples) {
+    s = d.Sample(rng);
+  }
+  std::sort(samples.begin(), samples.end());
+  // Quantiles of the sample must be nondecreasing (trivially true) and the
+  // median must lie within the sample range.
+  const double median = samples[samples.size() / 2];
+  EXPECT_GE(median, samples.front());
+  EXPECT_LE(median, samples.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DistributionProperty,
+    ::testing::Values(
+        std::make_shared<UniformDistribution>(0.0, 100.0),
+        std::make_shared<ExponentialDistribution>(10.0),
+        std::make_shared<LogNormalDistribution>(1024.0, 2.0),
+        std::make_shared<BoundedParetoDistribution>(1.05, 1e3, 1e7),
+        std::make_shared<EmpiricalDistribution>(std::vector<EmpiricalDistribution::Point>{
+            {0.0, 0.0}, {10.0, 0.4}, {1000.0, 1.0}})));
+
+// ---------- Codec: round-trip across random logs ------------------------------
+
+class CodecProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecProperty, RandomLogRoundTrips) {
+  Rng rng(GetParam());
+  TraceLog log;
+  SimTime t = 0;
+  const size_t n = 100 + rng.NextBelow(400);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.kind = static_cast<RecordKind>(rng.NextBelow(11));
+    t += static_cast<SimTime>(rng.NextBelow(kMinute));
+    r.time = t;
+    r.user = static_cast<uint32_t>(rng.NextBelow(64));
+    r.client = static_cast<uint32_t>(rng.NextBelow(40));
+    r.server = static_cast<uint32_t>(rng.NextBelow(4));
+    r.file = rng.NextBelow(1u << 24);
+    r.handle = rng.NextBelow(1u << 20);
+    r.mode = static_cast<OpenMode>(rng.NextBelow(3));
+    r.migrated = rng.NextBool(0.2);
+    r.is_directory = rng.NextBool(0.1);
+    r.offset_before = static_cast<int64_t>(rng.NextBelow(1u << 26));
+    r.offset_after = static_cast<int64_t>(rng.NextBelow(1u << 26));
+    r.file_size = static_cast<int64_t>(rng.NextBelow(1u << 26));
+    r.run_read_bytes = static_cast<int64_t>(rng.NextBelow(1u << 22));
+    r.run_write_bytes = static_cast<int64_t>(rng.NextBelow(1u << 22));
+    r.io_bytes = static_cast<int64_t>(rng.NextBelow(1u << 16));
+    r.peer_client = static_cast<uint32_t>(rng.NextBelow(40));
+    log.push_back(r);
+  }
+  EXPECT_EQ(DecodeTrace(EncodeTrace(log)), log);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty, ::testing::Range<uint64_t>(1, 9));
+
+// ---------- Merge: permutation invariance -------------------------------------
+
+class MergeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeProperty, MergePreservesMultisetAndOrder) {
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<TraceLog> logs(1 + rng.NextBelow(5));
+  size_t total = 0;
+  for (size_t s = 0; s < logs.size(); ++s) {
+    SimTime t = 0;
+    const size_t n = rng.NextBelow(200);
+    for (size_t i = 0; i < n; ++i) {
+      t += static_cast<SimTime>(rng.NextBelow(1000));
+      Record r;
+      r.time = t;
+      r.server = static_cast<uint32_t>(s);
+      r.handle = i;
+      logs[s].push_back(r);
+    }
+    total += n;
+  }
+  const TraceLog merged = MergeSorted(logs);
+  EXPECT_EQ(merged.size(), total);
+  EXPECT_TRUE(IsTimeOrdered(merged));
+  // Per-server subsequences keep their original order.
+  for (size_t s = 0; s < logs.size(); ++s) {
+    std::vector<uint64_t> handles;
+    for (const Record& r : merged) {
+      if (r.server == s) {
+        handles.push_back(r.handle);
+      }
+    }
+    ASSERT_EQ(handles.size(), logs[s].size());
+    EXPECT_TRUE(std::is_sorted(handles.begin(), handles.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeProperty, ::testing::Range<uint64_t>(1, 9));
+
+// ---------- Polling: interval monotonicity across workload seeds ---------------
+
+class PollingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TraceLog SmallWorkloadTrace(uint64_t seed) {
+  WorkloadParams params;
+  params.num_users = 8;
+  params.seed = seed;
+  // Sharing-rich so the polling simulation has material.
+  for (auto& group : params.groups) {
+    group.task_weights[static_cast<int>(TaskKind::kShareAppend)] *= 3.0;
+  }
+  ClusterConfig cluster;
+  cluster.num_clients = 8;
+  cluster.num_servers = 2;
+  Generator generator(params, cluster);
+  return generator.Run(40 * kMinute);
+}
+
+TEST_P(PollingProperty, LongerIntervalsNeverReduceErrors) {
+  const TraceLog trace = SmallWorkloadTrace(GetParam());
+  int64_t previous = 0;
+  for (SimDuration interval : {kSecond, 3 * kSecond, 15 * kSecond, kMinute, 5 * kMinute}) {
+    const PollingResult result = SimulatePolling(trace, interval);
+    EXPECT_GE(result.errors, previous)
+        << "a longer validity interval can only admit more stale reads";
+    previous = result.errors;
+    EXPECT_LE(result.opens_with_error, result.file_opens);
+    EXPECT_LE(result.users_affected.size(), result.users_seen.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PollingProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---------- Overhead: algorithm invariants across workload seeds ----------------
+
+class OverheadProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverheadProperty, SpriteIsExactAndDenominatorsAgree) {
+  const TraceLog trace = SmallWorkloadTrace(GetParam() + 100);
+  const OverheadResult sprite = SimulateConsistencyOverhead(trace, ConsistencyPolicy::kSprite);
+  const OverheadResult modified =
+      SimulateConsistencyOverhead(trace, ConsistencyPolicy::kSpriteModified);
+  const OverheadResult token = SimulateConsistencyOverhead(trace, ConsistencyPolicy::kToken);
+  // All three see the same application demand.
+  EXPECT_EQ(sprite.bytes_requested, modified.bytes_requested);
+  EXPECT_EQ(sprite.bytes_requested, token.bytes_requested);
+  EXPECT_EQ(sprite.events_requested, token.events_requested);
+  if (sprite.events_requested > 0) {
+    // "The current Sprite mechanism transfers exactly these bytes."
+    EXPECT_DOUBLE_EQ(sprite.byte_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(sprite.rpc_ratio(), 1.0);
+    EXPECT_GT(modified.bytes_transferred, 0);
+    EXPECT_GT(token.bytes_transferred, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverheadProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---------- Cluster consistency under random schedules ---------------------------
+
+class ConsistencyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencyProperty, ReadsAlwaysObserveLatestCommittedSize) {
+  EventQueue queue;
+  ClusterConfig config;
+  config.num_clients = 5;
+  config.num_servers = 2;
+  config.client.memory_bytes = 4 * kMegabyte;
+  Cluster cluster(config, queue);
+  cluster.StartDaemons();
+  Rng rng(GetParam() * 1009 + 3);
+
+  std::map<FileId, int64_t> committed_size;
+  SimTime now = 0;
+  for (int round = 0; round < 300; ++round) {
+    now += static_cast<SimTime>(rng.NextBelow(2 * kSecond));
+    queue.RunUntil(now);
+    const FileId file = 10 + rng.NextBelow(5);
+    Client& client = cluster.client(static_cast<ClientId>(rng.NextBelow(5)));
+    if (rng.NextBool(0.5)) {
+      const int64_t bytes = 1 + static_cast<int64_t>(rng.NextBelow(60000));
+      auto open = client.Open(1, file, OpenMode::kWrite, OpenDisposition::kTruncate, false, now);
+      client.Write(open.handle, bytes, now);
+      client.Close(open.handle, now);
+      committed_size[file] = bytes;
+    } else {
+      auto open = client.Open(1, file, OpenMode::kRead, OpenDisposition::kNormal, false, now);
+      const Record& record = cluster.trace().back();
+      ASSERT_EQ(record.kind, RecordKind::kOpen);
+      const auto it = committed_size.find(file);
+      const int64_t expected = it == committed_size.end() ? 0 : it->second;
+      ASSERT_EQ(record.file_size, expected)
+          << "round " << round << ": a reader observed stale metadata";
+      client.Read(open.handle, expected, now);
+      client.Close(open.handle, now);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,145 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sprite {
+namespace {
+
+TEST(EventQueueTest, StartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleDuringDispatch) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] {
+    order.push_back(1);
+    q.Schedule(15, [&] { order.push_back(2); });
+    q.ScheduleAfter(1, [&] { order.push_back(3); });
+  });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));  // 11 before 15
+}
+
+TEST(EventQueueTest, SchedulingInPastThrows) {
+  EventQueue q;
+  q.Schedule(10, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.Schedule(5, [] {}), std::logic_error);
+  EXPECT_THROW(q.ScheduleAfter(-1, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.RunUntil(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(1000);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueueTest, RunAllBudgetGuardsRunaway) {
+  EventQueue q;
+  std::function<void()> self = [&] { q.ScheduleAfter(1, self); };
+  q.Schedule(0, self);
+  EXPECT_THROW(q.RunAll(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(EventQueueTest, DispatchedCount) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(i, [] {});
+  }
+  q.RunAll();
+  EXPECT_EQ(q.dispatched_count(), 5u);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  EventQueue q;
+  std::vector<SimTime> fires;
+  PeriodicTask task(q, 100, 50, [&](SimTime t) { fires.push_back(t); });
+  q.RunUntil(300);
+  task.Cancel();
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 150, 200, 250, 300}));
+}
+
+TEST(PeriodicTaskTest, CancelStopsFiring) {
+  EventQueue q;
+  int count = 0;
+  PeriodicTask task(q, 10, 10, [&](SimTime) { ++count; });
+  q.RunUntil(35);
+  task.Cancel();
+  q.RunUntil(1000);
+  EXPECT_EQ(count, 3);  // fired at 10, 20, 30
+}
+
+TEST(PeriodicTaskTest, DestructionCancels) {
+  EventQueue q;
+  int count = 0;
+  {
+    PeriodicTask task(q, 10, 10, [&](SimTime) { ++count; });
+    q.RunUntil(25);
+  }
+  q.RunUntil(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, CancelFromWithinCallback) {
+  EventQueue q;
+  int count = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task(q, 10, 10, [&](SimTime) {
+    ++count;
+    if (count == 2) {
+      handle->Cancel();
+    }
+  });
+  handle = &task;
+  q.RunUntil(1000);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, RejectsNonPositivePeriod) {
+  EventQueue q;
+  EXPECT_THROW(PeriodicTask(q, 0, 0, [](SimTime) {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,175 @@
+#include "src/trace/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "src/util/rng.h"
+
+namespace sprite {
+namespace {
+
+Record MakeRecord(uint64_t i) {
+  Record r;
+  r.kind = static_cast<RecordKind>(i % 11);
+  r.time = static_cast<SimTime>(i * 1000);
+  r.user = static_cast<uint32_t>(i % 52);
+  r.client = static_cast<uint32_t>(i % 40);
+  r.server = static_cast<uint32_t>(i % 4);
+  r.file = i * 7;
+  r.handle = i;
+  r.mode = static_cast<OpenMode>(i % 3);
+  r.migrated = (i % 5) == 0;
+  r.is_directory = (i % 9) == 0;
+  r.offset_before = static_cast<int64_t>(i * 13);
+  r.offset_after = static_cast<int64_t>(i * 17);
+  r.file_size = static_cast<int64_t>(i * 4096);
+  r.run_read_bytes = static_cast<int64_t>(i * 11);
+  r.run_write_bytes = static_cast<int64_t>(i * 3);
+  r.io_bytes = static_cast<int64_t>(i % 8192);
+  r.peer_client = static_cast<uint32_t>((i + 1) % 40);
+  return r;
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 35),
+                     ~0ull, ~0ull - 1}) {
+    std::string buf;
+    PutVarint(buf, v);
+    size_t pos = 0;
+    const auto decoded = GetVarint(buf, pos);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedReturnsNullopt) {
+  std::string buf;
+  PutVarint(buf, 1ull << 40);
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint(buf, pos).has_value());
+}
+
+TEST(ZigZagTest, RoundTrip) {
+  const std::vector<int64_t> values = {0,       1,       -1,
+                                       2,       -2,      1000000,
+                                       -1000000, std::numeric_limits<int64_t>::max(),
+                                       std::numeric_limits<int64_t>::min()};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(ZigZagTest, SmallMagnitudesEncodeSmall) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+}
+
+TEST(CodecTest, EmptyTraceRoundTrip) {
+  const std::string bytes = EncodeTrace({});
+  EXPECT_EQ(DecodeTrace(bytes).size(), 0u);
+}
+
+TEST(CodecTest, SingleRecordRoundTrip) {
+  TraceLog log{MakeRecord(5)};
+  EXPECT_EQ(DecodeTrace(EncodeTrace(log)), log);
+}
+
+TEST(CodecTest, ManyRecordsRoundTrip) {
+  TraceLog log;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    log.push_back(MakeRecord(i));
+  }
+  EXPECT_EQ(DecodeTrace(EncodeTrace(log)), log);
+}
+
+TEST(CodecTest, NegativeOffsetsSurvive) {
+  Record r = MakeRecord(1);
+  r.offset_before = -42;  // defensive: should round-trip even if unexpected
+  r.file_size = -1;
+  TraceLog log{r};
+  EXPECT_EQ(DecodeTrace(EncodeTrace(log)), log);
+}
+
+TEST(CodecTest, NonMonotonicTimesSurvive) {
+  // Per-server logs are individually ordered, but the codec itself must not
+  // require it (delta encoding is signed).
+  TraceLog log;
+  Record a = MakeRecord(1);
+  a.time = 1000;
+  Record b = MakeRecord(2);
+  b.time = 500;
+  log = {a, b};
+  EXPECT_EQ(DecodeTrace(EncodeTrace(log)), log);
+}
+
+TEST(CodecTest, BadMagicThrows) {
+  std::istringstream in("XXXX\x01");
+  EXPECT_THROW(TraceReader reader(in), std::runtime_error);
+}
+
+TEST(CodecTest, BadVersionThrows) {
+  std::string bytes = EncodeTrace({MakeRecord(1)});
+  bytes[4] = 99;  // version byte
+  std::istringstream in(bytes);
+  EXPECT_THROW(TraceReader reader(in), std::runtime_error);
+}
+
+TEST(CodecTest, TruncatedRecordThrows) {
+  const std::string bytes = EncodeTrace({MakeRecord(123)});
+  const std::string cut = bytes.substr(0, bytes.size() - 3);
+  EXPECT_THROW(DecodeTrace(cut), std::runtime_error);
+}
+
+TEST(CodecTest, CompactEncoding) {
+  // Typical records should be far smaller than the raw struct.
+  TraceLog log;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    Record r = MakeRecord(i);
+    r.time = static_cast<SimTime>(i * 500);  // small deltas
+    log.push_back(r);
+  }
+  const std::string bytes = EncodeTrace(log);
+  EXPECT_LT(bytes.size(), log.size() * sizeof(Record) / 2);
+}
+
+TEST(CodecTest, FileRoundTrip) {
+  TraceLog log;
+  for (uint64_t i = 0; i < 200; ++i) {
+    log.push_back(MakeRecord(i));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sprite_codec_test.trace").string();
+  WriteTraceFile(path, log);
+  EXPECT_EQ(ReadTraceFile(path), log);
+  std::remove(path.c_str());
+}
+
+TEST(CodecTest, MissingFileThrows) {
+  EXPECT_THROW(ReadTraceFile("/nonexistent/path/x.trace"), std::runtime_error);
+}
+
+TEST(CodecTest, StreamingReaderMatchesReadAll) {
+  TraceLog log;
+  for (uint64_t i = 0; i < 300; ++i) {
+    log.push_back(MakeRecord(i));
+  }
+  const std::string bytes = EncodeTrace(log);
+  std::istringstream in(bytes);
+  TraceReader reader(in);
+  size_t n = 0;
+  while (auto r = reader.Next()) {
+    ASSERT_EQ(*r, log[n]);
+    ++n;
+  }
+  EXPECT_EQ(n, log.size());
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,117 @@
+#include "src/trace/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace sprite {
+namespace {
+
+Record At(SimTime t, uint32_t user = 0, uint32_t server = 0) {
+  Record r;
+  r.time = t;
+  r.user = user;
+  r.server = server;
+  return r;
+}
+
+TEST(MergeTest, EmptyInputs) {
+  EXPECT_TRUE(MergeSorted({}).empty());
+  EXPECT_TRUE(MergeSorted({{}, {}, {}}).empty());
+}
+
+TEST(MergeTest, SingleLogPassesThrough) {
+  TraceLog log{At(1), At(2), At(3)};
+  EXPECT_EQ(MergeSorted({log}), log);
+}
+
+TEST(MergeTest, InterleavesByTime) {
+  TraceLog a{At(1, 0, 0), At(5, 0, 0), At(9, 0, 0)};
+  TraceLog b{At(2, 0, 1), At(3, 0, 1), At(10, 0, 1)};
+  const TraceLog merged = MergeSorted({a, b});
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_TRUE(IsTimeOrdered(merged));
+  EXPECT_EQ(merged[0].time, 1);
+  EXPECT_EQ(merged[5].time, 10);
+}
+
+TEST(MergeTest, TieBreaksByServerIndexDeterministically) {
+  TraceLog a{At(5, 0, 0)};
+  TraceLog b{At(5, 0, 1)};
+  const TraceLog m1 = MergeSorted({a, b});
+  const TraceLog m2 = MergeSorted({a, b});
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(m1[0].server, 0u);
+  EXPECT_EQ(m1[1].server, 1u);
+}
+
+TEST(MergeTest, FourServersRandomized) {
+  Rng rng(1);
+  std::vector<TraceLog> logs(4);
+  size_t total = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    SimTime t = 0;
+    const size_t n = 100 + rng.NextBelow(200);
+    for (size_t i = 0; i < n; ++i) {
+      t += static_cast<SimTime>(rng.NextBelow(1000));
+      logs[s].push_back(At(t, 0, static_cast<uint32_t>(s)));
+    }
+    total += n;
+  }
+  const TraceLog merged = MergeSorted(logs);
+  EXPECT_EQ(merged.size(), total);
+  EXPECT_TRUE(IsTimeOrdered(merged));
+}
+
+TEST(MergeTest, UnsortedInputThrows) {
+  TraceLog bad{At(5), At(1)};
+  EXPECT_THROW(MergeSorted({bad}), std::invalid_argument);
+}
+
+TEST(FilterTest, KeepsMatching) {
+  TraceLog log{At(1, 7), At(2, 8), At(3, 7)};
+  const TraceLog out = Filter(log, [](const Record& r) { return r.user == 7; });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time, 1);
+  EXPECT_EQ(out[1].time, 3);
+}
+
+TEST(FilterTest, DropUser) {
+  TraceLog log{At(1, 7), At(2, 8), At(3, 7)};
+  const TraceLog out = DropUser(log, 7);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user, 8u);
+}
+
+TEST(FilterTest, DropUsers) {
+  TraceLog log{At(1, 7), At(2, 8), At(3, 9)};
+  const TraceLog out = DropUsers(log, {7, 9});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user, 8u);
+}
+
+TEST(SplitByWindowTest, EmptyLog) { EXPECT_TRUE(SplitByWindow({}, 100).empty()); }
+
+TEST(SplitByWindowTest, SplitsRelativeToFirstRecord) {
+  TraceLog log{At(1000), At(1050), At(1100), At(1250)};
+  const auto windows = SplitByWindow(log, 100);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].size(), 2u);  // 1000, 1050
+  EXPECT_EQ(windows[1].size(), 1u);  // 1100 (boundary -> later window)
+  EXPECT_EQ(windows[2].size(), 1u);  // 1250
+}
+
+TEST(SplitByWindowTest, PreservesEmptyMiddleWindows) {
+  TraceLog log{At(0), At(350)};
+  const auto windows = SplitByWindow(log, 100);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows[1].size(), 0u);
+  EXPECT_EQ(windows[2].size(), 0u);
+}
+
+TEST(SplitByWindowTest, NonPositiveWindowThrows) {
+  EXPECT_THROW(SplitByWindow({At(0)}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,41 @@
+#include "src/trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+TEST(RecordTest, KindNamesDistinct) {
+  EXPECT_EQ(RecordKindName(RecordKind::kOpen), "open");
+  EXPECT_EQ(RecordKindName(RecordKind::kClose), "close");
+  EXPECT_EQ(RecordKindName(RecordKind::kSeek), "seek");
+  EXPECT_EQ(RecordKindName(RecordKind::kDelete), "delete");
+  EXPECT_EQ(RecordKindName(RecordKind::kSharedWrite), "sharedwrite");
+  EXPECT_EQ(RecordKindName(RecordKind::kMigrate), "migrate");
+}
+
+TEST(RecordTest, DefaultEquality) {
+  Record a;
+  Record b;
+  EXPECT_EQ(a, b);
+  b.time = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(RecordTest, IsTimeOrdered) {
+  TraceLog log;
+  EXPECT_TRUE(IsTimeOrdered(log));
+  Record r;
+  r.time = 10;
+  log.push_back(r);
+  EXPECT_TRUE(IsTimeOrdered(log));
+  r.time = 10;
+  log.push_back(r);  // ties allowed
+  EXPECT_TRUE(IsTimeOrdered(log));
+  r.time = 5;
+  log.push_back(r);
+  EXPECT_FALSE(IsTimeOrdered(log));
+}
+
+}  // namespace
+}  // namespace sprite

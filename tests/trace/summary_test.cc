@@ -1,0 +1,96 @@
+#include "src/trace/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+Record Make(RecordKind kind, SimTime t, uint32_t user = 0) {
+  Record r;
+  r.kind = kind;
+  r.time = t;
+  r.user = user;
+  return r;
+}
+
+TEST(SummaryTest, EmptyTrace) {
+  const TraceSummary s = Summarize({});
+  EXPECT_EQ(s.duration, 0);
+  EXPECT_EQ(s.distinct_users, 0);
+  EXPECT_EQ(s.total_records, 0);
+}
+
+TEST(SummaryTest, CountsEventKinds) {
+  TraceLog log;
+  log.push_back(Make(RecordKind::kOpen, 0));
+  log.push_back(Make(RecordKind::kOpen, 1));
+  log.push_back(Make(RecordKind::kClose, 2));
+  log.push_back(Make(RecordKind::kSeek, 3));
+  log.push_back(Make(RecordKind::kDelete, 4));
+  log.push_back(Make(RecordKind::kTruncate, 5));
+  const TraceSummary s = Summarize(log);
+  EXPECT_EQ(s.open_events, 2);
+  EXPECT_EQ(s.close_events, 1);
+  EXPECT_EQ(s.seek_events, 1);
+  EXPECT_EQ(s.delete_events, 1);
+  EXPECT_EQ(s.truncate_events, 1);
+  EXPECT_EQ(s.duration, 5);
+  EXPECT_EQ(s.total_records, 6);
+}
+
+TEST(SummaryTest, AccumulatesBytesFromRuns) {
+  TraceLog log;
+  Record seek = Make(RecordKind::kSeek, 0);
+  seek.run_read_bytes = 1000;
+  seek.run_write_bytes = 200;
+  log.push_back(seek);
+  Record close = Make(RecordKind::kClose, 1);
+  close.run_read_bytes = 500;
+  close.run_write_bytes = 100;
+  log.push_back(close);
+  Record shared_read = Make(RecordKind::kSharedRead, 2);
+  shared_read.io_bytes = 64;
+  log.push_back(shared_read);
+  Record shared_write = Make(RecordKind::kSharedWrite, 3);
+  shared_write.io_bytes = 32;
+  log.push_back(shared_write);
+  Record dir = Make(RecordKind::kDirRead, 4);
+  dir.io_bytes = 4096;
+  log.push_back(dir);
+
+  const TraceSummary s = Summarize(log);
+  EXPECT_EQ(s.bytes_read, 1000 + 500 + 64);
+  EXPECT_EQ(s.bytes_written, 200 + 100 + 32);
+  EXPECT_EQ(s.bytes_dir_read, 4096);
+  EXPECT_EQ(s.shared_read_events, 1);
+  EXPECT_EQ(s.shared_write_events, 1);
+}
+
+TEST(SummaryTest, CountsDistinctAndMigrationUsers) {
+  TraceLog log;
+  log.push_back(Make(RecordKind::kOpen, 0, 1));
+  log.push_back(Make(RecordKind::kOpen, 1, 2));
+  log.push_back(Make(RecordKind::kOpen, 2, 2));
+  Record migrated_io = Make(RecordKind::kClose, 3, 3);
+  migrated_io.migrated = true;
+  log.push_back(migrated_io);
+  log.push_back(Make(RecordKind::kMigrate, 4, 4));
+  const TraceSummary s = Summarize(log);
+  EXPECT_EQ(s.distinct_users, 4);
+  EXPECT_EQ(s.migration_users, 2);  // users 3 and 4
+  EXPECT_EQ(s.migrate_events, 1);
+}
+
+TEST(SummaryTest, DerivedUnits) {
+  TraceLog log;
+  Record close = Make(RecordKind::kClose, 2 * kHour);
+  close.run_read_bytes = 2 * kMegabyte;
+  log.push_back(Make(RecordKind::kOpen, 0));
+  log.push_back(close);
+  const TraceSummary s = Summarize(log);
+  EXPECT_DOUBLE_EQ(s.duration_hours(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mbytes_read(), 2.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,109 @@
+#include "src/trace/text_format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace sprite {
+namespace {
+
+Record Sample(uint64_t i) {
+  Record r;
+  r.kind = static_cast<RecordKind>(i % 11);
+  r.time = static_cast<SimTime>(i * 1234);
+  r.user = static_cast<uint32_t>(i % 50);
+  r.client = static_cast<uint32_t>(i % 26);
+  r.server = static_cast<uint32_t>(i % 4);
+  r.file = i * 13;
+  r.handle = i;
+  r.mode = static_cast<OpenMode>(i % 3);
+  r.migrated = (i % 3) == 0;
+  r.is_directory = (i % 7) == 0;
+  r.offset_before = static_cast<int64_t>(i * 100);
+  r.offset_after = static_cast<int64_t>(i * 200);
+  r.file_size = static_cast<int64_t>(i * 4096);
+  r.run_read_bytes = static_cast<int64_t>(i * 11);
+  r.run_write_bytes = static_cast<int64_t>(i * 5);
+  r.io_bytes = static_cast<int64_t>(i % 9000);
+  r.peer_client = static_cast<uint32_t>((i + 3) % 26);
+  return r;
+}
+
+TEST(TextFormatTest, EmptyLogRoundTrips) {
+  EXPECT_TRUE(ParseTextFromString(DumpTextToString({})).empty());
+}
+
+TEST(TextFormatTest, RichLogRoundTrips) {
+  TraceLog log;
+  for (uint64_t i = 0; i < 500; ++i) {
+    log.push_back(Sample(i));
+  }
+  const TraceLog parsed = ParseTextFromString(DumpTextToString(log));
+  ASSERT_EQ(parsed.size(), log.size());
+  // Note: mode is only serialized for open/seek/close; normalize before
+  // comparing.
+  for (size_t i = 0; i < log.size(); ++i) {
+    Record expected = log[i];
+    if (expected.kind != RecordKind::kOpen && expected.kind != RecordKind::kSeek &&
+        expected.kind != RecordKind::kClose) {
+      expected.mode = OpenMode::kRead;
+    }
+    EXPECT_EQ(parsed[i], expected) << "record " << i;
+  }
+}
+
+TEST(TextFormatTest, CommentsAndBlanksIgnored) {
+  const TraceLog parsed = ParseTextFromString(
+      "# header\n"
+      "\n"
+      "1000\topen\tuser=3\tclient=1\tserver=0\tfile=42\thandle=7\tmode=rw\tsize=100\n"
+      "# trailing comment\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, RecordKind::kOpen);
+  EXPECT_EQ(parsed[0].time, 1000);
+  EXPECT_EQ(parsed[0].user, 3u);
+  EXPECT_EQ(parsed[0].file, 42u);
+  EXPECT_EQ(parsed[0].mode, OpenMode::kReadWrite);
+  EXPECT_EQ(parsed[0].file_size, 100);
+}
+
+TEST(TextFormatTest, DefaultsOmitted) {
+  Record r;
+  r.kind = RecordKind::kDelete;
+  r.time = 5;
+  r.file = 9;
+  const std::string text = DumpTextToString({r});
+  EXPECT_EQ(text.find("off_before"), std::string::npos);
+  EXPECT_EQ(text.find("migrated"), std::string::npos);
+  const TraceLog parsed = ParseTextFromString(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], r);
+}
+
+TEST(TextFormatTest, BadKindRejected) {
+  EXPECT_THROW(ParseTextFromString("5\tfrobnicate\tuser=1\n"), std::runtime_error);
+}
+
+TEST(TextFormatTest, BadIntegerRejected) {
+  EXPECT_THROW(ParseTextFromString("5\topen\tuser=xyz\n"), std::runtime_error);
+}
+
+TEST(TextFormatTest, UnknownKeyRejected) {
+  EXPECT_THROW(ParseTextFromString("5\topen\tbogus=1\n"), std::runtime_error);
+}
+
+TEST(TextFormatTest, MissingKindRejected) {
+  EXPECT_THROW(ParseTextFromString("5\n"), std::runtime_error);
+}
+
+TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+  try {
+    ParseTextFromString("# one\n1\topen\tuser=1\n2\tbadkind\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace sprite

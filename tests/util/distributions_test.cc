@@ -1,0 +1,214 @@
+#include "src/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace sprite {
+namespace {
+
+constexpr int kSamples = 100000;
+
+double SampleMean(const Distribution& d, uint64_t seed = 1) {
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += d.Sample(rng);
+  }
+  return sum / kSamples;
+}
+
+double SampleMedian(const Distribution& d, uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> v(kSamples);
+  for (double& x : v) {
+    x = d.Sample(rng);
+  }
+  std::nth_element(v.begin(), v.begin() + kSamples / 2, v.end());
+  return v[kSamples / 2];
+}
+
+TEST(UniformDistributionTest, BoundsAndMean) {
+  UniformDistribution d(2.0, 6.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.Sample(rng);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 6.0);
+  }
+  EXPECT_NEAR(SampleMean(d), 4.0, 0.05);
+}
+
+TEST(UniformDistributionTest, RejectsInvertedBounds) {
+  EXPECT_THROW(UniformDistribution(3.0, 1.0), std::invalid_argument);
+}
+
+TEST(ExponentialDistributionTest, MeanMatches) {
+  ExponentialDistribution d(7.5);
+  EXPECT_NEAR(SampleMean(d), 7.5, 0.2);
+}
+
+TEST(ExponentialDistributionTest, RejectsNonPositiveMean) {
+  EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDistribution(-1.0), std::invalid_argument);
+}
+
+TEST(LogNormalDistributionTest, MedianMatchesParameter) {
+  LogNormalDistribution d(2048.0, 1.5);
+  EXPECT_NEAR(SampleMedian(d) / 2048.0, 1.0, 0.05);
+}
+
+TEST(LogNormalDistributionTest, ZeroSigmaIsConstant) {
+  LogNormalDistribution d(100.0, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d.Sample(rng), 100.0);
+  }
+}
+
+TEST(LogNormalDistributionTest, RejectsBadParams) {
+  EXPECT_THROW(LogNormalDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalDistribution(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(BoundedParetoDistributionTest, SamplesWithinBounds) {
+  BoundedParetoDistribution d(1.1, 1e6, 2e7);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d.Sample(rng);
+    ASSERT_GE(v, 1e6 * 0.999);
+    ASSERT_LE(v, 2e7 * 1.001);
+  }
+}
+
+TEST(BoundedParetoDistributionTest, HeavyTail) {
+  // With alpha just above 1, a nontrivial fraction of mass should exceed
+  // 10x the minimum.
+  BoundedParetoDistribution d(1.1, 1.0, 1000.0);
+  Rng rng(1);
+  int above = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Sample(rng) > 10.0) {
+      ++above;
+    }
+  }
+  const double fraction = static_cast<double>(above) / kSamples;
+  EXPECT_GT(fraction, 0.05);
+  EXPECT_LT(fraction, 0.25);
+}
+
+TEST(BoundedParetoDistributionTest, RejectsBadParams) {
+  EXPECT_THROW(BoundedParetoDistribution(0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoDistribution(1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoDistribution(1.0, 3.0, 2.0), std::invalid_argument);
+}
+
+TEST(ConstantDistributionTest, AlwaysSameValue) {
+  ConstantDistribution d(42.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(d.Sample(rng), 42.0);
+  }
+}
+
+TEST(MixtureDistributionTest, WeightsRespected) {
+  MixtureDistribution d({
+      {0.75, std::make_shared<ConstantDistribution>(1.0)},
+      {0.25, std::make_shared<ConstantDistribution>(100.0)},
+  });
+  Rng rng(1);
+  int low = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Sample(rng) < 50.0) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / kSamples, 0.75, 0.01);
+}
+
+TEST(MixtureDistributionTest, RejectsEmptyAndZeroWeight) {
+  EXPECT_THROW(MixtureDistribution({}), std::invalid_argument);
+  EXPECT_THROW(MixtureDistribution({{0.0, std::make_shared<ConstantDistribution>(1.0)}}),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalDistributionTest, QuantileInterpolates) {
+  EmpiricalDistribution d({{0.0, 0.0}, {10.0, 0.5}, {100.0, 1.0}});
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.75), 55.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalDistributionTest, CdfIsInverseOfQuantile) {
+  EmpiricalDistribution d({{1.0, 0.0}, {2.0, 0.3}, {8.0, 0.9}, {20.0, 1.0}});
+  for (double q : {0.05, 0.3, 0.5, 0.77, 0.95}) {
+    EXPECT_NEAR(d.CdfAt(d.Quantile(q)), q, 1e-9);
+  }
+}
+
+TEST(EmpiricalDistributionTest, SamplesFollowCdf) {
+  EmpiricalDistribution d({{0.0, 0.0}, {1.0, 0.8}, {10.0, 1.0}});
+  Rng rng(1);
+  int below_one = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Sample(rng) <= 1.0) {
+      ++below_one;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(below_one) / kSamples, 0.8, 0.01);
+}
+
+TEST(EmpiricalDistributionTest, RejectsBadAnchors) {
+  using P = EmpiricalDistribution::Point;
+  EXPECT_THROW(EmpiricalDistribution(std::vector<P>{{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalDistribution(std::vector<P>{{0.0, 0.1}, {1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(EmpiricalDistribution(std::vector<P>{{0.0, 0.0}, {1.0, 0.9}}),
+               std::invalid_argument);
+  EXPECT_THROW(EmpiricalDistribution(std::vector<P>{{5.0, 0.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(ZipfDistributionTest, RankZeroMostPopular) {
+  ZipfDistribution d(100, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[d.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(ZipfDistributionTest, SamplesWithinRange) {
+  ZipfDistribution d(7, 0.8);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(d.Sample(rng), 7u);
+  }
+}
+
+TEST(ZipfDistributionTest, SingleElement) {
+  ZipfDistribution d(1, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.Sample(rng), 0u);
+  }
+}
+
+TEST(DistributionTest, SampleIntNonNegativeAndRounds) {
+  ConstantDistribution d(3.6);
+  Rng rng(1);
+  EXPECT_EQ(d.SampleInt(rng), 4);
+  ConstantDistribution negative(-5.0);
+  EXPECT_EQ(negative.SampleInt(rng), 0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,92 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sprite {
+namespace {
+
+TEST(LogHistogramTest, RejectsBadParameters) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 1.0), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, UnderflowAndOverflowBuckets) {
+  LogHistogram h(1.0, 1024.0, 2.0);
+  h.Add(0.5);       // underflow
+  h.Add(1e9);       // overflow
+  h.Add(16.0);      // interior
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+  EXPECT_GT(h.BucketWeight(0), 0.0);
+  EXPECT_GT(h.BucketWeight(h.bucket_count() - 1), 0.0);
+}
+
+TEST(LogHistogramTest, CumulativeFractionReachesOne) {
+  LogHistogram h(1.0, 1 << 20, 2.0);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(std::pow(2.0, i % 20) * 1.5);
+  }
+  EXPECT_NEAR(h.CumulativeFraction(h.bucket_count() - 1), 1.0, 1e-12);
+}
+
+TEST(LogHistogramTest, CumulativeFractionMonotone) {
+  LogHistogram h(1.0, 4096.0, 2.0);
+  for (double v : {0.1, 1.0, 3.0, 17.0, 300.0, 5000.0, 4096.0}) {
+    h.Add(v);
+  }
+  double prev = 0.0;
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    const double f = h.CumulativeFraction(i);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(LogHistogramTest, ApproxQuantileBracketsTrueValue) {
+  LogHistogram h(1.0, 1 << 24, 2.0);
+  // 1000 values log-uniform in [16, 65536].
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>(i) / 999.0;
+    h.Add(16.0 * std::pow(65536.0 / 16.0, t));
+  }
+  const double median = h.ApproxQuantile(0.5);
+  // True median is 16 * sqrt(4096) = 1024; allow a bucket of slack.
+  EXPECT_GT(median, 512.0);
+  EXPECT_LT(median, 2048.0);
+}
+
+TEST(LogHistogramTest, WeightsCount) {
+  LogHistogram h(1.0, 100.0, 10.0);
+  h.Add(5.0, 3.0);
+  h.Add(50.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  // 75% of weight at 5.0 -> quantile(0.5) must be in the 5.0 bucket range.
+  EXPECT_LE(h.ApproxQuantile(0.5), 10.0);
+}
+
+TEST(LogHistogramTest, MergeCombinesWeights) {
+  LogHistogram a(1.0, 100.0, 2.0);
+  LogHistogram b(1.0, 100.0, 2.0);
+  a.Add(2.0);
+  b.Add(50.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 2.0);
+}
+
+TEST(LogHistogramTest, MergeRejectsIncompatible) {
+  LogHistogram a(1.0, 100.0, 2.0);
+  LogHistogram b(2.0, 100.0, 2.0);
+  EXPECT_THROW(a.Merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogramTest, ZeroWeightIgnored) {
+  LogHistogram h(1.0, 100.0, 2.0);
+  h.Add(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace sprite

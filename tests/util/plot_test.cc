@@ -1,0 +1,60 @@
+#include "src/util/plot.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+TEST(CdfPlotTest, RejectsBadFrames) {
+  EXPECT_THROW(CdfPlot(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(CdfPlot(10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CdfPlot(1.0, 10.0, 4), std::invalid_argument);
+}
+
+TEST(CdfPlotTest, RendersFrameAndLegend) {
+  CdfPlot plot(1.0, 1000.0, 40, 8);
+  plot.AddCurve('a', "first", [](double x) { return x / 1000.0; });
+  const std::string out = plot.Render([](double x) { return std::to_string((int)x); });
+  EXPECT_NE(out.find("100%"), std::string::npos);
+  EXPECT_NE(out.find("0%"), std::string::npos);
+  EXPECT_NE(out.find("a = first"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+}
+
+TEST(CdfPlotTest, MonotoneCurveRisesLeftToRight) {
+  CdfPlot plot(1.0, 100.0, 40, 10);
+  plot.AddCurve('#', "cdf", [](double x) { return x / 100.0; });
+  const std::string out = plot.Render([](double) { return ""; });
+  // The '#' in the top row must appear to the right of the '#' in the
+  // bottom data row.
+  const size_t first_line_end = out.find('\n');
+  const std::string top = out.substr(0, first_line_end);
+  size_t bottom_start = 0;
+  for (int i = 0; i < 9; ++i) {
+    bottom_start = out.find('\n', bottom_start) + 1;
+  }
+  const std::string bottom = out.substr(bottom_start, out.find('\n', bottom_start) - bottom_start);
+  const size_t top_pos = top.find('#');
+  const size_t bottom_pos = bottom.find('#');
+  ASSERT_NE(top_pos, std::string::npos);
+  ASSERT_NE(bottom_pos, std::string::npos);
+  EXPECT_GT(top_pos, bottom_pos);
+}
+
+TEST(CdfPlotTest, OverlapMarked) {
+  CdfPlot plot(1.0, 100.0, 30, 6);
+  plot.AddCurve('a', "one", [](double) { return 0.5; });
+  plot.AddCurve('b', "two", [](double) { return 0.5; });
+  const std::string out = plot.Render([](double) { return ""; });
+  EXPECT_NE(out.find('*'), std::string::npos) << "identical curves must show overlap";
+}
+
+TEST(CdfPlotTest, CurveClamped) {
+  CdfPlot plot(1.0, 100.0, 30, 6);
+  plot.AddCurve('c', "wild", [](double x) { return x > 10 ? 1.7 : -0.3; });
+  EXPECT_NO_THROW(plot.Render([](double) { return ""; }));
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,157 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sprite {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, KnownMeanAndStddev) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, WeightedEquivalentToRepeated) {
+  StreamingStats weighted;
+  weighted.AddWeighted(3.0, 4.0);
+  weighted.AddWeighted(7.0, 2.0);
+  StreamingStats repeated;
+  for (int i = 0; i < 4; ++i) {
+    repeated.Add(3.0);
+  }
+  for (int i = 0; i < 2; ++i) {
+    repeated.Add(7.0);
+  }
+  EXPECT_NEAR(weighted.mean(), repeated.mean(), 1e-12);
+  EXPECT_NEAR(weighted.stddev(), repeated.stddev(), 1e-12);
+}
+
+TEST(StreamingStatsTest, ZeroOrNegativeWeightIgnored) {
+  StreamingStats s;
+  s.AddWeighted(100.0, 0.0);
+  s.AddWeighted(200.0, -1.0);
+  EXPECT_EQ(s.count(), 0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesCombinedStream) {
+  StreamingStats a;
+  StreamingStats b;
+  StreamingStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0 + i;
+    ((i % 2 == 0) ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a;
+  a.Add(1.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(WeightedSamplesTest, EmptyBehaviour) {
+  WeightedSamples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+}
+
+TEST(WeightedSamplesTest, UnweightedQuantiles) {
+  WeightedSamples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(1000.0), 1.0);
+}
+
+TEST(WeightedSamplesTest, WeightsShiftQuantiles) {
+  WeightedSamples s;
+  s.Add(1.0, 1.0);
+  s.Add(10.0, 9.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(s.WeightedMean(), 0.1 * 1.0 + 0.9 * 10.0);
+}
+
+TEST(WeightedSamplesTest, InterleavedAddAndQuery) {
+  WeightedSamples s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(5.0), 1.0);
+  s.Add(1.0);
+  // Re-query after adding out-of-order value; must re-sort.
+  EXPECT_DOUBLE_EQ(s.FractionAtOrBelow(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 1.0);
+}
+
+TEST(WeightedSamplesTest, CdfCurveMonotone) {
+  WeightedSamples s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Add(static_cast<double>(i % 37), 1.0 + (i % 5));
+  }
+  const auto curve = s.CdfCurve(16);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 16u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].value, curve[i - 1].value);
+    EXPECT_GE(curve[i].fraction, curve[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+}
+
+TEST(WeightedSamplesTest, CdfCurveKeepsAllDistinctWhenFew) {
+  WeightedSamples s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  const auto curve = s.CdfCurve(64);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(curve[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(curve[2].fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,77 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Name", "Paper", "Measured"});
+  t.AddRow({"throughput", "8.0", "7.3"});
+  t.AddRow({"x", "1", "2"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("throughput"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines containing '|' have it at consistent positions.
+  const size_t first_pipe = out.find('|');
+  ASSERT_NE(first_pipe, std::string::npos);
+  size_t line_start = 0;
+  while (line_start < out.size()) {
+    const size_t line_end = out.find('\n', line_start);
+    const std::string line = out.substr(line_start, line_end - line_start);
+    if (line.find('|') != std::string::npos) {
+      EXPECT_EQ(line.find('|'), first_pipe) << line;
+    }
+    line_start = line_end + 1;
+  }
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+  TextTable t({"A"});
+  EXPECT_THROW(t.AddRow({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, EmptyHeadersThrow) { EXPECT_THROW(TextTable({}), std::invalid_argument); }
+
+TEST(TextTableTest, SeparatorRendersRule) {
+  TextTable t({"A", "B"});
+  t.AddRow({"1", "2"});
+  t.AddSeparator();
+  t.AddRow({"3", "4"});
+  const std::string out = t.Render();
+  // Two rules: one under the header, one mid-table.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = out.find("-+-", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(FormatHelpersTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(3.0, 0), "3");
+}
+
+TEST(FormatHelpersTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.5), "50.0%");
+  EXPECT_EQ(FormatPercent(0.123, 0), "12%");
+}
+
+TEST(FormatHelpersTest, FormatWithStddev) { EXPECT_EQ(FormatWithStddev(8.0, 36.0), "8.0 (36.0)"); }
+
+TEST(FormatHelpersTest, FormatWithRange) {
+  EXPECT_EQ(FormatWithRange(0.34, 0.18, 0.56), "0.34 (0.18-0.56)");
+}
+
+}  // namespace
+}  // namespace sprite

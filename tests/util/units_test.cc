@@ -1,0 +1,46 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace sprite {
+namespace {
+
+TEST(UnitsTest, ConstantsConsistent) {
+  EXPECT_EQ(kSecond, 1000000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kBlockSize, 4096);
+}
+
+TEST(UnitsTest, ToFromSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(30 * kSecond), 30.0);
+  EXPECT_EQ(FromSeconds(2.5), 2500000);
+}
+
+TEST(UnitsTest, BlocksForBytes) {
+  EXPECT_EQ(BlocksForBytes(0), 0);
+  EXPECT_EQ(BlocksForBytes(1), 1);
+  EXPECT_EQ(BlocksForBytes(4096), 1);
+  EXPECT_EQ(BlocksForBytes(4097), 2);
+  EXPECT_EQ(BlocksForBytes(3 * 4096), 3);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2 KB");
+  EXPECT_EQ(FormatBytes(7 * kMegabyte + kMegabyte / 5), "7.20 MB");
+  EXPECT_EQ(FormatBytes(3 * kGigabyte), "3 GB");
+  EXPECT_EQ(FormatBytes(-2048), "-2 KB");
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(38), "38 us");
+  EXPECT_EQ(FormatDuration(1400 * kMillisecond), "1.40 s");
+  EXPECT_EQ(FormatDuration(90 * kMinute), "1.50 h");
+  EXPECT_EQ(FormatDuration(-kSecond), "-1 s");
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,122 @@
+#include "src/workload/file_space.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sprite {
+namespace {
+
+WorkloadParams TestParams() {
+  WorkloadParams p;
+  p.num_users = 4;
+  return p;
+}
+
+TEST(FileSpaceTest, IdRangesDisjoint) {
+  Rng rng(1);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  std::set<FileId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(files.SampleExecutable(rng));
+  }
+  for (UserId u = 0; u < 4; ++u) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(seen.count(files.SampleUserFile(u, rng)), 0u);
+    }
+    ASSERT_EQ(seen.count(files.UserMailbox(u)), 0u);
+    ASSERT_EQ(seen.count(files.UserDirectory(u)), 0u);
+    ASSERT_EQ(seen.count(files.UserSimInput(u)), 0u);
+    ASSERT_EQ(seen.count(files.UserDataFile(u)), 0u);
+  }
+  ASSERT_EQ(seen.count(files.NewTempFile()), 0u);
+  ASSERT_EQ(seen.count(files.BackingFile(0)), 0u);
+}
+
+TEST(FileSpaceTest, UserFilesDisjointAcrossUsers) {
+  Rng rng(2);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  std::set<FileId> user0;
+  for (int i = 0; i < 500; ++i) {
+    user0.insert(files.SampleUserFile(0, rng));
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(user0.count(files.SampleUserFile(1, rng)), 0u);
+  }
+}
+
+TEST(FileSpaceTest, SpecialFilesOutsidePopularityRange) {
+  Rng rng(3);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  for (int i = 0; i < 2000; ++i) {
+    const FileId f = files.SampleUserFile(2, rng);
+    ASSERT_NE(f, files.UserSimInput(2));
+    ASSERT_NE(f, files.UserDataFile(2));
+  }
+}
+
+TEST(FileSpaceTest, TempFilesUnique) {
+  Rng rng(4);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  std::set<FileId> temps;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(temps.insert(files.NewTempFile()).second);
+  }
+}
+
+TEST(FileSpaceTest, ExecutableSizesWithinBounds) {
+  Rng rng(5);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  for (int i = 0; i < 200; ++i) {
+    const FileId exec = files.SampleExecutable(rng);
+    const int64_t size = files.ExecutableSize(exec);
+    ASSERT_GE(size, params.executable_min);
+    ASSERT_LE(size, params.executable_max);
+  }
+}
+
+TEST(FileSpaceTest, ExecutableSizeRejectsForeignId) {
+  Rng rng(6);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  EXPECT_THROW(files.ExecutableSize(files.UserMailbox(0)), std::out_of_range);
+}
+
+TEST(FileSpaceTest, PersistentSizesMostlySmallWithHeavyTail) {
+  Rng rng(7);
+  WorkloadParams params = TestParams();
+  FileSpace files(params, rng);
+  int small = 0;
+  int huge = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t size = files.SamplePersistentSize(rng);
+    ASSERT_GE(size, 1);
+    if (size <= 10 * kKilobyte) {
+      ++small;
+    }
+    if (size >= kMegabyte) {
+      ++huge;
+    }
+  }
+  EXPECT_GT(static_cast<double>(small) / n, 0.6) << "most files are small";
+  EXPECT_GT(huge, 0) << "multi-megabyte files must exist";
+}
+
+TEST(FileSpaceTest, RejectsBadParams) {
+  Rng rng(8);
+  WorkloadParams params = TestParams();
+  params.num_users = 0;
+  EXPECT_THROW(FileSpace(params, rng), std::invalid_argument);
+  params = TestParams();
+  params.files_per_user = 100000;
+  EXPECT_THROW(FileSpace(params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,170 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/trace/summary.h"
+
+namespace sprite {
+namespace {
+
+WorkloadParams QuickParams() {
+  WorkloadParams p;
+  p.num_users = 8;
+  p.seed = 42;
+  return p;
+}
+
+ClusterConfig QuickCluster() {
+  ClusterConfig c;
+  c.num_clients = 8;
+  c.num_servers = 2;
+  return c;
+}
+
+TEST(GeneratorTest, ProducesOrderedNonEmptyTrace) {
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(30 * kMinute);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(IsTimeOrdered(trace));
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto run = [] {
+    Generator generator(QuickParams(), QuickCluster());
+    return generator.Run(10 * kMinute);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadParams a = QuickParams();
+  WorkloadParams b = QuickParams();
+  b.seed = 43;
+  Generator ga(a, QuickCluster());
+  Generator gb(b, QuickCluster());
+  EXPECT_NE(ga.Run(10 * kMinute), gb.Run(10 * kMinute));
+}
+
+TEST(GeneratorTest, RunTwiceThrows) {
+  Generator generator(QuickParams(), QuickCluster());
+  generator.Run(kMinute);
+  EXPECT_THROW(generator.Run(kMinute), std::logic_error);
+}
+
+TEST(GeneratorTest, NonPositiveDurationThrows) {
+  Generator generator(QuickParams(), QuickCluster());
+  EXPECT_THROW(generator.Run(0), std::invalid_argument);
+}
+
+TEST(GeneratorTest, WarmupDiscardedFromTraceAndCounters) {
+  WorkloadParams params = QuickParams();
+  Generator generator(params, QuickCluster());
+  const TraceLog trace = generator.Run(20 * kMinute, /*warmup=*/20 * kMinute);
+  for (const Record& r : trace) {
+    ASSERT_GE(r.time, 20 * kMinute) << "warmup records must be discarded";
+  }
+}
+
+TEST(GeneratorTest, TraceHasEveryMajorEventKind) {
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(2 * kHour);
+  const TraceSummary s = Summarize(trace);
+  EXPECT_GT(s.open_events, 0);
+  EXPECT_GT(s.close_events, 0);
+  EXPECT_GT(s.seek_events, 0);
+  EXPECT_GT(s.delete_events, 0);
+  EXPECT_GT(s.truncate_events, 0);
+  EXPECT_GT(s.bytes_read, 0);
+  EXPECT_GT(s.bytes_written, 0);
+  EXPECT_GT(s.bytes_dir_read, 0);
+  EXPECT_GT(s.migration_users, 0);
+}
+
+TEST(GeneratorTest, OpensAndClosesBalance) {
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(kHour);
+  const TraceSummary s = Summarize(trace);
+  // In-flight accesses at the cut-off may leave a small imbalance.
+  EXPECT_NEAR(static_cast<double>(s.close_events), static_cast<double>(s.open_events),
+              static_cast<double>(s.open_events) * 0.02 + 20);
+}
+
+TEST(GeneratorTest, MultipleUsersAndClientsActive) {
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(kHour);
+  std::set<uint32_t> users;
+  std::set<uint32_t> clients;
+  for (const Record& r : trace) {
+    users.insert(r.user);
+    clients.insert(r.client);
+  }
+  EXPECT_GE(users.size(), 6u);
+  EXPECT_GE(clients.size(), 6u);
+}
+
+TEST(GeneratorTest, MigratedRecordsPresent) {
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(2 * kHour);
+  int64_t migrated_io = 0;
+  for (const Record& r : trace) {
+    if (r.migrated && r.kind != RecordKind::kMigrate) {
+      ++migrated_io;
+    }
+  }
+  EXPECT_GT(migrated_io, 0);
+}
+
+TEST(GeneratorTest, CountersPopulated) {
+  Generator generator(QuickParams(), QuickCluster());
+  generator.Run(kHour);
+  const CacheCounters cache = generator.cluster().AggregateCacheCounters();
+  EXPECT_GT(cache.read_ops, 0);
+  EXPECT_GT(cache.write_ops, 0);
+  EXPECT_GT(cache.paging_read_ops, 0);
+  const TrafficCounters traffic = generator.cluster().AggregateTrafficCounters();
+  EXPECT_GT(traffic.file_read_cacheable, 0);
+  EXPECT_GT(traffic.paging_read_backing, 0);
+  const ServerCounters server = generator.cluster().AggregateServerCounters();
+  EXPECT_GT(server.file_opens, 0);
+}
+
+TEST(GeneratorTest, InstrumentationRecordsStripped) {
+  // The paper's merge pipeline removed the trace-collector's own writes and
+  // the tape backup's reads; ours does the same.
+  Generator generator(QuickParams(), QuickCluster());
+  const TraceLog trace = generator.Run(45 * kMinute);
+  EXPECT_GT(generator.records_stripped(), 0)
+      << "the collector and backup daemons must have produced records";
+  for (const Record& r : trace) {
+    ASSERT_NE(r.user, Generator::kBackupUser);
+    ASSERT_NE(r.user, Generator::kCollectorUser);
+  }
+}
+
+TEST(GeneratorTest, BackupActivityStillReachesCounters) {
+  // Stripping is a TRACE operation: the kernel counters saw the backup
+  // reads and collector writes (just like the paper's counters, which ran
+  // around the clock).
+  Generator with(QuickParams(), QuickCluster());
+  with.Run(45 * kMinute);
+  EXPECT_GT(with.records_stripped(), 0);
+  const CacheCounters counters = with.cluster().AggregateCacheCounters();
+  EXPECT_GT(counters.bytes_read_by_apps, 0);
+}
+
+TEST(GeneratorTest, GenerateEightProducesDistinctTraces) {
+  WorkloadParams params = QuickParams();
+  params.num_users = 4;
+  ClusterConfig cluster = QuickCluster();
+  const auto traces = Generator::GenerateEight(params, cluster, 10 * kMinute, 0);
+  ASSERT_EQ(traces.size(), 8u);
+  for (const TraceLog& t : traces) {
+    EXPECT_FALSE(t.empty());
+  }
+  EXPECT_NE(traces[0], traces[1]);
+}
+
+}  // namespace
+}  // namespace sprite

@@ -1,0 +1,140 @@
+// sprite-analyze: run the paper's Section-4 analyses over a trace file.
+//
+// Usage:
+//   sprite_analyze [--text] [--interval SECONDS] <trace-file>
+//
+// Reads a trace written by sprite_tracegen (binary by default, --text for
+// the text format) and prints the BSD-study-revisited report: summary,
+// activity, access patterns, run lengths, sizes, open times, lifetimes, and
+// the consistency simulations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/analysis/accesses.h"
+#include "src/analysis/activity.h"
+#include "src/analysis/lifetimes.h"
+#include "src/analysis/patterns.h"
+#include "src/consistency/overhead.h"
+#include "src/consistency/polling.h"
+#include "src/trace/codec.h"
+#include "src/trace/summary.h"
+#include "src/trace/text_format.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+
+int main(int argc, char** argv) {
+  bool text = false;
+  SimDuration interval = 10 * kMinute;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--text") {
+      text = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval = static_cast<SimDuration>(std::atoi(argv[++i])) * kSecond;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: sprite_analyze [--text] [--interval SECONDS] TRACE\n");
+      return 0;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: sprite_analyze [--text] [--interval SECONDS] TRACE\n");
+    return 2;
+  }
+
+  TraceLog trace;
+  try {
+    if (text) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      trace = ParseText(in);
+    } else {
+      trace = ReadTraceFile(path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  const TraceSummary s = Summarize(trace);
+  std::printf("== Summary (Table 1 style) ==\n");
+  std::printf("records %lld | %.2f hours | %lld users (%lld using migration)\n",
+              static_cast<long long>(s.total_records), s.duration_hours(),
+              static_cast<long long>(s.distinct_users),
+              static_cast<long long>(s.migration_users));
+  std::printf("read %.1f MB | written %.1f MB | dirs %.2f MB\n", s.mbytes_read(),
+              s.mbytes_written(), s.mbytes_dir_read());
+  std::printf("opens %lld | closes %lld | seeks %lld | deletes %lld | truncates %lld | "
+              "shared r/w %lld/%lld\n\n",
+              static_cast<long long>(s.open_events), static_cast<long long>(s.close_events),
+              static_cast<long long>(s.seek_events), static_cast<long long>(s.delete_events),
+              static_cast<long long>(s.truncate_events),
+              static_cast<long long>(s.shared_read_events),
+              static_cast<long long>(s.shared_write_events));
+
+  const ActivityReport activity = ComputeActivity(trace, interval);
+  std::printf("== Activity (Table 2 style, %.0f-second intervals) ==\n", ToSeconds(interval));
+  std::printf("active users: %.1f avg (max %.0f) | throughput/user %.1f KB/s | peak user "
+              "%.0f KB/s | peak total %.0f KB/s\n\n",
+              activity.all_users.active_users.mean(), activity.all_users.active_users.max(),
+              activity.all_users.throughput_per_user.mean() / 1024.0,
+              activity.all_users.peak_user_throughput / 1024.0,
+              activity.all_users.peak_total_throughput / 1024.0);
+
+  const auto accesses = ExtractAccesses(trace);
+  const AccessPatternStats patterns = ComputeAccessPatterns(accesses);
+  std::printf("== Access patterns (Table 3 style) ==\n");
+  std::printf("read-only %.1f%% | write-only %.1f%% | read-write %.1f%% of %lld accesses\n",
+              patterns.read_only.accesses_fraction * 100,
+              patterns.write_only.accesses_fraction * 100,
+              patterns.read_write.accesses_fraction * 100,
+              static_cast<long long>(patterns.total_accesses));
+  std::printf("read-only sequentiality: %.0f%% whole-file, %.0f%% other-seq, %.1f%% random\n\n",
+              patterns.read_only.whole_file * 100, patterns.read_only.other_sequential * 100,
+              patterns.read_only.random * 100);
+
+  const RunLengthCurves runs = ComputeRunLengths(accesses);
+  const FileSizeCurves sizes = ComputeFileSizes(accesses);
+  const WeightedSamples opens = ComputeOpenDurations(accesses);
+  const LifetimeCurves lifetimes = ComputeLifetimes(trace);
+  std::printf("== Distributions (Figures 1-4 style) ==\n");
+  std::printf("runs: %.0f%% < 10 KB; %.0f%% of bytes in runs > 1 MB\n",
+              runs.by_runs.FractionAtOrBelow(10 * kKilobyte) * 100,
+              (1 - runs.by_bytes.FractionAtOrBelow(kMegabyte)) * 100);
+  std::printf("sizes: %.0f%% of accesses < 1 KB; %.0f%% of bytes from files >= 1 MB\n",
+              sizes.by_accesses.FractionAtOrBelow(kKilobyte) * 100,
+              (1 - sizes.by_bytes.FractionAtOrBelow(kMegabyte)) * 100);
+  std::printf("opens: %.0f%% < 0.25 s (median %.0f ms)\n",
+              opens.FractionAtOrBelow(0.25) * 100, opens.Quantile(0.5) * 1000);
+  std::printf("lifetimes: %.0f%% of files and %.0f%% of bytes dead within 30 s (%lld deaths)\n\n",
+              lifetimes.by_files.FractionAtOrBelow(30) * 100,
+              lifetimes.by_bytes.FractionAtOrBelow(30) * 100,
+              static_cast<long long>(lifetimes.deaths_observed));
+
+  std::printf("== Consistency simulations (Tables 11-12 style) ==\n");
+  for (const SimDuration refresh : {60 * kSecond, 3 * kSecond}) {
+    const PollingResult p = SimulatePolling(trace, refresh);
+    std::printf("polling %2.0f s: %.1f stale reads/hour, %.0f%% users affected\n",
+                ToSeconds(refresh), p.errors_per_hour(), p.affected_user_fraction() * 100);
+  }
+  for (const auto& [name, policy] :
+       std::initializer_list<std::pair<const char*, ConsistencyPolicy>>{
+           {"sprite", ConsistencyPolicy::kSprite},
+           {"modified", ConsistencyPolicy::kSpriteModified},
+           {"token", ConsistencyPolicy::kToken}}) {
+    const OverheadResult o = SimulateConsistencyOverhead(trace, policy);
+    std::printf("%-9s bytes ratio %.2f, RPC ratio %.2f over %lld shared events\n", name,
+                o.byte_ratio(), o.rpc_ratio(), static_cast<long long>(o.events_requested));
+  }
+  return 0;
+}
