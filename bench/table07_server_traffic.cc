@@ -6,6 +6,7 @@
 #include "bench/harness.h"
 #include "bench/paper_data.h"
 #include "src/analysis/cache_report.h"
+#include "src/fs/rpc.h"
 #include "src/util/table.h"
 
 using namespace sprite;
@@ -17,7 +18,11 @@ int main() {
                             "Traffic presented to the servers (% of server bytes).");
 
   const sprite_bench::ClusterRun run = sprite_bench::RunStandardCluster(scale);
-  const ServerCounters server = run.generator->cluster().AggregateServerCounters();
+  // Server traffic now comes from the RPC transport ledger — the single
+  // accounting point every client<->server message passes through.
+  const RpcLedger& ledger = run.generator->cluster().rpc_ledger();
+  const ServerCounters server = ServerTrafficFromLedger(ledger);
+  const ServerCounters kernel = run.generator->cluster().AggregateServerCounters();
   const TrafficCounters raw = run.generator->cluster().AggregateTrafficCounters();
   const ServerTrafficReport report = ComputeServerTrafficReport(server);
 
@@ -49,6 +54,12 @@ int main() {
               read_write_ratio);
   std::printf("  * Write-shared pass-through traffic: %.2f%% (paper: ~1%%).\n",
               report.shared * 100);
+  std::printf("  * Accounting: rows derive from the RPC transport ledger (%lld calls);\n"
+              "    kernel-counter cross-check %s (%lld vs %lld server bytes).\n",
+              static_cast<long long>(ledger.TotalCalls()),
+              server.TotalBytes() == kernel.TotalBytes() ? "OK" : "MISMATCH",
+              static_cast<long long>(server.TotalBytes()),
+              static_cast<long long>(kernel.TotalBytes()));
   sprite_bench::PrintScale(scale);
   return 0;
 }

@@ -76,8 +76,8 @@ void Client::EnsureCacheRoom(SimTime now) {
 
 Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
                                 OpenDisposition disposition, bool migrated, SimTime now) {
-  Server& server = ServerFor(file);
-  if (!server.FileExists(file)) {
+  ServerStub server = ServerFor(file);
+  if (!server.FileExists(file, now)) {
     server.CreateFile(file, /*is_directory=*/false, now);
     Record create;
     create.kind = RecordKind::kCreate;
@@ -87,7 +87,7 @@ Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
     create.file = file;
     create.migrated = migrated;
     Emit(create);
-  } else if (disposition == OpenDisposition::kTruncate && server.FileSize(file) > 0) {
+  } else if (disposition == OpenDisposition::kTruncate && server.FileSize(file, now) > 0) {
     // O_TRUNC of an existing non-empty file destroys its contents: counted
     // as a truncate event in the paper's traces. Remote dirty data for the
     // old contents is discarded by the server; local dirty data is
@@ -95,7 +95,7 @@ Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
     Truncate(user, file, now);
   }
 
-  const Server::OpenReply reply = server.Open(id_, file, mode, /*is_directory=*/false, now);
+  const Server::OpenReply reply = server.Open(file, mode, /*is_directory=*/false, now);
   cache_.SyncVersion(file, reply.version, now);
 
   OpenFile of;
@@ -104,7 +104,7 @@ Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
   of.mode = mode;
   of.migrated = migrated;
   of.cacheable = reply.cacheable;
-  of.size = server.FileSize(file);
+  of.size = server.FileSize(file, now);
   of.offset = disposition == OpenDisposition::kAppend ? of.size : 0;
   const HandleId handle = ++(*handle_counter_);
   handles_[handle] = of;
@@ -349,7 +349,7 @@ SimDuration Client::Close(HandleId handle, SimTime now) {
   Emit(r);
 
   const Server::CloseReply close_reply = ServerFor(of.file).Close(
-      id_, of.file, of.mode, /*wrote=*/of.total_write > 0, of.size, now);
+      of.file, of.mode, /*wrote=*/of.total_write > 0, of.size, now);
   if (of.total_write > 0) {
     // This client produced the new version; its cached blocks ARE that
     // version, so adopt it instead of invalidating at the next open.
@@ -360,7 +360,7 @@ SimDuration Client::Close(HandleId handle, SimTime now) {
 }
 
 void Client::Create(UserId user, FileId file, bool is_directory, SimTime now) {
-  Server& server = ServerFor(file);
+  ServerStub server = ServerFor(file);
   server.CreateFile(file, is_directory, now);
   Record r;
   r.kind = RecordKind::kCreate;
@@ -373,44 +373,43 @@ void Client::Create(UserId user, FileId file, bool is_directory, SimTime now) {
 }
 
 SimDuration Client::Delete(UserId user, FileId file, SimTime now) {
-  Server& server = ServerFor(file);
+  ServerStub server = ServerFor(file);
   // Locally cached dirty data for a deleted file never needs to reach the
   // server — the saving the 30-second delay is designed to capture.
   cache_.InvalidateFile(file, now);
-  const int64_t size = server.DeleteFile(file, id_, now);
+  const ServerStub::NameReply reply = server.DeleteFile(file, now);
   Record r;
   r.kind = RecordKind::kDelete;
   r.time = now;
   r.user = user;
   r.server = server.id();
   r.file = file;
-  r.file_size = size;
+  r.file_size = reply.size;
   Emit(r);
-  return 0;
+  return reply.latency;
 }
 
 SimDuration Client::Truncate(UserId user, FileId file, SimTime now) {
-  Server& server = ServerFor(file);
+  ServerStub server = ServerFor(file);
   cache_.InvalidateFile(file, now);
-  const int64_t size = server.TruncateFile(file, id_, now);
+  const ServerStub::NameReply reply = server.TruncateFile(file, now);
   Record r;
   r.kind = RecordKind::kTruncate;
   r.time = now;
   r.user = user;
   r.server = server.id();
   r.file = file;
-  r.file_size = size;
+  r.file_size = reply.size;
   Emit(r);
-  return 0;
+  return reply.latency;
 }
 
 SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTime now) {
-  Server& server = ServerFor(dir);
-  if (!server.FileExists(dir)) {
+  ServerStub server = ServerFor(dir);
+  if (!server.FileExists(dir, now)) {
     server.CreateFile(dir, /*is_directory=*/true, now);
   }
-  const Server::OpenReply reply = server.Open(id_, dir, OpenMode::kRead, /*is_directory=*/true,
-                                              now);
+  const Server::OpenReply reply = server.Open(dir, OpenMode::kRead, /*is_directory=*/true, now);
   const HandleId handle = ++(*handle_counter_);
 
   Record open_record;
@@ -437,7 +436,7 @@ SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTim
   read_record.io_bytes = bytes;
   Emit(read_record);
 
-  latency += server.Close(id_, dir, OpenMode::kRead, /*wrote=*/false, bytes, now).latency;
+  latency += server.Close(dir, OpenMode::kRead, /*wrote=*/false, bytes, now).latency;
   Record close_record;
   close_record.kind = RecordKind::kClose;
   close_record.time = now;

@@ -26,6 +26,7 @@
 #include "src/fs/block_cache.h"
 #include "src/fs/config.h"
 #include "src/fs/counters.h"
+#include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/fs/types.h"
 #include "src/fs/vm.h"
@@ -44,8 +45,9 @@ enum class OpenDisposition {
 
 class Client final : public CacheControl {
  public:
-  // Routes a file id to its home server.
-  using ServerRouter = std::function<Server&(FileId)>;
+  // Routes a file id to a stub for its home server; every operation the
+  // client issues through the stub travels the cluster's RpcTransport.
+  using ServerRouter = std::function<ServerStub(FileId)>;
   // Receives trace records (may be null to disable tracing).
   using TraceSink = std::function<void(const Record&)>;
 
@@ -137,7 +139,7 @@ class Client final : public CacheControl {
     int64_t total_write = 0;
   };
 
-  Server& ServerFor(FileId file) { return router_(file); }
+  ServerStub ServerFor(FileId file) { return router_(file); }
   OpenFile& HandleRef(HandleId handle);
   // Like HandleRef, but returns null for handles that died in a crash
   // (descriptors from before the reboot); throws only for handles that were

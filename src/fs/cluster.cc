@@ -5,29 +5,36 @@
 namespace sprite {
 
 Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
-    : config_(config), queue_(queue), network_(std::make_unique<Network>(config.network)) {
+    : config_(config),
+      queue_(queue),
+      transport_(std::make_unique<RpcTransport>(config.network, config.rpc)) {
   if (config.num_clients <= 0 || config.num_servers <= 0) {
     throw std::invalid_argument("Cluster: need at least one client and one server");
   }
   servers_.reserve(static_cast<size_t>(config.num_servers));
   for (int s = 0; s < config.num_servers; ++s) {
     servers_.push_back(std::make_unique<Server>(static_cast<ServerId>(s), config.server,
-                                                config.disk, config.consistency,
-                                                network_.get()));
+                                                config.disk, config.consistency));
   }
 
   Client::TraceSink sink;
   if (config.tracing_enabled) {
     sink = [this](const Record& r) { trace_.push_back(r); };
   }
-  Client::ServerRouter router = [this](FileId file) -> Server& { return ServerForFile(file); };
 
   clients_.reserve(static_cast<size_t>(config.num_clients));
   for (int c = 0; c < config.num_clients; ++c) {
-    clients_.push_back(std::make_unique<Client>(static_cast<ClientId>(c), config.client, router,
-                                                sink, &handle_counter_));
+    const ClientId id = static_cast<ClientId>(c);
+    // Each client's router hands out stubs that route through the transport.
+    Client::ServerRouter router = [this, id](FileId file) {
+      return ServerStub(id, ServerForFile(file), *transport_);
+    };
+    clients_.push_back(std::make_unique<Client>(id, config.client, std::move(router), sink,
+                                                &handle_counter_));
+    // Consistency callbacks travel the transport too, as typed RPCs.
     for (auto& server : servers_) {
-      server->RegisterClient(static_cast<ClientId>(c), clients_.back().get());
+      server->RegisterClient(id, transport_->WrapCallbacks(server->id(), id,
+                                                           clients_.back().get()));
     }
   }
 }
@@ -129,6 +136,7 @@ void Cluster::ResetMeasurements() {
   for (auto& server : servers_) {
     server->ResetCounters();
   }
+  transport_->ResetLedger();
   trace_.clear();
   cache_size_samples_.clear();
 }
@@ -144,7 +152,6 @@ ServerCounters Cluster::AggregateServerCounters() const {
     total.dir_read_bytes += s.dir_read_bytes;
     total.paging_read_bytes += s.paging_read_bytes;
     total.paging_write_bytes += s.paging_write_bytes;
-    total.rpcs += s.rpcs;
     total.file_opens += s.file_opens;
     total.write_sharing_opens += s.write_sharing_opens;
     total.recall_opens += s.recall_opens;

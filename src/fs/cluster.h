@@ -22,6 +22,8 @@
 
 #include "src/fs/client.h"
 #include "src/fs/config.h"
+#include "src/fs/net.h"
+#include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/record.h"
@@ -52,7 +54,12 @@ class Cluster {
   int num_servers() const { return static_cast<int>(servers_.size()); }
   EventQueue& queue() { return queue_; }
   const ClusterConfig& config() const { return config_; }
-  const Network& network() const { return *network_; }
+  // All client<->server traffic flows through one typed RPC transport; its
+  // ledger feeds the Table 7 / Table 12 server-traffic rows.
+  RpcTransport& transport() { return *transport_; }
+  const RpcTransport& transport() const { return *transport_; }
+  const RpcLedger& rpc_ledger() const { return transport_->ledger(); }
+  const Network& network() const { return *transport_->network(); }
 
   // The server that owns `file` (files are partitioned across servers).
   Server& ServerForFile(FileId file);
@@ -79,7 +86,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   EventQueue& queue_;
-  std::unique_ptr<Network> network_;
+  std::unique_ptr<RpcTransport> transport_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<PeriodicTask>> daemons_;

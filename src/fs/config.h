@@ -96,6 +96,20 @@ struct DiskConfig {
   double bandwidth_bytes_per_sec = 1.5e6;
 };
 
+// Client-stub behavior when a server is unavailable (RpcTransport fault
+// injection). Sprite clients wait for a crashed server to recover rather
+// than failing operations, so after `max_retries` timed-out attempts the
+// stub blocks until the server's outage ends.
+struct RpcConfig {
+  // An attempt against an unavailable server is declared lost after this.
+  SimDuration timeout = 500 * kMillisecond;
+  // Timed-out attempts are retried with bounded exponential backoff:
+  // backoff_initial, 2x, 4x, ... capped at backoff_max.
+  int max_retries = 4;
+  SimDuration backoff_initial = 100 * kMillisecond;
+  SimDuration backoff_max = 2 * kSecond;
+};
+
 struct ClusterConfig {
   int num_clients = 40;
   int num_servers = 4;
@@ -103,6 +117,7 @@ struct ClusterConfig {
   ClientConfig client;
   ServerConfig server;
   NetworkConfig network;
+  RpcConfig rpc;
   DiskConfig disk;
   // When true, the cluster appends kernel-call records to its TraceLog as a
   // side effect of client operations (the paper's server-side tracing).

@@ -9,7 +9,12 @@
 #ifndef SPRITE_DFS_SRC_FS_COUNTERS_H_
 #define SPRITE_DFS_SRC_FS_COUNTERS_H_
 
+#include <array>
 #include <cstdint>
+#include <map>
+
+#include "src/fs/types.h"
+#include "src/util/units.h"
 
 namespace sprite {
 
@@ -118,7 +123,6 @@ struct ServerCounters {
   int64_t dir_read_bytes = 0;
   int64_t paging_read_bytes = 0;   // code/data fetches + backing reads
   int64_t paging_write_bytes = 0;  // backing writes
-  int64_t rpcs = 0;
 
   // Table 10: consistency actions as a fraction of file opens.
   int64_t file_opens = 0;            // opens of regular files
@@ -129,6 +133,79 @@ struct ServerCounters {
     return file_read_bytes + file_write_bytes + shared_read_bytes + shared_write_bytes +
            dir_read_bytes + paging_read_bytes + paging_write_bytes;
   }
+};
+
+// --- RPC transport ledger ----------------------------------------------------
+//
+// Every client<->server interaction is a typed RPC through the RpcTransport
+// (src/fs/rpc.h). The transport keeps one RpcStat per message kind plus
+// per-client and per-server breakdowns; Tables 7 and 12 derive their server
+// traffic and RPC-overhead rows from this ledger.
+
+enum class RpcKind : uint8_t {
+  // Client -> server requests.
+  kOpen = 0,        // open a file or directory (control RPC)
+  kClose,           // close (control RPC)
+  kCreate,          // create a file or directory
+  kDelete,          // remove a file
+  kTruncate,        // truncate to zero length
+  kGetAttr,         // existence / size probe
+  kReadBlock,       // client cache-miss block fetch
+  kWriteBlock,      // client cache writeback
+  kUncachedRead,    // pass-through read on a write-shared file
+  kUncachedWrite,   // pass-through write on a write-shared file
+  kPageIn,          // paging read (code / data / backing file)
+  kPageOut,         // backing-file page-out
+  kReadDir,         // directory contents read
+  // Server -> client consistency callbacks (CacheControl).
+  kRecallDirty,     // flush your dirty data for a file
+  kCacheDisable,    // stop caching (concurrent write-sharing began)
+  kCacheEnable,     // caching allowed again
+  kTokenRecall,     // token policies: flush and maybe invalidate
+  kDiscardFile,     // contents destroyed remotely: drop cached blocks
+};
+inline constexpr int kRpcKindCount = 18;
+
+const char* RpcKindName(RpcKind kind);
+
+// Accounting for one RPC kind (or one client/server when used in the
+// breakdown maps).
+struct RpcStat {
+  int64_t calls = 0;
+  int64_t payload_bytes = 0;
+  SimDuration net_time = 0;   // Ethernet latency charged to the callers
+  SimDuration wait_time = 0;  // timeout + backoff + recovery waits (faults)
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t blocked_waits = 0;  // retries exhausted; waited for recovery
+
+  bool operator==(const RpcStat&) const = default;
+};
+
+struct RpcLedger {
+  std::array<RpcStat, kRpcKindCount> by_kind{};
+  std::map<ClientId, RpcStat> by_client;
+  std::map<ServerId, RpcStat> by_server;
+
+  RpcStat& stat(RpcKind kind) { return by_kind[static_cast<size_t>(kind)]; }
+  const RpcStat& stat(RpcKind kind) const { return by_kind[static_cast<size_t>(kind)]; }
+
+  int64_t TotalCalls() const {
+    int64_t n = 0;
+    for (const RpcStat& s : by_kind) {
+      n += s.calls;
+    }
+    return n;
+  }
+  int64_t TotalPayloadBytes() const {
+    int64_t n = 0;
+    for (const RpcStat& s : by_kind) {
+      n += s.payload_bytes;
+    }
+    return n;
+  }
+
+  bool operator==(const RpcLedger&) const = default;
 };
 
 }  // namespace sprite

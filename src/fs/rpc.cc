@@ -1,0 +1,384 @@
+#include "src/fs/rpc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/table.h"
+
+namespace sprite {
+
+const char* RpcKindName(RpcKind kind) {
+  switch (kind) {
+    case RpcKind::kOpen: return "open";
+    case RpcKind::kClose: return "close";
+    case RpcKind::kCreate: return "create";
+    case RpcKind::kDelete: return "delete";
+    case RpcKind::kTruncate: return "truncate";
+    case RpcKind::kGetAttr: return "getattr";
+    case RpcKind::kReadBlock: return "read-block";
+    case RpcKind::kWriteBlock: return "write-block";
+    case RpcKind::kUncachedRead: return "uncached-read";
+    case RpcKind::kUncachedWrite: return "uncached-write";
+    case RpcKind::kPageIn: return "page-in";
+    case RpcKind::kPageOut: return "page-out";
+    case RpcKind::kReadDir: return "read-dir";
+    case RpcKind::kRecallDirty: return "recall-dirty";
+    case RpcKind::kCacheDisable: return "cache-disable";
+    case RpcKind::kCacheEnable: return "cache-enable";
+    case RpcKind::kTokenRecall: return "token-recall";
+    case RpcKind::kDiscardFile: return "discard-file";
+  }
+  return "unknown";
+}
+
+RpcTransport::RpcTransport(const NetworkConfig& net_config, const RpcConfig& rpc_config)
+    : network_(std::make_unique<Network>(net_config)), config_(rpc_config) {}
+
+bool RpcTransport::ChargesNetwork(RpcKind kind) {
+  switch (kind) {
+    case RpcKind::kOpen:
+    case RpcKind::kClose:
+    case RpcKind::kReadBlock:
+    case RpcKind::kWriteBlock:
+    case RpcKind::kUncachedRead:
+    case RpcKind::kUncachedWrite:
+    case RpcKind::kPageIn:
+    case RpcKind::kPageOut:
+    case RpcKind::kReadDir:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RpcTransport::IsCallback(RpcKind kind) {
+  switch (kind) {
+    case RpcKind::kRecallDirty:
+    case RpcKind::kCacheDisable:
+    case RpcKind::kCacheEnable:
+    case RpcKind::kTokenRecall:
+    case RpcKind::kDiscardFile:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RpcTransport::SetServerUnavailable(ServerId server, SimTime from, SimTime until) {
+  if (until > from) {
+    outages_[server].push_back(Outage{from, until});
+  }
+}
+
+bool RpcTransport::InOutage(ServerId server, SimTime t, SimTime* recovery) const {
+  auto it = outages_.find(server);
+  if (it == outages_.end()) {
+    return false;
+  }
+  for (const Outage& o : it->second) {
+    if (t >= o.from && t < o.until) {
+      *recovery = o.until;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
+                               int64_t payload_bytes, SimTime now) {
+  SimDuration wait = 0;
+  int64_t retries = 0;
+  int64_t timeouts = 0;
+  int64_t blocked_waits = 0;
+
+  if (!outages_.empty() && !IsCallback(kind)) {
+    SimTime t = now;
+    SimTime recovery = 0;
+    int tries = 0;
+    while (InOutage(server, t, &recovery)) {
+      wait += config_.timeout;
+      t += config_.timeout;
+      ++timeouts;
+      if (tries < config_.max_retries) {
+        SimDuration backoff = config_.backoff_initial;
+        for (int k = 0; k < tries && backoff < config_.backoff_max; ++k) {
+          backoff *= 2;
+        }
+        backoff = std::min(backoff, config_.backoff_max);
+        wait += backoff;
+        t += backoff;
+        ++retries;
+        ++tries;
+      } else {
+        // Retry budget spent: wait out the outage, as Sprite clients do.
+        if (recovery > t) {
+          wait += recovery - t;
+          t = recovery;
+        }
+        ++blocked_waits;
+        break;
+      }
+    }
+  }
+
+  SimDuration net = 0;
+  if (network_ != nullptr && ChargesNetwork(kind)) {
+    net = network_->Rpc(payload_bytes);
+  }
+
+  const auto charge = [&](RpcStat& s) {
+    ++s.calls;
+    s.payload_bytes += payload_bytes;
+    s.net_time += net;
+    s.wait_time += wait;
+    s.retries += retries;
+    s.timeouts += timeouts;
+    s.blocked_waits += blocked_waits;
+  };
+  charge(ledger_.stat(kind));
+  charge(ledger_.by_client[client]);
+  charge(ledger_.by_server[server]);
+  return wait + net;
+}
+
+namespace {
+
+// Server-side view of one registered client: forwards each consistency
+// command after recording it as a callback RPC.
+class CallbackStub final : public CacheControl {
+ public:
+  CallbackStub(RpcTransport* transport, ServerId server, ClientId client, CacheControl* target)
+      : transport_(transport), server_(server), client_(client), target_(target) {}
+
+  void RecallDirtyData(FileId file, SimTime now) override {
+    transport_->Call(RpcKind::kRecallDirty, client_, server_, 0, now);
+    target_->RecallDirtyData(file, now);
+  }
+  void DisableCaching(FileId file, SimTime now) override {
+    transport_->Call(RpcKind::kCacheDisable, client_, server_, 0, now);
+    target_->DisableCaching(file, now);
+  }
+  void EnableCaching(FileId file, SimTime now) override {
+    transport_->Call(RpcKind::kCacheEnable, client_, server_, 0, now);
+    target_->EnableCaching(file, now);
+  }
+  void RecallToken(FileId file, SimTime now, bool invalidate) override {
+    transport_->Call(RpcKind::kTokenRecall, client_, server_, 0, now);
+    target_->RecallToken(file, now, invalidate);
+  }
+  void DiscardFile(FileId file, SimTime now) override {
+    transport_->Call(RpcKind::kDiscardFile, client_, server_, 0, now);
+    target_->DiscardFile(file, now);
+  }
+
+ private:
+  RpcTransport* transport_;
+  ServerId server_;
+  ClientId client_;
+  CacheControl* target_;
+};
+
+}  // namespace
+
+CacheControl* RpcTransport::WrapCallbacks(ServerId server, ClientId client,
+                                          CacheControl* target) {
+  callback_stubs_.push_back(std::make_unique<CallbackStub>(this, server, client, target));
+  return callback_stubs_.back().get();
+}
+
+// --- ServerStub --------------------------------------------------------------
+
+Server::OpenReply ServerStub::Open(FileId file, OpenMode mode, bool is_directory, SimTime now) {
+  const SimDuration latency =
+      transport_->Call(RpcKind::kOpen, client_, server_->id(), kControlRpcBytes, now);
+  Server::OpenReply reply = server_->Open(client_, file, mode, is_directory, now);
+  reply.latency = latency;
+  return reply;
+}
+
+Server::CloseReply ServerStub::Close(FileId file, OpenMode mode, bool wrote, int64_t final_size,
+                                     SimTime now) {
+  const SimDuration latency =
+      transport_->Call(RpcKind::kClose, client_, server_->id(), kControlRpcBytes, now);
+  Server::CloseReply reply = server_->Close(client_, file, mode, wrote, final_size, now);
+  reply.latency = latency;
+  return reply;
+}
+
+SimDuration ServerStub::FetchBlock(FileId file, int64_t block, bool paging, SimTime now) {
+  const SimDuration disk_time = server_->FetchBlock(file, block, paging, now);
+  return disk_time + transport_->Call(paging ? RpcKind::kPageIn : RpcKind::kReadBlock, client_,
+                                      server_->id(), kBlockSize, now);
+}
+
+SimDuration ServerStub::Writeback(FileId file, int64_t block, int64_t bytes, bool paging,
+                                  SimTime now) {
+  server_->Writeback(file, block, bytes, paging, now);
+  return transport_->Call(paging ? RpcKind::kPageOut : RpcKind::kWriteBlock, client_,
+                          server_->id(), bytes, now);
+}
+
+SimDuration ServerStub::PassThroughRead(FileId file, int64_t bytes, SimTime now) {
+  const SimDuration disk_time = server_->PassThroughRead(file, bytes, now);
+  return disk_time +
+         transport_->Call(RpcKind::kUncachedRead, client_, server_->id(), bytes, now);
+}
+
+SimDuration ServerStub::PassThroughWrite(FileId file, int64_t bytes, SimTime now) {
+  server_->PassThroughWrite(file, bytes, now);
+  return transport_->Call(RpcKind::kUncachedWrite, client_, server_->id(), bytes, now);
+}
+
+SimDuration ServerStub::ReadDirectory(FileId dir, int64_t bytes, SimTime now) {
+  server_->ReadDirectory(dir, bytes, now);
+  return transport_->Call(RpcKind::kReadDir, client_, server_->id(), bytes, now);
+}
+
+void ServerStub::CreateFile(FileId file, bool is_directory, SimTime now) {
+  transport_->Call(RpcKind::kCreate, client_, server_->id(), 0, now);
+  server_->CreateFile(file, is_directory, now);
+}
+
+ServerStub::NameReply ServerStub::DeleteFile(FileId file, SimTime now) {
+  const SimDuration latency =
+      transport_->Call(RpcKind::kDelete, client_, server_->id(), 0, now);
+  return NameReply{server_->DeleteFile(file, client_, now), latency};
+}
+
+ServerStub::NameReply ServerStub::TruncateFile(FileId file, SimTime now) {
+  const SimDuration latency =
+      transport_->Call(RpcKind::kTruncate, client_, server_->id(), 0, now);
+  return NameReply{server_->TruncateFile(file, client_, now), latency};
+}
+
+bool ServerStub::FileExists(FileId file, SimTime now) {
+  transport_->Call(RpcKind::kGetAttr, client_, server_->id(), 0, now);
+  return server_->FileExists(file);
+}
+
+int64_t ServerStub::FileSize(FileId file, SimTime now) {
+  transport_->Call(RpcKind::kGetAttr, client_, server_->id(), 0, now);
+  return server_->FileSize(file);
+}
+
+// --- Ledger derivations ------------------------------------------------------
+
+ServerCounters ServerTrafficFromLedger(const RpcLedger& ledger) {
+  ServerCounters c;
+  c.file_read_bytes = ledger.stat(RpcKind::kReadBlock).payload_bytes;
+  c.file_write_bytes = ledger.stat(RpcKind::kWriteBlock).payload_bytes;
+  c.shared_read_bytes = ledger.stat(RpcKind::kUncachedRead).payload_bytes;
+  c.shared_write_bytes = ledger.stat(RpcKind::kUncachedWrite).payload_bytes;
+  c.dir_read_bytes = ledger.stat(RpcKind::kReadDir).payload_bytes;
+  c.paging_read_bytes = ledger.stat(RpcKind::kPageIn).payload_bytes;
+  c.paging_write_bytes = ledger.stat(RpcKind::kPageOut).payload_bytes;
+  return c;
+}
+
+RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config) {
+  const Network net(net_config);
+  RpcLedger ledger;
+
+  const auto add = [&](RpcKind kind, const Record& r, int64_t calls, int64_t payload,
+                       SimDuration net_time) {
+    const auto charge = [&](RpcStat& s) {
+      s.calls += calls;
+      s.payload_bytes += payload;
+      s.net_time += net_time;
+    };
+    charge(ledger.stat(kind));
+    charge(ledger.by_client[r.client]);
+    charge(ledger.by_server[r.server]);
+  };
+
+  // Byte runs reported by close/seek anchors become block transfers. Reads
+  // fetch whole blocks; writes ship the actual bytes in block-sized RPCs.
+  const auto add_runs = [&](const Record& r) {
+    if (r.run_read_bytes > 0) {
+      const int64_t blocks = BlocksForBytes(r.run_read_bytes);
+      add(RpcKind::kReadBlock, r, blocks, blocks * kBlockSize,
+          blocks * net.RpcTime(kBlockSize));
+    }
+    if (r.run_write_bytes > 0) {
+      const int64_t full = r.run_write_bytes / kBlockSize;
+      const int64_t rest = r.run_write_bytes % kBlockSize;
+      SimDuration t = full * net.RpcTime(kBlockSize);
+      if (rest > 0) {
+        t += net.RpcTime(rest);
+      }
+      add(RpcKind::kWriteBlock, r, BlocksForBytes(r.run_write_bytes), r.run_write_bytes, t);
+    }
+  };
+
+  for (const Record& r : trace) {
+    switch (r.kind) {
+      case RecordKind::kOpen:
+        add(RpcKind::kOpen, r, 1, kControlRpcBytes, net.RpcTime(kControlRpcBytes));
+        break;
+      case RecordKind::kClose:
+        add(RpcKind::kClose, r, 1, kControlRpcBytes, net.RpcTime(kControlRpcBytes));
+        add_runs(r);
+        break;
+      case RecordKind::kSeek:
+        add_runs(r);
+        break;
+      case RecordKind::kCreate:
+        add(RpcKind::kCreate, r, 1, 0, 0);
+        break;
+      case RecordKind::kDelete:
+        add(RpcKind::kDelete, r, 1, 0, 0);
+        break;
+      case RecordKind::kTruncate:
+        add(RpcKind::kTruncate, r, 1, 0, 0);
+        break;
+      case RecordKind::kDirRead:
+        add(RpcKind::kReadDir, r, 1, r.io_bytes, net.RpcTime(r.io_bytes));
+        break;
+      case RecordKind::kSharedRead:
+        add(RpcKind::kUncachedRead, r, 1, r.io_bytes, net.RpcTime(r.io_bytes));
+        break;
+      case RecordKind::kSharedWrite:
+        add(RpcKind::kUncachedWrite, r, 1, r.io_bytes, net.RpcTime(r.io_bytes));
+        break;
+      case RecordKind::kMigrate:
+      case RecordKind::kFsync:
+        break;  // no data RPC of their own
+    }
+  }
+  return ledger;
+}
+
+std::string FormatRpcLedger(const RpcLedger& ledger) {
+  const auto fmt = [](double v, const char* suffix) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+    return std::string(buf);
+  };
+
+  TextTable table({"Kind", "Calls", "Payload (KB)", "Net (ms)", "Wait (ms)", "Retries",
+                   "Timeouts"});
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const RpcStat& s = ledger.by_kind[static_cast<size_t>(k)];
+    if (s.calls == 0) {
+      continue;
+    }
+    table.AddRow({RpcKindName(static_cast<RpcKind>(k)), std::to_string(s.calls),
+                  fmt(static_cast<double>(s.payload_bytes) / 1024.0, ""),
+                  fmt(static_cast<double>(s.net_time) / 1000.0, ""),
+                  fmt(static_cast<double>(s.wait_time) / 1000.0, ""),
+                  std::to_string(s.retries), std::to_string(s.timeouts)});
+  }
+  table.AddSeparator();
+  table.AddRow({"total", std::to_string(ledger.TotalCalls()),
+                fmt(static_cast<double>(ledger.TotalPayloadBytes()) / 1024.0, ""), "", "", "",
+                ""});
+
+  std::string out = table.Render();
+  for (const auto& [server, s] : ledger.by_server) {
+    out += "server " + std::to_string(server) + ": " + std::to_string(s.calls) + " RPCs, " +
+           fmt(static_cast<double>(s.payload_bytes) / (1024.0 * 1024.0), " MB") + "\n";
+  }
+  return out;
+}
+
+}  // namespace sprite

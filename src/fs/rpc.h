@@ -1,0 +1,159 @@
+// Typed RPC transport between clients and servers.
+//
+// Every client->server request and every server->client consistency
+// callback is a typed message (RpcKind) dispatched through one RpcTransport
+// per cluster. The transport owns the Network model and is the single place
+// where network accounting happens: it keeps a per-kind ledger (calls,
+// payload bytes, net latency) with per-client and per-server breakdowns
+// (RpcLedger in counters.h), replacing the inline `network_->Rpc(...)`
+// bookkeeping the Server used to do.
+//
+// Message kinds split into two classes, chosen to match what Sprite's wire
+// protocol actually transfers:
+//   * charged kinds (open/close/block fetch/writeback/pass-through/paging/
+//     directory reads) occupy the Ethernet: the transport charges the
+//     Network model and the latency is returned to the caller;
+//   * ledger-only kinds (create/delete/truncate/getattr and the
+//     consistency callbacks) are counted but cost no simulated time —
+//     in real Sprite these piggyback on other messages or overlap with
+//     the operations that triggered them.
+//
+// Fault injection: a server can be marked unavailable for an interval.
+// While it is down, client requests time out (RpcConfig.timeout per
+// attempt) and retry with bounded exponential backoff; when the retry
+// budget is exhausted the stub blocks until the outage ends, matching
+// Sprite's recover-and-continue semantics. All waits, retries, and
+// timeouts are recorded in the ledger, and everything is deterministic.
+
+#ifndef SPRITE_DFS_SRC_FS_RPC_H_
+#define SPRITE_DFS_SRC_FS_RPC_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fs/config.h"
+#include "src/fs/counters.h"
+#include "src/fs/net.h"
+#include "src/fs/server.h"
+#include "src/fs/types.h"
+#include "src/trace/record.h"
+
+namespace sprite {
+
+// Small control RPC payload (open/close messages).
+inline constexpr int64_t kControlRpcBytes = 128;
+
+class RpcTransport {
+ public:
+  // In-process transport: zero latency, no Network model, but every call is
+  // still recorded in the ledger. Unit-test harnesses use this.
+  RpcTransport() = default;
+  // Cluster transport: owns the Ethernet model and charges it for every
+  // wire-occupying kind.
+  explicit RpcTransport(const NetworkConfig& net_config, const RpcConfig& rpc_config = {});
+
+  // Records one RPC of `kind` between `client` and `server` carrying
+  // `payload_bytes`, and returns the simulated latency the caller must
+  // absorb (network time plus any fault-injection waits; zero for
+  // ledger-only kinds on a healthy server).
+  SimDuration Call(RpcKind kind, ClientId client, ServerId server, int64_t payload_bytes,
+                   SimTime now);
+
+  // Wraps a client's CacheControl so the server's consistency callbacks are
+  // recorded as kRecallDirty/kCacheDisable/... RPCs. The returned object is
+  // owned by the transport and lives as long as it does.
+  CacheControl* WrapCallbacks(ServerId server, ClientId client, CacheControl* target);
+
+  const RpcLedger& ledger() const { return ledger_; }
+  void ResetLedger() { ledger_ = RpcLedger{}; }
+
+  // Null for the in-process transport.
+  const Network* network() const { return network_.get(); }
+  const RpcConfig& config() const { return config_; }
+
+  // --- Fault injection -------------------------------------------------------
+  // Marks `server` unreachable for [from, until). Client requests issued in
+  // that window pay timeouts/backoff per RpcConfig; callbacks are not
+  // delayed (a down server issues none).
+  void SetServerUnavailable(ServerId server, SimTime from, SimTime until);
+  void ClearFaults() { outages_.clear(); }
+
+  // True if `kind` occupies the Ethernet (charged to the Network model).
+  static bool ChargesNetwork(RpcKind kind);
+  // True for server->client consistency callbacks.
+  static bool IsCallback(RpcKind kind);
+
+ private:
+  struct Outage {
+    SimTime from = 0;
+    SimTime until = 0;
+  };
+
+  bool InOutage(ServerId server, SimTime t, SimTime* recovery) const;
+
+  std::unique_ptr<Network> network_;
+  RpcConfig config_;
+  RpcLedger ledger_;
+  std::map<ServerId, std::vector<Outage>> outages_;
+  std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
+};
+
+// Client-side stub for one (client, server) pair: mirrors the Server API but
+// routes every operation through the transport, merging the RPC latency into
+// the reply. Clients hold these by value via their router; the referenced
+// server and transport must outlive the call.
+class ServerStub {
+ public:
+  ServerStub(ClientId client, Server& server, RpcTransport& transport)
+      : client_(client), server_(&server), transport_(&transport) {}
+
+  ServerId id() const { return server_->id(); }
+
+  Server::OpenReply Open(FileId file, OpenMode mode, bool is_directory, SimTime now);
+  Server::CloseReply Close(FileId file, OpenMode mode, bool wrote, int64_t final_size,
+                           SimTime now);
+
+  SimDuration FetchBlock(FileId file, int64_t block, bool paging, SimTime now);
+  SimDuration Writeback(FileId file, int64_t block, int64_t bytes, bool paging, SimTime now);
+  SimDuration PassThroughRead(FileId file, int64_t bytes, SimTime now);
+  SimDuration PassThroughWrite(FileId file, int64_t bytes, SimTime now);
+  SimDuration ReadDirectory(FileId dir, int64_t bytes, SimTime now);
+
+  struct NameReply {
+    int64_t size = 0;
+    SimDuration latency = 0;
+  };
+  void CreateFile(FileId file, bool is_directory, SimTime now);
+  NameReply DeleteFile(FileId file, SimTime now);
+  NameReply TruncateFile(FileId file, SimTime now);
+  bool FileExists(FileId file, SimTime now);
+  int64_t FileSize(FileId file, SimTime now);
+
+ private:
+  ClientId client_;
+  Server* server_;
+  RpcTransport* transport_;
+};
+
+// Table 7 input: the per-server byte counters implied by the ledger (the
+// open/sharing counters stay with the Server, which owns that semantics).
+ServerCounters ServerTrafficFromLedger(const RpcLedger& ledger);
+
+// Reconstructs an RPC ledger from a kernel-call trace, the way TraceTracker
+// rebuilds I/O from logs: opens/closes cost one control RPC each, the byte
+// runs they report become whole-block fetches and writebacks, and
+// pass-through/directory records map directly. Client caching is invisible
+// in a trace, so the read traffic is an upper bound (as if every block
+// missed). Net latency uses `net_config` without touching any live Network.
+RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config = {});
+
+// Renders the ledger as a text table (per-kind rows with calls, payload,
+// net/wait time, retries and timeouts, then per-server totals).
+std::string FormatRpcLedger(const RpcLedger& ledger);
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_RPC_H_

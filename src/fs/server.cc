@@ -3,18 +3,11 @@
 #include <stdexcept>
 
 namespace sprite {
-namespace {
-
-// Small control RPC payload (open/close/name operations).
-constexpr int64_t kControlRpcBytes = 128;
-
-}  // namespace
 
 Server::Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_config,
-               ConsistencyPolicy policy, Network* network)
+               ConsistencyPolicy policy)
     : id_(id),
       policy_(policy),
-      network_(network),
       disk_(disk_config),
       cache_([&] {
         CacheConfig c = config.cache;
@@ -71,7 +64,6 @@ void Server::CreateFile(FileId file, bool is_directory, SimTime now) {
   meta.size = 0;
   ++meta.version;
   meta.last_writer.reset();
-  ++counters_.rpcs;
 }
 
 void Server::DiscardRemoteDirtyData(FileId file, FileMeta& meta, ClientId caller, SimTime now) {
@@ -84,7 +76,6 @@ void Server::DiscardRemoteDirtyData(FileId file, FileMeta& meta, ClientId caller
 }
 
 int64_t Server::DeleteFile(FileId file, ClientId caller, SimTime now) {
-  ++counters_.rpcs;
   auto it = files_.find(file);
   if (it == files_.end() || !it->second.exists) {
     return 0;
@@ -102,7 +93,6 @@ int64_t Server::DeleteFile(FileId file, ClientId caller, SimTime now) {
 }
 
 int64_t Server::TruncateFile(FileId file, ClientId caller, SimTime now) {
-  ++counters_.rpcs;
   auto it = files_.find(file);
   if (it == files_.end() || !it->second.exists) {
     return 0;
@@ -145,8 +135,6 @@ bool Server::IsWriteShared(const OpenState& state) {
 Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool is_directory,
                                SimTime now) {
   OpenReply reply;
-  reply.latency = network_ != nullptr ? network_->Rpc(kControlRpcBytes) : 0;
-  ++counters_.rpcs;
 
   FileMeta& meta = EnsureFile(file);
   if (!meta.exists) {
@@ -243,8 +231,6 @@ Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool
 Server::CloseReply Server::Close(ClientId client, FileId file, OpenMode mode, bool wrote,
                                  int64_t final_size, SimTime now) {
   CloseReply reply;
-  reply.latency = network_ != nullptr ? network_->Rpc(kControlRpcBytes) : 0;
-  ++counters_.rpcs;
 
   FileMeta& meta = EnsureFile(file);
   reply.version = meta.version;
@@ -308,20 +294,16 @@ SimDuration Server::TouchServerCache(FileId file, int64_t block, bool write, int
 }
 
 SimDuration Server::FetchBlock(FileId file, int64_t block, bool paging, SimTime now) {
-  ++counters_.rpcs;
   if (paging) {
     counters_.paging_read_bytes += kBlockSize;
   } else {
     counters_.file_read_bytes += kBlockSize;
   }
-  const SimDuration disk_time = TouchServerCache(file, block, /*write=*/false, kBlockSize, now);
-  const SimDuration net_time = network_ != nullptr ? network_->Rpc(kBlockSize) : 0;
-  return disk_time + net_time;
+  return TouchServerCache(file, block, /*write=*/false, kBlockSize, now);
 }
 
 SimDuration Server::Writeback(FileId file, int64_t block, int64_t bytes, bool paging,
                               SimTime now) {
-  ++counters_.rpcs;
   if (paging) {
     counters_.paging_write_bytes += bytes;
   } else {
@@ -333,31 +315,27 @@ SimDuration Server::Writeback(FileId file, int64_t block, int64_t bytes, bool pa
   if (end > meta.size) {
     meta.size = end;
   }
-  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+  return 0;
 }
 
 SimDuration Server::PassThroughRead(FileId file, int64_t bytes, SimTime now) {
-  ++counters_.rpcs;
   counters_.shared_read_bytes += bytes;
-  const SimDuration disk_time = TouchServerCache(file, 0, /*write=*/false, bytes, now);
-  return disk_time + (network_ != nullptr ? network_->Rpc(bytes) : 0);
+  return TouchServerCache(file, 0, /*write=*/false, bytes, now);
 }
 
 SimDuration Server::PassThroughWrite(FileId file, int64_t bytes, SimTime now) {
-  ++counters_.rpcs;
   counters_.shared_write_bytes += bytes;
   TouchServerCache(file, 0, /*write=*/true, bytes, now);
   FileMeta& meta = EnsureFile(file);
   ++meta.version;
-  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+  return 0;
 }
 
 SimDuration Server::ReadDirectory(FileId dir, int64_t bytes, SimTime now) {
   (void)dir;
   (void)now;
-  ++counters_.rpcs;
   counters_.dir_read_bytes += bytes;
-  return network_ != nullptr ? network_->Rpc(bytes) : 0;
+  return 0;
 }
 
 void Server::ClientCrashed(ClientId client, SimTime now) {

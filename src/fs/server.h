@@ -26,7 +26,6 @@
 #include "src/fs/counters.h"
 #include "src/fs/disk.h"
 #include "src/fs/log_disk.h"
-#include "src/fs/net.h"
 #include "src/fs/types.h"
 #include "src/trace/record.h"  // OpenMode
 
@@ -69,11 +68,13 @@ class Server {
     bool cacheable = true;
     bool caused_write_sharing = false;
     bool caused_recall = false;
+    // Network latency, filled in by the ServerStub (the server itself no
+    // longer touches the network; see src/fs/rpc.h).
     SimDuration latency = 0;
   };
 
   Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_config,
-         ConsistencyPolicy policy, Network* network);
+         ConsistencyPolicy policy);
 
   ServerId id() const { return id_; }
 
@@ -106,6 +107,8 @@ class Server {
                    SimTime now);
 
   // --- Data path -----------------------------------------------------------
+  // Returned durations are server-local (disk) time only; network time is
+  // charged by the RpcTransport the requests arrive through.
   // Client cache miss: fetch one block. `paging` marks code/backing reads.
   SimDuration FetchBlock(FileId file, int64_t block, bool paging, SimTime now);
   // Client cache writeback (or backing-file page-out when `paging`).
@@ -159,7 +162,6 @@ class Server {
 
   ServerId id_;
   ConsistencyPolicy policy_;
-  Network* network_;
   Disk disk_;
   std::unique_ptr<SegmentLog> segment_log_;
   CacheCounters cache_counters_;

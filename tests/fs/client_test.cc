@@ -7,18 +7,19 @@
 namespace sprite {
 namespace {
 
-// Single client + single server harness with an in-memory trace.
+// Single client + single server harness with an in-memory trace, wired over
+// an in-process (zero-latency) RPC transport.
 class ClientTest : public ::testing::Test {
  protected:
   ClientTest() {
     server_ = std::make_unique<Server>(0, ServerConfig{}, DiskConfig{},
-                                       ConsistencyPolicy::kSprite, /*network=*/nullptr);
+                                       ConsistencyPolicy::kSprite);
     ClientConfig config;
     config.memory_bytes = 2 * kMegabyte;  // small, to exercise eviction
     config.cache.min_blocks = 4;
     config.vm_floor_fraction = 0.0;  // tests reason about exact page counts
     client_ = std::make_unique<Client>(
-        0, config, [this](FileId) -> Server& { return *server_; },
+        0, config, [this](FileId) { return ServerStub(0, *server_, transport_); },
         [this](const Record& r) { trace_.push_back(r); }, &handles_);
     server_->RegisterClient(0, client_.get());
   }
@@ -40,6 +41,7 @@ class ClientTest : public ::testing::Test {
     return n;
   }
 
+  RpcTransport transport_;
   std::unique_ptr<Server> server_;
   std::unique_ptr<Client> client_;
   TraceLog trace_;

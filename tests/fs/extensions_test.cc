@@ -19,9 +19,10 @@ class ExtensionsTest : public ::testing::Test {
     config.cache.min_blocks = 4;
     config.vm_floor_fraction = 0.0;
     server_ = std::make_unique<Server>(0, ServerConfig{}, DiskConfig{},
-                                       ConsistencyPolicy::kSprite, nullptr);
+                                       ConsistencyPolicy::kSprite);
     client_ = std::make_unique<Client>(
-        0, config, [this](FileId) -> Server& { return *server_; }, nullptr, &handles_);
+        0, config, [this](FileId) { return ServerStub(0, *server_, transport_); }, nullptr,
+        &handles_);
     server_->RegisterClient(0, client_.get());
   }
 
@@ -30,6 +31,7 @@ class ExtensionsTest : public ::testing::Test {
     server_->SetFileSize(file, bytes);
   }
 
+  RpcTransport transport_;
   std::unique_ptr<Server> server_;
   std::unique_ptr<Client> client_;
   uint64_t handles_ = 0;

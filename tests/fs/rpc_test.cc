@@ -1,0 +1,346 @@
+// Tests for the typed RPC transport: per-kind ledger accounting, the
+// client-side ServerStub, fault injection (timeouts, bounded exponential
+// backoff, blocked waits), trace replay, and determinism of the ledger
+// across identical cluster runs.
+
+#include "src/fs/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fs/cluster.h"
+#include "src/util/rng.h"
+
+namespace sprite {
+namespace {
+
+// ---------------- Kind classification ---------------------------------------
+
+TEST(RpcKindTest, ChargedKindsOccupyTheWire) {
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kOpen));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kClose));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kReadBlock));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kWriteBlock));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kUncachedRead));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kUncachedWrite));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kPageIn));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kPageOut));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kReadDir));
+  // Metadata and consistency callbacks are ledger-only.
+  EXPECT_FALSE(RpcTransport::ChargesNetwork(RpcKind::kCreate));
+  EXPECT_FALSE(RpcTransport::ChargesNetwork(RpcKind::kGetAttr));
+  EXPECT_FALSE(RpcTransport::ChargesNetwork(RpcKind::kRecallDirty));
+}
+
+TEST(RpcKindTest, CallbackKinds) {
+  EXPECT_TRUE(RpcTransport::IsCallback(RpcKind::kRecallDirty));
+  EXPECT_TRUE(RpcTransport::IsCallback(RpcKind::kCacheDisable));
+  EXPECT_TRUE(RpcTransport::IsCallback(RpcKind::kCacheEnable));
+  EXPECT_TRUE(RpcTransport::IsCallback(RpcKind::kTokenRecall));
+  EXPECT_TRUE(RpcTransport::IsCallback(RpcKind::kDiscardFile));
+  EXPECT_FALSE(RpcTransport::IsCallback(RpcKind::kOpen));
+  EXPECT_FALSE(RpcTransport::IsCallback(RpcKind::kGetAttr));
+}
+
+TEST(RpcKindTest, EveryKindHasAName) {
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    EXPECT_STRNE(RpcKindName(static_cast<RpcKind>(k)), "unknown");
+  }
+}
+
+// ---------------- Transport accounting ---------------------------------------
+
+TEST(RpcTransportTest, InProcessTransportCountsButCostsNothing) {
+  RpcTransport transport;  // no Network model
+  EXPECT_EQ(transport.network(), nullptr);
+  const SimDuration latency = transport.Call(RpcKind::kReadBlock, 3, 1, kBlockSize, 0);
+  EXPECT_EQ(latency, 0);
+  const RpcStat& s = transport.ledger().stat(RpcKind::kReadBlock);
+  EXPECT_EQ(s.calls, 1);
+  EXPECT_EQ(s.payload_bytes, kBlockSize);
+  EXPECT_EQ(s.net_time, 0);
+  EXPECT_EQ(transport.ledger().by_client.at(3).calls, 1);
+  EXPECT_EQ(transport.ledger().by_server.at(1).calls, 1);
+}
+
+TEST(RpcTransportTest, NetworkedTransportChargesWire) {
+  RpcTransport transport{NetworkConfig{}};
+  const Network reference{NetworkConfig{}};
+  const SimDuration latency = transport.Call(RpcKind::kReadBlock, 0, 0, kBlockSize, 0);
+  EXPECT_EQ(latency, reference.RpcTime(kBlockSize));
+  EXPECT_EQ(transport.network()->rpc_count(), 1);
+  EXPECT_EQ(transport.network()->bytes_carried(), kBlockSize);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kReadBlock).net_time, latency);
+  // Ledger-only kinds never touch the wire.
+  EXPECT_EQ(transport.Call(RpcKind::kGetAttr, 0, 0, 0, 0), 0);
+  EXPECT_EQ(transport.network()->rpc_count(), 1);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kGetAttr).calls, 1);
+}
+
+TEST(RpcTransportTest, ResetLedgerClearsEverything) {
+  RpcTransport transport;
+  transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
+  ASSERT_EQ(transport.ledger().TotalCalls(), 1);
+  transport.ResetLedger();
+  EXPECT_EQ(transport.ledger().TotalCalls(), 0);
+  EXPECT_TRUE(transport.ledger().by_client.empty());
+  EXPECT_EQ(transport.ledger(), RpcLedger{});
+}
+
+// ---------------- ServerStub ------------------------------------------------
+
+class RpcStubTest : public ::testing::Test {
+ protected:
+  RpcStubTest()
+      : server_(0, ServerConfig{}, DiskConfig{}, ConsistencyPolicy::kSprite),
+        stub_(/*client=*/2, server_, transport_) {}
+
+  const RpcStat& stat(RpcKind kind) const { return transport_.ledger().stat(kind); }
+
+  RpcTransport transport_;
+  Server server_;
+  ServerStub stub_;
+};
+
+TEST_F(RpcStubTest, EveryOperationLandsInTheLedger) {
+  stub_.CreateFile(7, false, 0);
+  EXPECT_TRUE(stub_.FileExists(7, 0));
+  EXPECT_EQ(stub_.FileSize(7, 0), 0);
+
+  const auto open = stub_.Open(7, OpenMode::kRead, false, 1);
+  EXPECT_EQ(open.latency, 0) << "in-process transport is free";
+  stub_.FetchBlock(7, 0, /*paging=*/false, 1);
+  stub_.FetchBlock(7, 1, /*paging=*/true, 1);
+  stub_.Writeback(7, 0, 1000, /*paging=*/false, 2);
+  stub_.Writeback(7, 1, 2000, /*paging=*/true, 2);
+  stub_.PassThroughRead(7, 64, 3);
+  stub_.PassThroughWrite(7, 32, 3);
+  stub_.ReadDirectory(9, 2048, 4);
+  stub_.Close(7, OpenMode::kRead, false, 0, 5);
+  stub_.TruncateFile(7, 6);
+  stub_.DeleteFile(7, 7);
+
+  EXPECT_EQ(stat(RpcKind::kCreate).calls, 1);
+  EXPECT_EQ(stat(RpcKind::kGetAttr).calls, 2);
+  EXPECT_EQ(stat(RpcKind::kOpen).calls, 1);
+  EXPECT_EQ(stat(RpcKind::kOpen).payload_bytes, kControlRpcBytes);
+  EXPECT_EQ(stat(RpcKind::kReadBlock).payload_bytes, kBlockSize);
+  EXPECT_EQ(stat(RpcKind::kPageIn).payload_bytes, kBlockSize);
+  EXPECT_EQ(stat(RpcKind::kWriteBlock).payload_bytes, 1000);
+  EXPECT_EQ(stat(RpcKind::kPageOut).payload_bytes, 2000);
+  EXPECT_EQ(stat(RpcKind::kUncachedRead).payload_bytes, 64);
+  EXPECT_EQ(stat(RpcKind::kUncachedWrite).payload_bytes, 32);
+  EXPECT_EQ(stat(RpcKind::kReadDir).payload_bytes, 2048);
+  EXPECT_EQ(stat(RpcKind::kClose).calls, 1);
+  EXPECT_EQ(stat(RpcKind::kTruncate).calls, 1);
+  EXPECT_EQ(stat(RpcKind::kDelete).calls, 1);
+  EXPECT_EQ(transport_.ledger().TotalCalls(), 14);
+  EXPECT_EQ(transport_.ledger().by_client.at(2).calls, 14);
+
+  // Table 7's byte view of the ledger matches the server's own counters.
+  const ServerCounters derived = ServerTrafficFromLedger(transport_.ledger());
+  EXPECT_EQ(derived.file_read_bytes, server_.counters().file_read_bytes);
+  EXPECT_EQ(derived.file_write_bytes, server_.counters().file_write_bytes);
+  EXPECT_EQ(derived.paging_read_bytes, server_.counters().paging_read_bytes);
+  EXPECT_EQ(derived.paging_write_bytes, server_.counters().paging_write_bytes);
+  EXPECT_EQ(derived.shared_read_bytes, server_.counters().shared_read_bytes);
+  EXPECT_EQ(derived.shared_write_bytes, server_.counters().shared_write_bytes);
+  EXPECT_EQ(derived.dir_read_bytes, server_.counters().dir_read_bytes);
+}
+
+// ---------------- Fault injection -------------------------------------------
+
+// Worked example: timeout 500 ms, backoff 100 ms doubling to a 2 s cap,
+// 3 retries, server down for the first 10 s, call issued at t=0.
+//   attempt 1 at 0      -> timeout (+500), retry backoff 100
+//   attempt 2 at 600ms  -> timeout (+500), retry backoff 200
+//   attempt 3 at 1300ms -> timeout (+500), retry backoff 400
+//   attempt 4 at 2200ms -> timeout (+500); budget spent, block until 10 s
+RpcConfig TightRpcConfig() {
+  RpcConfig config;
+  config.timeout = 500 * kMillisecond;
+  config.max_retries = 3;
+  config.backoff_initial = 100 * kMillisecond;
+  config.backoff_max = 2 * kSecond;
+  return config;
+}
+
+TEST(RpcFaultTest, LongOutageExhaustsRetriesThenBlocks) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, 0, 10 * kSecond);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  const SimDuration latency = transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
+  EXPECT_EQ(latency, 10 * kSecond + net) << "waits until recovery, then the RPC goes through";
+  const RpcStat& s = transport.ledger().stat(RpcKind::kOpen);
+  EXPECT_EQ(s.timeouts, 4);
+  EXPECT_EQ(s.retries, 3);
+  EXPECT_EQ(s.blocked_waits, 1);
+  EXPECT_EQ(s.wait_time, 10 * kSecond);
+  EXPECT_EQ(s.net_time, net);
+}
+
+TEST(RpcFaultTest, ShortOutageEndsDuringBackoff) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, 0, 700 * kMillisecond);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  // Two timeouts (at 0 and 600 ms) and two backoffs; by 1300 ms the server
+  // is back and the call completes without spending the whole retry budget.
+  const SimDuration latency = transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
+  EXPECT_EQ(latency, 1300 * kMillisecond + net);
+  const RpcStat& s = transport.ledger().stat(RpcKind::kOpen);
+  EXPECT_EQ(s.timeouts, 2);
+  EXPECT_EQ(s.retries, 2);
+  EXPECT_EQ(s.blocked_waits, 0);
+}
+
+TEST(RpcFaultTest, CallsOutsideTheOutageAreUnaffected) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, kSecond, 2 * kSecond);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 5 * kSecond), net);
+  // A different server is never delayed.
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 1, kControlRpcBytes, kSecond), net);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kOpen).timeouts, 0);
+  transport.ClearFaults();
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, kSecond), net);
+}
+
+TEST(RpcFaultTest, CallbacksSkipFaultWaits) {
+  // A down server issues no callbacks, so callback kinds are never delayed.
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, 0, 10 * kSecond);
+  EXPECT_EQ(transport.Call(RpcKind::kRecallDirty, 0, 0, 0, kSecond), 0);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kRecallDirty).timeouts, 0);
+}
+
+// ---------------- Cluster integration ----------------------------------------
+
+ClusterConfig SmallCluster(int clients = 3, int servers = 2) {
+  ClusterConfig config;
+  config.num_clients = clients;
+  config.num_servers = servers;
+  config.client.memory_bytes = 4 * kMegabyte;
+  return config;
+}
+
+TEST(RpcClusterTest, ClientOperationsFlowThroughTheTransport) {
+  EventQueue queue;
+  Cluster cluster(SmallCluster(), queue);
+  cluster.StartDaemons();
+  auto open = cluster.client(0).Open(1, 2, OpenMode::kWrite, OpenDisposition::kNormal, false,
+                                     queue.now());
+  cluster.client(0).Write(open.handle, 1000, queue.now());
+  cluster.client(0).Close(open.handle, queue.now());
+  queue.RunUntil(40 * kSecond);  // let the cleaner daemon write back
+
+  const RpcLedger& ledger = cluster.rpc_ledger();
+  EXPECT_EQ(ledger.stat(RpcKind::kCreate).calls, 1);
+  EXPECT_EQ(ledger.stat(RpcKind::kOpen).calls, 1);
+  EXPECT_EQ(ledger.stat(RpcKind::kClose).calls, 1);
+  EXPECT_GE(ledger.stat(RpcKind::kGetAttr).calls, 1);
+  EXPECT_EQ(ledger.stat(RpcKind::kWriteBlock).payload_bytes, 1000);
+  // The ledger and the servers' kernel counters are two views of one stream.
+  const ServerCounters derived = ServerTrafficFromLedger(ledger);
+  const ServerCounters kernel = cluster.AggregateServerCounters();
+  EXPECT_EQ(derived.file_write_bytes, kernel.file_write_bytes);
+  EXPECT_EQ(derived.TotalBytes(), kernel.TotalBytes());
+}
+
+TEST(RpcClusterTest, ConsistencyCallbacksAreLedgered) {
+  EventQueue queue;
+  Cluster cluster(SmallCluster(2, 1), queue);
+  const FileId file = 5;
+  auto a = cluster.client(0).Open(1, file, OpenMode::kWrite, OpenDisposition::kNormal, false, 0);
+  cluster.client(0).Write(a.handle, 1000, 0);
+  auto b = cluster.client(1).Open(2, file, OpenMode::kReadWrite, OpenDisposition::kNormal, false,
+                                  1);
+  cluster.client(1).Write(b.handle, 100, 2);
+  cluster.client(0).Write(a.handle, 100, 3);
+  const RpcLedger& ledger = cluster.rpc_ledger();
+  EXPECT_EQ(ledger.stat(RpcKind::kCacheDisable).calls, 2)
+      << "both sharers were told to stop caching, via the transport";
+  EXPECT_EQ(ledger.stat(RpcKind::kUncachedWrite).payload_bytes, 200);
+  cluster.client(0).Close(a.handle, 4);
+  cluster.client(1).Close(b.handle, 5);
+}
+
+TEST(RpcClusterTest, LedgerIsDeterministicAcrossRuns) {
+  auto run = [](SimTime outage_until) {
+    EventQueue queue;
+    Cluster cluster(SmallCluster(), queue);
+    if (outage_until > 0) {
+      cluster.transport().SetServerUnavailable(0, 0, outage_until);
+    }
+    cluster.StartDaemons();
+    Rng rng(7);
+    SimTime now = 0;
+    for (int i = 0; i < 100; ++i) {
+      now += static_cast<SimTime>(rng.NextBelow(kSecond));
+      queue.RunUntil(now);
+      Client& client = cluster.client(static_cast<ClientId>(rng.NextBelow(3)));
+      auto open = client.Open(1, rng.NextBelow(10), OpenMode::kReadWrite,
+                              OpenDisposition::kNormal, false, now);
+      client.Write(open.handle, 1 + static_cast<int64_t>(rng.NextBelow(30000)), now);
+      client.Close(open.handle, now);
+    }
+    queue.RunUntil(now + kMinute);
+    return cluster.rpc_ledger();
+  };
+  const RpcLedger healthy1 = run(0);
+  const RpcLedger healthy2 = run(0);
+  EXPECT_GT(healthy1.TotalCalls(), 0);
+  EXPECT_EQ(healthy1, healthy2) << "same seed, same ledger, byte for byte";
+
+  // With a fault injected the run still completes, deterministically, and
+  // the recovery work is visible in the ledger.
+  const RpcLedger faulted1 = run(30 * kSecond);
+  const RpcLedger faulted2 = run(30 * kSecond);
+  EXPECT_EQ(faulted1, faulted2);
+  int64_t timeouts = 0;
+  for (const RpcStat& s : faulted1.by_kind) {
+    timeouts += s.timeouts;
+  }
+  EXPECT_GT(timeouts, 0) << "the outage must have been felt";
+  EXPECT_NE(faulted1, healthy1);
+}
+
+// ---------------- Trace replay & formatting ----------------------------------
+
+TEST(RpcClusterTest, ReplayedTraceMatchesControlRpcCounts) {
+  EventQueue queue;
+  Cluster cluster(SmallCluster(), queue);
+  for (int c = 0; c < 3; ++c) {
+    auto open = cluster.client(c).Open(10 + c, 100 + c, OpenMode::kWrite,
+                                       OpenDisposition::kNormal, false, c);
+    cluster.client(c).Write(open.handle, 6000, c);
+    cluster.client(c).Close(open.handle, c);
+  }
+  const TraceLog trace = cluster.TakeTrace();
+  int64_t opens = 0;
+  int64_t creates = 0;
+  for (const Record& r : trace) {
+    opens += r.kind == RecordKind::kOpen ? 1 : 0;
+    creates += r.kind == RecordKind::kCreate ? 1 : 0;
+  }
+  const RpcLedger replay = ReplayTraceLedger(trace);
+  EXPECT_EQ(replay.stat(RpcKind::kOpen).calls, opens);
+  EXPECT_EQ(replay.stat(RpcKind::kCreate).calls, creates);
+  // 6000 bytes per client arrive as two block-RPCs carrying the exact bytes.
+  EXPECT_EQ(replay.stat(RpcKind::kWriteBlock).calls, 6);
+  EXPECT_EQ(replay.stat(RpcKind::kWriteBlock).payload_bytes, 18000);
+  EXPECT_GT(replay.stat(RpcKind::kOpen).net_time, 0) << "replay models wire time analytically";
+}
+
+TEST(RpcLedgerTest, FormatRendersPerKindRowsAndTotals) {
+  RpcTransport transport;
+  transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
+  transport.Call(RpcKind::kReadBlock, 0, 0, kBlockSize, 0);
+  const std::string out = FormatRpcLedger(transport.ledger());
+  EXPECT_NE(out.find("open"), std::string::npos);
+  EXPECT_NE(out.find("read-block"), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+  EXPECT_NE(out.find("server 0"), std::string::npos);
+  EXPECT_EQ(out.find("page-out"), std::string::npos) << "zero rows are omitted";
+}
+
+}  // namespace
+}  // namespace sprite

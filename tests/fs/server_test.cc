@@ -33,7 +33,7 @@ class FakeControl final : public CacheControl {
 class ServerTest : public ::testing::Test {
  protected:
   explicit ServerTest(ConsistencyPolicy policy = ConsistencyPolicy::kSprite)
-      : server_(0, ServerConfig{}, DiskConfig{}, policy, /*network=*/nullptr) {
+      : server_(0, ServerConfig{}, DiskConfig{}, policy) {
     server_.RegisterClient(0, &c0_);
     server_.RegisterClient(1, &c1_);
     server_.RegisterClient(2, &c2_);
@@ -199,7 +199,7 @@ TEST_F(ServerTest, FetchBlockCountsTraffic) {
   EXPECT_EQ(server_.counters().file_read_bytes, kBlockSize);
   // Second fetch of the same block is a server-cache hit (no disk).
   const SimDuration t2 = server_.FetchBlock(7, 0, false, 1);
-  EXPECT_EQ(t2, 0) << "no network model registered; server cache hit costs nothing";
+  EXPECT_EQ(t2, 0) << "server cache hit costs no disk time (network is the transport's job)";
   EXPECT_EQ(server_.disk().reads(), 1);
 }
 

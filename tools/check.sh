@@ -1,0 +1,37 @@
+#!/bin/sh
+# Runs the tier-1 verify (configure, build, ctest) twice: once plain and once
+# with ASan+UBSan via the SPRITE_SANITIZE cache option. Each pass uses its own
+# build directory so the instrumented objects never mix with the normal ones.
+#
+# Usage: tools/check.sh [--plain-only|--sanitize-only]
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  build_dir="$1"
+  shift
+  echo "== ${build_dir}: cmake $* =="
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${jobs}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+mode="${1:-all}"
+case "${mode}" in
+  all|--plain-only|--sanitize-only) ;;
+  *)
+    echo "usage: tools/check.sh [--plain-only|--sanitize-only]" >&2
+    exit 2
+    ;;
+esac
+
+if [ "${mode}" != "--sanitize-only" ]; then
+  run_pass build
+fi
+if [ "${mode}" != "--plain-only" ]; then
+  run_pass build-sanitize "-DSPRITE_SANITIZE=address;undefined"
+fi
+
+echo "check.sh: all requested passes OK"

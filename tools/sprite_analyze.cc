@@ -1,12 +1,13 @@
 // sprite-analyze: run the paper's Section-4 analyses over a trace file.
 //
 // Usage:
-//   sprite_analyze [--text] [--interval SECONDS] <trace-file>
+//   sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] <trace-file>
 //
 // Reads a trace written by sprite_tracegen (binary by default, --text for
 // the text format) and prints the BSD-study-revisited report: summary,
 // activity, access patterns, run lengths, sizes, open times, lifetimes, and
-// the consistency simulations.
+// the consistency simulations. With --rpc-ledger it also replays the trace
+// through the RPC transport model and prints the per-kind ledger table.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include "src/analysis/patterns.h"
 #include "src/consistency/overhead.h"
 #include "src/consistency/polling.h"
+#include "src/fs/rpc.h"
 #include "src/trace/codec.h"
 #include "src/trace/summary.h"
 #include "src/trace/text_format.h"
@@ -29,23 +31,28 @@ using namespace sprite;
 
 int main(int argc, char** argv) {
   bool text = false;
+  bool rpc_ledger = false;
   SimDuration interval = 10 * kMinute;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--text") {
       text = true;
+    } else if (arg == "--rpc-ledger") {
+      rpc_ledger = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval = static_cast<SimDuration>(std::atoi(argv[++i])) * kSecond;
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr, "usage: sprite_analyze [--text] [--interval SECONDS] TRACE\n");
+      std::fprintf(stderr,
+                   "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] TRACE\n");
       return 0;
     } else {
       path = arg;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: sprite_analyze [--text] [--interval SECONDS] TRACE\n");
+    std::fprintf(stderr,
+                 "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] TRACE\n");
     return 2;
   }
 
@@ -135,6 +142,11 @@ int main(int argc, char** argv) {
     const OverheadResult o = SimulateConsistencyOverhead(trace, policy);
     std::printf("%-9s bytes ratio %.2f, RPC ratio %.2f over %lld shared events\n", name,
                 o.byte_ratio(), o.rpc_ratio(), static_cast<long long>(o.events_requested));
+  }
+
+  if (rpc_ledger) {
+    std::printf("\n== RPC transport ledger (replayed; reads are a no-cache upper bound) ==\n");
+    std::printf("%s", FormatRpcLedger(ReplayTraceLedger(trace)).c_str());
   }
   return 0;
 }
