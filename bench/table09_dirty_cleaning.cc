@@ -4,6 +4,7 @@
 // the cache.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 #include "bench/paper_data.h"
@@ -28,20 +29,26 @@ int main() {
   const double paper_fracs[kCleanReasonCount] = {paper::kCleanedByDelay, paper::kCleanedByFsync,
                                                  paper::kCleanedByRecall, paper::kCleanedByVm,
                                                  0.0};
-  TextTable table({"Reason", "Paper (% blocks)", "Measured (% blocks)", "Measured age (s)"});
+  TextTable table(
+      {"Reason", "Paper (% blocks)", "Measured (% blocks)", "Count", "Measured age (s)"});
   for (int r = 0; r < kCleanReasonCount; ++r) {
     table.AddRow({names[r], r < 4 ? FormatPercent(paper_fracs[r]) : "~0 (not in table)",
                   FormatPercent(report.rows[r].fraction),
+                  std::to_string(report.rows[r].count),
                   FormatFixed(report.rows[r].age_seconds, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
 
+  const CleaningReport::Row& repl = report.rows[static_cast<int>(CleanReason::kReplacement)];
   std::printf("Shape checks:\n");
   std::printf("  * The 30-second delay accounts for the majority of cleanings\n"
               "    (measured %.0f%%, paper ~75%%), at ages slightly above 30 s.\n",
               report.rows[0].fraction * 100);
   std::printf("  * Dirty blocks almost never leave to make room for other blocks:\n"
-              "    increasing the cache size would NOT reduce write traffic.\n");
+              "    replacement cleanings %lld of %lld (%.2f%%). A surge here means cache\n"
+              "    pressure; growing the cache would NOT otherwise reduce write traffic.\n",
+              static_cast<long long>(repl.count), static_cast<long long>(report.total),
+              repl.fraction * 100);
   std::printf("Cleanings observed: %lld.\n", static_cast<long long>(report.total));
   sprite_bench::PrintScale(scale);
   return 0;

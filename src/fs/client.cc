@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace sprite {
 
@@ -21,6 +22,33 @@ Client::Client(ClientId id, const ClientConfig& config, ServerRouter router, Tra
           static_cast<int64_t>(config.vm_floor_fraction *
                                static_cast<double>(config.memory_bytes / kBlockSize))),
       total_pages_(config.memory_bytes / kBlockSize) {}
+
+void Client::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  miss_fill_counter_ = nullptr;
+  write_fetch_counter_ = nullptr;
+  cleaned_block_counter_ = nullptr;
+  recall_counter_ = nullptr;
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (obs_->metrics_enabled()) {
+    MetricsRegistry& m = obs_->metrics();
+    miss_fill_counter_ = m.AddCounter("cache.miss_fills");
+    write_fetch_counter_ = m.AddCounter("cache.write_fetches");
+    cleaned_block_counter_ = m.AddCounter("cache.cleaned_blocks");
+    recall_counter_ = m.AddCounter("consistency.recalls");
+    const std::string prefix = "client." + std::to_string(id_) + ".";
+    m.AddGauge(prefix + "cache_bytes", [this] { return cache_size_bytes(); });
+    m.AddGauge(prefix + "cache_limit_bytes", [this] { return cache_limit_bytes(); });
+    m.AddGauge(prefix + "vm_resident_bytes", [this] { return vm_resident_bytes(); });
+    m.AddGauge(prefix + "open_handles",
+               [this] { return static_cast<int64_t>(handles_.size()); });
+  }
+  if (obs_->tracing_enabled()) {
+    obs_->tracer().SetProcessName(ClientTrack(id_).pid, "client " + std::to_string(id_));
+  }
+}
 
 Client::OpenFile& Client::HandleRef(HandleId handle) {
   auto it = handles_.find(handle);
@@ -203,7 +231,18 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
           ++cache_counters_.migrated_read_misses;
           cache_counters_.migrated_bytes_read_from_server += kBlockSize;
         }
-        latency += ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false, now);
+        const SimDuration fetch = ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false,
+                                                                now);
+        latency += fetch;
+        if (obs_ != nullptr) {
+          if (miss_fill_counter_ != nullptr) {
+            miss_fill_counter_->Add();
+          }
+          if (obs_->tracing_enabled()) {
+            obs_->tracer().Emit("cache.miss-fill", "cache", ClientTrack(id_), now, fetch,
+                                {{"file", of.file}, {"block", b}});
+          }
+        }
         if (!bypass) {
           EnsureCacheRoom(now);
           cache_.InsertClean(key, now, WritebackTo(/*paging=*/false, now));
@@ -267,7 +306,18 @@ SimDuration Client::Write(HandleId handle, int64_t bytes, SimTime now) {
       if (partial && !cache_.Contains(key) && block_start < of.size) {
         ++cache_counters_.write_fetches;
         cache_counters_.write_fetch_bytes += kBlockSize;
-        latency += ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false, now);
+        const SimDuration fetch = ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false,
+                                                                now);
+        latency += fetch;
+        if (obs_ != nullptr) {
+          if (write_fetch_counter_ != nullptr) {
+            write_fetch_counter_->Add();
+          }
+          if (obs_->tracing_enabled()) {
+            obs_->tracer().Emit("cache.write-fetch", "cache", ClientTrack(id_), now, fetch,
+                                {{"file", of.file}, {"block", b}});
+          }
+        }
         EnsureCacheRoom(now);
         cache_.InsertClean(key, now, WritebackTo(/*paging=*/false, now));
       }
@@ -570,15 +620,44 @@ int64_t Client::Crash(SimTime now) {
 void Client::CleanerTick(SimTime now) {
   // The daemon wakes every 5 seconds and writes back blocks dirty >= 30 s.
   // Group writebacks per file through the router.
-  cache_.CleanAged(now, [this, now](BlockKey key, int64_t bytes) {
-    ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false, now);
+  SimDuration write_time = 0;
+  int64_t blocks = 0;
+  int64_t bytes_cleaned = 0;
+  cache_.CleanAged(now, [&](BlockKey key, int64_t bytes) {
+    write_time += ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false,
+                                                now);
+    ++blocks;
+    bytes_cleaned += bytes;
   });
+  if (obs_ != nullptr && blocks > 0) {
+    if (cleaned_block_counter_ != nullptr) {
+      cleaned_block_counter_->Add(blocks);
+    }
+    if (obs_->tracing_enabled()) {
+      obs_->tracer().Emit("cache.clean-aged", "cache", ClientTrack(id_), now, write_time,
+                          {{"blocks", blocks}, {"bytes", bytes_cleaned}});
+    }
+  }
 }
 
 void Client::RecallDirtyData(FileId file, SimTime now) {
-  cache_.CleanFile(file, now, CleanReason::kRecall, [this, now](BlockKey key, int64_t bytes) {
-    ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false, now);
-  });
+  SimDuration write_time = 0;
+  int64_t blocks = 0;
+  cache_.CleanFile(file, now, CleanReason::kRecall,
+                   [&](BlockKey key, int64_t bytes) {
+                     write_time += ServerFor(key.file).Writeback(key.file, key.index, bytes,
+                                                                 /*paging=*/false, now);
+                     ++blocks;
+                   });
+  if (obs_ != nullptr) {
+    if (recall_counter_ != nullptr) {
+      recall_counter_->Add();
+    }
+    if (obs_->tracing_enabled()) {
+      obs_->tracer().Emit("consistency.recall-dirty", "consistency", ClientTrack(id_), now,
+                          write_time, {{"file", file}, {"blocks", blocks}});
+    }
+  }
 }
 
 void Client::DisableCaching(FileId file, SimTime now) {
@@ -590,6 +669,10 @@ void Client::DisableCaching(FileId file, SimTime now) {
       of.cacheable = false;
     }
   }
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("consistency.cache-disable", "consistency", ClientTrack(id_), now, 0,
+                        {{"file", file}});
+  }
 }
 
 void Client::EnableCaching(FileId file, SimTime now) {
@@ -600,6 +683,10 @@ void Client::EnableCaching(FileId file, SimTime now) {
       of.cacheable = true;
     }
   }
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("consistency.cache-enable", "consistency", ClientTrack(id_), now, 0,
+                        {{"file", file}});
+  }
 }
 
 void Client::RecallToken(FileId file, SimTime now, bool invalidate) {
@@ -607,8 +694,18 @@ void Client::RecallToken(FileId file, SimTime now, bool invalidate) {
   if (invalidate) {
     cache_.InvalidateFile(file, now);
   }
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("consistency.token-recall", "consistency", ClientTrack(id_), now, 0,
+                        {{"file", file}, {"invalidate", invalidate ? 1 : 0}});
+  }
 }
 
-void Client::DiscardFile(FileId file, SimTime now) { cache_.InvalidateFile(file, now); }
+void Client::DiscardFile(FileId file, SimTime now) {
+  cache_.InvalidateFile(file, now);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("consistency.discard", "consistency", ClientTrack(id_), now, 0,
+                        {{"file", file}});
+  }
+}
 
 }  // namespace sprite

@@ -30,6 +30,7 @@
 #include "src/fs/server.h"
 #include "src/fs/types.h"
 #include "src/fs/vm.h"
+#include "src/obs/observability.h"
 #include "src/trace/record.h"
 #include "src/util/units.h"
 
@@ -55,6 +56,12 @@ class Client final : public CacheControl {
          uint64_t* handle_counter);
 
   ClientId id() const { return id_; }
+
+  // Attaches the cluster's observability sink (null detaches). Registers
+  // per-client gauges (cache/VM sizes, open handles) and cluster-wide cache
+  // counters; with tracing enabled the client emits spans for cache miss
+  // fills, write fetches, delayed-write cleanings, and consistency recalls.
+  void AttachObservability(Observability* obs);
 
   // --- Application-level file operations -----------------------------------
   struct OpenResult {
@@ -162,6 +169,14 @@ class Client final : public CacheControl {
   ServerRouter router_;
   TraceSink trace_sink_;
   uint64_t* handle_counter_;
+
+  // Observability (null when disabled). The counters are cluster-wide
+  // (shared by name across clients via the registry).
+  Observability* obs_ = nullptr;
+  Counter* miss_fill_counter_ = nullptr;
+  Counter* write_fetch_counter_ = nullptr;
+  Counter* cleaned_block_counter_ = nullptr;
+  Counter* recall_counter_ = nullptr;
 
   CacheCounters cache_counters_;
   TrafficCounters traffic_counters_;

@@ -7,14 +7,30 @@ namespace sprite {
 Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     : config_(config),
       queue_(queue),
+      obs_(config.observability.enabled()
+               ? std::make_unique<Observability>(config.observability)
+               : nullptr),
       transport_(std::make_unique<RpcTransport>(config.network, config.rpc)) {
   if (config.num_clients <= 0 || config.num_servers <= 0) {
     throw std::invalid_argument("Cluster: need at least one client and one server");
+  }
+  transport_->AttachObservability(obs_.get());
+  if (obs_ != nullptr && obs_->metrics_enabled()) {
+    // Event-queue instrumentation lives here: the queue belongs to the
+    // caller, so the cluster registers gauges over it rather than teaching
+    // the sim layer about metrics.
+    MetricsRegistry& m = obs_->metrics();
+    m.AddGauge("sim.queue.pending", [this] { return static_cast<int64_t>(queue_.pending_count()); });
+    m.AddGauge("sim.queue.dispatched",
+               [this] { return static_cast<int64_t>(queue_.dispatched_count()); });
+    m.AddGauge("sim.queue.max_pending",
+               [this] { return static_cast<int64_t>(queue_.max_pending_count()); });
   }
   servers_.reserve(static_cast<size_t>(config.num_servers));
   for (int s = 0; s < config.num_servers; ++s) {
     servers_.push_back(std::make_unique<Server>(static_cast<ServerId>(s), config.server,
                                                 config.disk, config.consistency));
+    servers_.back()->AttachObservability(obs_.get());
   }
 
   Client::TraceSink sink;
@@ -31,6 +47,7 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     };
     clients_.push_back(std::make_unique<Client>(id, config.client, std::move(router), sink,
                                                 &handle_counter_));
+    clients_.back()->AttachObservability(obs_.get());
     // Consistency callbacks travel the transport too, as typed RPCs.
     for (auto& server : servers_) {
       server->RegisterClient(id, transport_->WrapCallbacks(server->id(), id,
@@ -65,6 +82,16 @@ void Cluster::StartDaemons(SimDuration sample_period) {
               CacheSizeSample{now, client->id(), client->cache_size_bytes()});
         }
       }));
+  // Metrics collector daemon: snapshots the whole registry on the configured
+  // period (the paper's user-level counter poller). Snapshotting only reads
+  // state, so the extra events never perturb the simulation.
+  if (obs_ != nullptr && obs_->metrics_enabled() &&
+      config_.observability.snapshot_interval > 0) {
+    const SimDuration interval = config_.observability.snapshot_interval;
+    daemons_.push_back(std::make_unique<PeriodicTask>(
+        queue_, queue_.now() + interval, interval,
+        [this](SimTime now) { obs_->metrics().RecordSnapshot(now); }));
+  }
 }
 
 CacheCounters Cluster::AggregateCacheCounters() const {
@@ -139,6 +166,9 @@ void Cluster::ResetMeasurements() {
   transport_->ResetLedger();
   trace_.clear();
   cache_size_samples_.clear();
+  if (obs_ != nullptr) {
+    obs_->Reset();
+  }
 }
 
 ServerCounters Cluster::AggregateServerCounters() const {

@@ -61,6 +61,11 @@ class Cluster {
   const RpcLedger& rpc_ledger() const { return transport_->ledger(); }
   const Network& network() const { return *transport_->network(); }
 
+  // Metrics registry + span tracer; null unless config.observability enables
+  // one of them. All components share this one sink.
+  Observability* observability() { return obs_.get(); }
+  const Observability* observability() const { return obs_.get(); }
+
   // The server that owns `file` (files are partitioned across servers).
   Server& ServerForFile(FileId file);
 
@@ -86,6 +91,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   EventQueue& queue_;
+  std::unique_ptr<Observability> obs_;
   std::unique_ptr<RpcTransport> transport_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;

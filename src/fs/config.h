@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "src/obs/observability.h"
 #include "src/util/units.h"
 
 namespace sprite {
@@ -122,6 +123,9 @@ struct ClusterConfig {
   // When true, the cluster appends kernel-call records to its TraceLog as a
   // side effect of client operations (the paper's server-side tracing).
   bool tracing_enabled = true;
+  // Metrics/span collection (all off by default; enabling it must not
+  // perturb the simulation — see src/obs/observability.h).
+  ObservabilityConfig observability;
 };
 
 }  // namespace sprite

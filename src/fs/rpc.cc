@@ -64,6 +64,21 @@ bool RpcTransport::IsCallback(RpcKind kind) {
   }
 }
 
+void RpcTransport::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  latency_rec_.fill(nullptr);
+  if (obs_ == nullptr || !obs_->metrics_enabled()) {
+    return;
+  }
+  MetricsRegistry& metrics = obs_->metrics();
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    latency_rec_[static_cast<size_t>(k)] = metrics.AddLatency(
+        std::string("rpc.") + RpcKindName(static_cast<RpcKind>(k)) + ".latency_us");
+  }
+  metrics.AddGauge("rpc.calls", [this] { return ledger_.TotalCalls(); });
+  metrics.AddGauge("rpc.payload_bytes", [this] { return ledger_.TotalPayloadBytes(); });
+}
+
 void RpcTransport::SetServerUnavailable(ServerId server, SimTime from, SimTime until) {
   if (until > from) {
     outages_[server].push_back(Outage{from, until});
@@ -91,11 +106,30 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   int64_t timeouts = 0;
   int64_t blocked_waits = 0;
 
+  // Sub-phase spans of this call (timeouts, backoffs, recovery waits, wire
+  // time), gathered only when tracing so the parent span can be emitted
+  // first and Perfetto nests the children under it.
+  const bool tracing = obs_ != nullptr && obs_->tracing_enabled();
+  std::vector<Span> phases;
+  const auto phase = [&](const char* name, SimTime start, SimDuration dur) {
+    if (!tracing) {
+      return;
+    }
+    Span s;
+    s.name = name;
+    s.category = "rpc.phase";
+    s.track = ClientTrack(client);
+    s.start = start;
+    s.duration = dur;
+    phases.push_back(s);
+  };
+
   if (!outages_.empty() && !IsCallback(kind)) {
     SimTime t = now;
     SimTime recovery = 0;
     int tries = 0;
     while (InOutage(server, t, &recovery)) {
+      phase("timeout", t, config_.timeout);
       wait += config_.timeout;
       t += config_.timeout;
       ++timeouts;
@@ -105,6 +139,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
           backoff *= 2;
         }
         backoff = std::min(backoff, config_.backoff_max);
+        phase("backoff", t, backoff);
         wait += backoff;
         t += backoff;
         ++retries;
@@ -112,6 +147,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
       } else {
         // Retry budget spent: wait out the outage, as Sprite clients do.
         if (recovery > t) {
+          phase("blocked-wait", t, recovery - t);
           wait += recovery - t;
           t = recovery;
         }
@@ -124,6 +160,24 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   SimDuration net = 0;
   if (network_ != nullptr && ChargesNetwork(kind)) {
     net = network_->Rpc(payload_bytes);
+    phase("wire", now + wait, net);
+  }
+
+  if (tracing) {
+    obs_->tracer().Emit(RpcKindName(kind), IsCallback(kind) ? "rpc.callback" : "rpc",
+                        ClientTrack(client), now, wait + net,
+                        {{"server", server},
+                         {"bytes", payload_bytes},
+                         {"retries", retries},
+                         {"timeouts", timeouts},
+                         {"net_us", net},
+                         {"wait_us", wait}});
+    for (const Span& s : phases) {
+      obs_->tracer().Emit(s.name, s.category, s.track, s.start, s.duration);
+    }
+  }
+  if (LatencyRecorder* rec = latency_rec_[static_cast<size_t>(kind)]; rec != nullptr) {
+    rec->Record(wait + net);
   }
 
   const auto charge = [&](RpcStat& s) {
@@ -275,12 +329,34 @@ ServerCounters ServerTrafficFromLedger(const RpcLedger& ledger) {
   return c;
 }
 
-RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config) {
+RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config,
+                            Observability* obs, SimDuration snapshot_interval) {
   const Network net(net_config);
   RpcLedger ledger;
 
+  const bool metrics = obs != nullptr && obs->metrics_enabled();
+  const bool tracing = obs != nullptr && obs->tracing_enabled();
+  std::array<LatencyRecorder*, kRpcKindCount> recorders{};
+  Counter* call_counter = nullptr;
+  Counter* payload_counter = nullptr;
+  if (metrics) {
+    for (int k = 0; k < kRpcKindCount; ++k) {
+      recorders[static_cast<size_t>(k)] = obs->metrics().AddLatency(
+          std::string("rpc.") + RpcKindName(static_cast<RpcKind>(k)) + ".latency_us");
+    }
+    // Counters rather than ledger gauges: the ledger is a local that dies
+    // with this call, and counters survive inside the registry.
+    call_counter = obs->metrics().AddCounter("rpc.calls");
+    payload_counter = obs->metrics().AddCounter("rpc.payload_bytes");
+  }
+  SimTime next_snapshot =
+      (metrics && snapshot_interval > 0) ? snapshot_interval : 0;
+
+  // `calls` reconstructed RPCs, each costing `per_call_net` (uniform within
+  // one batch, so recorded latencies sum exactly to the ledger's net time).
   const auto add = [&](RpcKind kind, const Record& r, int64_t calls, int64_t payload,
-                       SimDuration net_time) {
+                       SimDuration per_call_net) {
+    const SimDuration net_time = calls * per_call_net;
     const auto charge = [&](RpcStat& s) {
       s.calls += calls;
       s.payload_bytes += payload;
@@ -289,6 +365,18 @@ RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_conf
     charge(ledger.stat(kind));
     charge(ledger.by_client[r.client]);
     charge(ledger.by_server[r.server]);
+    if (metrics) {
+      for (int64_t i = 0; i < calls; ++i) {
+        recorders[static_cast<size_t>(kind)]->Record(per_call_net);
+      }
+      call_counter->Add(calls);
+      payload_counter->Add(payload);
+    }
+    if (tracing) {
+      obs->tracer().Emit(RpcKindName(kind), "rpc.replay", ClientTrack(r.client), r.time,
+                         net_time,
+                         {{"server", r.server}, {"calls", calls}, {"bytes", payload}});
+    }
   };
 
   // Byte runs reported by close/seek anchors become block transfers. Reads
@@ -296,21 +384,27 @@ RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_conf
   const auto add_runs = [&](const Record& r) {
     if (r.run_read_bytes > 0) {
       const int64_t blocks = BlocksForBytes(r.run_read_bytes);
-      add(RpcKind::kReadBlock, r, blocks, blocks * kBlockSize,
-          blocks * net.RpcTime(kBlockSize));
+      add(RpcKind::kReadBlock, r, blocks, blocks * kBlockSize, net.RpcTime(kBlockSize));
     }
     if (r.run_write_bytes > 0) {
       const int64_t full = r.run_write_bytes / kBlockSize;
       const int64_t rest = r.run_write_bytes % kBlockSize;
-      SimDuration t = full * net.RpcTime(kBlockSize);
-      if (rest > 0) {
-        t += net.RpcTime(rest);
+      if (full > 0) {
+        add(RpcKind::kWriteBlock, r, full, full * kBlockSize, net.RpcTime(kBlockSize));
       }
-      add(RpcKind::kWriteBlock, r, BlocksForBytes(r.run_write_bytes), r.run_write_bytes, t);
+      if (rest > 0) {
+        add(RpcKind::kWriteBlock, r, 1, rest, net.RpcTime(rest));
+      }
     }
   };
 
   for (const Record& r : trace) {
+    if (next_snapshot > 0) {
+      while (r.time >= next_snapshot) {
+        obs->metrics().RecordSnapshot(next_snapshot);
+        next_snapshot += snapshot_interval;
+      }
+    }
     switch (r.kind) {
       case RecordKind::kOpen:
         add(RpcKind::kOpen, r, 1, kControlRpcBytes, net.RpcTime(kControlRpcBytes));
@@ -379,6 +473,33 @@ std::string FormatRpcLedger(const RpcLedger& ledger) {
            fmt(static_cast<double>(s.payload_bytes) / (1024.0 * 1024.0), " MB") + "\n";
   }
   return out;
+}
+
+std::string FormatRpcLatencySummary(const MetricsRegistry& metrics) {
+  TextTable table({"Kind", "Calls", "Total (ms)", "p50 (us)", "p90 (us)", "p99 (us)"});
+  int64_t total_calls = 0;
+  SimDuration total_time = 0;
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const char* name = RpcKindName(static_cast<RpcKind>(k));
+    const LatencyRecorder* rec =
+        metrics.FindLatency(std::string("rpc.") + name + ".latency_us");
+    if (rec == nullptr || rec->count() == 0) {
+      continue;
+    }
+    char total_ms[64];
+    std::snprintf(total_ms, sizeof(total_ms), "%.1f",
+                  static_cast<double>(rec->total()) / 1000.0);
+    table.AddRow({name, std::to_string(rec->count()), total_ms,
+                  std::to_string(rec->Quantile(0.50)), std::to_string(rec->Quantile(0.90)),
+                  std::to_string(rec->Quantile(0.99))});
+    total_calls += rec->count();
+    total_time += rec->total();
+  }
+  table.AddSeparator();
+  char total_ms[64];
+  std::snprintf(total_ms, sizeof(total_ms), "%.1f", static_cast<double>(total_time) / 1000.0);
+  table.AddRow({"total", std::to_string(total_calls), total_ms, "", "", ""});
+  return table.Render();
 }
 
 }  // namespace sprite

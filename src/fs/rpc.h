@@ -28,6 +28,7 @@
 #ifndef SPRITE_DFS_SRC_FS_RPC_H_
 #define SPRITE_DFS_SRC_FS_RPC_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,6 +40,7 @@
 #include "src/fs/net.h"
 #include "src/fs/server.h"
 #include "src/fs/types.h"
+#include "src/obs/observability.h"
 #include "src/trace/record.h"
 
 namespace sprite {
@@ -70,6 +72,13 @@ class RpcTransport {
   const RpcLedger& ledger() const { return ledger_; }
   void ResetLedger() { ledger_ = RpcLedger{}; }
 
+  // Attaches the cluster's observability sink (null detaches). With metrics
+  // enabled this registers one "rpc.<kind>.latency_us" recorder per kind
+  // plus "rpc.calls" / "rpc.payload_bytes" gauges over the ledger; with
+  // tracing enabled every Call() emits spans for the full RPC lifecycle
+  // (issue, per-attempt timeout/backoff, blocked recovery wait, wire time).
+  void AttachObservability(Observability* obs);
+
   // Null for the in-process transport.
   const Network* network() const { return network_.get(); }
   const RpcConfig& config() const { return config_; }
@@ -99,6 +108,9 @@ class RpcTransport {
   RpcLedger ledger_;
   std::map<ServerId, std::vector<Outage>> outages_;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
+  Observability* obs_ = nullptr;
+  // Per-kind latency recorders, resolved once at attach time.
+  std::array<LatencyRecorder*, kRpcKindCount> latency_rec_{};
 };
 
 // Client-side stub for one (client, server) pair: mirrors the Server API but
@@ -148,7 +160,21 @@ ServerCounters ServerTrafficFromLedger(const RpcLedger& ledger);
 // pass-through/directory records map directly. Client caching is invisible
 // in a trace, so the read traffic is an upper bound (as if every block
 // missed). Net latency uses `net_config` without touching any live Network.
-RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config = {});
+//
+// When `obs` is non-null the replay also feeds it: per-kind latency
+// recorders (one Record per reconstructed call) and, with tracing enabled,
+// one span per record-level RPC batch at the record's timestamp. With
+// metrics enabled and `snapshot_interval` > 0 the registry is snapshotted
+// on that period of trace time, mimicking the live collector daemon.
+// Paging RPCs never appear in kernel-call traces, so replayed spans cover
+// only the trace-visible kinds; use a live run for full coverage.
+RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_config = {},
+                            Observability* obs = nullptr, SimDuration snapshot_interval = 0);
+
+// Renders the per-kind RPC latency percentiles recorded in `metrics` (the
+// "rpc.<kind>.latency_us" recorders) as a text table. Totals are exact
+// sums, so they can be cross-checked against the ledger's net+wait time.
+std::string FormatRpcLatencySummary(const MetricsRegistry& metrics);
 
 // Renders the ledger as a text table (per-kind rows with calls, payload,
 // net/wait time, retries and timeouts, then per-server totals).

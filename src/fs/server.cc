@@ -1,6 +1,7 @@
 #include "src/fs/server.h"
 
 #include <stdexcept>
+#include <string>
 
 namespace sprite {
 
@@ -25,18 +26,42 @@ Server::Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_c
   }
 }
 
-SimDuration Server::DiskWrite(BlockKey key, int64_t bytes) {
-  if (segment_log_ != nullptr) {
-    return segment_log_->Write(key, bytes);
+void Server::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  disk_latency_rec_ = nullptr;
+  if (obs_ == nullptr) {
+    return;
   }
-  return disk_.Write(bytes);
+  if (obs_->metrics_enabled()) {
+    MetricsRegistry& m = obs_->metrics();
+    const std::string prefix = "server." + std::to_string(id_) + ".";
+    disk_latency_rec_ = m.AddLatency(prefix + "disk_us");
+    m.AddGauge(prefix + "cache_bytes", [this] { return cache_size_bytes(); });
+    m.AddGauge(prefix + "disk_reads", [this] { return disk_.reads(); });
+    m.AddGauge(prefix + "disk_writes", [this] { return disk_.writes(); });
+    m.AddGauge(prefix + "disk_busy_us", [this] { return disk_.busy_time(); });
+  }
+  if (obs_->tracing_enabled()) {
+    obs_->tracer().SetProcessName(ServerTrack(id_).pid, "server " + std::to_string(id_));
+  }
+}
+
+SimDuration Server::DiskWrite(BlockKey key, int64_t bytes) {
+  const SimDuration t =
+      segment_log_ != nullptr ? segment_log_->Write(key, bytes) : disk_.Write(bytes);
+  if (disk_latency_rec_ != nullptr) {
+    disk_latency_rec_->Record(t);
+  }
+  return t;
 }
 
 SimDuration Server::DiskRead(BlockKey key, int64_t bytes) {
-  if (segment_log_ != nullptr) {
-    return segment_log_->Read(key, bytes);
+  const SimDuration t =
+      segment_log_ != nullptr ? segment_log_->Read(key, bytes) : disk_.Read(bytes);
+  if (disk_latency_rec_ != nullptr) {
+    disk_latency_rec_->Record(t);
   }
-  return disk_.Read(bytes);
+  return t;
 }
 
 void Server::RegisterClient(ClientId client, CacheControl* control) {
@@ -299,7 +324,12 @@ SimDuration Server::FetchBlock(FileId file, int64_t block, bool paging, SimTime 
   } else {
     counters_.file_read_bytes += kBlockSize;
   }
-  return TouchServerCache(file, block, /*write=*/false, kBlockSize, now);
+  const SimDuration disk_time = TouchServerCache(file, block, /*write=*/false, kBlockSize, now);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("server.fetch-block", "server", ServerTrack(id_), now, disk_time,
+                        {{"file", file}, {"block", block}, {"paging", paging ? 1 : 0}});
+  }
+  return disk_time;
 }
 
 SimDuration Server::Writeback(FileId file, int64_t block, int64_t bytes, bool paging,
@@ -310,6 +340,11 @@ SimDuration Server::Writeback(FileId file, int64_t block, int64_t bytes, bool pa
     counters_.file_write_bytes += bytes;
   }
   TouchServerCache(file, block, /*write=*/true, bytes, now);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("server.writeback", "server", ServerTrack(id_), now, 0,
+                        {{"file", file}, {"block", block}, {"bytes", bytes},
+                         {"paging", paging ? 1 : 0}});
+  }
   FileMeta& meta = EnsureFile(file);
   const int64_t end = block * kBlockSize + bytes;
   if (end > meta.size) {
@@ -371,7 +406,16 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
 }
 
 void Server::CleanerTick(SimTime now) {
-  cache_.CleanAged(now, [this](BlockKey key, int64_t bytes) { DiskWrite(key, bytes); });
+  SimDuration disk_time = 0;
+  int64_t blocks = 0;
+  cache_.CleanAged(now, [&](BlockKey key, int64_t bytes) {
+    disk_time += DiskWrite(key, bytes);
+    ++blocks;
+  });
+  if (obs_ != nullptr && obs_->tracing_enabled() && blocks > 0) {
+    obs_->tracer().Emit("server.clean-aged", "server", ServerTrack(id_), now, disk_time,
+                        {{"blocks", blocks}});
+  }
 }
 
 }  // namespace sprite

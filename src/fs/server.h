@@ -27,6 +27,7 @@
 #include "src/fs/disk.h"
 #include "src/fs/log_disk.h"
 #include "src/fs/types.h"
+#include "src/obs/observability.h"
 #include "src/trace/record.h"  // OpenMode
 
 namespace sprite {
@@ -80,6 +81,12 @@ class Server {
 
   // Clients register their control interface at cluster construction.
   void RegisterClient(ClientId client, CacheControl* control);
+
+  // Attaches the cluster's observability sink (null detaches). Registers
+  // per-server gauges (cache size, disk counters) and a disk service-time
+  // distribution; with tracing enabled the server emits spans for block
+  // fetches, writebacks, and cleaner ticks on its own track.
+  void AttachObservability(Observability* obs);
 
   // --- Naming operations (always pass through to the server in Sprite) ----
   void CreateFile(FileId file, bool is_directory, SimTime now);
@@ -162,6 +169,9 @@ class Server {
 
   ServerId id_;
   ConsistencyPolicy policy_;
+  // Observability (null when disabled).
+  Observability* obs_ = nullptr;
+  LatencyRecorder* disk_latency_rec_ = nullptr;
   Disk disk_;
   std::unique_ptr<SegmentLog> segment_log_;
   CacheCounters cache_counters_;

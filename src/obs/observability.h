@@ -1,0 +1,69 @@
+// Observability facade: one MetricsRegistry plus one SpanTracer, owned by
+// the Cluster and shared by every instrumented component.
+//
+// Components hold a raw `Observability*` that is null when observability is
+// disabled, so the per-operation cost of the instrumentation is a single
+// pointer test (the "zero-cost-when-disabled" guard):
+//
+//   if (obs_ != nullptr && obs_->tracing_enabled()) {
+//     obs_->tracer().Emit(...);
+//   }
+//
+// Instrumentation must never perturb the simulation: emitters only READ
+// simulation state and append to the registry/tracer. A same-seed run with
+// observability on and off produces byte-identical tables, ledgers, and
+// traces (enforced by tests/fs/obs_test.cc).
+
+#ifndef SPRITE_DFS_SRC_OBS_OBSERVABILITY_H_
+#define SPRITE_DFS_SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+struct ObservabilityConfig {
+  // Enables the metrics registry (counters/gauges/latency recorders).
+  bool metrics = false;
+  // Enables span emission (Chrome trace-event export).
+  bool tracing = false;
+  // When > 0 and metrics are enabled, the cluster snapshots the registry on
+  // this sim-time period (the paper's user-level counter poller).
+  SimDuration snapshot_interval = 0;
+
+  bool enabled() const { return metrics || tracing; }
+};
+
+class Observability {
+ public:
+  explicit Observability(const ObservabilityConfig& config) : config_(config) {}
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  const ObservabilityConfig& config() const { return config_; }
+  bool metrics_enabled() const { return config_.metrics; }
+  bool tracing_enabled() const { return config_.tracing; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+
+  // Discards recorded spans, counter values, and snapshot history (e.g. at
+  // the end of a warmup window). Registered instruments and track names are
+  // wiring and survive.
+  void Reset() {
+    metrics_.Reset();
+    tracer_.Reset();
+  }
+
+ private:
+  ObservabilityConfig config_;
+  MetricsRegistry metrics_;
+  SpanTracer tracer_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_OBS_OBSERVABILITY_H_

@@ -1,0 +1,136 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sprite {
+
+namespace {
+
+// Minimal JSON string escaping; names here are ASCII identifiers, but a
+// metric or process name with a quote/backslash must not corrupt the file.
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendEvent(std::string& out, bool& first, const std::string& event) {
+  if (!first) {
+    out += ",\n";
+  }
+  first = false;
+  out += event;
+}
+
+}  // namespace
+
+void SpanTracer::Emit(const char* name, const char* category, SpanTrack track, SimTime start,
+                      SimDuration duration, std::initializer_list<Span::Arg> args) {
+  Span span;
+  span.name = name;
+  span.category = category;
+  span.track = track;
+  span.start = start;
+  span.duration = duration;
+  for (const Span::Arg& arg : args) {
+    if (span.num_args == Span::kMaxArgs) {
+      break;
+    }
+    span.args[span.num_args++] = arg;
+  }
+  spans_.push_back(span);
+}
+
+void SpanTracer::WriteChromeTrace(std::ostream& out,
+                                  const MetricsRegistry* metrics) const {
+  std::string body;
+  bool first = true;
+  char buf[256];
+
+  for (const auto& [pid, name] : process_names_) {
+    std::string e = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    e += std::to_string(pid);
+    e += ",\"tid\":0,\"args\":{\"name\":\"";
+    AppendEscaped(e, name);
+    e += "\"}}";
+    AppendEvent(body, first, e);
+  }
+  for (const auto& [key, name] : thread_names_) {
+    std::string e = "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    e += std::to_string(key.first);
+    e += ",\"tid\":";
+    e += std::to_string(key.second);
+    e += ",\"args\":{\"name\":\"";
+    AppendEscaped(e, name);
+    e += "\"}}";
+    AppendEvent(body, first, e);
+  }
+
+  for (const Span& span : spans_) {
+    std::string e = "{\"ph\":\"X\",\"name\":\"";
+    AppendEscaped(e, span.name);
+    e += "\",\"cat\":\"";
+    AppendEscaped(e, span.category);
+    std::snprintf(buf, sizeof(buf), "\",\"pid\":%d,\"tid\":%d,\"ts\":%lld,\"dur\":%lld",
+                  span.track.pid, span.track.tid, static_cast<long long>(span.start),
+                  static_cast<long long>(span.duration));
+    e += buf;
+    if (span.num_args > 0) {
+      e += ",\"args\":{";
+      for (int i = 0; i < span.num_args; ++i) {
+        if (i > 0) {
+          e += ",";
+        }
+        e += "\"";
+        AppendEscaped(e, span.args[i].key);
+        e += "\":";
+        e += std::to_string(span.args[i].value);
+      }
+      e += "}";
+    }
+    e += "}";
+    AppendEvent(body, first, e);
+  }
+
+  if (metrics != nullptr) {
+    for (const MetricsSnapshot& snapshot : metrics->history()) {
+      for (const MetricSample& s : snapshot.samples) {
+        if (s.kind == MetricSample::Kind::kLatency) {
+          continue;  // distributions do not render as counter tracks
+        }
+        std::string e = "{\"ph\":\"C\",\"name\":\"";
+        AppendEscaped(e, s.name);
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"pid\":%d,\"tid\":0,\"ts\":%lld,\"args\":{\"value\":%lld}}",
+                      kMetricsPid, static_cast<long long>(snapshot.time),
+                      static_cast<long long>(s.value));
+        e += buf;
+        AppendEvent(body, first, e);
+      }
+    }
+    if (!metrics->history().empty()) {
+      std::string e = "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+      e += std::to_string(kMetricsPid);
+      e += ",\"tid\":0,\"args\":{\"name\":\"metrics\"}}";
+      AppendEvent(body, first, e);
+    }
+  }
+
+  out << "{\"traceEvents\":[\n" << body << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace sprite

@@ -1,0 +1,126 @@
+// Sim-time span tracer with Chrome trace-event / Perfetto export.
+//
+// Components emit spans — named intervals of simulated time on a track —
+// for the RPC lifecycle (issue, retry/backoff, wire transfer, server
+// service), cache miss fills, delayed-write cleanings, and consistency
+// recalls. WriteChromeTrace renders the span stream as Chrome trace-event
+// JSON ("X" complete events in the JSON object format), which loads
+// directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Track conventions: each simulated machine is a "process" (clients at
+// pid 100+id, servers at pid 1000+id) with one main track, named via trace
+// metadata events. Timestamps are simulated microseconds, which is exactly
+// the unit the trace-event format expects.
+//
+// Span names, categories, and argument keys are string literals owned by
+// the emitting call sites; the tracer stores the pointers, so emission
+// never allocates beyond the span vector itself.
+
+#ifndef SPRITE_DFS_SRC_OBS_TRACER_H_
+#define SPRITE_DFS_SRC_OBS_TRACER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+// One row in the trace viewer; pid groups rows into processes.
+struct SpanTrack {
+  int32_t pid = 0;
+  int32_t tid = 1;
+
+  bool operator==(const SpanTrack&) const = default;
+};
+
+inline constexpr int32_t kClientPidBase = 100;
+inline constexpr int32_t kServerPidBase = 1000;
+inline constexpr int32_t kMetricsPid = 9999;
+
+inline constexpr SpanTrack ClientTrack(int64_t client) {
+  return SpanTrack{kClientPidBase + static_cast<int32_t>(client), 1};
+}
+inline constexpr SpanTrack ServerTrack(int64_t server) {
+  return SpanTrack{kServerPidBase + static_cast<int32_t>(server), 1};
+}
+
+struct Span {
+  struct Arg {
+    const char* key = "";
+    int64_t value = 0;
+
+    bool operator==(const Arg&) const = default;
+  };
+  static constexpr int kMaxArgs = 6;
+
+  const char* name = "";
+  const char* category = "";
+  SpanTrack track;
+  SimTime start = 0;
+  SimDuration duration = 0;
+  Arg args[kMaxArgs] = {};
+  int num_args = 0;
+
+  bool operator==(const Span& other) const {
+    if (std::string_view(name) != other.name ||
+        std::string_view(category) != other.category || !(track == other.track) ||
+        start != other.start || duration != other.duration || num_args != other.num_args) {
+      return false;
+    }
+    for (int i = 0; i < num_args; ++i) {
+      if (!(args[i] == other.args[i]) ||
+          std::string_view(args[i].key) != other.args[i].key) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void SetProcessName(int32_t pid, std::string name) {
+    process_names_[pid] = std::move(name);
+  }
+  void SetThreadName(SpanTrack track, std::string name) {
+    thread_names_[{track.pid, track.tid}] = std::move(name);
+  }
+
+  // Records one span. `name`, `category`, and arg keys must be string
+  // literals (or otherwise outlive the tracer). Extra args beyond
+  // Span::kMaxArgs are dropped.
+  void Emit(const char* name, const char* category, SpanTrack track, SimTime start,
+            SimDuration duration, std::initializer_list<Span::Arg> args = {});
+
+  const std::vector<Span>& spans() const { return spans_; }
+  // Drops recorded spans (track names are wiring, not measurements, and are
+  // kept) — used to discard a warmup window.
+  void Reset() { spans_.clear(); }
+
+  // Writes the full trace as Chrome trace-event JSON. When `metrics` is
+  // non-null, every retained snapshot's counters and gauges are exported as
+  // "C" (counter) events on a synthetic metrics process, so Perfetto plots
+  // them as counter tracks alongside the spans.
+  void WriteChromeTrace(std::ostream& out, const MetricsRegistry* metrics = nullptr) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::map<int32_t, std::string> process_names_;
+  std::map<std::pair<int32_t, int32_t>, std::string> thread_names_;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_OBS_TRACER_H_

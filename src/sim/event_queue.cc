@@ -1,14 +1,19 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace sprite {
 
 void EventQueue::Schedule(SimTime at, Callback callback) {
   if (at < now_) {
-    throw std::logic_error("EventQueue::Schedule: scheduling into the past");
+    throw std::logic_error("EventQueue::Schedule: scheduling into the past (now=" +
+                           std::to_string(now_) + " us, requested=" + std::to_string(at) +
+                           " us)");
   }
   heap_.push(Entry{at, next_sequence_++, std::make_shared<Callback>(std::move(callback))});
+  max_pending_ = std::max(max_pending_, heap_.size());
 }
 
 void EventQueue::ScheduleAfter(SimDuration delay, Callback callback) {

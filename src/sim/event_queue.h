@@ -49,6 +49,9 @@ class EventQueue {
 
   size_t pending_count() const { return heap_.size(); }
   uint64_t dispatched_count() const { return dispatched_; }
+  // High-water mark of the pending heap over the queue's lifetime. Both
+  // accessors feed "sim.queue.*" gauges in the metrics registry.
+  size_t max_pending_count() const { return max_pending_; }
 
  private:
   struct Entry {
@@ -71,6 +74,7 @@ class EventQueue {
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
   uint64_t dispatched_ = 0;
+  size_t max_pending_ = 0;
 };
 
 // Repeats a callback at a fixed period until cancelled or the owning handle

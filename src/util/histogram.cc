@@ -45,6 +45,11 @@ void LogHistogram::Merge(const LogHistogram& other) {
   total_weight_ += other.total_weight_;
 }
 
+void LogHistogram::Reset() {
+  counts_.assign(counts_.size(), 0.0);
+  total_weight_ = 0.0;
+}
+
 double LogHistogram::BucketUpperBound(size_t i) const {
   if (i == 0) {
     return min_;

@@ -22,6 +22,8 @@ class LogHistogram {
 
   void Add(double value, double weight = 1.0);
   void Merge(const LogHistogram& other);
+  // Zeroes every bucket; the bucket layout is preserved.
+  void Reset();
 
   double total_weight() const { return total_weight_; }
   size_t bucket_count() const { return counts_.size(); }

@@ -1,0 +1,168 @@
+// End-to-end checks of the observability wiring: determinism, the
+// non-perturbation invariant (instrumentation must not change what the
+// simulation does), and agreement between the span/metric streams and the
+// RPC ledger they mirror.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/fs/cluster.h"
+#include "src/fs/counters.h"
+#include "src/fs/rpc.h"
+#include "src/obs/observability.h"
+#include "src/workload/generator.h"
+
+namespace sprite {
+namespace {
+
+WorkloadParams QuickParams() {
+  WorkloadParams p;
+  p.num_users = 8;
+  p.seed = 42;
+  return p;
+}
+
+ClusterConfig ObsCluster(bool metrics, bool tracing) {
+  ClusterConfig c;
+  c.num_clients = 8;
+  c.num_servers = 2;
+  c.observability.metrics = metrics;
+  c.observability.tracing = tracing;
+  c.observability.snapshot_interval = kMinute;
+  return c;
+}
+
+struct ObsRun {
+  TraceLog trace;
+  RpcLedger ledger;
+  std::vector<Span> spans;
+  std::vector<MetricsSnapshot> history;
+  MetricsSnapshot final_snapshot;
+};
+
+ObsRun RunObserved(bool metrics = true, bool tracing = true) {
+  Generator generator(QuickParams(), ObsCluster(metrics, tracing));
+  ObsRun run;
+  run.trace = generator.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  run.ledger = generator.cluster().rpc_ledger();
+  const Observability* obs = generator.cluster().observability();
+  if (obs != nullptr) {
+    run.spans = obs->tracer().spans();
+    run.history = obs->metrics().history();
+    run.final_snapshot = obs->metrics().Snapshot(generator.queue().now());
+  }
+  return run;
+}
+
+TEST(ObservabilityTest, SameSeedRunsProduceIdenticalStreams) {
+  const ObsRun a = RunObserved();
+  const ObsRun b = RunObserved();
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.ledger, b.ledger);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (size_t i = 0; i < a.spans.size(); ++i) {
+    ASSERT_TRUE(a.spans[i] == b.spans[i]) << "span " << i << " differs";
+  }
+  EXPECT_EQ(a.history, b.history);
+  EXPECT_EQ(a.final_snapshot.samples, b.final_snapshot.samples);
+}
+
+TEST(ObservabilityTest, InstrumentationDoesNotPerturbTheSimulation) {
+  const ObsRun observed = RunObserved(/*metrics=*/true, /*tracing=*/true);
+
+  Generator bare(QuickParams(), ObsCluster(/*metrics=*/false, /*tracing=*/false));
+  const TraceLog bare_trace = bare.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  EXPECT_EQ(bare.cluster().observability(), nullptr);
+
+  EXPECT_EQ(observed.trace, bare_trace);
+  EXPECT_EQ(observed.ledger, bare.cluster().rpc_ledger());
+}
+
+TEST(ObservabilityTest, RpcSpanCountsMatchLedgerCalls) {
+  const ObsRun run = RunObserved();
+  std::map<std::string, int64_t> span_calls;
+  for (const Span& s : run.spans) {
+    const std::string cat = s.category;
+    if (cat == "rpc" || cat == "rpc.callback") {
+      ++span_calls[s.name];
+    }
+  }
+  int64_t spanned_total = 0;
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const RpcKind kind = static_cast<RpcKind>(k);
+    const int64_t calls = run.ledger.stat(kind).calls;
+    EXPECT_EQ(span_calls[RpcKindName(kind)], calls) << RpcKindName(kind);
+    spanned_total += span_calls[RpcKindName(kind)];
+  }
+  EXPECT_EQ(spanned_total, run.ledger.TotalCalls());
+  // The workload must actually exercise the core wire kinds.
+  EXPECT_GT(span_calls["open"], 0);
+  EXPECT_GT(span_calls["close"], 0);
+  EXPECT_GT(span_calls["read-block"], 0);
+  EXPECT_GT(span_calls["write-block"], 0);
+  EXPECT_GT(span_calls["read-dir"], 0);
+}
+
+TEST(ObservabilityTest, LatencyRecordersAgreeWithLedgerTotals) {
+  Generator generator(QuickParams(), ObsCluster(/*metrics=*/true, /*tracing=*/false));
+  generator.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  const RpcLedger& ledger = generator.cluster().rpc_ledger();
+  const MetricsRegistry& metrics = generator.cluster().observability()->metrics();
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const RpcKind kind = static_cast<RpcKind>(k);
+    const LatencyRecorder* rec =
+        metrics.FindLatency(std::string("rpc.") + RpcKindName(kind) + ".latency_us");
+    ASSERT_NE(rec, nullptr) << RpcKindName(kind);
+    const RpcStat& stat = ledger.stat(kind);
+    EXPECT_EQ(rec->count(), stat.calls) << RpcKindName(kind);
+    EXPECT_EQ(rec->total(), stat.net_time + stat.wait_time) << RpcKindName(kind);
+  }
+  const std::string summary = FormatRpcLatencySummary(metrics);
+  EXPECT_NE(summary.find("read-block"), std::string::npos);
+}
+
+TEST(ObservabilityTest, PeriodicSnapshotsCoverTheMeasuredWindow) {
+  const ObsRun run = RunObserved(/*metrics=*/true, /*tracing=*/false);
+  // Warmup snapshots are discarded with the warmup counters; the measured
+  // 10-minute window then snapshots every simulated minute.
+  ASSERT_GE(run.history.size(), 8u);
+  for (size_t i = 1; i < run.history.size(); ++i) {
+    EXPECT_EQ(run.history[i].time - run.history[i - 1].time, kMinute);
+  }
+  // Cluster-registered instruments all appear in a snapshot.
+  bool saw_queue_gauge = false;
+  bool saw_rpc_latency = false;
+  bool saw_cache_counter = false;
+  for (const MetricSample& s : run.final_snapshot.samples) {
+    saw_queue_gauge |= s.name == "sim.queue.dispatched";
+    saw_rpc_latency |= s.name == "rpc.read-block.latency_us";
+    saw_cache_counter |= s.name == "cache.miss_fills";
+  }
+  EXPECT_TRUE(saw_queue_gauge);
+  EXPECT_TRUE(saw_rpc_latency);
+  EXPECT_TRUE(saw_cache_counter);
+}
+
+TEST(ObservabilityTest, ServerAndCacheSpansUseTheirOwnTracks) {
+  const ObsRun run = RunObserved();
+  bool saw_server_span = false;
+  bool saw_cache_span = false;
+  for (const Span& s : run.spans) {
+    const std::string cat = s.category;
+    if (cat == "server") {
+      saw_server_span = true;
+      EXPECT_GE(s.track.pid, kServerPidBase);
+    } else if (cat == "cache") {
+      saw_cache_span = true;
+      EXPECT_GE(s.track.pid, kClientPidBase);
+      EXPECT_LT(s.track.pid, kServerPidBase);
+    }
+  }
+  EXPECT_TRUE(saw_server_span);
+  EXPECT_TRUE(saw_cache_span);
+}
+
+}  // namespace
+}  // namespace sprite

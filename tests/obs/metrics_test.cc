@@ -1,0 +1,145 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/units.h"
+
+namespace sprite {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(LatencyRecorderTest, CountAndTotalAreExact) {
+  LatencyRecorder rec;
+  rec.Record(100);
+  rec.Record(2500);
+  rec.Record(7 * kSecond);
+  EXPECT_EQ(rec.count(), 3);
+  EXPECT_EQ(rec.total(), 100 + 2500 + 7 * kSecond);
+}
+
+TEST(LatencyRecorderTest, QuantilesBracketRecordedRange) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 1000; ++i) {
+    rec.Record(1000);  // 1 ms
+  }
+  const SimDuration p50 = rec.Quantile(0.5);
+  const SimDuration p99 = rec.Quantile(0.99);
+  // Log buckets at base 1.25 give ~±25% resolution around the true value.
+  EXPECT_GT(p50, 700);
+  EXPECT_LT(p50, 1400);
+  EXPECT_GE(p99, p50);
+}
+
+TEST(LatencyRecorderTest, EmptyAndAllZeroQuantilesAreZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Quantile(0.5), 0);
+  rec.Record(0);  // ledger-only RPCs cost no time
+  rec.Record(0);
+  EXPECT_EQ(rec.count(), 2);
+  EXPECT_EQ(rec.total(), 0);
+  EXPECT_EQ(rec.Quantile(0.5), 0);
+}
+
+TEST(LatencyRecorderTest, ResetClearsEverything) {
+  LatencyRecorder rec;
+  rec.Record(5000);
+  rec.Reset();
+  EXPECT_EQ(rec.count(), 0);
+  EXPECT_EQ(rec.total(), 0);
+  EXPECT_EQ(rec.Quantile(0.9), 0);
+}
+
+TEST(MetricsRegistryTest, CounterAndLatencyRegistrationIsIdempotent) {
+  MetricsRegistry m;
+  Counter* a = m.AddCounter("cache.miss_fills");
+  Counter* b = m.AddCounter("cache.miss_fills");
+  EXPECT_EQ(a, b);  // N clients share one cluster-wide counter
+  LatencyRecorder* r1 = m.AddLatency("rpc.open.latency_us");
+  LatencyRecorder* r2 = m.AddLatency("rpc.open.latency_us");
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(m.instrument_count(), 2u);
+}
+
+TEST(MetricsRegistryTest, FindLooksUpByName) {
+  MetricsRegistry m;
+  m.AddCounter("a")->Add(7);
+  m.AddLatency("b")->Record(10);
+  ASSERT_NE(m.FindCounter("a"), nullptr);
+  EXPECT_EQ(m.FindCounter("a")->value(), 7);
+  ASSERT_NE(m.FindLatency("b"), nullptr);
+  EXPECT_EQ(m.FindLatency("b")->count(), 1);
+  EXPECT_EQ(m.FindCounter("missing"), nullptr);
+  EXPECT_EQ(m.FindLatency("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotOrdersCountersGaugesLatencies) {
+  MetricsRegistry m;
+  m.AddLatency("lat")->Record(500);
+  m.AddGauge("gauge", [] { return int64_t{11}; });
+  m.AddCounter("count")->Add(3);
+  const MetricsSnapshot snap = m.Snapshot(1234);
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.time, 1234);
+  EXPECT_EQ(snap.samples[0].name, "count");
+  EXPECT_EQ(snap.samples[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(snap.samples[0].value, 3);
+  EXPECT_EQ(snap.samples[1].name, "gauge");
+  EXPECT_EQ(snap.samples[1].value, 11);
+  EXPECT_EQ(snap.samples[2].name, "lat");
+  EXPECT_EQ(snap.samples[2].count, 1);
+  EXPECT_EQ(snap.samples[2].total, 500);
+}
+
+TEST(MetricsRegistryTest, GaugeReRegistrationReplacesReader) {
+  MetricsRegistry m;
+  m.AddGauge("g", [] { return int64_t{1}; });
+  m.AddGauge("g", [] { return int64_t{2}; });
+  const MetricsSnapshot snap = m.Snapshot(0);
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].value, 2);
+}
+
+TEST(MetricsRegistryTest, HistoryAndReset) {
+  MetricsRegistry m;
+  Counter* c = m.AddCounter("c");
+  c->Add(5);
+  m.RecordSnapshot(10);
+  m.RecordSnapshot(20);
+  ASSERT_EQ(m.history().size(), 2u);
+  EXPECT_EQ(m.history()[1].time, 20);
+  m.Reset();
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_EQ(c->value(), 0);               // zeroed, not unregistered
+  EXPECT_EQ(m.instrument_count(), 1u);
+}
+
+TEST(FormatMetricsSnapshotTest, RendersDocumentedLineFormat) {
+  MetricsRegistry m;
+  m.AddCounter("rpc.calls")->Add(9);
+  m.AddGauge("sim.queue.pending", [] { return int64_t{4}; });
+  LatencyRecorder* rec = m.AddLatency("rpc.open.latency_us");
+  rec->Record(1000);
+  rec->Record(3000);
+  const std::string text = FormatMetricsSnapshot(m.Snapshot(42));
+  EXPECT_NE(text.find("# sprite-metrics v1\n"), std::string::npos);
+  EXPECT_NE(text.find("snapshot t_us=42\n"), std::string::npos);
+  EXPECT_NE(text.find("counter rpc.calls 9\n"), std::string::npos);
+  EXPECT_NE(text.find("gauge sim.queue.pending 4\n"), std::string::npos);
+  EXPECT_NE(text.find("latency rpc.open.latency_us count=2 total_us=4000"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sprite

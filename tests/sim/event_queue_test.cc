@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 namespace sprite {
@@ -55,6 +56,37 @@ TEST(EventQueueTest, SchedulingInPastThrows) {
   q.RunAll();
   EXPECT_THROW(q.Schedule(5, [] {}), std::logic_error);
   EXPECT_THROW(q.ScheduleAfter(-1, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, PastSchedulingErrorNamesBothTimestamps) {
+  EventQueue q;
+  q.Schedule(10, [] {});
+  q.RunAll();
+  try {
+    q.Schedule(5, [] {});
+    FAIL() << "Schedule into the past did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("now=10"), std::string::npos) << what;
+    EXPECT_NE(what.find("requested=5"), std::string::npos) << what;
+  }
+}
+
+TEST(EventQueueTest, MaxPendingTracksHighWaterMark) {
+  EventQueue q;
+  EXPECT_EQ(q.max_pending_count(), 0u);
+  q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.Schedule(30, [] {});
+  EXPECT_EQ(q.max_pending_count(), 3u);
+  q.RunNext();  // pending drops to 2; the high-water mark must not
+  EXPECT_EQ(q.pending_count(), 2u);
+  EXPECT_EQ(q.max_pending_count(), 3u);
+  q.Schedule(40, [] {});
+  q.Schedule(50, [] {});
+  EXPECT_EQ(q.max_pending_count(), 4u);
+  q.RunAll();
+  EXPECT_EQ(q.max_pending_count(), 4u);
 }
 
 TEST(EventQueueTest, RunUntilStopsAtDeadline) {

@@ -88,5 +88,68 @@ TEST(LogHistogramTest, ZeroWeightIgnored) {
   EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
 }
 
+TEST(LogHistogramTest, NegativeWeightIgnored) {
+  LogHistogram h(1.0, 100.0, 2.0);
+  h.Add(5.0, 2.0);
+  h.Add(5.0, -1.0);  // must not subtract
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_GE(h.BucketWeight(i), 0.0);
+  }
+}
+
+TEST(LogHistogramTest, BoundaryValuesLandInTheRightBuckets) {
+  LogHistogram h(10.0, 160.0, 2.0);
+  // Layout: [0,10) [10,20) [20,40) [40,80) [80,160] (>160).
+  h.Add(10.0);  // exactly min -> first log bucket, not underflow
+  EXPECT_DOUBLE_EQ(h.BucketWeight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketWeight(1), 1.0);
+
+  h.Add(160.0);  // exactly max -> last non-overflow bucket
+  EXPECT_DOUBLE_EQ(h.BucketWeight(h.bucket_count() - 2), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketWeight(h.bucket_count() - 1), 0.0);
+
+  h.Add(160.0001);  // just above max -> overflow bucket
+  EXPECT_DOUBLE_EQ(h.BucketWeight(h.bucket_count() - 1), 1.0);
+
+  h.Add(9.9999);  // just below min -> underflow bucket
+  EXPECT_DOUBLE_EQ(h.BucketWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(LogHistogramTest, MergeCombinesBucketwise) {
+  LogHistogram a(1.0, 64.0, 2.0);
+  LogHistogram b(1.0, 64.0, 2.0);
+  a.Add(0.5);       // underflow
+  a.Add(3.0, 2.0);  // [2,4)
+  b.Add(3.0);       // [2,4)
+  b.Add(1000.0);    // overflow
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(a.BucketWeight(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.BucketWeight(a.bucket_count() - 1), 1.0);
+  // The [2,4) bucket holds both contributions: index 1 + floor(log2(3)) = 2.
+  EXPECT_DOUBLE_EQ(a.BucketWeight(2), 3.0);
+  // b is unchanged by the merge.
+  EXPECT_DOUBLE_EQ(b.total_weight(), 2.0);
+}
+
+TEST(LogHistogramTest, ResetZeroesWeightsButKeepsLayout) {
+  LogHistogram h(1.0, 100.0, 2.0);
+  const size_t buckets = h.bucket_count();
+  h.Add(0.5);
+  h.Add(7.0, 3.0);
+  h.Add(1e6);
+  h.Reset();
+  EXPECT_EQ(h.bucket_count(), buckets);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_DOUBLE_EQ(h.BucketWeight(i), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+  h.Add(7.0);  // still usable after reset
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+}
+
 }  // namespace
 }  // namespace sprite

@@ -2,12 +2,53 @@
 # Runs the tier-1 verify (configure, build, ctest) twice: once plain and once
 # with ASan+UBSan via the SPRITE_SANITIZE cache option. Each pass uses its own
 # build directory so the instrumented objects never mix with the normal ones.
+# Each pass also smoke-tests the observability exports: sprite_analyze
+# --simulate --metrics --trace-out on a small cluster, checking that the
+# Chrome trace JSON parses, that every wire-occupying RPC kind produced
+# spans, and that the key metric names appear in the snapshot output.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -eu
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+metrics_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: metrics smoke =="
+  smoke_out="${build_dir}/metrics_smoke.txt"
+  smoke_json="${build_dir}/metrics_smoke.json"
+  # 10 users crowded onto 2 clients keeps memory under enough pressure that
+  # even the rare paging RPCs (page-out = dirty VM eviction) occur.
+  "${build_dir}/tools/sprite_analyze" --simulate --users 10 --clients 2 \
+    --servers 2 --minutes 30 --warmup 5 --heavy --metrics \
+    --metrics-interval 60 --trace-out "${smoke_json}" > "${smoke_out}"
+  for needle in \
+      "# sprite-metrics v1" \
+      "gauge sim.queue.dispatched" \
+      "counter cache.miss_fills" \
+      "latency rpc.read-block.latency_us"; do
+    if ! grep -qF "${needle}" "${smoke_out}"; then
+      echo "metrics smoke: '${needle}' missing from ${smoke_out}" >&2
+      exit 1
+    fi
+  done
+  python3 - "${smoke_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "no trace events"
+names = {e["name"] for e in events if e.get("ph") == "X"}
+wire_kinds = ["open", "close", "read-block", "write-block", "uncached-read",
+              "uncached-write", "page-in", "page-out", "read-dir"]
+missing = [k for k in wire_kinds if k not in names]
+assert not missing, f"wire RPC kinds without spans: {missing}"
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert "rpc.calls" in counters, "metrics counter track missing"
+print(f"metrics smoke: {len(events)} events, all {len(wire_kinds)} wire kinds spanned")
+EOF
+}
 
 run_pass() {
   build_dir="$1"
@@ -16,6 +57,7 @@ run_pass() {
   cmake -B "${build_dir}" -S . "$@"
   cmake --build "${build_dir}" -j "${jobs}"
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  metrics_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

@@ -1,13 +1,33 @@
 // sprite-analyze: run the paper's Section-4 analyses over a trace file.
 //
 // Usage:
-//   sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] <trace-file>
+//   sprite_analyze [options] <trace-file>
+//   sprite_analyze --simulate [options]
 //
 // Reads a trace written by sprite_tracegen (binary by default, --text for
 // the text format) and prints the BSD-study-revisited report: summary,
 // activity, access patterns, run lengths, sizes, open times, lifetimes, and
 // the consistency simulations. With --rpc-ledger it also replays the trace
 // through the RPC transport model and prints the per-kind ledger table.
+//
+// Observability options:
+//   --metrics              collect and print metrics (snapshot history in
+//                          the sprite-metrics v1 format documented in
+//                          DESIGN.md "Observability", plus per-RPC-kind
+//                          p50/p90/p99 latency percentiles)
+//   --metrics-interval N   registry snapshot period in seconds (default 60;
+//                          implies --metrics)
+//   --trace-out FILE       write spans as Chrome trace-event JSON, loadable
+//                          in Perfetto (ui.perfetto.dev); --trace-out=FILE
+//                          also accepted
+//
+// With a trace-file input the observability data is reconstructed by the
+// ledger replay, which can only see trace-visible RPC kinds (paging never
+// appears in kernel-call traces). --simulate instead runs a live cluster
+// under the synthetic workload (same knobs as sprite_tracegen: --users,
+// --clients, --servers, --minutes, --warmup, --seed, --heavy), where every
+// RPC kind crosses the instrumented transport, then analyzes the trace that
+// run produced.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,55 +42,182 @@
 #include "src/consistency/overhead.h"
 #include "src/consistency/polling.h"
 #include "src/fs/rpc.h"
+#include "src/obs/observability.h"
 #include "src/trace/codec.h"
 #include "src/trace/summary.h"
 #include "src/trace/text_format.h"
 #include "src/util/table.h"
+#include "src/workload/generator.h"
 
 using namespace sprite;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger]\n"
+      "                      [--metrics] [--metrics-interval SECONDS]\n"
+      "                      [--trace-out FILE] TRACE\n"
+      "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
+      "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
+      "                      [observability options as above]\n");
+}
+
+void PrintMetrics(const Observability& obs, SimTime now) {
+  const MetricsRegistry& metrics = obs.metrics();
+  std::printf("\n== Metrics (sprite-metrics v1; see DESIGN.md \"Observability\") ==\n");
+  for (const MetricsSnapshot& snapshot : metrics.history()) {
+    std::printf("%s", FormatMetricsSnapshot(snapshot).c_str());
+  }
+  // Final snapshot at end of run, regardless of the periodic history.
+  std::printf("%s", FormatMetricsSnapshot(metrics.Snapshot(now)).c_str());
+  std::printf("\n== RPC latency percentiles (from recorded spans) ==\n%s",
+              FormatRpcLatencySummary(metrics).c_str());
+}
+
+bool WriteTraceJson(const Observability& obs, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  obs.tracer().WriteChromeTrace(out, obs.metrics_enabled() ? &obs.metrics() : nullptr);
+  std::fprintf(stderr, "wrote %zu spans to %s\n", obs.tracer().spans().size(), path.c_str());
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool text = false;
   bool rpc_ledger = false;
+  bool metrics = false;
+  bool simulate = false;
+  bool heavy = false;
   SimDuration interval = 10 * kMinute;
+  SimDuration metrics_interval = kMinute;
+  std::string trace_out;
   std::string path;
+  int users = 20;
+  int clients = -1;
+  int servers = 4;
+  int minutes = 90;
+  int warmup = 30;
+  uint64_t seed = 1991;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto next_int = [&](int& out) {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      out = std::atoi(argv[++i]);
+    };
     if (arg == "--text") {
       text = true;
     } else if (arg == "--rpc-ledger") {
       rpc_ledger = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--simulate") {
+      simulate = true;
+    } else if (arg == "--heavy") {
+      heavy = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval = static_cast<SimDuration>(std::atoi(argv[++i])) * kSecond;
+    } else if (arg == "--metrics-interval" && i + 1 < argc) {
+      metrics = true;
+      metrics_interval = static_cast<SimDuration>(std::atoi(argv[++i])) * kSecond;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--users") {
+      next_int(users);
+    } else if (arg == "--clients") {
+      next_int(clients);
+    } else if (arg == "--servers") {
+      next_int(servers);
+    } else if (arg == "--minutes") {
+      next_int(minutes);
+    } else if (arg == "--warmup") {
+      next_int(warmup);
+    } else if (arg == "--seed") {
+      int s = 0;
+      next_int(s);
+      seed = static_cast<uint64_t>(s);
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] TRACE\n");
+      Usage();
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      Usage();
+      return 2;
     } else {
       path = arg;
     }
   }
-  if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger] TRACE\n");
+  if ((!simulate && path.empty()) || (simulate && !path.empty())) {
+    Usage();
     return 2;
   }
 
+  const ObservabilityConfig obs_config{metrics, !trace_out.empty(), metrics_interval};
+
   TraceLog trace;
-  try {
-    if (text) {
-      std::ifstream in(path);
-      if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 1;
-      }
-      trace = ParseText(in);
-    } else {
-      trace = ReadTraceFile(path);
+  // Live-cluster mode: the cluster owns the Observability; replay mode
+  // builds a local one fed by the ledger reconstruction.
+  std::unique_ptr<Generator> generator;
+  std::unique_ptr<Observability> replay_obs;
+  const Observability* obs = nullptr;
+  SimTime end_time = 0;
+
+  if (simulate) {
+    if (users <= 0 || servers <= 0 || minutes <= 0 || warmup < 0) {
+      Usage();
+      return 2;
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
-    return 1;
+    if (clients < 0) {
+      clients = users + 6;
+    }
+    WorkloadParams params;
+    params.num_users = users;
+    params.seed = seed;
+    if (heavy) {
+      for (auto& group : params.groups) {
+        group.task_weights[static_cast<int>(TaskKind::kSimulate)] *= 4.0;
+        group.sim_input_bytes *= 2;
+      }
+    }
+    ClusterConfig cluster;
+    cluster.num_clients = clients;
+    cluster.num_servers = servers;
+    cluster.observability = obs_config;
+    std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
+                 minutes, warmup, users, clients);
+    generator = std::make_unique<Generator>(params, cluster);
+    trace = generator->Run(static_cast<SimDuration>(minutes) * kMinute,
+                           static_cast<SimDuration>(warmup) * kMinute);
+    obs = generator->cluster().observability();
+    end_time = generator->queue().now();
+  } else {
+    try {
+      if (text) {
+        std::ifstream in(path);
+        if (!in) {
+          std::fprintf(stderr, "cannot open %s\n", path.c_str());
+          return 1;
+        }
+        trace = ParseText(in);
+      } else {
+        trace = ReadTraceFile(path);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
   }
 
   const TraceSummary s = Summarize(trace);
@@ -144,9 +291,34 @@ int main(int argc, char** argv) {
                 o.byte_ratio(), o.rpc_ratio(), static_cast<long long>(o.events_requested));
   }
 
-  if (rpc_ledger) {
-    std::printf("\n== RPC transport ledger (replayed; reads are a no-cache upper bound) ==\n");
-    std::printf("%s", FormatRpcLedger(ReplayTraceLedger(trace)).c_str());
+  if (simulate) {
+    if (rpc_ledger) {
+      std::printf("\n== RPC transport ledger (live cluster) ==\n%s",
+                  FormatRpcLedger(generator->cluster().rpc_ledger()).c_str());
+    }
+  } else if (rpc_ledger || obs_config.enabled()) {
+    if (obs_config.enabled()) {
+      replay_obs = std::make_unique<Observability>(obs_config);
+      obs = replay_obs.get();
+      if (!trace.empty()) {
+        end_time = trace.back().time;
+      }
+    }
+    const RpcLedger ledger =
+        ReplayTraceLedger(trace, NetworkConfig{}, replay_obs.get(), metrics_interval);
+    if (rpc_ledger) {
+      std::printf("\n== RPC transport ledger (replayed; reads are a no-cache upper bound) ==\n%s",
+                  FormatRpcLedger(ledger).c_str());
+    }
+  }
+
+  if (metrics && obs != nullptr) {
+    PrintMetrics(*obs, end_time);
+  }
+  if (!trace_out.empty() && obs != nullptr) {
+    if (!WriteTraceJson(*obs, trace_out)) {
+      return 1;
+    }
   }
   return 0;
 }
