@@ -201,6 +201,62 @@ bool BlockCache::HasDirtyBlocks(uint64_t file) const {
   return false;
 }
 
+int64_t BlockCache::DirtyBytes(uint64_t file) const {
+  auto fb = file_blocks_.find(file);
+  if (fb == file_blocks_.end()) {
+    return 0;
+  }
+  int64_t bytes = 0;
+  for (int64_t index : fb->second) {
+    auto it = entries_.find(BlockKey{file, index});
+    if (it != entries_.end() && it->second.dirty) {
+      bytes += it->second.dirty_extent;
+    }
+  }
+  return bytes;
+}
+
+std::vector<uint64_t> BlockCache::DirtyFiles() const {
+  std::vector<uint64_t> files;
+  for (const auto& [file, indices] : file_blocks_) {
+    (void)indices;
+    if (HasDirtyBlocks(file)) {
+      files.push_back(file);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+uint64_t BlockCache::CachedVersion(uint64_t file) const {
+  auto it = file_versions_.find(file);
+  return it == file_versions_.end() ? 0 : it->second;
+}
+
+int64_t BlockCache::DropFile(uint64_t file, SimTime now) {
+  (void)now;
+  auto fb = file_blocks_.find(file);
+  if (fb == file_blocks_.end()) {
+    file_versions_.erase(file);
+    return 0;
+  }
+  int64_t dropped = 0;
+  // Copy: EraseEntry mutates file_blocks_.
+  const std::set<int64_t> indices = fb->second;
+  for (int64_t index : indices) {
+    const BlockKey key{file, index};
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (it->second.dirty) {
+        dropped += it->second.dirty_extent;
+      }
+      EraseEntry(key);
+    }
+  }
+  file_versions_.erase(file);
+  return dropped;
+}
+
 void BlockCache::InvalidateFile(uint64_t file, SimTime now) {
   (void)now;
   auto fb = file_blocks_.find(file);

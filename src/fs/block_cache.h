@@ -99,12 +99,28 @@ class BlockCache {
   // True if `file` has any dirty block.
   bool HasDirtyBlocks(uint64_t file) const;
 
+  // Total dirty bytes resident for `file`.
+  int64_t DirtyBytes(uint64_t file) const;
+
+  // Files with at least one dirty block, in ascending id order (stable for
+  // deterministic reopen storms during crash recovery).
+  std::vector<uint64_t> DirtyFiles() const;
+
+  // The version last reported/adopted for `file`, or 0 if unknown.
+  uint64_t CachedVersion(uint64_t file) const;
+
   // --- Invalidation --------------------------------------------------------
   // Drops all blocks of `file` (stale version, delete, or caching disabled).
   // Dirty data is discarded and counted as cancelled (never reached the
   // server) — used when the file was deleted; for recalls use CleanFile
   // first.
   void InvalidateFile(uint64_t file, SimTime now);
+
+  // Drops all blocks of `file` without the cancelled-bytes accounting:
+  // the dirty data was destroyed by a failure (stale handle after a server
+  // crash), not saved by the delayed-write policy. Returns the dirty bytes
+  // dropped.
+  int64_t DropFile(uint64_t file, SimTime now);
 
   // --- Page trading with virtual memory -------------------------------------
   // Age (now - last reference) of the least-recently-used block, or -1 if

@@ -1,8 +1,10 @@
 #include "src/fs/client.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace sprite {
 
@@ -29,6 +31,9 @@ void Client::AttachObservability(Observability* obs) {
   write_fetch_counter_ = nullptr;
   cleaned_block_counter_ = nullptr;
   recall_counter_ = nullptr;
+  stale_handle_counter_ = nullptr;
+  dropped_dirty_counter_ = nullptr;
+  reopen_storm_rec_ = nullptr;
   if (obs_ == nullptr) {
     return;
   }
@@ -38,6 +43,9 @@ void Client::AttachObservability(Observability* obs) {
     write_fetch_counter_ = m.AddCounter("cache.write_fetches");
     cleaned_block_counter_ = m.AddCounter("cache.cleaned_blocks");
     recall_counter_ = m.AddCounter("consistency.recalls");
+    stale_handle_counter_ = m.AddCounter("recovery.stale_handles");
+    dropped_dirty_counter_ = m.AddCounter("recovery.dropped_dirty_bytes");
+    reopen_storm_rec_ = m.AddLatency("recovery.reopen_storm_us");
     const std::string prefix = "client." + std::to_string(id_) + ".";
     m.AddGauge(prefix + "cache_bytes", [this] { return cache_size_bytes(); });
     m.AddGauge(prefix + "cache_limit_bytes", [this] { return cache_limit_bytes(); });
@@ -59,6 +67,11 @@ Client::OpenFile& Client::HandleRef(HandleId handle) {
 }
 
 Client::OpenFile* Client::FindLiveHandle(HandleId handle) {
+  if (stale_handles_.count(handle) != 0) {
+    // Recovery invalidated the handle; dead to I/O until the workload layer
+    // consumes the stale record and retries as a fresh open.
+    return nullptr;
+  }
   auto it = handles_.find(handle);
   if (it != handles_.end()) {
     return &it->second;
@@ -125,6 +138,9 @@ Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
 
   const Server::OpenReply reply = server.Open(file, mode, /*is_directory=*/false, now);
   cache_.SyncVersion(file, reply.version, now);
+  if (stale_tracker_ != nullptr) {
+    stale_tracker_->ClearFile(id_, file);  // the open re-synced versions
+  }
 
   OpenFile of;
   of.file = file;
@@ -217,13 +233,16 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
     const int64_t first_block = of.offset / kBlockSize;
     const int64_t last_block = (of.offset + bytes - 1) / kBlockSize;
     bool missed = false;
+    bool served_from_cache = false;
     for (int64_t b = first_block; b <= last_block; ++b) {
       ++cache_counters_.read_ops;
       if (of.migrated) {
         ++cache_counters_.migrated_read_ops;
       }
       const BlockKey key{of.file, b};
-      if (!cache_.Lookup(key, now)) {
+      if (cache_.Lookup(key, now)) {
+        served_from_cache = true;
+      } else {
         missed = true;
         ++cache_counters_.read_misses;
         cache_counters_.bytes_read_from_server += kBlockSize;
@@ -248,6 +267,11 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
           cache_.InsertClean(key, now, WritebackTo(/*paging=*/false, now));
         }
       }
+    }
+    // A hit on a block the tracker flagged (a consistency callback was lost
+    // to a partition) is a stale read: the paper's Table 11 risk, observed.
+    if (served_from_cache && stale_tracker_ != nullptr) {
+      stale_tracker_->NoteCachedRead(id_, of.file, now);
     }
     // Sequential readahead (paper-suggested extension; off by default):
     // after a miss, asynchronously fetch the next blocks. Latency is not
@@ -427,6 +451,9 @@ SimDuration Client::Delete(UserId user, FileId file, SimTime now) {
   // Locally cached dirty data for a deleted file never needs to reach the
   // server — the saving the 30-second delay is designed to capture.
   cache_.InvalidateFile(file, now);
+  if (stale_tracker_ != nullptr) {
+    stale_tracker_->ClearFile(id_, file);
+  }
   const ServerStub::NameReply reply = server.DeleteFile(file, now);
   Record r;
   r.kind = RecordKind::kDelete;
@@ -442,6 +469,9 @@ SimDuration Client::Delete(UserId user, FileId file, SimTime now) {
 SimDuration Client::Truncate(UserId user, FileId file, SimTime now) {
   ServerStub server = ServerFor(file);
   cache_.InvalidateFile(file, now);
+  if (stale_tracker_ != nullptr) {
+    stale_tracker_->ClearFile(id_, file);
+  }
   const ServerStub::NameReply reply = server.TruncateFile(file, now);
   Record r;
   r.kind = RecordKind::kTruncate;
@@ -610,11 +640,109 @@ int64_t Client::Crash(SimTime now) {
   cache_counters_.bytes_lost_in_crashes += lost;
   vm_.CrashReset();
   handles_.clear();
+  stale_handles_.clear();  // the owning processes died with the machine
   crash_watermark_ = *handle_counter_;
   // Every server forgets this client's open state. Route through the
   // router by probing distinct servers via file ids 0..N-1 is wrong; the
   // cluster wires this up instead (see Cluster::CrashClient).
   return lost;
+}
+
+SimDuration Client::ReplayOpens(ServerId server, SimTime now) {
+  // Handles homed on the rebooted server, in handle order (handles_ is
+  // unordered; the storm must be deterministic).
+  std::vector<HandleId> to_reopen;
+  for (const auto& [handle, of] : handles_) {
+    if (stale_handles_.count(handle) == 0 && ServerFor(of.file).id() == server) {
+      to_reopen.push_back(handle);
+    }
+  }
+  std::sort(to_reopen.begin(), to_reopen.end());
+
+  SimDuration storm = 0;
+  int64_t reopens = 0;
+  int64_t stale = 0;
+  int64_t dropped_bytes = 0;
+  std::set<FileId> files_replayed;
+  for (HandleId handle : to_reopen) {
+    OpenFile& of = handles_.find(handle)->second;
+    const FileId file = of.file;
+    const Server::ReopenReply reply = ServerFor(file).Reopen(
+        file, of.mode, cache_.CachedVersion(file),
+        /*has_dirty=*/cache_.DirtyBytes(file) > 0, /*has_handle=*/true, now + storm);
+    storm += reply.latency;
+    ++reopens;
+    files_replayed.insert(file);
+    if (reply.status == Status::kOk) {
+      of.cacheable = reply.cacheable;
+      cache_.SyncVersion(file, reply.version, now + storm);
+    } else {
+      // The handle is dead: drop its dirty blocks (without polluting the
+      // cancelled-before-writeback accounting) and surface the failure to
+      // the workload layer. The handles_ entry stays until TakeStaleHandle
+      // so references held by an in-flight operation remain valid.
+      dropped_bytes += cache_.DropFile(file, now + storm);
+      stale_handles_[handle] = StaleHandleInfo{file, of.user, of.mode, of.migrated};
+      ++stale;
+      if (stale_handle_counter_ != nullptr) {
+        stale_handle_counter_->Add();
+      }
+    }
+    if (stale_tracker_ != nullptr) {
+      stale_tracker_->ClearFile(id_, file);  // reopen re-synced (or dropped)
+    }
+  }
+
+  // Closed files whose dirty blocks still await delayed writeback must also
+  // re-register, or the rebooted server would not know this client holds
+  // the newest data.
+  for (FileId file : cache_.DirtyFiles()) {
+    if (ServerFor(file).id() != server || files_replayed.count(file) != 0) {
+      continue;
+    }
+    const Server::ReopenReply reply =
+        ServerFor(file).Reopen(file, OpenMode::kWrite, cache_.CachedVersion(file),
+                               /*has_dirty=*/true, /*has_handle=*/false, now + storm);
+    storm += reply.latency;
+    ++reopens;
+    if (reply.status == Status::kOk) {
+      cache_.SyncVersion(file, reply.version, now + storm);
+    } else {
+      dropped_bytes += cache_.DropFile(file, now + storm);
+      ++stale;
+    }
+    if (stale_tracker_ != nullptr) {
+      stale_tracker_->ClearFile(id_, file);
+    }
+  }
+
+  if (dropped_bytes > 0 && dropped_dirty_counter_ != nullptr) {
+    dropped_dirty_counter_->Add(dropped_bytes);
+  }
+  if (reopens > 0) {
+    if (reopen_storm_rec_ != nullptr) {
+      reopen_storm_rec_->Record(storm);
+    }
+    if (obs_ != nullptr && obs_->tracing_enabled()) {
+      obs_->tracer().Emit("recovery.reopen-storm", "recovery", ClientTrack(id_), now, storm,
+                          {{"server", static_cast<int64_t>(server)},
+                           {"reopens", reopens},
+                           {"stale", stale},
+                           {"dropped_bytes", dropped_bytes}});
+    }
+  }
+  return storm;
+}
+
+std::optional<StaleHandleInfo> Client::TakeStaleHandle(HandleId handle) {
+  auto it = stale_handles_.find(handle);
+  if (it == stale_handles_.end()) {
+    return std::nullopt;
+  }
+  const StaleHandleInfo info = it->second;
+  stale_handles_.erase(it);
+  handles_.erase(handle);
+  return info;
 }
 
 void Client::CleanerTick(SimTime now) {
@@ -663,6 +791,9 @@ void Client::RecallDirtyData(FileId file, SimTime now) {
 void Client::DisableCaching(FileId file, SimTime now) {
   RecallDirtyData(file, now);
   cache_.InvalidateFile(file, now);
+  if (stale_tracker_ != nullptr) {
+    stale_tracker_->ClearFile(id_, file);
+  }
   for (auto& [handle, of] : handles_) {
     (void)handle;
     if (of.file == file) {
@@ -693,6 +824,9 @@ void Client::RecallToken(FileId file, SimTime now, bool invalidate) {
   RecallDirtyData(file, now);
   if (invalidate) {
     cache_.InvalidateFile(file, now);
+    if (stale_tracker_ != nullptr) {
+      stale_tracker_->ClearFile(id_, file);
+    }
   }
   if (obs_ != nullptr && obs_->tracing_enabled()) {
     obs_->tracer().Emit("consistency.token-recall", "consistency", ClientTrack(id_), now, 0,
@@ -702,6 +836,9 @@ void Client::RecallToken(FileId file, SimTime now, bool invalidate) {
 
 void Client::DiscardFile(FileId file, SimTime now) {
   cache_.InvalidateFile(file, now);
+  if (stale_tracker_ != nullptr) {
+    stale_tracker_->ClearFile(id_, file);
+  }
   if (obs_ != nullptr && obs_->tracing_enabled()) {
     obs_->tracer().Emit("consistency.discard", "consistency", ClientTrack(id_), now, 0,
                         {{"file", file}});

@@ -21,11 +21,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "src/fs/block_cache.h"
 #include "src/fs/config.h"
 #include "src/fs/counters.h"
+#include "src/fs/recovery.h"
 #include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/fs/types.h"
@@ -109,6 +112,25 @@ class Client final : public CacheControl {
   // Returns the number of dirty bytes lost.
   int64_t Crash(SimTime now);
 
+  // --- Server crash recovery -------------------------------------------------
+  // The reopen storm: re-registers every open handle homed on `server` (and
+  // every closed file with dirty blocks awaiting delayed writeback there)
+  // via kReopen RPCs. Handles the server refuses become stale — dead to
+  // further I/O, their dirty blocks dropped — and are surfaced through
+  // TakeStaleHandle. Invoked by the RpcTransport's epoch handshake when
+  // this client first contacts a rebooted server; returns the storm's total
+  // simulated duration.
+  SimDuration ReplayOpens(ServerId server, SimTime now);
+
+  // Consumes the stale-handle record for `handle` if recovery invalidated
+  // it; the workload layer retries the operation as a fresh open.
+  std::optional<StaleHandleInfo> TakeStaleHandle(HandleId handle);
+  int stale_handle_count() const { return static_cast<int>(stale_handles_.size()); }
+
+  // Wires the cluster's partition-staleness tracker (pure accounting; may
+  // be null).
+  void AttachStaleTracker(StaleDataTracker* tracker) { stale_tracker_ = tracker; }
+
   // --- CacheControl (server-issued consistency commands) -------------------
   void RecallDirtyData(FileId file, SimTime now) override;
   void DisableCaching(FileId file, SimTime now) override;
@@ -177,6 +199,9 @@ class Client final : public CacheControl {
   Counter* write_fetch_counter_ = nullptr;
   Counter* cleaned_block_counter_ = nullptr;
   Counter* recall_counter_ = nullptr;
+  Counter* stale_handle_counter_ = nullptr;
+  Counter* dropped_dirty_counter_ = nullptr;
+  LatencyRecorder* reopen_storm_rec_ = nullptr;
 
   CacheCounters cache_counters_;
   TrafficCounters traffic_counters_;
@@ -188,6 +213,11 @@ class Client final : public CacheControl {
   HandleId crash_watermark_ = 0;
 
   std::unordered_map<HandleId, OpenFile> handles_;
+  // Handles a rebooted server refused to reopen, awaiting the workload
+  // layer's retry-as-fresh-open (ordered for deterministic iteration).
+  std::map<HandleId, StaleHandleInfo> stale_handles_;
+  // Partition staleness accounting (null unless wired by the cluster).
+  StaleDataTracker* stale_tracker_ = nullptr;
 };
 
 }  // namespace sprite

@@ -15,7 +15,11 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     throw std::invalid_argument("Cluster: need at least one client and one server");
   }
   transport_->AttachObservability(obs_.get());
+  stale_tracker_.AttachObservability(obs_.get());
+  transport_->SetStaleTracker(&stale_tracker_);
   if (obs_ != nullptr && obs_->metrics_enabled()) {
+    server_crash_counter_ = obs_->metrics().AddCounter("recovery.server_crashes");
+    server_crash_dirty_lost_ = obs_->metrics().AddCounter("recovery.server_dirty_lost_bytes");
     // Event-queue instrumentation lives here: the queue belongs to the
     // caller, so the cluster registers gauges over it rather than teaching
     // the sim layer about metrics.
@@ -48,6 +52,12 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     clients_.push_back(std::make_unique<Client>(id, config.client, std::move(router), sink,
                                                 &handle_counter_));
     clients_.back()->AttachObservability(obs_.get());
+    clients_.back()->AttachStaleTracker(&stale_tracker_);
+    // A client contacting a rebooted server replays its opens before any
+    // other traffic (the transport's epoch handshake calls back here).
+    Client* client_ptr = clients_.back().get();
+    transport_->SetReopenHandler(
+        id, [client_ptr](ServerId s, SimTime t) { return client_ptr->ReplayOpens(s, t); });
     // Consistency callbacks travel the transport too, as typed RPCs.
     for (auto& server : servers_) {
       server->RegisterClient(id, transport_->WrapCallbacks(server->id(), id,
@@ -148,6 +158,39 @@ TrafficCounters Cluster::AggregateTrafficCounters() const {
   return total;
 }
 
+int64_t Cluster::CrashServer(ServerId server, SimDuration down_for) {
+  const SimTime now = queue_.now();
+  Server& s = *servers_.at(server);
+  const int64_t lost = s.Crash(now);
+  // The transport learns the new epoch immediately: no request completes
+  // while the server is down, so the bump cannot be observed early.
+  transport_->ScheduleServerCrash(server, now, now + down_for, s.epoch());
+  if (server_crash_counter_ != nullptr) {
+    server_crash_counter_->Add();
+    server_crash_dirty_lost_->Add(lost);
+  }
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    const auto epoch = static_cast<int64_t>(s.epoch());
+    obs_->tracer().Emit("server.down", "recovery", ServerTrack(server), now, down_for,
+                        {{"epoch", epoch}, {"dirty_lost", lost}});
+    obs_->tracer().Emit("server.recovering", "recovery", ServerTrack(server), now + down_for,
+                        transport_->config().recovery_grace, {{"epoch", epoch}});
+  }
+  return lost;
+}
+
+void Cluster::PartitionClients(ClientId first, ClientId last, ServerId server, SimTime from,
+                               SimTime until) {
+  for (ClientId c = first; c <= last; ++c) {
+    clients_.at(c);  // range-check before touching the transport
+    transport_->SetPartition(c, server, from, until);
+    if (obs_ != nullptr && obs_->tracing_enabled()) {
+      obs_->tracer().Emit("partition-gap", "recovery.partition", ClientTrack(c), from,
+                          until - from, {{"server", static_cast<int64_t>(server)}});
+    }
+  }
+}
+
 int64_t Cluster::CrashClient(ClientId client, SimTime now) {
   const int64_t lost = clients_.at(client)->Crash(now);
   for (auto& server : servers_) {
@@ -164,6 +207,7 @@ void Cluster::ResetMeasurements() {
     server->ResetCounters();
   }
   transport_->ResetLedger();
+  stale_tracker_.ResetCounts();
   trace_.clear();
   cache_size_samples_.clear();
   if (obs_ != nullptr) {

@@ -23,6 +23,7 @@
 #include "src/fs/client.h"
 #include "src/fs/config.h"
 #include "src/fs/net.h"
+#include "src/fs/recovery.h"
 #include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/sim/event_queue.h"
@@ -88,6 +89,25 @@ class Cluster {
   // state. Returns the dirty bytes lost.
   int64_t CrashClient(ClientId client, SimTime now);
 
+  // Crashes and reboots one server at the queue's current time: its volatile
+  // state (open-state table, server cache, last-writer bookkeeping) vanishes
+  // while disk metadata survives. The server is unreachable for `down_for`,
+  // then serves only reopen traffic for the configured recovery grace
+  // window; clients detect the new epoch on their next RPC and replay their
+  // opens. Returns the server-cache dirty bytes that never reached disk.
+  int64_t CrashServer(ServerId server, SimDuration down_for);
+
+  // Asymmetric partition: clients [first, last] lose `server` for
+  // [from, until). Their requests pay timeouts/waits; the server's
+  // consistency callbacks to them are silently dropped, so their caches can
+  // go stale (tracked by stale_tracker()).
+  void PartitionClients(ClientId first, ClientId last, ServerId server, SimTime from,
+                        SimTime until);
+
+  // Dropped-callback / stale-read accounting for partitions.
+  StaleDataTracker& stale_tracker() { return stale_tracker_; }
+  const StaleDataTracker& stale_tracker() const { return stale_tracker_; }
+
  private:
   ClusterConfig config_;
   EventQueue& queue_;
@@ -96,6 +116,9 @@ class Cluster {
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<PeriodicTask>> daemons_;
+  StaleDataTracker stale_tracker_;
+  Counter* server_crash_counter_ = nullptr;
+  Counter* server_crash_dirty_lost_ = nullptr;
   TraceLog trace_;
   uint64_t handle_counter_ = 0;
   std::vector<CacheSizeSample> cache_size_samples_;

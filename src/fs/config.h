@@ -109,6 +109,11 @@ struct RpcConfig {
   int max_retries = 4;
   SimDuration backoff_initial = 100 * kMillisecond;
   SimDuration backoff_max = 2 * kSecond;
+  // Crash recovery: after a crashed server reboots it serves only kReopen
+  // traffic for this long (the RECOVERING grace window); other requests
+  // block until the window closes. All intervals are half-open, so a
+  // request issued exactly when the window ends is served normally.
+  SimDuration recovery_grace = 2 * kSecond;
 };
 
 struct ClusterConfig {

@@ -157,6 +157,7 @@ enum class RpcKind : uint8_t {
   kPageIn,          // paging read (code / data / backing file)
   kPageOut,         // backing-file page-out
   kReadDir,         // directory contents read
+  kReopen,          // crash recovery: re-register an open handle / dirty file
   // Server -> client consistency callbacks (CacheControl).
   kRecallDirty,     // flush your dirty data for a file
   kCacheDisable,    // stop caching (concurrent write-sharing began)
@@ -164,7 +165,7 @@ enum class RpcKind : uint8_t {
   kTokenRecall,     // token policies: flush and maybe invalidate
   kDiscardFile,     // contents destroyed remotely: drop cached blocks
 };
-inline constexpr int kRpcKindCount = 18;
+inline constexpr int kRpcKindCount = 19;
 
 const char* RpcKindName(RpcKind kind);
 
@@ -186,6 +187,9 @@ struct RpcLedger {
   std::array<RpcStat, kRpcKindCount> by_kind{};
   std::map<ClientId, RpcStat> by_client;
   std::map<ServerId, RpcStat> by_server;
+  // Per-server-epoch breakdown. Populated only once a server crash has been
+  // injected (epoch numbers exist), so fault-free runs render identically.
+  std::map<uint64_t, RpcStat> by_epoch;
 
   RpcStat& stat(RpcKind kind) { return by_kind[static_cast<size_t>(kind)]; }
   const RpcStat& stat(RpcKind kind) const { return by_kind[static_cast<size_t>(kind)]; }

@@ -1,0 +1,156 @@
+#include "src/fs/recovery.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+#include "src/fs/cluster.h"
+
+namespace sprite {
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kStaleHandle: return "stale-handle";
+  }
+  return "unknown";
+}
+
+void StaleDataTracker::AttachObservability(Observability* obs) {
+  dropped_counter_ = nullptr;
+  stale_read_counter_ = nullptr;
+  if (obs == nullptr || !obs->metrics_enabled()) {
+    return;
+  }
+  dropped_counter_ = obs->metrics().AddCounter("recovery.dropped_callbacks");
+  stale_read_counter_ = obs->metrics().AddCounter("recovery.stale_reads");
+}
+
+void StaleDataTracker::NoteDroppedCallback(ClientId client, ServerId server, FileId file,
+                                           bool flags_stale, SimTime now) {
+  (void)server;
+  (void)now;
+  ++dropped_callbacks_;
+  if (dropped_counter_ != nullptr) {
+    dropped_counter_->Add();
+  }
+  if (flags_stale) {
+    flagged_.insert({client, file});
+  }
+}
+
+void StaleDataTracker::ClearFile(ClientId client, FileId file) {
+  flagged_.erase({client, file});
+}
+
+void StaleDataTracker::NoteCachedRead(ClientId client, FileId file, SimTime now) {
+  (void)now;
+  if (flagged_.count({client, file}) == 0) {
+    return;
+  }
+  ++stale_reads_;
+  clients_affected_.insert(client);
+  if (stale_read_counter_ != nullptr) {
+    stale_read_counter_->Add();
+  }
+}
+
+void StaleDataTracker::ResetCounts() {
+  dropped_callbacks_ = 0;
+  stale_reads_ = 0;
+  clients_affected_.clear();
+}
+
+// --- Fault schedules ---------------------------------------------------------
+
+namespace {
+
+// Parses "<number>" from spec[pos...], advancing pos past it.
+int64_t ParseNumber(const std::string& spec, size_t* pos) {
+  size_t end = *pos;
+  while (end < spec.size() && std::isdigit(static_cast<unsigned char>(spec[end]))) {
+    ++end;
+  }
+  if (end == *pos) {
+    throw std::invalid_argument("FaultSchedule: expected a number in \"" + spec + "\" at offset " +
+                                std::to_string(*pos));
+  }
+  const int64_t value = std::stoll(spec.substr(*pos, end - *pos));
+  *pos = end;
+  return value;
+}
+
+void Expect(const std::string& spec, size_t* pos, char c) {
+  if (*pos >= spec.size() || spec[*pos] != c) {
+    throw std::invalid_argument(std::string("FaultSchedule: expected '") + c + "' in \"" + spec +
+                                "\" at offset " + std::to_string(*pos));
+  }
+  ++*pos;
+}
+
+}  // namespace
+
+FaultSchedule ParseFaultSchedule(const std::string& spec) {
+  FaultSchedule schedule;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    if (spec.compare(pos, 6, "crash:") == 0) {
+      pos += 6;
+      CrashEvent e;
+      e.server = static_cast<ServerId>(ParseNumber(spec, &pos));
+      Expect(spec, &pos, '@');
+      e.at = ParseNumber(spec, &pos) * kSecond;
+      Expect(spec, &pos, '+');
+      e.down_for = ParseNumber(spec, &pos) * kSecond;
+      schedule.crashes.push_back(e);
+    } else if (spec.compare(pos, 5, "part:") == 0) {
+      pos += 5;
+      PartitionEvent e;
+      e.first_client = static_cast<ClientId>(ParseNumber(spec, &pos));
+      Expect(spec, &pos, '-');
+      e.last_client = static_cast<ClientId>(ParseNumber(spec, &pos));
+      Expect(spec, &pos, 'x');
+      e.server = static_cast<ServerId>(ParseNumber(spec, &pos));
+      Expect(spec, &pos, '@');
+      e.at = ParseNumber(spec, &pos) * kSecond;
+      Expect(spec, &pos, '+');
+      e.heal_after = ParseNumber(spec, &pos) * kSecond;
+      if (e.last_client < e.first_client) {
+        throw std::invalid_argument("FaultSchedule: empty client range in \"" + spec + "\"");
+      }
+      schedule.partitions.push_back(e);
+    } else {
+      throw std::invalid_argument("FaultSchedule: unknown event in \"" + spec + "\" at offset " +
+                                  std::to_string(pos) + " (want crash: or part:)");
+    }
+    if (pos < spec.size()) {
+      Expect(spec, &pos, ',');
+    }
+  }
+  return schedule;
+}
+
+void ApplyFaultSchedule(Cluster& cluster, const FaultSchedule& schedule) {
+  for (const CrashEvent& e : schedule.crashes) {
+    if (e.server >= static_cast<ServerId>(cluster.num_servers())) {
+      throw std::invalid_argument("FaultSchedule: crash names server " +
+                                  std::to_string(e.server) + " but the cluster has " +
+                                  std::to_string(cluster.num_servers()));
+    }
+    cluster.queue().Schedule(e.at, [&cluster, e] {
+      cluster.CrashServer(e.server, e.down_for);
+    });
+  }
+  for (const PartitionEvent& e : schedule.partitions) {
+    if (e.server >= static_cast<ServerId>(cluster.num_servers()) ||
+        e.last_client >= static_cast<ClientId>(cluster.num_clients())) {
+      throw std::invalid_argument("FaultSchedule: partition ids exceed the cluster size");
+    }
+    cluster.queue().Schedule(e.at, [&cluster, e] {
+      cluster.PartitionClients(e.first_client, e.last_client, e.server, e.at,
+                               e.at + e.heal_after);
+    });
+  }
+}
+
+}  // namespace sprite

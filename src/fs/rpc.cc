@@ -22,6 +22,7 @@ const char* RpcKindName(RpcKind kind) {
     case RpcKind::kPageIn: return "page-in";
     case RpcKind::kPageOut: return "page-out";
     case RpcKind::kReadDir: return "read-dir";
+    case RpcKind::kReopen: return "reopen";
     case RpcKind::kRecallDirty: return "recall-dirty";
     case RpcKind::kCacheDisable: return "cache-disable";
     case RpcKind::kCacheEnable: return "cache-enable";
@@ -45,6 +46,7 @@ bool RpcTransport::ChargesNetwork(RpcKind kind) {
     case RpcKind::kPageIn:
     case RpcKind::kPageOut:
     case RpcKind::kReadDir:
+    case RpcKind::kReopen:
       return true;
     default:
       return false;
@@ -81,22 +83,84 @@ void RpcTransport::AttachObservability(Observability* obs) {
 
 void RpcTransport::SetServerUnavailable(ServerId server, SimTime from, SimTime until) {
   if (until > from) {
-    outages_[server].push_back(Outage{from, until});
+    outages_[server].push_back(Outage{from, until, until});
   }
 }
 
-bool RpcTransport::InOutage(ServerId server, SimTime t, SimTime* recovery) const {
-  auto it = outages_.find(server);
-  if (it == outages_.end()) {
-    return false;
+void RpcTransport::ScheduleServerCrash(ServerId server, SimTime from, SimTime until,
+                                       uint64_t new_epoch) {
+  if (until > from) {
+    outages_[server].push_back(Outage{from, until, until + config_.recovery_grace});
   }
-  for (const Outage& o : it->second) {
-    if (t >= o.from && t < o.until) {
-      *recovery = o.until;
-      return true;
+  // The epoch bump is visible immediately: no request completes while the
+  // server is down (the event queue is at `from` when the crash fires), so
+  // every later response carries the new epoch.
+  server_epochs_[server] = new_epoch;
+}
+
+void RpcTransport::SetPartition(ClientId client, ServerId server, SimTime from, SimTime until) {
+  if (until > from) {
+    partitions_[{client, server}].push_back(Outage{from, until, until});
+  }
+}
+
+bool RpcTransport::Unreachable(ServerId server, ClientId client, SimTime t,
+                               SimTime* recovery) const {
+  SimTime horizon = 0;
+  // Half-open check everywhere: a window ending exactly at `t` costs
+  // nothing (the regression in tests/fs/rpc_test.cc pins this down).
+  if (auto it = outages_.find(server); it != outages_.end()) {
+    for (const Outage& o : it->second) {
+      if (t >= o.from && t < o.until) {
+        horizon = std::max(horizon, o.until);
+      }
     }
   }
-  return false;
+  if (auto it = partitions_.find({client, server}); it != partitions_.end()) {
+    for (const Outage& o : it->second) {
+      if (t >= o.from && t < o.until) {
+        horizon = std::max(horizon, o.until);
+      }
+    }
+  }
+  if (horizon == 0) {
+    return false;
+  }
+  *recovery = horizon;
+  return true;
+}
+
+SimTime RpcTransport::GraceUntil(ServerId server, SimTime t) const {
+  auto it = outages_.find(server);
+  if (it == outages_.end()) {
+    return t;
+  }
+  SimTime grace = t;
+  for (const Outage& o : it->second) {
+    if (t >= o.until && t < o.grace_until) {
+      grace = std::max(grace, o.grace_until);
+    }
+  }
+  return grace;
+}
+
+SimDuration RpcTransport::SyncEpoch(ClientId client, ServerId server, SimTime t) {
+  auto ep = server_epochs_.find(server);
+  if (ep == server_epochs_.end()) {
+    return 0;  // never crashed; everyone is implicitly in epoch 1
+  }
+  uint64_t& seen = seen_epochs_[{client, server}];
+  if (seen == ep->second) {
+    return 0;
+  }
+  // Mark the epoch seen BEFORE replaying: the storm's own kReopen calls
+  // must not recurse into another handshake.
+  seen = ep->second;
+  auto handler = reopen_handlers_.find(client);
+  if (handler == reopen_handlers_.end()) {
+    return 0;
+  }
+  return handler->second(server, t);
 }
 
 SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
@@ -124,35 +188,58 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     phases.push_back(s);
   };
 
-  if (!outages_.empty() && !IsCallback(kind)) {
+  if (!IsCallback(kind)) {
     SimTime t = now;
-    SimTime recovery = 0;
-    int tries = 0;
-    while (InOutage(server, t, &recovery)) {
-      phase("timeout", t, config_.timeout);
-      wait += config_.timeout;
-      t += config_.timeout;
-      ++timeouts;
-      if (tries < config_.max_retries) {
-        SimDuration backoff = config_.backoff_initial;
-        for (int k = 0; k < tries && backoff < config_.backoff_max; ++k) {
-          backoff *= 2;
+    if (!outages_.empty() || !partitions_.empty()) {
+      SimTime recovery = 0;
+      int tries = 0;
+      while (Unreachable(server, client, t, &recovery)) {
+        phase("timeout", t, config_.timeout);
+        wait += config_.timeout;
+        t += config_.timeout;
+        ++timeouts;
+        if (tries < config_.max_retries) {
+          SimDuration backoff = config_.backoff_initial;
+          for (int k = 0; k < tries && backoff < config_.backoff_max; ++k) {
+            backoff *= 2;
+          }
+          backoff = std::min(backoff, config_.backoff_max);
+          phase("backoff", t, backoff);
+          wait += backoff;
+          t += backoff;
+          ++retries;
+          ++tries;
+        } else {
+          // Retry budget spent: wait out the outage, as Sprite clients do.
+          if (recovery > t) {
+            phase("blocked-wait", t, recovery - t);
+            wait += recovery - t;
+            t = recovery;
+          }
+          ++blocked_waits;
+          break;
         }
-        backoff = std::min(backoff, config_.backoff_max);
-        phase("backoff", t, backoff);
-        wait += backoff;
-        t += backoff;
-        ++retries;
-        ++tries;
-      } else {
-        // Retry budget spent: wait out the outage, as Sprite clients do.
-        if (recovery > t) {
-          phase("blocked-wait", t, recovery - t);
-          wait += recovery - t;
-          t = recovery;
-        }
+      }
+    }
+    // Crash-recovery handshake. The first response from a rebooted server
+    // carries its new epoch; a client that is behind replays its open
+    // handles (kReopen storm) before this request is served, and non-reopen
+    // traffic then waits out the remainder of the reopen-only grace window.
+    if (!server_epochs_.empty() && kind != RpcKind::kReopen) {
+      const SimDuration storm = SyncEpoch(client, server, t);
+      if (storm > 0) {
+        // The storm's own kReopen calls charge the ledger and emit spans
+        // themselves (Client::ReplayOpens); here it is simply time this
+        // request spent waiting.
+        wait += storm;
+        t += storm;
+      }
+      const SimTime grace = GraceUntil(server, t);
+      if (grace > t) {
+        phase("grace-wait", t, grace - t);
+        wait += grace - t;
+        t = grace;
         ++blocked_waits;
-        break;
       }
     }
   }
@@ -192,7 +279,36 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   charge(ledger_.stat(kind));
   charge(ledger_.by_client[client]);
   charge(ledger_.by_server[server]);
+  if (!server_epochs_.empty()) {
+    // Per-epoch breakdown, only once a crash exists (fault-free ledgers and
+    // their rendering stay bit-identical). Servers that never crashed are
+    // still in epoch 1.
+    auto ep = server_epochs_.find(server);
+    charge(ledger_.by_epoch[ep == server_epochs_.end() ? 1 : ep->second]);
+  }
   return wait + net;
+}
+
+bool RpcTransport::CallbackDropped(ServerId server, ClientId client, FileId file,
+                                   bool flags_stale, SimTime t) {
+  auto it = partitions_.find({client, server});
+  if (it == partitions_.end()) {
+    return false;
+  }
+  for (const Outage& o : it->second) {
+    if (t >= o.from && t < o.until) {
+      if (stale_tracker_ != nullptr) {
+        stale_tracker_->NoteDroppedCallback(client, server, file, flags_stale, t);
+      }
+      if (obs_ != nullptr && obs_->tracing_enabled()) {
+        obs_->tracer().Emit("recovery.dropped-callback", "recovery.partition",
+                            ServerTrack(server), t, 0,
+                            {{"client", client}, {"file", static_cast<int64_t>(file)}});
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 namespace {
@@ -204,23 +320,42 @@ class CallbackStub final : public CacheControl {
   CallbackStub(RpcTransport* transport, ServerId server, ClientId client, CacheControl* target)
       : transport_(transport), server_(server), client_(client), target_(target) {}
 
+  // A partition silently eats the callback: the server believes it told the
+  // client, the client keeps serving its (now possibly stale) cache. A lost
+  // dirty-data recall does not flag staleness — the client's copy is the
+  // newest; the readers on the server side are the ones seeing old data.
   void RecallDirtyData(FileId file, SimTime now) override {
+    if (transport_->CallbackDropped(server_, client_, file, /*flags_stale=*/false, now)) {
+      return;
+    }
     transport_->Call(RpcKind::kRecallDirty, client_, server_, 0, now);
     target_->RecallDirtyData(file, now);
   }
   void DisableCaching(FileId file, SimTime now) override {
+    if (transport_->CallbackDropped(server_, client_, file, /*flags_stale=*/true, now)) {
+      return;
+    }
     transport_->Call(RpcKind::kCacheDisable, client_, server_, 0, now);
     target_->DisableCaching(file, now);
   }
   void EnableCaching(FileId file, SimTime now) override {
+    if (transport_->CallbackDropped(server_, client_, file, /*flags_stale=*/false, now)) {
+      return;
+    }
     transport_->Call(RpcKind::kCacheEnable, client_, server_, 0, now);
     target_->EnableCaching(file, now);
   }
   void RecallToken(FileId file, SimTime now, bool invalidate) override {
+    if (transport_->CallbackDropped(server_, client_, file, /*flags_stale=*/invalidate, now)) {
+      return;
+    }
     transport_->Call(RpcKind::kTokenRecall, client_, server_, 0, now);
     target_->RecallToken(file, now, invalidate);
   }
   void DiscardFile(FileId file, SimTime now) override {
+    if (transport_->CallbackDropped(server_, client_, file, /*flags_stale=*/true, now)) {
+      return;
+    }
     transport_->Call(RpcKind::kDiscardFile, client_, server_, 0, now);
     target_->DiscardFile(file, now);
   }
@@ -255,6 +390,16 @@ Server::CloseReply ServerStub::Close(FileId file, OpenMode mode, bool wrote, int
   const SimDuration latency =
       transport_->Call(RpcKind::kClose, client_, server_->id(), kControlRpcBytes, now);
   Server::CloseReply reply = server_->Close(client_, file, mode, wrote, final_size, now);
+  reply.latency = latency;
+  return reply;
+}
+
+Server::ReopenReply ServerStub::Reopen(FileId file, OpenMode mode, uint64_t cached_version,
+                                       bool has_dirty, bool has_handle, SimTime now) {
+  const SimDuration latency =
+      transport_->Call(RpcKind::kReopen, client_, server_->id(), kControlRpcBytes, now);
+  Server::ReopenReply reply =
+      server_->Reopen(client_, file, mode, cached_version, has_dirty, has_handle, now);
   reply.latency = latency;
   return reply;
 }
@@ -471,6 +616,13 @@ std::string FormatRpcLedger(const RpcLedger& ledger) {
   for (const auto& [server, s] : ledger.by_server) {
     out += "server " + std::to_string(server) + ": " + std::to_string(s.calls) + " RPCs, " +
            fmt(static_cast<double>(s.payload_bytes) / (1024.0 * 1024.0), " MB") + "\n";
+  }
+  // Per-epoch retry breakdown, present only once a server crash has been
+  // injected (fault-free output is unchanged).
+  for (const auto& [epoch, s] : ledger.by_epoch) {
+    out += "epoch " + std::to_string(epoch) + ": " + std::to_string(s.calls) + " RPCs, " +
+           std::to_string(s.retries) + " retries, " + std::to_string(s.timeouts) +
+           " timeouts, " + std::to_string(s.blocked_waits) + " blocked waits\n";
   }
   return out;
 }

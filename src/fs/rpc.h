@@ -30,14 +30,17 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fs/config.h"
 #include "src/fs/counters.h"
 #include "src/fs/net.h"
+#include "src/fs/recovery.h"
 #include "src/fs/server.h"
 #include "src/fs/types.h"
 #include "src/obs/observability.h"
@@ -84,29 +87,88 @@ class RpcTransport {
   const RpcConfig& config() const { return config_; }
 
   // --- Fault injection -------------------------------------------------------
+  // All fault intervals are half-open [from, until): a request issued
+  // exactly at `until` sees a healthy server and pays nothing.
+  //
   // Marks `server` unreachable for [from, until). Client requests issued in
   // that window pay timeouts/backoff per RpcConfig; callbacks are not
-  // delayed (a down server issues none).
+  // delayed (a down server issues none). The server's state is untouched —
+  // use ScheduleServerCrash for reboots that lose volatile state.
   void SetServerUnavailable(ServerId server, SimTime from, SimTime until);
-  void ClearFaults() { outages_.clear(); }
+  // A crash outage: the server is unreachable for [from, until), reboots
+  // into epoch `new_epoch` at `until`, and serves only kReopen traffic
+  // during the grace window [until, until + config.recovery_grace). The
+  // first response a client sees from the rebooted server carries the new
+  // epoch; the client's registered reopen handler runs before the request
+  // that detected the restart proceeds.
+  void ScheduleServerCrash(ServerId server, SimTime from, SimTime until, uint64_t new_epoch);
+  // Asymmetric partition: requests from `client` to `server` behave as if
+  // the server were down for [from, until) while other clients proceed
+  // normally; callbacks from `server` to `client` in that window are
+  // DROPPED (recorded in the stale tracker), so the client's cache silently
+  // goes stale.
+  void SetPartition(ClientId client, ServerId server, SimTime from, SimTime until);
+  // Removes injected outages and partitions. Epoch bookkeeping survives:
+  // epochs are server identity, not a fault.
+  void ClearFaults() {
+    outages_.clear();
+    partitions_.clear();
+  }
+
+  // Runs a client's reopen storm against one rebooted server; returns the
+  // simulated duration of the storm (Client::ReplayOpens, registered by the
+  // Cluster).
+  using ReopenHandler = std::function<SimDuration(ServerId server, SimTime now)>;
+  void SetReopenHandler(ClientId client, ReopenHandler handler) {
+    reopen_handlers_[client] = std::move(handler);
+  }
+  // Sink for dropped-callback accounting during partitions (may be null).
+  void SetStaleTracker(StaleDataTracker* tracker) { stale_tracker_ = tracker; }
 
   // True if `kind` occupies the Ethernet (charged to the Network model).
   static bool ChargesNetwork(RpcKind kind);
   // True for server->client consistency callbacks.
   static bool IsCallback(RpcKind kind);
 
+  // True when a callback from `server` to `client` at `t` is lost to a
+  // partition (used by the callback stubs).
+  bool CallbackDropped(ServerId server, ClientId client, FileId file, bool flags_stale,
+                       SimTime t);
+
  private:
   struct Outage {
     SimTime from = 0;
     SimTime until = 0;
+    // Crash outages only: end of the reopen-only grace window (== until for
+    // plain unavailability and partitions).
+    SimTime grace_until = 0;
   };
 
-  bool InOutage(ServerId server, SimTime t, SimTime* recovery) const;
+  // Unreachability check for a client request: scans server outages and the
+  // (client, server) partition windows; `*recovery` is the time the request
+  // can first get ANY response (reboot or heal), the failure detector's
+  // horizon.
+  bool Unreachable(ServerId server, ClientId client, SimTime t, SimTime* recovery) const;
+  // End of the reopen-only grace window containing `t`, or `t` itself when
+  // the server is serving normally.
+  SimTime GraceUntil(ServerId server, SimTime t) const;
+  // Epoch handshake: if `client` has not yet seen `server`'s current epoch,
+  // marks it seen and runs the client's reopen storm. Returns the storm's
+  // duration (0 when the client is current).
+  SimDuration SyncEpoch(ClientId client, ServerId server, SimTime t);
 
   std::unique_ptr<Network> network_;
   RpcConfig config_;
   RpcLedger ledger_;
   std::map<ServerId, std::vector<Outage>> outages_;
+  std::map<std::pair<ClientId, ServerId>, std::vector<Outage>> partitions_;
+  // Crashed servers' current epochs (absent == still in epoch 1, never
+  // crashed — the fault-free fast path stays untouched).
+  std::map<ServerId, uint64_t> server_epochs_;
+  // Last epoch each client observed from each crashed server.
+  std::map<std::pair<ClientId, ServerId>, uint64_t> seen_epochs_;
+  std::map<ClientId, ReopenHandler> reopen_handlers_;
+  StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   Observability* obs_ = nullptr;
   // Per-kind latency recorders, resolved once at attach time.
@@ -127,6 +189,10 @@ class ServerStub {
   Server::OpenReply Open(FileId file, OpenMode mode, bool is_directory, SimTime now);
   Server::CloseReply Close(FileId file, OpenMode mode, bool wrote, int64_t final_size,
                            SimTime now);
+  // Crash recovery: re-register an open handle (or a closed dirty file when
+  // `has_handle` is false) with a rebooted server.
+  Server::ReopenReply Reopen(FileId file, OpenMode mode, uint64_t cached_version, bool has_dirty,
+                             bool has_handle, SimTime now);
 
   SimDuration FetchBlock(FileId file, int64_t block, bool paging, SimTime now);
   SimDuration Writeback(FileId file, int64_t block, int64_t bytes, bool paging, SimTime now);

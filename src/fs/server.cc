@@ -36,6 +36,7 @@ void Server::AttachObservability(Observability* obs) {
     MetricsRegistry& m = obs_->metrics();
     const std::string prefix = "server." + std::to_string(id_) + ".";
     disk_latency_rec_ = m.AddLatency(prefix + "disk_us");
+    m.AddGauge(prefix + "epoch", [this] { return static_cast<int64_t>(epoch_); });
     m.AddGauge(prefix + "cache_bytes", [this] { return cache_size_bytes(); });
     m.AddGauge(prefix + "disk_reads", [this] { return disk_.reads(); });
     m.AddGauge(prefix + "disk_writes", [this] { return disk_.writes(); });
@@ -145,16 +146,86 @@ int64_t Server::FileSize(FileId file) const {
 
 void Server::SetFileSize(FileId file, int64_t size) { EnsureFile(file).size = size; }
 
-bool Server::IsWriteShared(const OpenState& state) {
+bool Server::ComputeWriteShared(const OpenState& state) {
   if (state.opens.size() < 2) {
     return false;
   }
   for (const auto& [client, counts] : state.opens) {
+    (void)client;
     if (counts.second > 0) {
       return true;
     }
   }
   return false;
+}
+
+bool Server::OpenStateSharingConsistent() const {
+  for (const auto& [file, state] : open_states_) {
+    (void)file;
+    if (state.write_shared != ComputeWriteShared(state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::EnforceSharing(FileId file, OpenState& state, ClientId client, bool writer_open,
+                            bool count, SimTime now, OpenReply* reply) {
+  switch (policy_) {
+    case ConsistencyPolicy::kSprite:
+    case ConsistencyPolicy::kSpriteModified: {
+      if (IsWriteShared(state)) {
+        if (count) {
+          ++counters_.write_sharing_opens;
+        }
+        if (reply != nullptr) {
+          reply->caused_write_sharing = true;
+        }
+        if (state.cacheable) {
+          state.cacheable = false;
+          for (const auto& [open_client, open_counts] : state.opens) {
+            (void)open_counts;
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->DisableCaching(file, now);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case ConsistencyPolicy::kToken: {
+      // The file stays cacheable; conflicting opens recall tokens instead.
+      if (IsWriteShared(state)) {
+        if (count) {
+          ++counters_.write_sharing_opens;
+        }
+        if (reply != nullptr) {
+          reply->caused_write_sharing = true;
+        }
+      }
+      if (writer_open) {
+        // A write token conflicts with every other client's token.
+        for (const auto& [open_client, open_counts] : state.opens) {
+          (void)open_counts;
+          if (open_client != client) {
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->RecallToken(file, now, /*invalidate=*/true);
+            }
+          }
+        }
+      } else {
+        // A read token conflicts only with another client's write token.
+        for (const auto& [open_client, open_counts] : state.opens) {
+          if (open_client != client && open_counts.second > 0) {
+            if (CacheControl* control = ControlFor(open_client)) {
+              control->RecallToken(file, now, /*invalidate=*/false);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
 }
 
 Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool is_directory,
@@ -199,54 +270,9 @@ Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool
   } else {
     ++counts.first;
   }
+  UpdateWriteShared(state);
 
-  switch (policy_) {
-    case ConsistencyPolicy::kSprite:
-    case ConsistencyPolicy::kSpriteModified: {
-      if (IsWriteShared(state)) {
-        ++counters_.write_sharing_opens;
-        reply.caused_write_sharing = true;
-        if (state.cacheable) {
-          state.cacheable = false;
-          for (const auto& [open_client, open_counts] : state.opens) {
-            (void)open_counts;
-            if (CacheControl* control = ControlFor(open_client)) {
-              control->DisableCaching(file, now);
-            }
-          }
-        }
-      }
-      break;
-    }
-    case ConsistencyPolicy::kToken: {
-      // The file stays cacheable; conflicting opens recall tokens instead.
-      if (IsWriteShared(state)) {
-        ++counters_.write_sharing_opens;
-        reply.caused_write_sharing = true;
-      }
-      if (writer_open) {
-        // A write token conflicts with every other client's token.
-        for (const auto& [open_client, open_counts] : state.opens) {
-          (void)open_counts;
-          if (open_client != client) {
-            if (CacheControl* control = ControlFor(open_client)) {
-              control->RecallToken(file, now, /*invalidate=*/true);
-            }
-          }
-        }
-      } else {
-        // A read token conflicts only with another client's write token.
-        for (const auto& [open_client, open_counts] : state.opens) {
-          if (open_client != client && open_counts.second > 0) {
-            if (CacheControl* control = ControlFor(open_client)) {
-              control->RecallToken(file, now, /*invalidate=*/false);
-            }
-          }
-        }
-      }
-      break;
-    }
-  }
+  EnforceSharing(file, state, client, writer_open, /*count=*/true, now, &reply);
 
   reply.version = meta.version;
   reply.cacheable = state.cacheable;
@@ -284,6 +310,7 @@ Server::CloseReply Server::Close(ClientId client, FileId file, OpenMode mode, bo
     if (open_it->second.first == 0 && open_it->second.second == 0) {
       state.opens.erase(open_it);
     }
+    UpdateWriteShared(state);
   }
 
   if (!state.cacheable) {
@@ -383,6 +410,7 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
   for (auto it = open_states_.begin(); it != open_states_.end();) {
     OpenState& state = it->second;
     state.opens.erase(client);
+    UpdateWriteShared(state);
     if (!state.cacheable) {
       const bool reenable = policy_ == ConsistencyPolicy::kSpriteModified
                                 ? !IsWriteShared(state)
@@ -403,6 +431,67 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
       ++it;
     }
   }
+}
+
+int64_t Server::Crash(SimTime now) {
+  // Volatile state: the open-state table, the block cache (dirty blocks not
+  // yet flushed by the cleaner are lost), and the last-writer bookkeeping.
+  // files_ metadata is disk state and survives the reboot.
+  open_states_.clear();
+  for (auto& [file, meta] : files_) {
+    (void)file;
+    meta.last_writer.reset();
+  }
+  const auto [lost, recovered] = cache_.CrashReset(BlockCache::WritebackFn{});
+  (void)recovered;
+  // The server cache restarts at capacity, as at construction.
+  cache_.set_limit_blocks(cache_.config().max_blocks);
+  ++epoch_;
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("recovery.crash", "recovery", ServerTrack(id_), now, 0,
+                        {{"epoch", static_cast<int64_t>(epoch_)}, {"dirty_lost", lost}});
+  }
+  return lost;
+}
+
+Server::ReopenReply Server::Reopen(ClientId client, FileId file, OpenMode mode,
+                                   uint64_t client_version, bool has_dirty, bool has_handle,
+                                   SimTime now) {
+  ReopenReply reply;
+  auto it = files_.find(file);
+  if (it == files_.end() || !it->second.exists || it->second.is_directory) {
+    reply.status = Status::kStaleHandle;
+    return reply;
+  }
+  FileMeta& meta = it->second;
+  if (has_dirty && meta.version != client_version) {
+    // The client's delayed writes belong to a version a conflicting writer
+    // has already superseded (it reopened first, or wrote through after the
+    // reboot). The dirty data is doomed; the handle cannot be revived.
+    reply.status = Status::kStaleHandle;
+    return reply;
+  }
+  if (has_dirty) {
+    meta.last_writer = client;
+  }
+  if (has_handle) {
+    OpenState& state = open_states_[file];
+    auto& counts = state.opens[client];
+    const bool writer_open = mode != OpenMode::kRead;
+    if (writer_open) {
+      ++counts.second;
+    } else {
+      ++counts.first;
+    }
+    UpdateWriteShared(state);
+    // Re-registration can recreate concurrent write-sharing among the
+    // already-reopened handles; the usual callbacks fire, but these are not
+    // new opens, so Table 10's counters are untouched.
+    EnforceSharing(file, state, client, writer_open, /*count=*/false, now, nullptr);
+    reply.cacheable = state.cacheable;
+  }
+  reply.version = meta.version;
+  return reply;
 }
 
 void Server::CleanerTick(SimTime now) {

@@ -26,6 +26,7 @@
 #include "src/fs/counters.h"
 #include "src/fs/disk.h"
 #include "src/fs/log_disk.h"
+#include "src/fs/recovery.h"
 #include "src/fs/types.h"
 #include "src/obs/observability.h"
 #include "src/trace/record.h"  // OpenMode
@@ -134,6 +135,36 @@ class Server {
   // survivors), and it can no longer be the last writer.
   void ClientCrashed(ClientId client, SimTime now);
 
+  // --- Crash recovery --------------------------------------------------------
+  // Simulates a server crash + reboot: the open-state table, the server
+  // block cache, and the last-writer bookkeeping are all volatile and
+  // vanish; file metadata (sizes, versions, existence) is disk state and
+  // survives. Bumps the server's epoch so clients detect the restart on
+  // their next RPC. Returns the dirty bytes that never reached disk.
+  int64_t Crash(SimTime now);
+
+  // The restart counter carried (conceptually) on every RPC response; a
+  // client seeing a new epoch must replay its opens before normal service.
+  uint64_t epoch() const { return epoch_; }
+
+  struct ReopenReply {
+    Status status = Status::kOk;
+    bool cacheable = true;
+    uint64_t version = 1;
+    SimDuration latency = 0;  // filled in by the ServerStub
+  };
+
+  // Recovery-time re-registration of one client handle (or, with
+  // `has_handle` false, of a closed file whose dirty blocks still sit in
+  // the client's cache awaiting delayed writeback). Fails with
+  // Status::kStaleHandle when the file no longer exists or when the client
+  // holds dirty data for a version that a conflicting writer has already
+  // superseded. Successful dirty reopens reassert the client as the file's
+  // last writer; successful handle reopens re-enter the consistency
+  // machinery (and may re-trigger write-sharing callbacks).
+  ReopenReply Reopen(ClientId client, FileId file, OpenMode mode, uint64_t client_version,
+                     bool has_dirty, bool has_handle, SimTime now);
+
   const ServerCounters& counters() const { return counters_; }
   // Log-structured backend statistics (null when update-in-place).
   const SegmentLog* segment_log() const { return segment_log_.get(); }
@@ -142,18 +173,39 @@ class Server {
   const Disk& disk() const { return disk_; }
   int64_t cache_size_bytes() const { return cache_.size_bytes(); }
   ConsistencyPolicy policy() const { return policy_; }
+  int open_state_count() const { return static_cast<int>(open_states_.size()); }
+  // Test hook: recomputes every open state's write-sharing bit from its
+  // opens map and compares with the cached bit (which is invalidated on
+  // open/close/crash/reopen). True when all cached bits are consistent.
+  bool OpenStateSharingConsistent() const;
 
  private:
   struct OpenState {
     // client -> (reader handles, writer handles)
     std::map<ClientId, std::pair<int, int>> opens;
     bool cacheable = true;
+    // Cached result of ComputeWriteShared(opens); kept current by
+    // UpdateWriteShared at every opens mutation so the hot consistency
+    // checks need not rescan the map.
+    bool write_shared = false;
   };
 
   FileMeta& EnsureFile(FileId file);
   // True if `state` is in concurrent write-sharing (open on more than one
-  // client with at least one writer).
-  static bool IsWriteShared(const OpenState& state);
+  // client with at least one writer). Reads the cached bit.
+  static bool IsWriteShared(const OpenState& state) { return state.write_shared; }
+  // Recomputes write-sharing from the opens map (the cached bit's source of
+  // truth).
+  static bool ComputeWriteShared(const OpenState& state);
+  static void UpdateWriteShared(OpenState& state) {
+    state.write_shared = ComputeWriteShared(state);
+  }
+  // Applies the policy-specific conflict handling after `client` registered
+  // an open (or recovery reopen) of `file`: cache disabling or token
+  // recalls. `count` distinguishes real opens (Table 10 counters) from
+  // recovery reopens (not new opens). `reply` may be null.
+  void EnforceSharing(FileId file, OpenState& state, ClientId client, bool writer_open,
+                      bool count, SimTime now, OpenReply* reply);
   CacheControl* ControlFor(ClientId client) const;
   // If a client other than `caller` may hold dirty data for `file`, tell it
   // to discard (the contents were destroyed).
@@ -169,6 +221,7 @@ class Server {
 
   ServerId id_;
   ConsistencyPolicy policy_;
+  uint64_t epoch_ = 1;
   // Observability (null when disabled).
   Observability* obs_ = nullptr;
   LatencyRecorder* disk_latency_rec_ = nullptr;

@@ -97,6 +97,30 @@ SimDuration SyntheticUser::Execute(const Op& op) {
   const auto cpu_time = [&](int64_t bytes) {
     return FromSeconds(static_cast<double>(bytes) / params_.cpu_bytes_per_sec);
   };
+  // A server reboot may have invalidated this op's handle (its recovery
+  // reopen failed). Sprite applications saw a "stale handle" error and
+  // retried with a fresh open; do the same here. A close just consumes the
+  // stale record — there is nothing left to close.
+  SimDuration retry_latency = 0;
+  switch (op.kind) {
+    case Op::Kind::kRead:
+    case Op::Kind::kWrite:
+    case Op::Kind::kSeek:
+    case Op::Kind::kFsync:
+      if (auto stale = client.TakeStaleHandle(slots_[static_cast<size_t>(op.slot)])) {
+        const Client::OpenResult reopened = client.Open(
+            stale->user, stale->file, stale->mode, OpenDisposition::kNormal, stale->migrated,
+            now);
+        slots_[static_cast<size_t>(op.slot)] = reopened.handle;
+        retry_latency = reopened.latency;
+      }
+      break;
+    case Op::Kind::kClose:
+      client.TakeStaleHandle(slots_[static_cast<size_t>(op.slot)]);
+      break;
+    default:
+      break;
+  }
   switch (op.kind) {
     case Op::Kind::kOpen: {
       const Client::OpenResult result =
@@ -105,18 +129,18 @@ SimDuration SyntheticUser::Execute(const Op& op) {
       return result.latency;
     }
     case Op::Kind::kRead:
-      return client.Read(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
+      return retry_latency + client.Read(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
              cpu_time(op.bytes);
     case Op::Kind::kWrite:
-      return client.Write(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
+      return retry_latency + client.Write(slots_[static_cast<size_t>(op.slot)], op.bytes, now) +
              cpu_time(op.bytes);
     case Op::Kind::kSeek:
       client.Seek(slots_[static_cast<size_t>(op.slot)], op.offset, now);
-      return 0;
+      return retry_latency;
     case Op::Kind::kClose:
       return client.Close(slots_[static_cast<size_t>(op.slot)], now);
     case Op::Kind::kFsync:
-      return client.Fsync(slots_[static_cast<size_t>(op.slot)], now);
+      return retry_latency + client.Fsync(slots_[static_cast<size_t>(op.slot)], now);
     case Op::Kind::kDelete:
       return client.Delete(id_, op.file, now);
     case Op::Kind::kTruncate:

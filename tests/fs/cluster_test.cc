@@ -128,6 +128,9 @@ TEST(ClusterTest, SequentialWriteSharingSeesLatestData) {
         << "round " << round << ": reader must observe the most recent write";
     cluster.client(reader).Read(ropen.handle, last_written_size, now);
     cluster.client(reader).Close(ropen.handle, now);
+    // The server's cached per-file write-sharing bit must always agree with
+    // a recomputation from the opens map.
+    ASSERT_TRUE(cluster.server(0).OpenStateSharingConsistent());
   }
 }
 
@@ -146,8 +149,12 @@ TEST(ClusterTest, ConcurrentWriteSharingPassesThrough) {
   const ServerCounters& sc = cluster.server(file % 1).counters();
   EXPECT_EQ(sc.write_sharing_opens, 1);
   EXPECT_EQ(sc.shared_write_bytes, 200);
+  EXPECT_TRUE(cluster.server(0).OpenStateSharingConsistent())
+      << "cached write-sharing bit stays in sync while sharing is active";
   cluster.client(0).Close(a.handle, 4);
   cluster.client(1).Close(b.handle, 5);
+  EXPECT_TRUE(cluster.server(0).OpenStateSharingConsistent())
+      << "cached write-sharing bit is invalidated on close";
   // After all closes, caching resumes for the next open.
   auto c = cluster.client(0).Open(1, file, OpenMode::kRead, OpenDisposition::kNormal, false, 6);
   cluster.client(0).Read(c.handle, 100, 6);

@@ -212,6 +212,103 @@ TEST(RpcFaultTest, CallbacksSkipFaultWaits) {
   EXPECT_EQ(transport.ledger().stat(RpcKind::kRecallDirty).timeouts, 0);
 }
 
+TEST(RpcFaultTest, FaultWindowsAreHalfOpen) {
+  // Regression for the dangling-outage edge: every fault interval is
+  // [from, until), so a request issued exactly at `until` sees a healthy
+  // server. A closed interval would charge it a full timeout/backoff cycle.
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, kSecond, 2 * kSecond);
+  transport.SetPartition(2, 1, kSecond, 2 * kSecond);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 2 * kSecond), net);
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 2, 1, kControlRpcBytes, 2 * kSecond), net);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kOpen).timeouts, 0);
+  // Issued exactly at `from`: inside the window.
+  EXPECT_GT(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, kSecond), net);
+  // Callback drops during a partition follow the same convention.
+  EXPECT_TRUE(transport.CallbackDropped(1, 2, 9, /*flags_stale=*/true, kSecond));
+  EXPECT_FALSE(transport.CallbackDropped(1, 2, 9, /*flags_stale=*/true, 2 * kSecond));
+}
+
+TEST(RpcFaultTest, ClearFaultsRemovesOutagesAndPartitionsButKeepsEpochs) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.ScheduleServerCrash(0, 0, kHour, /*new_epoch=*/2);
+  transport.SetPartition(1, 0, 0, kHour);
+  transport.ClearFaults();
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, kSecond), net);
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 1, 0, kControlRpcBytes, kSecond), net);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kOpen).timeouts, 0);
+  EXPECT_EQ(transport.ledger().stat(RpcKind::kOpen).blocked_waits, 0);
+  EXPECT_FALSE(transport.CallbackDropped(0, 1, 9, /*flags_stale=*/true, kSecond));
+  // Epochs survive ClearFaults: they are server identity, not a fault.
+  EXPECT_EQ(transport.ledger().by_epoch.at(2).calls, 2);
+}
+
+TEST(RpcFaultTest, PartitionDelaysOnlyThePartitionedClient) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetPartition(1, 0, 0, 10 * kSecond);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  // Another client reaches the same server untouched: the partition is
+  // asymmetric per (client, server) pair, not a server outage.
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, kSecond), net);
+  // The partitioned client pays the full retry/blocked-wait sequence and is
+  // served at the heal time.
+  const SimDuration latency = transport.Call(RpcKind::kOpen, 1, 0, kControlRpcBytes, 0);
+  EXPECT_EQ(latency, 10 * kSecond + net);
+  EXPECT_EQ(transport.ledger().by_client.at(1).blocked_waits, 1);
+  EXPECT_EQ(transport.ledger().by_client.at(0).timeouts, 0);
+}
+
+// ---------------- Crash epochs and the reopen handshake -----------------------
+
+TEST(RpcRecoveryTest, EpochHandshakeRunsReopenStormThenGraceWait) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  int storms = 0;
+  transport.SetReopenHandler(0, [&](ServerId server, SimTime now) -> SimDuration {
+    ++storms;
+    EXPECT_EQ(server, 0u);
+    EXPECT_GE(now, 10 * kSecond) << "the storm runs after the reboot, not before";
+    return 50 * kMillisecond;
+  });
+  transport.ScheduleServerCrash(0, 0, 10 * kSecond, /*new_epoch=*/2);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  // A call issued at t=0 waits out the outage, detects the new epoch, runs
+  // the reopen storm, then waits for the grace window to close (the 50 ms
+  // storm fits inside the 2 s window).
+  const SimDuration latency = transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
+  EXPECT_EQ(latency, 10 * kSecond + transport.config().recovery_grace + net);
+  EXPECT_EQ(storms, 1);
+  // The same client is now current: no second storm, no waits.
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 13 * kSecond), net);
+  EXPECT_EQ(storms, 1);
+}
+
+TEST(RpcRecoveryTest, ReopenTrafficIsServedDuringGrace) {
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.ScheduleServerCrash(0, 0, 10 * kSecond, /*new_epoch=*/2);
+  const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
+  // At the reboot instant a reopen goes straight through...
+  EXPECT_EQ(transport.Call(RpcKind::kReopen, 0, 0, kControlRpcBytes, 10 * kSecond), net);
+  // ...while a normal request from another client waits for the grace
+  // window to close before being served.
+  EXPECT_EQ(transport.Call(RpcKind::kOpen, 1, 0, kControlRpcBytes, 10 * kSecond),
+            transport.config().recovery_grace + net);
+  // Both calls are charged to the server's new epoch.
+  EXPECT_EQ(transport.ledger().by_epoch.at(2).calls, 2);
+}
+
+TEST(RpcRecoveryTest, PlainOutagesDoNotCreateEpochBookkeeping) {
+  // The per-epoch ledger breakdown appears only once a crash has been
+  // scheduled; plain unavailability and fault-free runs keep the ledger
+  // (and its formatted output) byte-identical to the pre-crash format.
+  RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
+  transport.SetServerUnavailable(0, 0, kSecond);
+  transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 2 * kSecond);
+  EXPECT_TRUE(transport.ledger().by_epoch.empty());
+  EXPECT_EQ(FormatRpcLedger(transport.ledger()).find("epoch"), std::string::npos);
+}
+
 // ---------------- Cluster integration ----------------------------------------
 
 ClusterConfig SmallCluster(int clients = 3, int servers = 2) {

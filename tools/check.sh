@@ -6,6 +6,10 @@
 # --simulate --metrics --trace-out on a small cluster, checking that the
 # Chrome trace JSON parses, that every wire-occupying RPC kind produced
 # spans, and that the key metric names appear in the snapshot output.
+# A second smoke drives a --crash-schedule (one server crash plus an
+# asymmetric partition), asserting the recovery phases appear as spans, the
+# recovery summary renders without leaking enum spellings, and an empty
+# schedule leaves the paper tables byte-identical.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -eu
@@ -50,6 +54,60 @@ print(f"metrics smoke: {len(events)} events, all {len(wire_kinds)} wire kinds sp
 EOF
 }
 
+recovery_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: recovery smoke =="
+  rec_out="${build_dir}/recovery_smoke.txt"
+  rec_json="${build_dir}/recovery_smoke.json"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 30 --warmup 5 --metrics --rpc-ledger \
+    --crash-schedule "crash:0@600+20,part:0-1x0@900+300" \
+    --trace-out "${rec_json}" > "${rec_out}"
+  for needle in \
+      "Crash recovery and partitions" \
+      "server 0: epoch 2" \
+      "reopen RPCs:" \
+      "dropped callbacks:"; do
+    if ! grep -qF "${needle}" "${rec_out}"; then
+      echo "recovery smoke: '${needle}' missing from ${rec_out}" >&2
+      exit 1
+    fi
+  done
+  # Stale handles surface in the tables as lowercase prose, never as the
+  # enum's literal spelling.
+  if grep -q "StaleHandle" "${rec_out}"; then
+    echo "recovery smoke: literal 'StaleHandle' leaked into table output" >&2
+    exit 1
+  fi
+  python3 - "${rec_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+names = {e["name"] for e in events if e.get("ph") == "X"}
+recovery_spans = ["recovery.crash", "server.down", "server.recovering",
+                  "reopen", "partition-gap"]
+missing = [n for n in recovery_spans if n not in names]
+assert not missing, f"recovery spans missing from trace: {missing}"
+print(f"recovery smoke: {len(events)} events, all recovery phases spanned")
+EOF
+  # With no crash schedule the recovery machinery must be invisible: the
+  # paper tables are byte-identical with and without the flag machinery
+  # compiled in (the --crash-schedule "" spell parses to an empty schedule).
+  rec_base="${build_dir}/recovery_smoke_base.txt"
+  rec_empty="${build_dir}/recovery_smoke_empty.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 > "${rec_base}"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --crash-schedule "" > "${rec_empty}"
+  if ! cmp -s "${rec_base}" "${rec_empty}"; then
+    echo "recovery smoke: empty crash schedule perturbed the paper tables" >&2
+    diff "${rec_base}" "${rec_empty}" | head -20 >&2
+    exit 1
+  fi
+  echo "recovery smoke: empty schedule is byte-identical"
+}
+
 run_pass() {
   build_dir="$1"
   shift
@@ -58,6 +116,7 @@ run_pass() {
   cmake --build "${build_dir}" -j "${jobs}"
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
   metrics_smoke "${build_dir}"
+  recovery_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

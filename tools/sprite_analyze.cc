@@ -28,6 +28,18 @@
 // --clients, --servers, --minutes, --warmup, --seed, --heavy), where every
 // RPC kind crosses the instrumented transport, then analyzes the trace that
 // run produced.
+//
+// Fault injection (requires --simulate):
+//   --crash-schedule SPEC  comma-separated deterministic fault events:
+//                            crash:<server>@<at_sec>+<down_sec>
+//                            part:<first>-<last>x<server>@<at_sec>+<dur_sec>
+//                          Times are seconds from the start of the run
+//                          (warmup included). Server crashes lose volatile
+//                          open state and trigger client reopen storms;
+//                          partitions drop consistency callbacks to the
+//                          named clients (silent cache staleness). A
+//                          recovery summary section is printed after the
+//                          standard tables.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +49,7 @@
 
 #include "src/analysis/accesses.h"
 #include "src/analysis/activity.h"
+#include "src/fs/recovery.h"
 #include "src/analysis/lifetimes.h"
 #include "src/analysis/patterns.h"
 #include "src/consistency/overhead.h"
@@ -61,6 +74,7 @@ void Usage() {
       "                      [--trace-out FILE] TRACE\n"
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
+      "                      [--crash-schedule SPEC]\n"
       "                      [observability options as above]\n");
 }
 
@@ -98,6 +112,7 @@ int main(int argc, char** argv) {
   SimDuration interval = 10 * kMinute;
   SimDuration metrics_interval = kMinute;
   std::string trace_out;
+  std::string crash_schedule_spec;
   std::string path;
   int users = 20;
   int clients = -1;
@@ -134,6 +149,10 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--crash-schedule" && i + 1 < argc) {
+      crash_schedule_spec = argv[++i];
+    } else if (arg.rfind("--crash-schedule=", 0) == 0) {
+      crash_schedule_spec = arg.substr(std::strlen("--crash-schedule="));
     } else if (arg == "--users") {
       next_int(users);
     } else if (arg == "--clients") {
@@ -162,6 +181,20 @@ int main(int argc, char** argv) {
   if ((!simulate && path.empty()) || (simulate && !path.empty())) {
     Usage();
     return 2;
+  }
+  if (!crash_schedule_spec.empty() && !simulate) {
+    std::fprintf(stderr, "--crash-schedule requires --simulate\n");
+    Usage();
+    return 2;
+  }
+  FaultSchedule fault_schedule;
+  if (!crash_schedule_spec.empty()) {
+    try {
+      fault_schedule = ParseFaultSchedule(crash_schedule_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --crash-schedule: %s\n", e.what());
+      return 2;
+    }
   }
 
   const ObservabilityConfig obs_config{metrics, !trace_out.empty(), metrics_interval};
@@ -198,6 +231,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
                  minutes, warmup, users, clients);
     generator = std::make_unique<Generator>(params, cluster);
+    if (!fault_schedule.empty()) {
+      try {
+        ApplyFaultSchedule(generator->cluster(), fault_schedule);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad --crash-schedule: %s\n", e.what());
+        return 2;
+      }
+    }
     trace = generator->Run(static_cast<SimDuration>(minutes) * kMinute,
                            static_cast<SimDuration>(warmup) * kMinute);
     obs = generator->cluster().observability();
@@ -289,6 +330,34 @@ int main(int argc, char** argv) {
     const OverheadResult o = SimulateConsistencyOverhead(trace, policy);
     std::printf("%-9s bytes ratio %.2f, RPC ratio %.2f over %lld shared events\n", name,
                 o.byte_ratio(), o.rpc_ratio(), static_cast<long long>(o.events_requested));
+  }
+
+  if (simulate && !fault_schedule.empty()) {
+    Cluster& c = generator->cluster();
+    const StaleDataTracker& tracker = c.stale_tracker();
+    std::printf("\n== Crash recovery and partitions (live cluster) ==\n");
+    std::printf("injected: %lld server crash(es), %lld partition(s)\n",
+                static_cast<long long>(fault_schedule.crashes.size()),
+                static_cast<long long>(fault_schedule.partitions.size()));
+    for (int sv = 0; sv < c.num_servers(); ++sv) {
+      const uint64_t epoch = c.server(static_cast<ServerId>(sv)).epoch();
+      if (epoch > 1) {
+        std::printf("server %d: epoch %llu\n", sv, static_cast<unsigned long long>(epoch));
+      }
+    }
+    const RpcStat& reopen = c.rpc_ledger().stat(RpcKind::kReopen);
+    std::printf("reopen RPCs: %lld (%lld retries, %lld blocked waits)\n",
+                static_cast<long long>(reopen.calls), static_cast<long long>(reopen.retries),
+                static_cast<long long>(reopen.blocked_waits));
+    int stale_outstanding = 0;
+    for (int cl = 0; cl < c.num_clients(); ++cl) {
+      stale_outstanding += c.client(static_cast<ClientId>(cl)).stale_handle_count();
+    }
+    std::printf("stale handles outstanding: %d\n", stale_outstanding);
+    std::printf("dropped callbacks: %lld | stale reads: %lld | clients affected: %lld\n",
+                static_cast<long long>(tracker.dropped_callbacks()),
+                static_cast<long long>(tracker.stale_reads()),
+                static_cast<long long>(tracker.clients_affected().size()));
   }
 
   if (simulate) {
