@@ -1,0 +1,103 @@
+// Ablation: server service queues under the event-driven RPC transport.
+//
+// The paper sizes servers by throughput (Table 7: one Sun-3 server handles
+// roughly 40-50 clients) but the synchronous transport cannot show the
+// mechanism: every RPC completes before the next is issued, so a loaded
+// server never develops a queue. With RpcConfig::async the transport admits
+// requests to a per-server FIFO service queue and the wait becomes a
+// measured quantity. This bench sweeps the client population against the
+// per-request service time and reads the queue-wait distribution straight
+// from the server.N.queue_us recorders and the transport ledger (no ad-hoc
+// counters).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+
+namespace {
+
+struct QueueResult {
+  int64_t admissions = 0;      // requests admitted across all servers
+  SimDuration p50 = 0;         // queue-wait percentiles, worst server
+  SimDuration p99 = 0;
+  SimDuration total_queue = 0;   // summed queue wait, from the ledger
+  SimDuration total_service = 0;
+  double queue_share = 0.0;  // queue wait / (net + wait + queue + service)
+};
+
+QueueResult RunWith(const sprite_bench::Scale& base, int clients, SimDuration service) {
+  sprite_bench::Scale scale = base;
+  scale.num_clients = clients;
+  scale.num_users = clients;
+
+  WorkloadParams params = sprite_bench::DefaultWorkload(scale);
+  ClusterConfig cluster_config = sprite_bench::DefaultCluster(scale);
+  cluster_config.rpc.async = true;
+  cluster_config.rpc.data_service_time = service;
+  cluster_config.rpc.control_service_time = service / 2;
+  cluster_config.observability.metrics = true;
+  Generator generator(params, cluster_config);
+  generator.Run(scale.duration, scale.warmup);
+
+  const MetricsRegistry& metrics = generator.cluster().observability()->metrics();
+  QueueResult result;
+  for (int s = 0; s < scale.num_servers; ++s) {
+    const std::string name = "server." + std::to_string(s) + ".queue_us";
+    const LatencyRecorder* rec = metrics.FindLatency(name);
+    if (rec == nullptr) {
+      continue;
+    }
+    result.admissions += rec->count();
+    result.p50 = std::max(result.p50, rec->Quantile(0.5));
+    result.p99 = std::max(result.p99, rec->Quantile(0.99));
+  }
+  SimDuration denominator = 0;
+  for (const RpcStat& stat : generator.cluster().rpc_ledger().by_kind) {
+    result.total_queue += stat.queue_time;
+    result.total_service += stat.service_time;
+    denominator += stat.net_time + stat.wait_time + stat.queue_time + stat.service_time;
+  }
+  if (denominator > 0) {
+    result.queue_share = static_cast<double>(result.total_queue) / static_cast<double>(denominator);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  scale.duration = std::min<SimDuration>(scale.duration, 30 * kMinute);
+  scale.warmup = std::min<SimDuration>(scale.warmup, 10 * kMinute);
+
+  sprite_bench::PrintHeader(
+      "Ablation: server service queues (event-driven RPC transport)",
+      "Clients x per-request service time; queue wait from server.N.queue_us.");
+
+  TextTable table({"Clients", "Data service", "Admissions", "Queue p50 (worst)",
+                   "Queue p99 (worst)", "Total queue", "Queue share"});
+  const int base_clients = scale.num_clients;
+  for (const int clients : {std::max(base_clients / 4, 2), base_clients, base_clients * 2}) {
+    for (const SimDuration service : {kMillisecond, 2 * kMillisecond, 8 * kMillisecond}) {
+      const QueueResult r = RunWith(scale, clients, service);
+      table.AddRow({std::to_string(clients), FormatDuration(service),
+                    std::to_string(r.admissions), FormatDuration(r.p50), FormatDuration(r.p99),
+                    FormatDuration(r.total_queue), FormatPercent(r.queue_share)});
+    }
+    table.AddSeparator();
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Reading: queueing delay is superlinear in load — doubling the client\n");
+  std::printf("population or the per-request service time moves the p99 queue wait far\n");
+  std::printf("more than the p50, which is the capacity cliff the paper's server-\n");
+  std::printf("throughput numbers imply. A lightly loaded server shows p50 ~ 0: most\n");
+  std::printf("requests are admitted straight into service.\n");
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

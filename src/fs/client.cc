@@ -1,6 +1,7 @@
 #include "src/fs/client.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -90,8 +91,14 @@ void Client::Emit(Record record) {
 }
 
 BlockCache::WritebackFn Client::WritebackTo(bool paging, SimTime now) {
-  return [this, paging, now](BlockKey key, int64_t bytes) {
-    ServerFor(key.file).Writeback(key.file, key.index, bytes, paging, now);
+  // Successive writebacks from one eviction/clean pass issue back-to-back
+  // in event-driven mode (IssueAt threads the accumulated latency through);
+  // in sync mode IssueAt ignores the offset and this is byte-identical to
+  // issuing everything at `now`.
+  auto offset = std::make_shared<SimDuration>(0);
+  return [this, paging, now, offset](BlockKey key, int64_t bytes) {
+    *offset += ServerFor(key.file).Writeback(key.file, key.index, bytes, paging,
+                                             IssueAt(now, *offset));
   };
 }
 
@@ -251,7 +258,7 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
           cache_counters_.migrated_bytes_read_from_server += kBlockSize;
         }
         const SimDuration fetch = ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false,
-                                                                now);
+                                                                IssueAt(now, latency));
         latency += fetch;
         if (obs_ != nullptr) {
           if (miss_fill_counter_ != nullptr) {
@@ -286,7 +293,7 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
         }
         const BlockKey key{of.file, b};
         if (!cache_.Contains(key)) {
-          ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false, now);
+          ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false, IssueAt(now, latency));
           EnsureCacheRoom(now);
           cache_.InsertPrefetched(key, now, WritebackTo(/*paging=*/false, now));
         }
@@ -331,7 +338,7 @@ SimDuration Client::Write(HandleId handle, int64_t bytes, SimTime now) {
         ++cache_counters_.write_fetches;
         cache_counters_.write_fetch_bytes += kBlockSize;
         const SimDuration fetch = ServerFor(of.file).FetchBlock(of.file, b, /*paging=*/false,
-                                                                now);
+                                                                IssueAt(now, latency));
         latency += fetch;
         if (obs_ != nullptr) {
           if (write_fetch_counter_ != nullptr) {
@@ -503,7 +510,8 @@ SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTim
   Emit(open_record);
 
   traffic_counters_.dir_read += bytes;
-  SimDuration latency = reply.latency + server.ReadDirectory(dir, bytes, now);
+  SimDuration latency = reply.latency;
+  latency += server.ReadDirectory(dir, bytes, IssueAt(now, latency));
 
   Record read_record;
   read_record.kind = RecordKind::kDirRead;
@@ -516,7 +524,8 @@ SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTim
   read_record.io_bytes = bytes;
   Emit(read_record);
 
-  latency += server.Close(dir, OpenMode::kRead, /*wrote=*/false, bytes, now).latency;
+  latency += server.Close(dir, OpenMode::kRead, /*wrote=*/false, bytes, IssueAt(now, latency))
+                 .latency;
   Record close_record;
   close_record.kind = RecordKind::kClose;
   close_record.time = now;
@@ -592,7 +601,7 @@ SimDuration Client::PageFault(PageKind kind, FileId backing_file, int64_t page_i
     } else {
       ++cache_counters_.paging_read_misses;
       latency += ServerFor(backing_file)
-                     .FetchBlock(backing_file, page_index, /*paging=*/true, now);
+                     .FetchBlock(backing_file, page_index, /*paging=*/true, IssueAt(now, latency));
       if (kind == PageKind::kInitData) {
         // Initialized data pages ARE cached in the file system: the fetch
         // goes through the file cache and the VM copy is made from there,
@@ -604,8 +613,8 @@ SimDuration Client::PageFault(PageKind kind, FileId backing_file, int64_t page_i
     }
   } else {
     // Backing files are never present in client file caches.
-    latency +=
-        ServerFor(backing_file).FetchBlock(backing_file, page_index, /*paging=*/true, now);
+    latency += ServerFor(backing_file)
+                   .FetchBlock(backing_file, page_index, /*paging=*/true, IssueAt(now, latency));
   }
 
   vm_.AddPage(kind, now);
@@ -618,7 +627,7 @@ SimDuration Client::EvictVmPages(int64_t pages, FileId backing_file, SimTime now
   for (int64_t i = 0; i < dirty; ++i) {
     traffic_counters_.paging_write_backing += kBlockSize;
     latency += ServerFor(backing_file).Writeback(backing_file, i, kBlockSize, /*paging=*/true,
-                                                 now);
+                                                 IssueAt(now, latency));
   }
   return latency;
 }
@@ -629,10 +638,12 @@ int64_t Client::Crash(SimTime now) {
   // them to the server before normal operation resumes.
   BlockCache::WritebackFn recovery;
   if (config_.nvram) {
-    recovery = [this, now](BlockKey key, int64_t bytes) {
+    auto offset = std::make_shared<SimDuration>(0);
+    recovery = [this, now, offset](BlockKey key, int64_t bytes) {
       cache_counters_.bytes_recovered_from_nvram += bytes;
       cache_counters_.bytes_written_to_server += bytes;
-      ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false, now);
+      *offset += ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false,
+                                               IssueAt(now, *offset));
     };
   }
   const auto [lost, recovered] = cache_.CrashReset(recovery);
@@ -753,7 +764,7 @@ void Client::CleanerTick(SimTime now) {
   int64_t bytes_cleaned = 0;
   cache_.CleanAged(now, [&](BlockKey key, int64_t bytes) {
     write_time += ServerFor(key.file).Writeback(key.file, key.index, bytes, /*paging=*/false,
-                                                now);
+                                                IssueAt(now, write_time));
     ++blocks;
     bytes_cleaned += bytes;
   });
@@ -774,7 +785,8 @@ void Client::RecallDirtyData(FileId file, SimTime now) {
   cache_.CleanFile(file, now, CleanReason::kRecall,
                    [&](BlockKey key, int64_t bytes) {
                      write_time += ServerFor(key.file).Writeback(key.file, key.index, bytes,
-                                                                 /*paging=*/false, now);
+                                                                 /*paging=*/false,
+                                                                 IssueAt(now, write_time));
                      ++blocks;
                    });
   if (obs_ != nullptr) {

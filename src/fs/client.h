@@ -66,6 +66,13 @@ class Client final : public CacheControl {
   // fills, write fetches, delayed-write cleanings, and consistency recalls.
   void AttachObservability(Observability* obs);
 
+  // Event-driven transport mode (RpcConfig::async, wired by the Cluster).
+  // Multi-RPC operations then thread accumulated latency into each
+  // successive issue time, so a serial client never queues behind its own
+  // requests at the server. Off (the default), issue times are untouched
+  // and every code path is byte-identical to the synchronous transport.
+  void SetAsyncRpc(bool async) { async_rpc_ = async; }
+
   // --- Application-level file operations -----------------------------------
   struct OpenResult {
     HandleId handle = 0;
@@ -186,11 +193,20 @@ class Client final : public CacheControl {
   SimDuration UncacheableRead(OpenFile& of, int64_t bytes, SimTime now, HandleId handle);
   SimDuration UncacheableWrite(OpenFile& of, int64_t bytes, SimTime now, HandleId handle);
 
+  // Issue time for the next RPC of a multi-RPC operation: `now` plus the
+  // latency accumulated so far when the transport is event-driven, plain
+  // `now` otherwise (sync mode must not perturb span starts or
+  // fault-window checks).
+  SimTime IssueAt(SimTime now, SimDuration accumulated) const {
+    return async_rpc_ ? now + accumulated : now;
+  }
+
   ClientId id_;
   ClientConfig config_;
   ServerRouter router_;
   TraceSink trace_sink_;
   uint64_t* handle_counter_;
+  bool async_rpc_ = false;
 
   // Observability (null when disabled). The counters are cluster-wide
   // (shared by name across clients via the registry).

@@ -17,6 +17,9 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
   transport_->AttachObservability(obs_.get());
   stale_tracker_.AttachObservability(obs_.get());
   transport_->SetStaleTracker(&stale_tracker_);
+  // Async mode schedules request-arrival/completion events here; in sync
+  // mode the transport never touches the queue.
+  transport_->BindEventQueue(&queue_);
   if (obs_ != nullptr && obs_->metrics_enabled()) {
     server_crash_counter_ = obs_->metrics().AddCounter("recovery.server_crashes");
     server_crash_dirty_lost_ = obs_->metrics().AddCounter("recovery.server_dirty_lost_bytes");
@@ -34,7 +37,13 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
   for (int s = 0; s < config.num_servers; ++s) {
     servers_.push_back(std::make_unique<Server>(static_cast<ServerId>(s), config.server,
                                                 config.disk, config.consistency));
+    if (config.rpc.async) {
+      // Before AttachObservability, so the queue instruments register in
+      // the same deterministic order as the other per-server metrics.
+      servers_.back()->EnableServiceQueue(config.rpc);
+    }
     servers_.back()->AttachObservability(obs_.get());
+    transport_->RegisterServer(servers_.back()->id(), servers_.back().get());
   }
 
   Client::TraceSink sink;
@@ -51,6 +60,7 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     };
     clients_.push_back(std::make_unique<Client>(id, config.client, std::move(router), sink,
                                                 &handle_counter_));
+    clients_.back()->SetAsyncRpc(config.rpc.async);
     clients_.back()->AttachObservability(obs_.get());
     clients_.back()->AttachStaleTracker(&stale_tracker_);
     // A client contacting a rebooted server replays its opens before any

@@ -114,6 +114,26 @@ struct RpcConfig {
   // block until the window closes. All intervals are half-open, so a
   // request issued exactly when the window ends is served normally.
   SimDuration recovery_grace = 2 * kSecond;
+
+  // --- Event-driven completion (server service queues) ---------------------
+  // When true, RPC completion is event-driven: each wire-occupying request
+  // is admitted into its server's FIFO service queue, the EventQueue fires
+  // arrival/completion events, and concurrent RPCs overlap — a loaded
+  // server accumulates measurable queueing delay, reported as
+  // "server.N.queue_us" / "server.N.queue_depth". The default (false) keeps
+  // the synchronous transport so every paper table stays byte-identical.
+  bool async = false;
+  // Server service (CPU + request handling) time per request, charged only
+  // in async mode. Control RPCs are open/close/reopen; data RPCs are block
+  // fetches, writebacks, pass-through I/O, paging, and directory reads.
+  SimDuration control_service_time = 1 * kMillisecond;
+  SimDuration data_service_time = 2 * kMillisecond;
+  // Bound on requests resident at one server (queued + in service). With a
+  // single FIFO service lane the end-to-end latency is unchanged by the
+  // bound — arrivals beyond it simply wait at the client for a slot, and
+  // that stall is charged as queue wait — but the server-resident queue
+  // (the "server.N.queue_depth" gauge) stays bounded.
+  int max_queue_depth = 64;
 };
 
 struct ClusterConfig {

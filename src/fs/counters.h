@@ -176,6 +176,10 @@ struct RpcStat {
   int64_t payload_bytes = 0;
   SimDuration net_time = 0;   // Ethernet latency charged to the callers
   SimDuration wait_time = 0;  // timeout + backoff + recovery waits (faults)
+  // Async transport only (RpcConfig::async): time spent in the server's
+  // FIFO service queue and being serviced. Always zero in sync mode.
+  SimDuration queue_time = 0;
+  SimDuration service_time = 0;
   int64_t retries = 0;
   int64_t timeouts = 0;
   int64_t blocked_waits = 0;  // retries exhausted; waited for recovery
@@ -184,6 +188,10 @@ struct RpcStat {
 };
 
 struct RpcLedger {
+  // True when the owning transport ran in async (event-driven) mode; the
+  // ledger renderer adds queue/service columns only then, so sync-mode
+  // output stays byte-identical.
+  bool async = false;
   std::array<RpcStat, kRpcKindCount> by_kind{};
   std::map<ClientId, RpcStat> by_client;
   std::map<ServerId, RpcStat> by_server;

@@ -11,7 +11,12 @@ SimDuration Network::Rpc(int64_t payload_bytes) {
   ++rpc_count_;
   bytes_carried_ += payload_bytes;
   const SimDuration t = RpcTime(payload_bytes);
-  busy_time_ += FromSeconds(static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec);
+  // Both terms occupy the shared medium: dropping the fixed overhead made
+  // Utilization() under-report on open/close-dominated workloads whose
+  // RPCs carry almost no payload.
+  overhead_busy_time_ += config_.rpc_latency;
+  transfer_busy_time_ +=
+      FromSeconds(static_cast<double>(payload_bytes) / config_.bandwidth_bytes_per_sec);
   return t;
 }
 
@@ -19,7 +24,7 @@ double Network::Utilization(SimDuration elapsed) const {
   if (elapsed <= 0) {
     return 0.0;
   }
-  return static_cast<double>(busy_time_) / static_cast<double>(elapsed);
+  return static_cast<double>(busy_time()) / static_cast<double>(elapsed);
 }
 
 }  // namespace sprite

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 #include "src/util/table.h"
 
@@ -33,7 +34,20 @@ const char* RpcKindName(RpcKind kind) {
 }
 
 RpcTransport::RpcTransport(const NetworkConfig& net_config, const RpcConfig& rpc_config)
-    : network_(std::make_unique<Network>(net_config)), config_(rpc_config) {}
+    : network_(std::make_unique<Network>(net_config)), config_(rpc_config) {
+  ledger_.async = config_.async;
+}
+
+SimDuration RpcTransport::BackoffForAttempt(const RpcConfig& config, int attempt) {
+  // Explicit clamped doubling: initial, 2x, 4x, ... saturating at
+  // backoff_max. Each step clamps before the next doubling, so the sequence
+  // never transiently overshoots the cap.
+  SimDuration backoff = std::min(config.backoff_initial, config.backoff_max);
+  for (int k = 0; k < attempt && backoff < config.backoff_max; ++k) {
+    backoff = std::min(backoff * 2, config.backoff_max);
+  }
+  return backoff;
+}
 
 bool RpcTransport::ChargesNetwork(RpcKind kind) {
   switch (kind) {
@@ -199,11 +213,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
         t += config_.timeout;
         ++timeouts;
         if (tries < config_.max_retries) {
-          SimDuration backoff = config_.backoff_initial;
-          for (int k = 0; k < tries && backoff < config_.backoff_max; ++k) {
-            backoff *= 2;
-          }
-          backoff = std::min(backoff, config_.backoff_max);
+          const SimDuration backoff = BackoffForAttempt(config_, tries);
           phase("backoff", t, backoff);
           wait += backoff;
           t += backoff;
@@ -250,9 +260,44 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     phase("wire", now + wait, net);
   }
 
+  // Event-driven completion: the request reaches the server after its wire
+  // time and enters the FIFO service queue; the events below keep the live
+  // queue-depth gauge honest. Everything here is gated on config_.async, so
+  // the default synchronous transport is untouched byte-for-byte.
+  SimDuration queue_wait = 0;
+  SimDuration service = 0;
+  if (config_.async && ChargesNetwork(kind)) {
+    if (auto it = servers_.find(server);
+        it != servers_.end() && it->second->service_queue_enabled()) {
+      Server* srv = it->second;
+      const SimTime arrival = now + wait + net;
+      // Reopen traffic during the recovery grace window jumps the queue.
+      const bool priority =
+          kind == RpcKind::kReopen && GraceUntil(server, arrival) > arrival;
+      const Server::Admission adm = srv->AdmitRequest(kind, arrival, priority);
+      queue_wait = adm.queue_wait();
+      service = adm.service;
+      if (queue_ != nullptr) {
+        // The arrival/completion events are scheduled whether or not
+        // observability is attached — identical event streams keep obs-on
+        // and obs-off runs bit-identical. The max() guards bare transports
+        // whose callers pass issue times behind the queue's clock.
+        const SimTime base = queue_->now();
+        queue_->Schedule(std::max(adm.arrival, base), [srv] { srv->RequestArrived(); });
+        queue_->Schedule(std::max(adm.completion(), base),
+                         [srv] { srv->RequestCompleted(); });
+      }
+      if (tracing && queue_wait > 0) {
+        obs_->tracer().Emit("rpc.queued", "rpc.server", ServerTrack(server), adm.arrival,
+                            queue_wait, {{"client", client}, {"kind", static_cast<int64_t>(kind)}});
+      }
+    }
+  }
+  const SimDuration total = wait + net + queue_wait + service;
+
   if (tracing) {
     obs_->tracer().Emit(RpcKindName(kind), IsCallback(kind) ? "rpc.callback" : "rpc",
-                        ClientTrack(client), now, wait + net,
+                        ClientTrack(client), now, total,
                         {{"server", server},
                          {"bytes", payload_bytes},
                          {"retries", retries},
@@ -264,7 +309,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     }
   }
   if (LatencyRecorder* rec = latency_rec_[static_cast<size_t>(kind)]; rec != nullptr) {
-    rec->Record(wait + net);
+    rec->Record(total);
   }
 
   const auto charge = [&](RpcStat& s) {
@@ -272,6 +317,8 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     s.payload_bytes += payload_bytes;
     s.net_time += net;
     s.wait_time += wait;
+    s.queue_time += queue_wait;
+    s.service_time += service;
     s.retries += retries;
     s.timeouts += timeouts;
     s.blocked_waits += blocked_waits;
@@ -286,7 +333,19 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     auto ep = server_epochs_.find(server);
     charge(ledger_.by_epoch[ep == server_epochs_.end() ? 1 : ep->second]);
   }
-  return wait + net;
+  return total;
+}
+
+void RpcTransport::CallAsync(RpcKind kind, ClientId client, ServerId server,
+                             int64_t payload_bytes, SimTime now, CompletionFn on_complete) {
+  if (queue_ == nullptr) {
+    throw std::logic_error("RpcTransport::CallAsync: no EventQueue bound");
+  }
+  // Issue path: all accounting (queue admission, ledger, metrics, spans)
+  // happens now; the reply is delivered by a completion event.
+  const SimDuration latency = Call(kind, client, server, payload_bytes, now);
+  queue_->Schedule(std::max(now + latency, queue_->now()),
+                   [cb = std::move(on_complete), latency] { cb(latency); });
 }
 
 bool RpcTransport::CallbackDropped(ServerId server, ClientId client, FileId file,
@@ -594,28 +653,56 @@ std::string FormatRpcLedger(const RpcLedger& ledger) {
     return std::string(buf);
   };
 
-  TextTable table({"Kind", "Calls", "Payload (KB)", "Net (ms)", "Wait (ms)", "Retries",
-                   "Timeouts"});
+  // Queue/service columns exist only for async-transport ledgers, keeping
+  // sync-mode output byte-identical (same conditional-rendering rule as the
+  // per-epoch lines below).
+  std::vector<std::string> headers = {"Kind", "Calls", "Payload (KB)", "Net (ms)",
+                                      "Wait (ms)"};
+  if (ledger.async) {
+    headers.push_back("Queue (ms)");
+    headers.push_back("Service (ms)");
+  }
+  headers.push_back("Retries");
+  headers.push_back("Timeouts");
+  TextTable table(std::move(headers));
   for (int k = 0; k < kRpcKindCount; ++k) {
     const RpcStat& s = ledger.by_kind[static_cast<size_t>(k)];
     if (s.calls == 0) {
       continue;
     }
-    table.AddRow({RpcKindName(static_cast<RpcKind>(k)), std::to_string(s.calls),
-                  fmt(static_cast<double>(s.payload_bytes) / 1024.0, ""),
-                  fmt(static_cast<double>(s.net_time) / 1000.0, ""),
-                  fmt(static_cast<double>(s.wait_time) / 1000.0, ""),
-                  std::to_string(s.retries), std::to_string(s.timeouts)});
+    std::vector<std::string> row = {RpcKindName(static_cast<RpcKind>(k)),
+                                    std::to_string(s.calls),
+                                    fmt(static_cast<double>(s.payload_bytes) / 1024.0, ""),
+                                    fmt(static_cast<double>(s.net_time) / 1000.0, ""),
+                                    fmt(static_cast<double>(s.wait_time) / 1000.0, "")};
+    if (ledger.async) {
+      row.push_back(fmt(static_cast<double>(s.queue_time) / 1000.0, ""));
+      row.push_back(fmt(static_cast<double>(s.service_time) / 1000.0, ""));
+    }
+    row.push_back(std::to_string(s.retries));
+    row.push_back(std::to_string(s.timeouts));
+    table.AddRow(std::move(row));
   }
   table.AddSeparator();
-  table.AddRow({"total", std::to_string(ledger.TotalCalls()),
-                fmt(static_cast<double>(ledger.TotalPayloadBytes()) / 1024.0, ""), "", "", "",
-                ""});
+  std::vector<std::string> total_row = {
+      "total", std::to_string(ledger.TotalCalls()),
+      fmt(static_cast<double>(ledger.TotalPayloadBytes()) / 1024.0, ""), "", ""};
+  if (ledger.async) {
+    total_row.push_back("");
+    total_row.push_back("");
+  }
+  total_row.push_back("");
+  total_row.push_back("");
+  table.AddRow(std::move(total_row));
 
   std::string out = table.Render();
   for (const auto& [server, s] : ledger.by_server) {
     out += "server " + std::to_string(server) + ": " + std::to_string(s.calls) + " RPCs, " +
-           fmt(static_cast<double>(s.payload_bytes) / (1024.0 * 1024.0), " MB") + "\n";
+           fmt(static_cast<double>(s.payload_bytes) / (1024.0 * 1024.0), " MB");
+    if (ledger.async) {
+      out += ", queue " + fmt(static_cast<double>(s.queue_time) / 1000.0, " ms");
+    }
+    out += "\n";
   }
   // Per-epoch retry breakdown, present only once a server crash has been
   // injected (fault-free output is unchanged).

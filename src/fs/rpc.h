@@ -24,6 +24,21 @@
 // budget is exhausted the stub blocks until the outage ends, matching
 // Sprite's recover-and-continue semantics. All waits, retries, and
 // timeouts are recorded in the ledger, and everything is deterministic.
+//
+// Completion modes: by default (RpcConfig::async == false) Call is fully
+// synchronous — the caller absorbs the returned latency inline and server
+// queueing is structurally zero, which keeps the paper tables byte-exact.
+// With RpcConfig::async, each wire-occupying request is admitted into its
+// server's FIFO service queue (Server::AdmitRequest): it arrives after its
+// wire time, waits behind the requests ahead of it, and holds the service
+// lane for a per-kind service time. The transport schedules the arrival and
+// completion events on the bound EventQueue (BindEventQueue), so concurrent
+// RPCs genuinely overlap and a loaded server accumulates measurable
+// queueing delay — reported as "server.N.queue_us" latency recorders, a
+// "server.N.queue_depth" gauge, and "rpc.queued" spans in the trace export.
+// Reopen traffic during a crashed server's grace window jumps the queue
+// (recovery preempts normal service) but still occupies the lane, so
+// post-grace traffic backs up behind the storm.
 
 #ifndef SPRITE_DFS_SRC_FS_RPC_H_
 #define SPRITE_DFS_SRC_FS_RPC_H_
@@ -44,6 +59,7 @@
 #include "src/fs/server.h"
 #include "src/fs/types.h"
 #include "src/obs/observability.h"
+#include "src/sim/event_queue.h"
 #include "src/trace/record.h"
 
 namespace sprite {
@@ -67,13 +83,36 @@ class RpcTransport {
   SimDuration Call(RpcKind kind, ClientId client, ServerId server, int64_t payload_bytes,
                    SimTime now);
 
+  // Event-driven issue/completion split (async mode): issues the request at
+  // `now` and delivers the total latency to `on_complete` via an event at
+  // the completion time (now + latency) on the bound EventQueue. Requires
+  // BindEventQueue; the ledger/metrics accounting is identical to Call.
+  using CompletionFn = std::function<void(SimDuration latency)>;
+  void CallAsync(RpcKind kind, ClientId client, ServerId server, int64_t payload_bytes,
+                 SimTime now, CompletionFn on_complete);
+
+  // Binds the cluster's event queue; async mode schedules request-arrival
+  // and completion events on it (sync mode never touches it).
+  void BindEventQueue(EventQueue* queue) { queue_ = queue; }
+  // Registers the server object behind `id` so async admission can reach
+  // its service queue (wired by the Cluster; harmless in sync mode).
+  void RegisterServer(ServerId id, Server* server) { servers_[id] = server; }
+
+  // The exact per-attempt retry backoff: backoff_initial doubled `attempt`
+  // times, saturating at backoff_max (never overshooting it). Exposed for
+  // the backoff regression tests.
+  static SimDuration BackoffForAttempt(const RpcConfig& config, int attempt);
+
   // Wraps a client's CacheControl so the server's consistency callbacks are
   // recorded as kRecallDirty/kCacheDisable/... RPCs. The returned object is
   // owned by the transport and lives as long as it does.
   CacheControl* WrapCallbacks(ServerId server, ClientId client, CacheControl* target);
 
   const RpcLedger& ledger() const { return ledger_; }
-  void ResetLedger() { ledger_ = RpcLedger{}; }
+  void ResetLedger() {
+    ledger_ = RpcLedger{};
+    ledger_.async = config_.async;
+  }
 
   // Attaches the cluster's observability sink (null detaches). With metrics
   // enabled this registers one "rpc.<kind>.latency_us" recorder per kind
@@ -168,6 +207,10 @@ class RpcTransport {
   // Last epoch each client observed from each crashed server.
   std::map<std::pair<ClientId, ServerId>, uint64_t> seen_epochs_;
   std::map<ClientId, ReopenHandler> reopen_handlers_;
+  // Async mode: the event queue completions fire on, and the server objects
+  // whose service queues admit requests (both wired by the Cluster).
+  EventQueue* queue_ = nullptr;
+  std::map<ServerId, Server*> servers_;
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   Observability* obs_ = nullptr;
@@ -185,6 +228,10 @@ class ServerStub {
       : client_(client), server_(&server), transport_(&transport) {}
 
   ServerId id() const { return server_->id(); }
+  // True when the transport runs event-driven completion; callers use this
+  // to thread issue times through multi-RPC operations (a serial client
+  // must not queue behind itself).
+  bool async() const { return transport_->config().async; }
 
   Server::OpenReply Open(FileId file, OpenMode mode, bool is_directory, SimTime now);
   Server::CloseReply Close(FileId file, OpenMode mode, bool wrote, int64_t final_size,
@@ -243,7 +290,9 @@ RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_conf
 std::string FormatRpcLatencySummary(const MetricsRegistry& metrics);
 
 // Renders the ledger as a text table (per-kind rows with calls, payload,
-// net/wait time, retries and timeouts, then per-server totals).
+// net/wait time, retries and timeouts, then per-server totals). Ledgers
+// from an async transport additionally render queue/service-time columns
+// and per-server queue wait; sync-mode output is unchanged.
 std::string FormatRpcLedger(const RpcLedger& ledger);
 
 }  // namespace sprite

@@ -29,6 +29,7 @@ Server::Server(ServerId id, const ServerConfig& config, const DiskConfig& disk_c
 void Server::AttachObservability(Observability* obs) {
   obs_ = obs;
   disk_latency_rec_ = nullptr;
+  queue_wait_rec_ = nullptr;
   if (obs_ == nullptr) {
     return;
   }
@@ -41,10 +42,82 @@ void Server::AttachObservability(Observability* obs) {
     m.AddGauge(prefix + "disk_reads", [this] { return disk_.reads(); });
     m.AddGauge(prefix + "disk_writes", [this] { return disk_.writes(); });
     m.AddGauge(prefix + "disk_busy_us", [this] { return disk_.busy_time(); });
+    // Service-queue instruments exist only in async transport mode, so
+    // sync-mode metrics snapshots are byte-identical to pre-queue output.
+    if (service_queue_enabled_) {
+      queue_wait_rec_ = m.AddLatency(prefix + "queue_us");
+      m.AddGauge(prefix + "queue_depth", [this] { return service_queue_depth_; });
+    }
   }
   if (obs_->tracing_enabled()) {
     obs_->tracer().SetProcessName(ServerTrack(id_).pid, "server " + std::to_string(id_));
   }
+}
+
+void Server::EnableServiceQueue(const RpcConfig& rpc) {
+  service_queue_enabled_ = true;
+  control_service_time_ = rpc.control_service_time;
+  data_service_time_ = rpc.data_service_time;
+  max_queue_depth_ = rpc.max_queue_depth > 0 ? static_cast<size_t>(rpc.max_queue_depth) : 1;
+}
+
+SimDuration Server::ServiceTimeFor(RpcKind kind) const {
+  switch (kind) {
+    case RpcKind::kOpen:
+    case RpcKind::kClose:
+    case RpcKind::kReopen:
+      return control_service_time_;
+    case RpcKind::kReadBlock:
+    case RpcKind::kWriteBlock:
+    case RpcKind::kUncachedRead:
+    case RpcKind::kUncachedWrite:
+    case RpcKind::kPageIn:
+    case RpcKind::kPageOut:
+    case RpcKind::kReadDir:
+      return data_service_time_;
+    default:
+      return 0;  // ledger-only kinds and callbacks never hold the lane
+  }
+}
+
+Server::Admission Server::AdmitRequest(RpcKind kind, SimTime arrival, bool priority) {
+  if (!service_queue_enabled_) {
+    throw std::logic_error("Server::AdmitRequest: service queue not enabled");
+  }
+  Admission adm;
+  adm.arrival = arrival;
+  adm.service = ServiceTimeFor(kind);
+  if (priority) {
+    // Grace-window reopen: served immediately (recovery traffic preempts
+    // the normal queue) but the lane stays occupied afterwards, so normal
+    // traffic resumes behind the storm.
+    adm.start = arrival;
+    busy_until_ = std::max(busy_until_, adm.completion());
+    return adm;
+  }
+  // Slots freed by completions up to the arrival instant.
+  SimTime admitted_at = arrival;
+  while (!inflight_.empty() && inflight_.front() <= admitted_at) {
+    inflight_.pop_front();
+  }
+  if (inflight_.size() >= max_queue_depth_) {
+    // Queue full: the request waits at the client until the completion that
+    // frees its slot. FIFO service means this never delays the start time
+    // (that completion precedes busy_until_); it only bounds residency.
+    admitted_at = inflight_[inflight_.size() - max_queue_depth_];
+    while (!inflight_.empty() && inflight_.front() <= admitted_at) {
+      inflight_.pop_front();
+    }
+  }
+  adm.start = std::max(admitted_at, busy_until_);
+  busy_until_ = adm.completion();
+  inflight_.push_back(busy_until_);
+  if (queue_wait_rec_ != nullptr) {
+    // Zeros included: an idle server records 0 so a single serial client's
+    // p50/p99 are exactly zero rather than merely unsampled.
+    queue_wait_rec_->Record(adm.queue_wait());
+  }
+  return adm;
 }
 
 SimDuration Server::DiskWrite(BlockKey key, int64_t bytes) {
@@ -446,6 +519,12 @@ int64_t Server::Crash(SimTime now) {
   (void)recovered;
   // The server cache restarts at capacity, as at construction.
   cache_.set_limit_blocks(cache_.config().max_blocks);
+  // The service queue is volatile too: queued requests died with the
+  // machine (their clients are retrying through the transport's outage
+  // machinery). The depth counter is left to the already-scheduled
+  // completion events, which keep it balanced.
+  busy_until_ = 0;
+  inflight_.clear();
   ++epoch_;
   if (obs_ != nullptr && obs_->tracing_enabled()) {
     obs_->tracer().Emit("recovery.crash", "recovery", ServerTrack(id_), now, 0,

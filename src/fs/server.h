@@ -15,6 +15,7 @@
 #define SPRITE_DFS_SRC_FS_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -165,6 +166,48 @@ class Server {
   ReopenReply Reopen(ClientId client, FileId file, OpenMode mode, uint64_t client_version,
                      bool has_dirty, bool has_handle, SimTime now);
 
+  // --- Service queue (event-driven transport) --------------------------------
+  // In async transport mode (RpcConfig::async) every wire-occupying request
+  // passes through a per-server FIFO service queue: it arrives after its
+  // wire time, waits for the requests ahead of it, then holds the service
+  // lane for a per-kind service time. The transport computes arrival times,
+  // asks the server to admit each request, and schedules the arrival /
+  // completion events that keep the live queue-depth gauge honest.
+
+  // The admission verdict for one request.
+  struct Admission {
+    SimTime arrival = 0;      // when the request reaches the service queue
+    SimTime start = 0;        // when service begins (FIFO order)
+    SimDuration service = 0;  // per-kind service time
+    SimDuration queue_wait() const { return start - arrival; }
+    SimTime completion() const { return start + service; }
+  };
+
+  // Turns the service model on (called by the Cluster before
+  // AttachObservability when RpcConfig::async is set). Off, AdmitRequest
+  // must not be called and AttachObservability registers no queue metrics,
+  // so sync-mode metrics output is unchanged.
+  void EnableServiceQueue(const RpcConfig& rpc);
+  bool service_queue_enabled() const { return service_queue_enabled_; }
+
+  // Admits one request arriving at `arrival` (issue time + wire time) and
+  // returns when it starts and how long it is serviced. With `priority`
+  // (reopen traffic during the recovery grace window) the request jumps the
+  // queue — it starts at arrival — but still occupies the service lane, so
+  // post-grace traffic queues behind the storm. Records the queue wait
+  // (zeros included) in the "server.N.queue_us" recorder.
+  Admission AdmitRequest(RpcKind kind, SimTime arrival, bool priority);
+
+  // Event hooks fired by the transport's EventQueue events; they maintain
+  // the live resident count behind the "server.N.queue_depth" gauge.
+  void RequestArrived() { ++service_queue_depth_; }
+  void RequestCompleted() { --service_queue_depth_; }
+  int64_t service_queue_depth() const { return service_queue_depth_; }
+
+  // Per-kind service time under the configured service model (0 for kinds
+  // that never occupy the service lane, e.g. callbacks).
+  SimDuration ServiceTimeFor(RpcKind kind) const;
+
   const ServerCounters& counters() const { return counters_; }
   // Log-structured backend statistics (null when update-in-place).
   const SegmentLog* segment_log() const { return segment_log_.get(); }
@@ -225,6 +268,24 @@ class Server {
   // Observability (null when disabled).
   Observability* obs_ = nullptr;
   LatencyRecorder* disk_latency_rec_ = nullptr;
+  LatencyRecorder* queue_wait_rec_ = nullptr;
+
+  // --- Service-queue state (async transport mode only) -----------------------
+  bool service_queue_enabled_ = false;
+  SimDuration control_service_time_ = 0;
+  SimDuration data_service_time_ = 0;
+  size_t max_queue_depth_ = 0;
+  // When the FIFO service lane frees up (the last admitted request's
+  // completion time).
+  SimTime busy_until_ = 0;
+  // Completion times of admitted-but-unfinished requests, nondecreasing
+  // because FIFO service serializes them; drained as arrivals pass them.
+  // Priority (grace-window reopen) requests bypass this deque — their
+  // completions can precede queued ones — but still push busy_until_.
+  std::deque<SimTime> inflight_;
+  // Live resident count (arrival event fired, completion event not yet);
+  // maintained by the transport's events, read by the depth gauge.
+  int64_t service_queue_depth_ = 0;
   Disk disk_;
   std::unique_ptr<SegmentLog> segment_log_;
   CacheCounters cache_counters_;

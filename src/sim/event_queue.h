@@ -31,6 +31,8 @@ class EventQueue {
 
   // Schedules `callback` at absolute time `at`. Scheduling in the past is an
   // error (throws std::logic_error) — it would silently reorder causality.
+  // `at == now()` is allowed and dispatches after already-pending events at
+  // the same timestamp (FIFO tie-break).
   void Schedule(SimTime at, Callback callback);
 
   // Schedules `callback` `delay` microseconds from now (delay >= 0).
@@ -41,6 +43,12 @@ class EventQueue {
 
   // Runs events until the queue is empty or the next event is later than
   // `deadline`; afterwards now() == max(now, deadline).
+  //
+  // Boundary contract (pinned by tests/sim/event_queue_test.cc):
+  //   * the deadline is inclusive — an event at exactly `deadline` runs;
+  //   * a deadline in the past is a no-op and never rewinds now();
+  //   * time only jumps forward to `deadline` after the last eligible event,
+  //     so callbacks observe their own timestamps, not the deadline.
   void RunUntil(SimTime deadline);
 
   // Drains the queue completely. `max_events` guards against runaway
@@ -83,6 +91,8 @@ class EventQueue {
 class PeriodicTask {
  public:
   // Starts firing at `first_at`, then every `period` thereafter.
+  // `first_at == queue.now()` is valid: the first firing dispatches exactly
+  // once at the current time (no double fire, no skip).
   PeriodicTask(EventQueue& queue, SimTime first_at, SimDuration period,
                std::function<void(SimTime)> callback);
   ~PeriodicTask();

@@ -47,8 +47,11 @@ TEST(NetworkTest, CountsRpcsAndBytes) {
 }
 
 TEST(NetworkTest, UtilizationFortyClientsPagingIsSmall) {
-  // The paper: 40 workstations generate ~42 KB/s of paging traffic, about
-  // four percent of Ethernet bandwidth.
+  // The paper: 40 workstations generate ~42 KB/s of paging traffic, a few
+  // percent of Ethernet bandwidth. Utilization counts both the payload
+  // transfer time and the fixed per-RPC protocol overhead (the medium is
+  // occupied for both), so 10 page-sized RPCs over one second come to
+  // ~6.4%, still "small".
   Network net(NetworkConfig{});
   const SimDuration elapsed = kSecond;
   // 42 KB over one second.
@@ -56,7 +59,30 @@ TEST(NetworkTest, UtilizationFortyClientsPagingIsSmall) {
     net.Rpc(4300);
   }
   const double util = net.Utilization(elapsed);
-  EXPECT_NEAR(util, 0.034, 0.01);
+  EXPECT_NEAR(util, 0.0644, 0.001);
+}
+
+TEST(NetworkTest, BusyTimeSplitsOverheadAndTransfer) {
+  // Regression for the busy-time accounting bug: the fixed rpc_latency
+  // overhead used to be dropped from busy_time(), under-reporting
+  // utilization on control-RPC-heavy workloads. Pin hand-computed values
+  // with the defaults (3 ms overhead, 1.25 MB/s bandwidth).
+  Network net(NetworkConfig{});
+  for (int i = 0; i < 10; ++i) {
+    net.Rpc(4300);
+  }
+  // Overhead: 10 RPCs x 3 ms = 30 ms.
+  EXPECT_EQ(net.overhead_busy_time(), 30 * kMillisecond);
+  // Transfer: 10 x 4300 bytes / 1.25e6 B/s = 34400 us.
+  EXPECT_EQ(net.transfer_busy_time(), 34400);
+  EXPECT_EQ(net.busy_time(), 30 * kMillisecond + 34400);
+
+  // A zero-payload control RPC still occupies the medium for the overhead.
+  Network control(NetworkConfig{});
+  control.Rpc(0);
+  EXPECT_EQ(control.overhead_busy_time(), 3 * kMillisecond);
+  EXPECT_EQ(control.transfer_busy_time(), 0);
+  EXPECT_GT(control.Utilization(kSecond), 0.0);
 }
 
 TEST(NetworkTest, ZeroElapsedUtilization) {

@@ -117,7 +117,10 @@ TEST(ObservabilityTest, LatencyRecordersAgreeWithLedgerTotals) {
     ASSERT_NE(rec, nullptr) << RpcKindName(kind);
     const RpcStat& stat = ledger.stat(kind);
     EXPECT_EQ(rec->count(), stat.calls) << RpcKindName(kind);
-    EXPECT_EQ(rec->total(), stat.net_time + stat.wait_time) << RpcKindName(kind);
+    // The recorded latency is the full client-observed time: wire + fault
+    // waits + (async mode only) server queue wait and service time.
+    EXPECT_EQ(rec->total(), stat.net_time + stat.wait_time + stat.queue_time + stat.service_time)
+        << RpcKindName(kind);
   }
   const std::string summary = FormatRpcLatencySummary(metrics);
   EXPECT_NE(summary.find("read-block"), std::string::npos);

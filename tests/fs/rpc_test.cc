@@ -260,6 +260,48 @@ TEST(RpcFaultTest, PartitionDelaysOnlyThePartitionedClient) {
   EXPECT_EQ(transport.ledger().by_client.at(0).timeouts, 0);
 }
 
+// ---------------- Retry backoff sequence --------------------------------------
+
+TEST(RpcBackoffTest, DefaultsProduceExactClampedDoublingSequence) {
+  // Regression for the backoff computation: the old code recomputed the
+  // doubling from scratch each attempt and could overshoot before clamping.
+  // Pin the exact per-attempt values with the defaults (initial 100 ms,
+  // cap 2 s).
+  const RpcConfig config;  // backoff_initial = 100 ms, backoff_max = 2 s
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 0), 100 * kMillisecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 1), 200 * kMillisecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 2), 400 * kMillisecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 3), 800 * kMillisecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 4), 1600 * kMillisecond);
+  // The next doubling would be 3200 ms; it clamps to the cap and stays there.
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 5), 2 * kSecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 6), 2 * kSecond);
+}
+
+TEST(RpcBackoffTest, ClampsAtCapWithoutOvershoot) {
+  RpcConfig config;
+  config.backoff_initial = 600 * kMillisecond;
+  config.backoff_max = kSecond;
+  // 600 ms, then 1200 ms would overshoot: the clamp holds it at exactly 1 s.
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 0), 600 * kMillisecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 1), kSecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(config, 2), kSecond);
+}
+
+TEST(RpcBackoffTest, DegenerateConfigs) {
+  // An initial above the cap starts clamped.
+  RpcConfig above;
+  above.backoff_initial = 5 * kSecond;
+  above.backoff_max = kSecond;
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(above, 0), kSecond);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(above, 3), kSecond);
+  // A zero initial never grows (doubling zero is zero; no spin at the cap).
+  RpcConfig zero;
+  zero.backoff_initial = 0;
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(zero, 0), 0);
+  EXPECT_EQ(RpcTransport::BackoffForAttempt(zero, 4), 0);
+}
+
 // ---------------- Crash epochs and the reopen handshake -----------------------
 
 TEST(RpcRecoveryTest, EpochHandshakeRunsReopenStormThenGraceWait) {

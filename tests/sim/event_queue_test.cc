@@ -107,6 +107,63 @@ TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
   EXPECT_EQ(q.now(), 1000);
 }
 
+// --- RunUntil boundary contract (pinned; the async RPC transport's
+// --- completion events depend on these exact semantics) -----------------------
+
+TEST(EventQueueTest, RunUntilDeadlineIsInclusive) {
+  // An event scheduled at exactly the deadline runs, and the callback
+  // observes its own timestamp (the clock does not jump past it first).
+  EventQueue q;
+  bool ran = false;
+  SimTime observed = -1;
+  q.Schedule(500, [&] {
+    ran = true;
+    observed = q.now();
+  });
+  q.RunUntil(500);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(observed, 500);
+  EXPECT_EQ(q.now(), 500);
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilPastDeadlineIsNoOpAndNeverRewinds) {
+  EventQueue q;
+  q.RunUntil(1000);
+  ASSERT_EQ(q.now(), 1000);
+  bool ran = false;
+  q.Schedule(2000, [&] { ran = true; });
+  // A deadline behind the clock dispatches nothing and must not rewind time.
+  q.RunUntil(500);
+  EXPECT_EQ(q.now(), 1000);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.pending_count(), 1u);
+}
+
+TEST(EventQueueTest, ScheduleAtNowRunsAfterPendingEventsAtSameTime) {
+  EventQueue q;
+  q.RunUntil(100);
+  std::vector<int> order;
+  q.Schedule(100, [&] { order.push_back(1); });
+  q.Schedule(100, [&] { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(PeriodicTaskTest, FirstAtNowFiresExactlyOnce) {
+  // first_at == now() is a valid start: the first firing dispatches once at
+  // the current time — no double fire, no silent skip to first_at + period.
+  EventQueue q;
+  q.RunUntil(100);
+  std::vector<SimTime> fires;
+  PeriodicTask task(q, /*first_at=*/100, /*period=*/50, [&](SimTime t) { fires.push_back(t); });
+  q.RunUntil(100);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100}));
+  q.RunUntil(200);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 150, 200}));
+}
+
 TEST(EventQueueTest, RunAllBudgetGuardsRunaway) {
   EventQueue q;
   std::function<void()> self = [&] { q.ScheduleAfter(1, self); };

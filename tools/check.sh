@@ -10,6 +10,10 @@
 # asymmetric partition), asserting the recovery phases appear as spans, the
 # recovery summary renders without leaking enum spellings, and an empty
 # schedule leaves the paper tables byte-identical.
+# A third smoke drives the event-driven transport (--async): server queue
+# recorders must appear in --metrics, "rpc.queued" spans must parse out of
+# the trace JSON, and the default sync mode must stay byte-identical to the
+# committed baseline in tools/baselines/.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -eu
@@ -108,6 +112,49 @@ EOF
   echo "recovery smoke: empty schedule is byte-identical"
 }
 
+async_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: async transport smoke =="
+  async_out="${build_dir}/async_smoke.txt"
+  async_json="${build_dir}/async_smoke.json"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --async --metrics --rpc-ledger \
+    --trace-out "${async_json}" > "${async_out}"
+  for needle in \
+      "latency server.0.queue_us" \
+      "latency server.1.queue_us" \
+      "gauge server.0.queue_depth" \
+      "Queue (ms)" \
+      "Service (ms)"; do
+    if ! grep -qF "${needle}" "${async_out}"; then
+      echo "async smoke: '${needle}' missing from ${async_out}" >&2
+      exit 1
+    fi
+  done
+  python3 - "${async_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+queued = [e for e in events if e.get("ph") == "X" and e["name"] == "rpc.queued"]
+assert queued, "no rpc.queued spans in async trace"
+assert all(e["dur"] > 0 for e in queued), "rpc.queued span with zero duration"
+print(f"async smoke: {len(queued)} rpc.queued spans parsed")
+EOF
+  # Sync compat: with async off (the default) every table, ledger line, and
+  # summary byte matches the committed baseline — the new transport machinery
+  # must be invisible until opted into.
+  sync_out="${build_dir}/async_smoke_sync.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --rpc-ledger > "${sync_out}"
+  if ! cmp -s tools/baselines/sync_tables_u8c4s2m10w2.txt "${sync_out}"; then
+    echo "async smoke: sync-mode output diverged from the committed baseline" >&2
+    diff tools/baselines/sync_tables_u8c4s2m10w2.txt "${sync_out}" | head -20 >&2
+    exit 1
+  fi
+  echo "async smoke: sync mode matches the committed baseline"
+}
+
 run_pass() {
   build_dir="$1"
   shift
@@ -117,6 +164,7 @@ run_pass() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
   metrics_smoke "${build_dir}"
   recovery_smoke "${build_dir}"
+  async_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

@@ -29,6 +29,16 @@
 // RPC kind crosses the instrumented transport, then analyzes the trace that
 // run produced.
 //
+// Event-driven transport (requires --simulate):
+//   --async                run the cluster with RpcConfig::async: RPC
+//                          completion moves onto the event queue and each
+//                          server serializes requests through a FIFO
+//                          service queue, so concurrent RPCs overlap and a
+//                          loaded server accumulates queueing delay
+//                          (server.N.queue_us / server.N.queue_depth in
+//                          --metrics; Queue/Service columns in
+//                          --rpc-ledger; "rpc.queued" spans in --trace-out)
+//
 // Fault injection (requires --simulate):
 //   --crash-schedule SPEC  comma-separated deterministic fault events:
 //                            crash:<server>@<at_sec>+<down_sec>
@@ -74,7 +84,7 @@ void Usage() {
       "                      [--trace-out FILE] TRACE\n"
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
-      "                      [--crash-schedule SPEC]\n"
+      "                      [--async] [--crash-schedule SPEC]\n"
       "                      [observability options as above]\n");
 }
 
@@ -108,6 +118,7 @@ int main(int argc, char** argv) {
   bool rpc_ledger = false;
   bool metrics = false;
   bool simulate = false;
+  bool async_rpc = false;
   bool heavy = false;
   SimDuration interval = 10 * kMinute;
   SimDuration metrics_interval = kMinute;
@@ -138,6 +149,8 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (arg == "--simulate") {
       simulate = true;
+    } else if (arg == "--async") {
+      async_rpc = true;
     } else if (arg == "--heavy") {
       heavy = true;
     } else if (arg == "--interval" && i + 1 < argc) {
@@ -187,6 +200,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (async_rpc && !simulate) {
+    std::fprintf(stderr, "--async requires --simulate\n");
+    Usage();
+    return 2;
+  }
   FaultSchedule fault_schedule;
   if (!crash_schedule_spec.empty()) {
     try {
@@ -228,6 +246,7 @@ int main(int argc, char** argv) {
     cluster.num_clients = clients;
     cluster.num_servers = servers;
     cluster.observability = obs_config;
+    cluster.rpc.async = async_rpc;
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
                  minutes, warmup, users, clients);
     generator = std::make_unique<Generator>(params, cluster);
