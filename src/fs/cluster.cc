@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/table.h"
+
 namespace sprite {
 
 Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
@@ -10,6 +12,10 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
       obs_(config.observability.enabled()
                ? std::make_unique<Observability>(config.observability)
                : nullptr),
+      // MakeSharder rejects num_servers <= 0, so placement can never fall
+      // back on unsigned modulo-by-zero wraparound.
+      sharder_(MakeSharder(config.sharding, config.num_servers)),
+      placement_(config.num_servers),
       transport_(std::make_unique<RpcTransport>(config.network, config.rpc)) {
   if (config.num_clients <= 0 || config.num_servers <= 0) {
     throw std::invalid_argument("Cluster: need at least one client and one server");
@@ -44,6 +50,15 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     }
     servers_.back()->AttachObservability(obs_.get());
     transport_->RegisterServer(servers_.back()->id(), servers_.back().get());
+    if (obs_ != nullptr && obs_->metrics_enabled()) {
+      // Placement-ledger gauge: distinct files the sharding policy homed on
+      // this server. Lives here (not in Server::AttachObservability) because
+      // the ledger belongs to the cluster; the storage-side counterpart
+      // "server.N.bytes_homed" registers with the server's own gauges.
+      const ServerId sid = servers_.back()->id();
+      obs_->metrics().AddGauge("server." + std::to_string(s) + ".files_placed",
+                               [this, sid] { return placement_.files_placed(sid); });
+    }
   }
 
   Client::TraceSink sink;
@@ -77,7 +92,9 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
 }
 
 Server& Cluster::ServerForFile(FileId file) {
-  return *servers_[file % servers_.size()];
+  const ServerId server = sharder_->ServerFor(file);
+  placement_.Note(server, file);
+  return *servers_[server];
 }
 
 void Cluster::StartDaemons(SimDuration sample_period) {
@@ -218,11 +235,64 @@ void Cluster::ResetMeasurements() {
   }
   transport_->ResetLedger();
   stale_tracker_.ResetCounts();
+  placement_.Reset();
   trace_.clear();
   cache_size_samples_.clear();
   if (obs_ != nullptr) {
     obs_->Reset();
   }
+}
+
+std::string Cluster::ShardReport() const {
+  const bool queue_stats = config_.rpc.async && obs_ != nullptr && obs_->metrics_enabled();
+  std::vector<std::string> headers = {"Server", "Files placed", "Routed", "Homed MB",
+                                      "RPC calls",  "RPC MB"};
+  if (queue_stats) {
+    headers.push_back("Queue p50");
+    headers.push_back("Queue p99");
+  }
+  TextTable table(std::move(headers));
+
+  std::vector<int64_t> files_placed;
+  std::vector<int64_t> routed;
+  std::vector<int64_t> homed;
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    const ServerId sid = static_cast<ServerId>(s);
+    files_placed.push_back(placement_.files_placed(sid));
+    routed.push_back(placement_.routed(sid));
+    homed.push_back(servers_[s]->HomedBytes());
+    const auto it = rpc_ledger().by_server.find(sid);
+    const int64_t rpc_calls = it == rpc_ledger().by_server.end() ? 0 : it->second.calls;
+    const int64_t rpc_bytes = it == rpc_ledger().by_server.end() ? 0 : it->second.payload_bytes;
+    std::vector<std::string> row = {
+        std::to_string(s),
+        std::to_string(files_placed.back()),
+        std::to_string(routed.back()),
+        FormatFixed(static_cast<double>(homed.back()) / static_cast<double>(kMegabyte), 2),
+        std::to_string(rpc_calls),
+        FormatFixed(static_cast<double>(rpc_bytes) / static_cast<double>(kMegabyte), 2)};
+    if (queue_stats) {
+      const LatencyRecorder* rec =
+          obs_->metrics().FindLatency("server." + std::to_string(s) + ".queue_us");
+      row.push_back(rec == nullptr ? "-" : FormatDuration(rec->Quantile(0.5)));
+      row.push_back(rec == nullptr ? "-" : FormatDuration(rec->Quantile(0.99)));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  auto skew_cell = [](const char* label, const SkewSummary& s) {
+    return std::string(label) + " max/mean " + FormatFixed(s.max_over_mean, 2) + " cv " +
+           FormatFixed(s.cv, 2);
+  };
+  std::string out = "== Server sharding report ==\n";
+  out += "policy: ";
+  out += ShardingPolicyName(sharder_->policy());
+  out += "\n";
+  out += table.Render();
+  out += "skew: " + skew_cell("files", ComputeSkew(files_placed)) + " | " +
+         skew_cell("routed", ComputeSkew(routed)) + " | " +
+         skew_cell("homed-bytes", ComputeSkew(homed)) + "\n";
+  return out;
 }
 
 ServerCounters Cluster::AggregateServerCounters() const {

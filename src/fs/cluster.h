@@ -18,6 +18,7 @@
 #define SPRITE_DFS_SRC_FS_CLUSTER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/fs/client.h"
@@ -26,6 +27,7 @@
 #include "src/fs/recovery.h"
 #include "src/fs/rpc.h"
 #include "src/fs/server.h"
+#include "src/fs/sharding.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/record.h"
 
@@ -67,8 +69,23 @@ class Cluster {
   Observability* observability() { return obs_.get(); }
   const Observability* observability() const { return obs_.get(); }
 
-  // The server that owns `file` (files are partitioned across servers).
+  // The server that owns `file`, per the configured sharding policy
+  // (default: the historical modulo partition). Every routing decision is
+  // recorded in the placement ledger. Throws std::invalid_argument for ids
+  // with the sign bit set (a negative id squeezed through FileId's unsigned
+  // conversion) instead of silently sharding the wrapped value.
   Server& ServerForFile(FileId file);
+
+  // The placement policy and the routing record behind ServerForFile.
+  const Sharder& sharder() const { return *sharder_; }
+  const PlacementLedger& placement() const { return placement_; }
+
+  // Renders the per-server placement/load table plus skew summaries (the
+  // `sprite_analyze --shard-report` section): distinct files placed, routed
+  // lookups, bytes homed (live server metadata), RPC calls and payload from
+  // the transport ledger, and — when the async transport ran with metrics —
+  // queue-wait percentiles from the "server.N.queue_us" recorders.
+  std::string ShardReport() const;
 
   const TraceLog& trace() const { return trace_; }
   TraceLog TakeTrace() { return std::move(trace_); }
@@ -112,6 +129,8 @@ class Cluster {
   ClusterConfig config_;
   EventQueue& queue_;
   std::unique_ptr<Observability> obs_;
+  std::unique_ptr<Sharder> sharder_;
+  PlacementLedger placement_;
   std::unique_ptr<RpcTransport> transport_;
   std::vector<std::unique_ptr<Server>> servers_;
   std::vector<std::unique_ptr<Client>> clients_;

@@ -10,7 +10,9 @@
 #define SPRITE_DFS_SRC_FS_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/fs/types.h"
 #include "src/obs/observability.h"
 #include "src/util/units.h"
 
@@ -136,6 +138,26 @@ struct RpcConfig {
   int max_queue_depth = 64;
 };
 
+// How FileIds map to their home server (implementations and semantics in
+// src/fs/sharding.h). kModulo is the historical `file % num_servers`
+// partition and stays the default so every committed paper table is
+// byte-identical; the others exist for the Table 7 load-balance studies.
+enum class ShardingPolicy {
+  kModulo = 0,
+  kHash = 1,
+  kRange = 2,
+  kDirAffinity = 3,
+};
+
+struct ShardingConfig {
+  ShardingPolicy policy = ShardingPolicy::kModulo;
+  // kRange only: exactly num_servers - 1 strictly increasing split points;
+  // server i owns the half-open id range [splits[i-1], splits[i]) (server 0
+  // from 0, the last server unbounded above). Empty derives a uniform
+  // partition of [0, kDefaultRangeSpan) — see src/fs/sharding.h.
+  std::vector<FileId> range_splits;
+};
+
 struct ClusterConfig {
   int num_clients = 40;
   int num_servers = 4;
@@ -145,6 +167,8 @@ struct ClusterConfig {
   NetworkConfig network;
   RpcConfig rpc;
   DiskConfig disk;
+  // File -> server placement policy (default: the historical modulo).
+  ShardingConfig sharding;
   // When true, the cluster appends kernel-call records to its TraceLog as a
   // side effect of client operations (the paper's server-side tracing).
   bool tracing_enabled = true;

@@ -39,6 +39,7 @@ void Server::AttachObservability(Observability* obs) {
     disk_latency_rec_ = m.AddLatency(prefix + "disk_us");
     m.AddGauge(prefix + "epoch", [this] { return static_cast<int64_t>(epoch_); });
     m.AddGauge(prefix + "cache_bytes", [this] { return cache_size_bytes(); });
+    m.AddGauge(prefix + "bytes_homed", [this] { return HomedBytes(); });
     m.AddGauge(prefix + "disk_reads", [this] { return disk_.reads(); });
     m.AddGauge(prefix + "disk_writes", [this] { return disk_.writes(); });
     m.AddGauge(prefix + "disk_busy_us", [this] { return disk_.busy_time(); });
@@ -218,6 +219,17 @@ int64_t Server::FileSize(FileId file) const {
 }
 
 void Server::SetFileSize(FileId file, int64_t size) { EnsureFile(file).size = size; }
+
+int64_t Server::HomedBytes() const {
+  int64_t total = 0;
+  for (const auto& [file, meta] : files_) {
+    (void)file;
+    if (meta.exists) {
+      total += meta.size;
+    }
+  }
+  return total;
+}
 
 bool Server::ComputeWriteShared(const OpenState& state) {
   if (state.opens.size() < 2) {

@@ -215,6 +215,11 @@ class Server {
   void ResetCounters() { counters_ = ServerCounters{}; }
   const Disk& disk() const { return disk_; }
   int64_t cache_size_bytes() const { return cache_.size_bytes(); }
+  // Total bytes of live (existing) files whose metadata this server owns —
+  // the storage side of placement skew ("server.N.bytes_homed" gauge and
+  // the --shard-report table). Walks the metadata map; call at reporting
+  // granularity, not per operation.
+  int64_t HomedBytes() const;
   ConsistencyPolicy policy() const { return policy_; }
   int open_state_count() const { return static_cast<int>(open_states_.size()); }
   // Test hook: recomputes every open state's write-sharing bit from its

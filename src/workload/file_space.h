@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fs/sharding.h"  // FileIdLayout: the canonical id-space layout
 #include "src/fs/types.h"
 #include "src/util/distributions.h"
 #include "src/util/rng.h"
@@ -62,15 +63,18 @@ class FileSpace {
   int num_users() const { return num_users_; }
 
  private:
-  // Id-space layout (stable, non-overlapping ranges).
-  static constexpr FileId kExecutableBase = 1'000;
-  static constexpr FileId kMailboxBase = 10'000;
-  static constexpr FileId kDirectoryBase = 20'000;
-  static constexpr FileId kSharedBase = 30'000;
-  static constexpr FileId kBackingBase = 40'000;
-  static constexpr FileId kUserFileBase = 100'000;
-  static constexpr FileId kUserFileStride = 1'000;
-  static constexpr FileId kTempBase = 10'000'000;
+  // Id-space layout (stable, non-overlapping ranges). The authoritative
+  // constants live in FileIdLayout (src/fs/sharding.h) so the dir-affinity
+  // sharder can invert a FileId to its parent directory; these aliases keep
+  // the allocator code readable.
+  static constexpr FileId kExecutableBase = FileIdLayout::kExecutableBase;
+  static constexpr FileId kMailboxBase = FileIdLayout::kMailboxBase;
+  static constexpr FileId kDirectoryBase = FileIdLayout::kDirectoryBase;
+  static constexpr FileId kSharedBase = FileIdLayout::kSharedBase;
+  static constexpr FileId kBackingBase = FileIdLayout::kBackingBase;
+  static constexpr FileId kUserFileBase = FileIdLayout::kUserFileBase;
+  static constexpr FileId kUserFileStride = FileIdLayout::kUserFileStride;
+  static constexpr FileId kTempBase = FileIdLayout::kTempBase;
 
   int num_users_;
   int files_per_user_;

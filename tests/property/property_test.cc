@@ -9,6 +9,7 @@
 #include "src/consistency/overhead.h"
 #include "src/consistency/polling.h"
 #include "src/fs/block_cache.h"
+#include "src/fs/sharding.h"
 #include "src/trace/codec.h"
 #include "src/trace/merge.h"
 #include "src/util/distributions.h"
@@ -237,6 +238,140 @@ TEST_P(OverheadProperty, SpriteIsExactAndDenominatorsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OverheadProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---------- Sharding: placement invariants across server counts -----------------
+
+class PlacementProperty : public ::testing::TestWithParam<int> {};
+
+// Every id any layer can produce must map to a valid server under every
+// policy — including range boundaries, deep temporaries, and ids far beyond
+// the workload's reach.
+TEST_P(PlacementProperty, EveryFileIdMapsToAValidServer) {
+  const int n = GetParam();
+  using L = FileIdLayout;
+  std::vector<FileId> ids = {0,
+                             L::kSystemDirectory,
+                             L::kExecutableBase,
+                             L::kMailboxBase,
+                             L::kDirectoryBase,
+                             L::kSharedDirectory,
+                             L::kSharedBase,
+                             L::kBackingBase,
+                             L::kUserFileBase,
+                             L::kTempBase,
+                             kDefaultRangeSpan - 1,
+                             kDefaultRangeSpan,
+                             FileId{1} << 40,
+                             (FileId{1} << 63) - 1};
+  Rng rng(static_cast<uint64_t>(n) * 131 + 17);
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(rng.NextBelow(FileId{1} << 48));
+  }
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kModulo, ShardingPolicy::kHash, ShardingPolicy::kRange,
+        ShardingPolicy::kDirAffinity}) {
+    ShardingConfig config;
+    config.policy = policy;
+    const auto sharder = MakeSharder(config, n);
+    for (const FileId file : ids) {
+      const ServerId server = sharder->ServerFor(file);
+      ASSERT_LT(static_cast<int>(server), n)
+          << ShardingPolicyName(policy) << " placed " << file << " out of range";
+    }
+  }
+}
+
+// The default kRange split points partition the id space: the mapping is
+// monotone in the id, each split point starts the next server's range, and
+// every server owns a non-empty range — no gaps, no overlaps.
+TEST_P(PlacementProperty, RangeSplitsPartitionTheIdSpace) {
+  const int n = GetParam();
+  ShardingConfig config;
+  config.policy = ShardingPolicy::kRange;
+  const auto sharder = MakeSharder(config, n);
+  const FileId slice = kDefaultRangeSpan / static_cast<FileId>(n);
+  for (int s = 0; s < n; ++s) {
+    const FileId lo = static_cast<FileId>(s) * slice;
+    EXPECT_EQ(sharder->ServerFor(lo), s) << "split point starts server " << s;
+    EXPECT_EQ(sharder->ServerFor(lo + slice - 1), s) << "last id of server " << s;
+    if (s > 0) {
+      EXPECT_EQ(sharder->ServerFor(lo - 1), s - 1) << "no overlap at split " << s;
+    }
+  }
+  // Monotone over a sweep: the owner never decreases as ids increase, so
+  // ranges are contiguous.
+  ServerId previous = 0;
+  for (FileId f = 0; f < kDefaultRangeSpan + 3 * slice; f += slice / 7 + 1) {
+    const ServerId server = sharder->ServerFor(f);
+    ASSERT_GE(server, previous) << "range mapping must be monotone (id " << f << ")";
+    previous = server;
+  }
+  EXPECT_EQ(previous, static_cast<ServerId>(n - 1)) << "the sweep reaches every server";
+}
+
+// kDirAffinity: a file and its parent directory always share a server, for
+// every population with a durable parent, at every server count.
+TEST_P(PlacementProperty, DirAffinityColocatesFileAndParent) {
+  const int n = GetParam();
+  using L = FileIdLayout;
+  ShardingConfig config;
+  config.policy = ShardingPolicy::kDirAffinity;
+  const auto sharder = MakeSharder(config, n);
+  for (FileId user = 0; user < 40; ++user) {
+    const ServerId dir_home = sharder->ServerFor(L::kDirectoryBase + user);
+    EXPECT_EQ(sharder->ServerFor(L::kMailboxBase + user), dir_home);
+    for (const FileId idx : {FileId{0}, FileId{3}, FileId{997}, FileId{998}, FileId{999}}) {
+      const FileId file = L::kUserFileBase + user * L::kUserFileStride + idx;
+      ASSERT_EQ(sharder->ServerFor(file), dir_home)
+          << "user " << user << " file " << idx << " strayed from the home directory";
+      ASSERT_EQ(sharder->ServerFor(HomeDirectoryOf(file)), sharder->ServerFor(file));
+    }
+  }
+  for (FileId exe = L::kExecutableBase; exe < L::kExecutableBase + 40; ++exe) {
+    EXPECT_EQ(sharder->ServerFor(exe), sharder->ServerFor(L::kSystemDirectory));
+  }
+  for (FileId shared = L::kSharedBase; shared < L::kSharedBase + 10; ++shared) {
+    EXPECT_EQ(sharder->ServerFor(shared), sharder->ServerFor(L::kSharedDirectory));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServerCounts, PlacementProperty,
+                         ::testing::Values(1, 2, 4, 7, 16));
+
+// Same-seed workload runs route identically under every policy: the
+// placement ledger (a pure function of the routing stream) must match.
+class PlacementDeterminismProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlacementDeterminismProperty, SameSeedYieldsSamePlacement) {
+  for (const ShardingPolicy policy :
+       {ShardingPolicy::kModulo, ShardingPolicy::kHash, ShardingPolicy::kRange,
+        ShardingPolicy::kDirAffinity}) {
+    auto run = [&](std::vector<int64_t>* routed, std::vector<int64_t>* placed) {
+      WorkloadParams params;
+      params.num_users = 4;
+      params.seed = GetParam();
+      ClusterConfig cluster;
+      cluster.num_clients = 4;
+      cluster.num_servers = 3;
+      cluster.sharding.policy = policy;
+      Generator generator(params, cluster);
+      generator.Run(10 * kMinute);
+      const PlacementLedger& ledger = generator.cluster().placement();
+      for (ServerId s = 0; s < 3; ++s) {
+        routed->push_back(ledger.routed(s));
+        placed->push_back(ledger.files_placed(s));
+      }
+    };
+    std::vector<int64_t> routed_a, placed_a, routed_b, placed_b;
+    run(&routed_a, &placed_a);
+    run(&routed_b, &placed_b);
+    EXPECT_EQ(routed_a, routed_b) << ShardingPolicyName(policy);
+    EXPECT_EQ(placed_a, placed_b) << ShardingPolicyName(policy);
+    EXPECT_GT(routed_a[0] + routed_a[1] + routed_a[2], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementDeterminismProperty, ::testing::Values(1, 2, 3));
 
 // ---------- Cluster consistency under random schedules ---------------------------
 

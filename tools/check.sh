@@ -14,6 +14,10 @@
 # recorders must appear in --metrics, "rpc.queued" spans must parse out of
 # the trace JSON, and the default sync mode must stay byte-identical to the
 # committed baseline in tools/baselines/.
+# A fourth smoke sweeps the sharding policies: each --shard-policy runs once
+# with --shard-report, the report must name the policy and carry skew
+# metrics, and the default modulo run must stay byte-identical to the
+# committed golden baseline.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -eu
@@ -155,6 +159,37 @@ EOF
   echo "async smoke: sync mode matches the committed baseline"
 }
 
+sharding_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: sharding smoke =="
+  for policy in modulo hash range dir-affinity; do
+    shard_out="${build_dir}/sharding_smoke_${policy}.txt"
+    "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+      --servers 2 --minutes 10 --warmup 2 \
+      --shard-policy "${policy}" --shard-report > "${shard_out}"
+    for needle in \
+        "== Server sharding report ==" \
+        "policy: ${policy}" \
+        "Files placed" \
+        "skew: files max/mean"; do
+      if ! grep -qF "${needle}" "${shard_out}"; then
+        echo "sharding smoke: '${needle}' missing from ${shard_out}" >&2
+        exit 1
+      fi
+    done
+  done
+  # Golden baseline: the default modulo placement (and the report around it)
+  # is pinned byte-for-byte — placement changes must be deliberate.
+  if ! cmp -s tools/baselines/shard_report_modulo_u8c4s2m10w2.txt \
+      "${build_dir}/sharding_smoke_modulo.txt"; then
+    echo "sharding smoke: modulo report diverged from the committed baseline" >&2
+    diff tools/baselines/shard_report_modulo_u8c4s2m10w2.txt \
+      "${build_dir}/sharding_smoke_modulo.txt" | head -20 >&2
+    exit 1
+  fi
+  echo "sharding smoke: all policies report, modulo matches the baseline"
+}
+
 run_pass() {
   build_dir="$1"
   shift
@@ -165,6 +200,7 @@ run_pass() {
   metrics_smoke "${build_dir}"
   recovery_smoke "${build_dir}"
   async_smoke "${build_dir}"
+  sharding_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

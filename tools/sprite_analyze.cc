@@ -39,6 +39,19 @@
 //                          --metrics; Queue/Service columns in
 //                          --rpc-ledger; "rpc.queued" spans in --trace-out)
 //
+// Server sharding (requires --simulate):
+//   --shard-policy NAME    file -> server placement policy: modulo (the
+//                          default, the historical `file % servers`
+//                          partition), hash (splitmix64 decluster), range
+//                          (contiguous FileId ranges), dir-affinity (a file
+//                          follows its parent directory, so a user's
+//                          directory/mailbox/files co-locate)
+//   --shard-report         print the per-server placement/load table after
+//                          the standard tables: distinct files placed,
+//                          routed lookups, homed bytes, RPC calls, queue
+//                          percentiles (async + metrics runs), and skew
+//                          summaries (max/mean, coefficient of variation)
+//
 // Fault injection (requires --simulate):
 //   --crash-schedule SPEC  comma-separated deterministic fault events:
 //                            crash:<server>@<at_sec>+<down_sec>
@@ -65,6 +78,7 @@
 #include "src/consistency/overhead.h"
 #include "src/consistency/polling.h"
 #include "src/fs/rpc.h"
+#include "src/fs/sharding.h"
 #include "src/obs/observability.h"
 #include "src/trace/codec.h"
 #include "src/trace/summary.h"
@@ -85,6 +99,8 @@ void Usage() {
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
       "                      [--async] [--crash-schedule SPEC]\n"
+      "                      [--shard-policy modulo|hash|range|dir-affinity]\n"
+      "                      [--shard-report]\n"
       "                      [observability options as above]\n");
 }
 
@@ -120,6 +136,8 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool async_rpc = false;
   bool heavy = false;
+  bool shard_report = false;
+  ShardingPolicy shard_policy = ShardingPolicy::kModulo;
   SimDuration interval = 10 * kMinute;
   SimDuration metrics_interval = kMinute;
   std::string trace_out;
@@ -162,6 +180,17 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--shard-report") {
+      shard_report = true;
+    } else if ((arg == "--shard-policy" && i + 1 < argc) || arg.rfind("--shard-policy=", 0) == 0) {
+      const std::string name = arg == "--shard-policy"
+                                   ? std::string(argv[++i])
+                                   : arg.substr(std::strlen("--shard-policy="));
+      if (!ParseShardingPolicy(name, &shard_policy)) {
+        std::fprintf(stderr, "unknown --shard-policy %s (want modulo|hash|range|dir-affinity)\n",
+                     name.c_str());
+        return 2;
+      }
     } else if (arg == "--crash-schedule" && i + 1 < argc) {
       crash_schedule_spec = argv[++i];
     } else if (arg.rfind("--crash-schedule=", 0) == 0) {
@@ -202,6 +231,11 @@ int main(int argc, char** argv) {
   }
   if (async_rpc && !simulate) {
     std::fprintf(stderr, "--async requires --simulate\n");
+    Usage();
+    return 2;
+  }
+  if ((shard_report || shard_policy != ShardingPolicy::kModulo) && !simulate) {
+    std::fprintf(stderr, "--shard-policy / --shard-report require --simulate\n");
     Usage();
     return 2;
   }
@@ -247,6 +281,7 @@ int main(int argc, char** argv) {
     cluster.num_servers = servers;
     cluster.observability = obs_config;
     cluster.rpc.async = async_rpc;
+    cluster.sharding.policy = shard_policy;
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
                  minutes, warmup, users, clients);
     generator = std::make_unique<Generator>(params, cluster);
@@ -377,6 +412,10 @@ int main(int argc, char** argv) {
                 static_cast<long long>(tracker.dropped_callbacks()),
                 static_cast<long long>(tracker.stale_reads()),
                 static_cast<long long>(tracker.clients_affected().size()));
+  }
+
+  if (simulate && shard_report) {
+    std::printf("\n%s", generator->cluster().ShardReport().c_str());
   }
 
   if (simulate) {
