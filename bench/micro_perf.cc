@@ -3,6 +3,7 @@
 // distributions, and end-to-end workload generation throughput.
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <sstream>
 
@@ -143,6 +144,49 @@ void BM_WorkloadGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+// End-to-end cluster scenarios for the committed perf trajectory
+// (BENCH_<scenario>.json, see tools/bench_trajectory.py): run the full
+// synthetic workload — users, caches, RPC transport, cleaner daemons,
+// trace collection — at three cluster scales and report dispatched-event
+// throughput, simulated time per iteration, and peak RSS. The scenario
+// name is <clients>x<servers>; users = clients − 6, matching the
+// standard analyze configuration (clients = users + 6).
+void BM_SimulateCluster(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int servers = static_cast<int>(state.range(1));
+  const SimDuration measured = 10 * kMinute;
+  const SimDuration warmup = 2 * kMinute;
+  uint64_t events = 0;
+  double sim_hours = 0.0;
+  for (auto _ : state) {
+    WorkloadParams params;
+    params.num_users = clients - 6;
+    params.seed = 1991;
+    ClusterConfig cluster;
+    cluster.num_clients = clients;
+    cluster.num_servers = servers;
+    Generator generator(params, cluster);
+    const TraceLog trace = generator.Run(measured, warmup);
+    benchmark::DoNotOptimize(trace.size());
+    events += generator.queue().dispatched_count();
+    sim_hours += static_cast<double>(measured + warmup) / kHour;
+  }
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_hours"] =
+      benchmark::Counter(sim_hours, benchmark::Counter::kAvgIterations);
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is the process-wide high-water mark in KiB: scenarios run in
+  // ascending size order, so each reading reflects the largest run so far.
+  state.counters["peak_rss_mb"] = static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+BENCHMARK(BM_SimulateCluster)
+    ->Args({26, 4})
+    ->Args({100, 16})
+    ->Args({400, 32})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace sprite

@@ -8,6 +8,70 @@ namespace sprite {
 BlockCache::BlockCache(const CacheConfig& config, CacheCounters* counters)
     : config_(config), counters_(counters), limit_blocks_(config.min_blocks) {}
 
+void BlockCache::LruUnlink(Entry* entry) {
+  if (entry->lru_prev != nullptr) {
+    entry->lru_prev->lru_next = entry->lru_next;
+  } else {
+    lru_head_ = entry->lru_next;
+  }
+  if (entry->lru_next != nullptr) {
+    entry->lru_next->lru_prev = entry->lru_prev;
+  } else {
+    lru_tail_ = entry->lru_prev;
+  }
+  entry->lru_prev = nullptr;
+  entry->lru_next = nullptr;
+}
+
+void BlockCache::LruPushFront(Entry* entry) {
+  entry->lru_prev = nullptr;
+  entry->lru_next = lru_head_;
+  if (lru_head_ != nullptr) {
+    lru_head_->lru_prev = entry;
+  }
+  lru_head_ = entry;
+  if (lru_tail_ == nullptr) {
+    lru_tail_ = entry;
+  }
+}
+
+void BlockCache::LruPushBack(Entry* entry) {
+  entry->lru_next = nullptr;
+  entry->lru_prev = lru_tail_;
+  if (lru_tail_ != nullptr) {
+    lru_tail_->lru_next = entry;
+  }
+  lru_tail_ = entry;
+  if (lru_head_ == nullptr) {
+    lru_head_ = entry;
+  }
+}
+
+void BlockCache::TouchLru(Entry* entry, SimTime now) {
+  entry->last_ref = now;
+  LruUnlink(entry);
+  LruPushFront(entry);
+}
+
+void BlockCache::MarkDirty(Entry* entry, SimTime now) {
+  entry->dirty = true;
+  entry->dirty_since = now;
+  entry->dirty_extent = 0;
+  FileState& fs = files_[entry->key.file];
+  if (++fs.dirty_count == 1) {
+    dirty_files_.insert(entry->key.file);
+  }
+}
+
+void BlockCache::MarkClean(Entry* entry) {
+  entry->dirty = false;
+  entry->dirty_extent = 0;
+  FileState& fs = files_[entry->key.file];
+  if (--fs.dirty_count == 0) {
+    dirty_files_.erase(entry->key.file);
+  }
+}
+
 bool BlockCache::Lookup(BlockKey key, SimTime now) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -19,33 +83,28 @@ bool BlockCache::Lookup(BlockKey key, SimTime now) {
       ++counters_->prefetch_useful;
     }
   }
-  TouchLru(key, it->second, now);
+  TouchLru(&it->second, now);
   return true;
-}
-
-void BlockCache::TouchLru(BlockKey key, Entry& entry, SimTime now) {
-  entry.last_ref = now;
-  lru_.erase(entry.lru_it);
-  lru_.push_front(key);
-  entry.lru_it = lru_.begin();
 }
 
 void BlockCache::InsertClean(BlockKey key, SimTime now, WritebackFn writeback) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    TouchLru(key, it->second, now);
+    TouchLru(&it->second, now);
     return;
   }
-  while (block_count() >= limit_blocks_ && !lru_.empty()) {
-    EvictBlock(lru_.back(), now, CleanReason::kReplacement, ReplaceReason::kForFileBlock,
+  while (block_count() >= limit_blocks_ && lru_tail_ != nullptr) {
+    EvictBlock(lru_tail_, now, CleanReason::kReplacement, ReplaceReason::kForFileBlock,
                writeback);
   }
-  lru_.push_front(key);
-  Entry entry;
+  Entry& entry = entries_[key];
+  entry.key = key;
   entry.last_ref = now;
-  entry.lru_it = lru_.begin();
-  entries_.emplace(key, entry);
-  file_blocks_[key.file].insert(key.index);
+  LruPushFront(&entry);
+  FileState& fs = files_[key.file];
+  auto pos = std::lower_bound(fs.blocks.begin(), fs.blocks.end(), key.index,
+                              [](const auto& p, int64_t index) { return p.first < index; });
+  fs.blocks.insert(pos, {key.index, &entry});
 }
 
 void BlockCache::InsertPrefetched(BlockKey key, SimTime now, WritebackFn writeback) {
@@ -70,13 +129,11 @@ bool BlockCache::Write(BlockKey key, SimTime now, int64_t end_in_block, Writebac
     it = entries_.find(key);
     assert(it != entries_.end());
   } else {
-    TouchLru(key, it->second, now);
+    TouchLru(&it->second, now);
   }
   Entry& entry = it->second;
   if (!entry.dirty) {
-    entry.dirty = true;
-    entry.dirty_since = now;
-    entry.dirty_extent = 0;
+    MarkDirty(&entry, now);
   }
   entry.dirty_extent = std::clamp<int64_t>(end_in_block, entry.dirty_extent, kBlockSize);
   return was_resident;
@@ -87,50 +144,50 @@ bool BlockCache::IsDirty(BlockKey key) const {
   return it != entries_.end() && it->second.dirty;
 }
 
-void BlockCache::CleanBlock(BlockKey key, Entry& entry, SimTime now, CleanReason reason,
+void BlockCache::CleanBlock(Entry* entry, SimTime now, CleanReason reason,
                             const WritebackFn& writeback) {
-  (void)key;
-  if (!entry.dirty) {
+  if (!entry->dirty) {
     return;
   }
   if (counters_ != nullptr) {
     const int r = static_cast<int>(reason);
     ++counters_->cleaned[r];
-    counters_->cleaned_age_us[r] += now - entry.dirty_since;
-    counters_->bytes_written_to_server += entry.dirty_extent;
+    counters_->cleaned_age_us[r] += now - entry->dirty_since;
+    counters_->bytes_written_to_server += entry->dirty_extent;
   }
   if (writeback) {
-    writeback(key, entry.dirty_extent);
+    writeback(entry->key, entry->dirty_extent);
   }
-  entry.dirty = false;
-  entry.dirty_extent = 0;
+  MarkClean(entry);
 }
 
-void BlockCache::EraseEntry(BlockKey key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    return;
+void BlockCache::EraseEntry(Entry* entry) {
+  LruUnlink(entry);
+  if (entry->dirty) {
+    // Erased while still dirty (invalidation/drop paths): the per-file
+    // dirty accounting must not leak.
+    MarkClean(entry);
   }
-  lru_.erase(it->second.lru_it);
-  auto fb = file_blocks_.find(key.file);
-  if (fb != file_blocks_.end()) {
-    fb->second.erase(key.index);
-    if (fb->second.empty()) {
-      file_blocks_.erase(fb);
+  auto fit = files_.find(entry->key.file);
+  if (fit != files_.end()) {
+    auto& blocks = fit->second.blocks;
+    auto pos = std::lower_bound(blocks.begin(), blocks.end(), entry->key.index,
+                                [](const auto& p, int64_t index) { return p.first < index; });
+    if (pos != blocks.end() && pos->first == entry->key.index) {
+      blocks.erase(pos);
+    }
+    if (blocks.empty() && fit->second.version == 0) {
+      files_.erase(fit);
     }
   }
-  entries_.erase(it);
+  entries_.erase(entry->key);
 }
 
-void BlockCache::EvictBlock(BlockKey key, SimTime now, CleanReason reason,
+void BlockCache::EvictBlock(Entry* entry, SimTime now, CleanReason reason,
                             ReplaceReason replace_reason, const WritebackFn& writeback) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    return;
-  }
-  CleanBlock(key, it->second, now, reason, writeback);
+  CleanBlock(entry, now, reason, writeback);
   if (counters_ != nullptr) {
-    const SimDuration age = now - it->second.last_ref;
+    const SimDuration age = now - entry->last_ref;
     if (replace_reason == ReplaceReason::kForFileBlock) {
       ++counters_->replaced_for_file;
       counters_->replaced_for_file_age_us += age;
@@ -139,30 +196,39 @@ void BlockCache::EvictBlock(BlockKey key, SimTime now, CleanReason reason,
       counters_->replaced_for_vm_age_us += age;
     }
   }
-  EraseEntry(key);
+  EraseEntry(entry);
 }
 
 int64_t BlockCache::CleanAged(SimTime now, WritebackFn writeback) {
-  // Pass 1: find files with at least one block dirty >= delay.
-  std::set<uint64_t> files_due;
-  for (const auto& [key, entry] : entries_) {
-    if (entry.dirty && now - entry.dirty_since >= config_.writeback_delay) {
-      files_due.insert(key.file);
+  if (dirty_files_.empty()) {
+    return 0;
+  }
+  // Pass 1: find files with at least one block dirty >= delay. Only files
+  // in the dirty set are examined — a fully clean cache costs nothing, no
+  // matter how large it is. dirty_files_ is ordered, so files_due keeps
+  // the ascending-file-id order the old full-scan std::set produced.
+  std::vector<uint64_t> files_due;
+  for (uint64_t file : dirty_files_) {
+    const FileState& fs = files_.find(file)->second;
+    for (const auto& [index, entry] : fs.blocks) {
+      if (entry->dirty && now - entry->dirty_since >= config_.writeback_delay) {
+        files_due.push_back(file);
+        break;
+      }
     }
   }
   // Pass 2: write back every dirty block of those files ("All dirty blocks
   // for a file are written to the server if any block ... has been dirty for
-  // 30 seconds").
+  // 30 seconds"), in ascending block order.
   int64_t cleaned = 0;
   for (uint64_t file : files_due) {
-    auto fb = file_blocks_.find(file);
-    if (fb == file_blocks_.end()) {
+    auto fit = files_.find(file);
+    if (fit == files_.end()) {
       continue;
     }
-    for (int64_t index : fb->second) {
-      auto it = entries_.find(BlockKey{file, index});
-      if (it != entries_.end() && it->second.dirty) {
-        CleanBlock(it->first, it->second, now, CleanReason::kDelay, writeback);
+    for (const auto& [index, entry] : fit->second.blocks) {
+      if (entry->dirty) {
+        CleanBlock(entry, now, CleanReason::kDelay, writeback);
         ++cleaned;
       }
     }
@@ -172,126 +238,94 @@ int64_t BlockCache::CleanAged(SimTime now, WritebackFn writeback) {
 
 int64_t BlockCache::CleanFile(uint64_t file, SimTime now, CleanReason reason,
                               WritebackFn writeback) {
-  auto fb = file_blocks_.find(file);
-  if (fb == file_blocks_.end()) {
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
     return 0;
   }
   int64_t bytes = 0;
-  for (int64_t index : fb->second) {
-    auto it = entries_.find(BlockKey{file, index});
-    if (it != entries_.end() && it->second.dirty) {
-      bytes += it->second.dirty_extent;
-      CleanBlock(it->first, it->second, now, reason, writeback);
+  for (const auto& [index, entry] : fit->second.blocks) {
+    if (entry->dirty) {
+      bytes += entry->dirty_extent;
+      CleanBlock(entry, now, reason, writeback);
     }
   }
   return bytes;
 }
 
 bool BlockCache::HasDirtyBlocks(uint64_t file) const {
-  auto fb = file_blocks_.find(file);
-  if (fb == file_blocks_.end()) {
-    return false;
-  }
-  for (int64_t index : fb->second) {
-    auto it = entries_.find(BlockKey{file, index});
-    if (it != entries_.end() && it->second.dirty) {
-      return true;
-    }
-  }
-  return false;
+  auto fit = files_.find(file);
+  return fit != files_.end() && fit->second.dirty_count > 0;
 }
 
 int64_t BlockCache::DirtyBytes(uint64_t file) const {
-  auto fb = file_blocks_.find(file);
-  if (fb == file_blocks_.end()) {
+  auto fit = files_.find(file);
+  if (fit == files_.end() || fit->second.dirty_count == 0) {
     return 0;
   }
   int64_t bytes = 0;
-  for (int64_t index : fb->second) {
-    auto it = entries_.find(BlockKey{file, index});
-    if (it != entries_.end() && it->second.dirty) {
-      bytes += it->second.dirty_extent;
+  for (const auto& [index, entry] : fit->second.blocks) {
+    if (entry->dirty) {
+      bytes += entry->dirty_extent;
     }
   }
   return bytes;
 }
 
 std::vector<uint64_t> BlockCache::DirtyFiles() const {
-  std::vector<uint64_t> files;
-  for (const auto& [file, indices] : file_blocks_) {
-    (void)indices;
-    if (HasDirtyBlocks(file)) {
-      files.push_back(file);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  return files;
+  return std::vector<uint64_t>(dirty_files_.begin(), dirty_files_.end());
 }
 
 uint64_t BlockCache::CachedVersion(uint64_t file) const {
-  auto it = file_versions_.find(file);
-  return it == file_versions_.end() ? 0 : it->second;
+  auto fit = files_.find(file);
+  return fit == files_.end() ? 0 : fit->second.version;
 }
 
 int64_t BlockCache::DropFile(uint64_t file, SimTime now) {
   (void)now;
-  auto fb = file_blocks_.find(file);
-  if (fb == file_blocks_.end()) {
-    file_versions_.erase(file);
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
     return 0;
   }
   int64_t dropped = 0;
-  // Copy: EraseEntry mutates file_blocks_.
-  const std::set<int64_t> indices = fb->second;
-  for (int64_t index : indices) {
-    const BlockKey key{file, index};
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      if (it->second.dirty) {
-        dropped += it->second.dirty_extent;
-      }
-      EraseEntry(key);
+  // Copy: EraseEntry mutates the block vector. Ascending order, matching
+  // the old per-file index set.
+  const std::vector<std::pair<int64_t, Entry*>> blocks = fit->second.blocks;
+  for (const auto& [index, entry] : blocks) {
+    if (entry->dirty) {
+      dropped += entry->dirty_extent;
     }
+    EraseEntry(entry);
   }
-  file_versions_.erase(file);
+  files_.erase(file);
   return dropped;
 }
 
 void BlockCache::InvalidateFile(uint64_t file, SimTime now) {
   (void)now;
-  auto fb = file_blocks_.find(file);
-  if (fb == file_blocks_.end()) {
-    file_versions_.erase(file);
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
     return;
   }
-  // Copy: EraseEntry mutates file_blocks_.
-  const std::set<int64_t> indices = fb->second;
-  for (int64_t index : indices) {
-    const BlockKey key{file, index};
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      if (it->second.dirty && counters_ != nullptr) {
-        counters_->bytes_cancelled_before_writeback += it->second.dirty_extent;
-      }
-      EraseEntry(key);
+  // Copy: EraseEntry mutates the block vector.
+  const std::vector<std::pair<int64_t, Entry*>> blocks = fit->second.blocks;
+  for (const auto& [index, entry] : blocks) {
+    if (entry->dirty && counters_ != nullptr) {
+      counters_->bytes_cancelled_before_writeback += entry->dirty_extent;
     }
+    EraseEntry(entry);
   }
-  file_versions_.erase(file);
+  files_.erase(file);
 }
 
 SimDuration BlockCache::LruAge(SimTime now) const {
-  if (lru_.empty()) {
-    return -1;
-  }
-  auto it = entries_.find(lru_.back());
-  return it == entries_.end() ? -1 : now - it->second.last_ref;
+  return lru_tail_ == nullptr ? -1 : now - lru_tail_->last_ref;
 }
 
 bool BlockCache::ReleaseLruToVm(SimTime now, WritebackFn writeback) {
-  if (lru_.empty() || limit_blocks_ <= config_.min_blocks) {
+  if (lru_tail_ == nullptr || limit_blocks_ <= config_.min_blocks) {
     return false;
   }
-  EvictBlock(lru_.back(), now, CleanReason::kVm, ReplaceReason::kForVmPage, writeback);
+  EvictBlock(lru_tail_, now, CleanReason::kVm, ReplaceReason::kForVmPage, writeback);
   --limit_blocks_;
   return true;
 }
@@ -301,9 +335,8 @@ void BlockCache::DemoteToLruTail(BlockKey key) {
   if (it == entries_.end()) {
     return;
   }
-  lru_.erase(it->second.lru_it);
-  lru_.push_back(key);
-  it->second.lru_it = std::prev(lru_.end());
+  LruUnlink(&it->second);
+  LruPushBack(&it->second);
 }
 
 std::pair<int64_t, int64_t> BlockCache::CrashReset(const WritebackFn& nvram_recovery) {
@@ -321,22 +354,23 @@ std::pair<int64_t, int64_t> BlockCache::CrashReset(const WritebackFn& nvram_reco
     }
   }
   entries_.clear();
-  lru_.clear();
-  file_blocks_.clear();
-  file_versions_.clear();
+  lru_head_ = nullptr;
+  lru_tail_ = nullptr;
+  files_.clear();
+  dirty_files_.clear();
   limit_blocks_ = config_.min_blocks;
   return {lost, recovered};
 }
 
 bool BlockCache::SyncVersion(uint64_t file, uint64_t server_version, SimTime now) {
-  auto it = file_versions_.find(file);
-  const bool had_version = it != file_versions_.end();
-  const bool stale = had_version && it->second != server_version;
-  const bool has_blocks = file_blocks_.count(file) != 0;
+  auto fit = files_.find(file);
+  const bool had_version = fit != files_.end() && fit->second.version != 0;
+  const bool stale = had_version && fit->second.version != server_version;
+  const bool has_blocks = fit != files_.end() && !fit->second.blocks.empty();
   if (stale && has_blocks) {
-    InvalidateFile(file, now);
+    InvalidateFile(file, now);  // erases the FileState; recreated below
   }
-  file_versions_[file] = server_version;
+  files_[file].version = server_version;
   return stale && has_blocks;
 }
 

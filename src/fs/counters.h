@@ -11,7 +11,10 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/fs/types.h"
 #include "src/util/units.h"
@@ -187,17 +190,106 @@ struct RpcStat {
   bool operator==(const RpcStat&) const = default;
 };
 
+// Dense per-id RpcStat breakdown, replacing the std::map<Id, RpcStat>
+// tables the transport's Call() used to probe on every RPC. Client, server,
+// and epoch ids are all small contiguous integers, so the breakdown is a
+// vector indexed directly by id (O(1), no tree walk, no per-node
+// allocation) plus a presence bitmap so only ids that were actually charged
+// show up when iterating. Iteration order is ascending id — the same order
+// std::map gave — which keeps the rendered ledger byte-identical. The
+// interface mirrors the std::map subset callers used: operator[], at(),
+// find()/end(), count(), empty(), range-for.
+template <typename Key>
+class DenseIdStats {
+ public:
+  RpcStat& operator[](Key id) {
+    const size_t index = static_cast<size_t>(id);
+    if (index >= present_.size()) {
+      present_.resize(index + 1, 0);
+      stats_.resize(index + 1);
+    }
+    if (!present_[index]) {
+      present_[index] = 1;
+      ++touched_;
+    }
+    return stats_[index];
+  }
+
+  const RpcStat& at(Key id) const {
+    const size_t index = static_cast<size_t>(id);
+    if (index >= present_.size() || !present_[index]) {
+      throw std::out_of_range("DenseIdStats::at: id " + std::to_string(index) +
+                              " never charged");
+    }
+    return stats_[index];
+  }
+
+  bool empty() const { return touched_ == 0; }
+  size_t size() const { return touched_; }
+  size_t count(Key id) const {
+    const size_t index = static_cast<size_t>(id);
+    return index < present_.size() && present_[index] ? 1 : 0;
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const DenseIdStats* owner, size_t index)
+        : owner_(owner), index_(index) {
+      SkipAbsent();
+    }
+    std::pair<Key, const RpcStat&> operator*() const {
+      return {static_cast<Key>(index_), owner_->stats_[index_]};
+    }
+    struct ArrowProxy {
+      std::pair<Key, const RpcStat&> pair;
+      const std::pair<Key, const RpcStat&>* operator->() const { return &pair; }
+    };
+    ArrowProxy operator->() const { return ArrowProxy{**this}; }
+    const_iterator& operator++() {
+      ++index_;
+      SkipAbsent();
+      return *this;
+    }
+    bool operator==(const const_iterator& other) const { return index_ == other.index_; }
+    bool operator!=(const const_iterator& other) const { return index_ != other.index_; }
+
+   private:
+    void SkipAbsent() {
+      while (index_ < owner_->present_.size() && !owner_->present_[index_]) {
+        ++index_;
+      }
+    }
+    const DenseIdStats* owner_;
+    size_t index_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, present_.size()); }
+  const_iterator find(Key id) const {
+    return count(id) ? const_iterator(this, static_cast<size_t>(id)) : end();
+  }
+
+  // Vectors only ever grow to (max charged id + 1), so two breakdowns with
+  // the same charged ids and stats compare equal memberwise.
+  bool operator==(const DenseIdStats&) const = default;
+
+ private:
+  std::vector<uint8_t> present_;
+  std::vector<RpcStat> stats_;
+  size_t touched_ = 0;
+};
+
 struct RpcLedger {
   // True when the owning transport ran in async (event-driven) mode; the
   // ledger renderer adds queue/service columns only then, so sync-mode
   // output stays byte-identical.
   bool async = false;
   std::array<RpcStat, kRpcKindCount> by_kind{};
-  std::map<ClientId, RpcStat> by_client;
-  std::map<ServerId, RpcStat> by_server;
+  DenseIdStats<ClientId> by_client;
+  DenseIdStats<ServerId> by_server;
   // Per-server-epoch breakdown. Populated only once a server crash has been
   // injected (epoch numbers exist), so fault-free runs render identically.
-  std::map<uint64_t, RpcStat> by_epoch;
+  DenseIdStats<uint64_t> by_epoch;
 
   RpcStat& stat(RpcKind kind) { return by_kind[static_cast<size_t>(kind)]; }
   const RpcStat& stat(RpcKind kind) const { return by_kind[static_cast<size_t>(kind)]; }

@@ -97,24 +97,45 @@ void RpcTransport::AttachObservability(Observability* obs) {
 
 void RpcTransport::SetServerUnavailable(ServerId server, SimTime from, SimTime until) {
   if (until > from) {
+    if (server >= outages_.size()) {
+      outages_.resize(server + 1);
+    }
     outages_[server].push_back(Outage{from, until, until});
+    ++outage_count_;
   }
 }
 
 void RpcTransport::ScheduleServerCrash(ServerId server, SimTime from, SimTime until,
                                        uint64_t new_epoch) {
   if (until > from) {
+    if (server >= outages_.size()) {
+      outages_.resize(server + 1);
+    }
     outages_[server].push_back(Outage{from, until, until + config_.recovery_grace});
+    ++outage_count_;
   }
   // The epoch bump is visible immediately: no request completes while the
   // server is down (the event queue is at `from` when the crash fires), so
   // every later response carries the new epoch.
+  if (server >= epoch_set_.size()) {
+    server_epochs_.resize(server + 1, 0);
+    epoch_set_.resize(server + 1, 0);
+  }
   server_epochs_[server] = new_epoch;
+  epoch_set_[server] = 1;
+  has_epochs_ = true;
 }
 
 void RpcTransport::SetPartition(ClientId client, ServerId server, SimTime from, SimTime until) {
   if (until > from) {
-    partitions_[{client, server}].push_back(Outage{from, until, until});
+    if (client >= partitions_.size()) {
+      partitions_.resize(client + 1);
+    }
+    if (server >= partitions_[client].size()) {
+      partitions_[client].resize(server + 1);
+    }
+    partitions_[client][server].push_back(Outage{from, until, until});
+    ++partition_count_;
   }
 }
 
@@ -123,15 +144,15 @@ bool RpcTransport::Unreachable(ServerId server, ClientId client, SimTime t,
   SimTime horizon = 0;
   // Half-open check everywhere: a window ending exactly at `t` costs
   // nothing (the regression in tests/fs/rpc_test.cc pins this down).
-  if (auto it = outages_.find(server); it != outages_.end()) {
-    for (const Outage& o : it->second) {
+  if (server < outages_.size()) {
+    for (const Outage& o : outages_[server]) {
       if (t >= o.from && t < o.until) {
         horizon = std::max(horizon, o.until);
       }
     }
   }
-  if (auto it = partitions_.find({client, server}); it != partitions_.end()) {
-    for (const Outage& o : it->second) {
+  if (client < partitions_.size() && server < partitions_[client].size()) {
+    for (const Outage& o : partitions_[client][server]) {
       if (t >= o.from && t < o.until) {
         horizon = std::max(horizon, o.until);
       }
@@ -145,12 +166,11 @@ bool RpcTransport::Unreachable(ServerId server, ClientId client, SimTime t,
 }
 
 SimTime RpcTransport::GraceUntil(ServerId server, SimTime t) const {
-  auto it = outages_.find(server);
-  if (it == outages_.end()) {
+  if (server >= outages_.size()) {
     return t;
   }
   SimTime grace = t;
-  for (const Outage& o : it->second) {
+  for (const Outage& o : outages_[server]) {
     if (t >= o.until && t < o.grace_until) {
       grace = std::max(grace, o.grace_until);
     }
@@ -159,22 +179,27 @@ SimTime RpcTransport::GraceUntil(ServerId server, SimTime t) const {
 }
 
 SimDuration RpcTransport::SyncEpoch(ClientId client, ServerId server, SimTime t) {
-  auto ep = server_epochs_.find(server);
-  if (ep == server_epochs_.end()) {
+  if (server >= epoch_set_.size() || !epoch_set_[server]) {
     return 0;  // never crashed; everyone is implicitly in epoch 1
   }
-  uint64_t& seen = seen_epochs_[{client, server}];
-  if (seen == ep->second) {
+  const uint64_t current = server_epochs_[server];
+  if (client >= seen_epochs_.size()) {
+    seen_epochs_.resize(client + 1);
+  }
+  if (server >= seen_epochs_[client].size()) {
+    seen_epochs_[client].resize(server + 1, 0);
+  }
+  uint64_t& seen = seen_epochs_[client][server];
+  if (seen == current) {
     return 0;
   }
   // Mark the epoch seen BEFORE replaying: the storm's own kReopen calls
   // must not recurse into another handshake.
-  seen = ep->second;
-  auto handler = reopen_handlers_.find(client);
-  if (handler == reopen_handlers_.end()) {
+  seen = current;
+  if (client >= reopen_handlers_.size() || !reopen_handlers_[client]) {
     return 0;
   }
-  return handler->second(server, t);
+  return reopen_handlers_[client](server, t);
 }
 
 SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
@@ -186,9 +211,12 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
 
   // Sub-phase spans of this call (timeouts, backoffs, recovery waits, wire
   // time), gathered only when tracing so the parent span can be emitted
-  // first and Perfetto nests the children under it.
+  // first and Perfetto nests the children under it. The spans accumulate in
+  // the pooled scratch vector from `phase_base` on; nested Calls (reopen
+  // storms) stack their own suffixes on top and truncate them before this
+  // frame emits.
   const bool tracing = obs_ != nullptr && obs_->tracing_enabled();
-  std::vector<Span> phases;
+  const size_t phase_base = span_scratch_.size();
   const auto phase = [&](const char* name, SimTime start, SimDuration dur) {
     if (!tracing) {
       return;
@@ -199,12 +227,12 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     s.track = ClientTrack(client);
     s.start = start;
     s.duration = dur;
-    phases.push_back(s);
+    span_scratch_.push_back(s);
   };
 
   if (!IsCallback(kind)) {
     SimTime t = now;
-    if (!outages_.empty() || !partitions_.empty()) {
+    if (outage_count_ > 0 || partition_count_ > 0) {
       SimTime recovery = 0;
       int tries = 0;
       while (Unreachable(server, client, t, &recovery)) {
@@ -235,7 +263,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     // carries its new epoch; a client that is behind replays its open
     // handles (kReopen storm) before this request is served, and non-reopen
     // traffic then waits out the remainder of the reopen-only grace window.
-    if (!server_epochs_.empty() && kind != RpcKind::kReopen) {
+    if (has_epochs_ && kind != RpcKind::kReopen) {
       const SimDuration storm = SyncEpoch(client, server, t);
       if (storm > 0) {
         // The storm's own kReopen calls charge the ledger and emit spans
@@ -267,9 +295,8 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   SimDuration queue_wait = 0;
   SimDuration service = 0;
   if (config_.async && ChargesNetwork(kind)) {
-    if (auto it = servers_.find(server);
-        it != servers_.end() && it->second->service_queue_enabled()) {
-      Server* srv = it->second;
+    Server* srv = server < servers_.size() ? servers_[server] : nullptr;
+    if (srv != nullptr && srv->service_queue_enabled()) {
       const SimTime arrival = now + wait + net;
       // Reopen traffic during the recovery grace window jumps the queue.
       const bool priority =
@@ -304,9 +331,11 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
                          {"timeouts", timeouts},
                          {"net_us", net},
                          {"wait_us", wait}});
-    for (const Span& s : phases) {
+    for (size_t i = phase_base; i < span_scratch_.size(); ++i) {
+      const Span& s = span_scratch_[i];
       obs_->tracer().Emit(s.name, s.category, s.track, s.start, s.duration);
     }
+    span_scratch_.resize(phase_base);
   }
   if (LatencyRecorder* rec = latency_rec_[static_cast<size_t>(kind)]; rec != nullptr) {
     rec->Record(total);
@@ -326,12 +355,12 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   charge(ledger_.stat(kind));
   charge(ledger_.by_client[client]);
   charge(ledger_.by_server[server]);
-  if (!server_epochs_.empty()) {
+  if (has_epochs_) {
     // Per-epoch breakdown, only once a crash exists (fault-free ledgers and
     // their rendering stay bit-identical). Servers that never crashed are
     // still in epoch 1.
-    auto ep = server_epochs_.find(server);
-    charge(ledger_.by_epoch[ep == server_epochs_.end() ? 1 : ep->second]);
+    const bool crashed = server < epoch_set_.size() && epoch_set_[server];
+    charge(ledger_.by_epoch[crashed ? server_epochs_[server] : 1]);
   }
   return total;
 }
@@ -350,11 +379,11 @@ void RpcTransport::CallAsync(RpcKind kind, ClientId client, ServerId server,
 
 bool RpcTransport::CallbackDropped(ServerId server, ClientId client, FileId file,
                                    bool flags_stale, SimTime t) {
-  auto it = partitions_.find({client, server});
-  if (it == partitions_.end()) {
+  if (partition_count_ == 0 || client >= partitions_.size() ||
+      server >= partitions_[client].size()) {
     return false;
   }
-  for (const Outage& o : it->second) {
+  for (const Outage& o : partitions_[client][server]) {
     if (t >= o.from && t < o.until) {
       if (stale_tracker_ != nullptr) {
         stale_tracker_->NoteDroppedCallback(client, server, file, flags_stale, t);

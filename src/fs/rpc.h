@@ -46,7 +46,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -96,7 +95,12 @@ class RpcTransport {
   void BindEventQueue(EventQueue* queue) { queue_ = queue; }
   // Registers the server object behind `id` so async admission can reach
   // its service queue (wired by the Cluster; harmless in sync mode).
-  void RegisterServer(ServerId id, Server* server) { servers_[id] = server; }
+  void RegisterServer(ServerId id, Server* server) {
+    if (id >= servers_.size()) {
+      servers_.resize(id + 1, nullptr);
+    }
+    servers_[id] = server;
+  }
 
   // The exact per-attempt retry backoff: backoff_initial doubled `attempt`
   // times, saturating at backoff_max (never overshooting it). Exposed for
@@ -152,6 +156,8 @@ class RpcTransport {
   void ClearFaults() {
     outages_.clear();
     partitions_.clear();
+    outage_count_ = 0;
+    partition_count_ = 0;
   }
 
   // Runs a client's reopen storm against one rebooted server; returns the
@@ -159,6 +165,9 @@ class RpcTransport {
   // Cluster).
   using ReopenHandler = std::function<SimDuration(ServerId server, SimTime now)>;
   void SetReopenHandler(ClientId client, ReopenHandler handler) {
+    if (client >= reopen_handlers_.size()) {
+      reopen_handlers_.resize(client + 1);
+    }
     reopen_handlers_[client] = std::move(handler);
   }
   // Sink for dropped-callback accounting during partitions (may be null).
@@ -199,23 +208,37 @@ class RpcTransport {
   std::unique_ptr<Network> network_;
   RpcConfig config_;
   RpcLedger ledger_;
-  std::map<ServerId, std::vector<Outage>> outages_;
-  std::map<std::pair<ClientId, ServerId>, std::vector<Outage>> partitions_;
-  // Crashed servers' current epochs (absent == still in epoch 1, never
-  // crashed — the fault-free fast path stays untouched).
-  std::map<ServerId, uint64_t> server_epochs_;
+  // Fault/recovery tables, all dense and indexed directly by the small
+  // contiguous client/server ids (the std::map versions put a tree walk on
+  // every Call). Presence lives in the counters/flags next to each table,
+  // so the fault-free fast path is an integer compare.
+  std::vector<std::vector<Outage>> outages_;  // [server]
+  std::vector<std::vector<std::vector<Outage>>> partitions_;  // [client][server]
+  size_t outage_count_ = 0;     // injected outage windows across all servers
+  size_t partition_count_ = 0;  // injected partition windows across all pairs
+  // Crashed servers' current epochs; epoch_set_[s] == 0 means server `s`
+  // never crashed (still in epoch 1, the fault-free fast path).
+  std::vector<uint64_t> server_epochs_;  // [server]
+  std::vector<uint8_t> epoch_set_;       // [server]
+  bool has_epochs_ = false;  // any crash ever scheduled (ledger gains by_epoch)
   // Last epoch each client observed from each crashed server.
-  std::map<std::pair<ClientId, ServerId>, uint64_t> seen_epochs_;
-  std::map<ClientId, ReopenHandler> reopen_handlers_;
+  std::vector<std::vector<uint64_t>> seen_epochs_;  // [client][server]
+  std::vector<ReopenHandler> reopen_handlers_;      // [client]
   // Async mode: the event queue completions fire on, and the server objects
   // whose service queues admit requests (both wired by the Cluster).
   EventQueue* queue_ = nullptr;
-  std::map<ServerId, Server*> servers_;
+  std::vector<Server*> servers_;  // [server]
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   Observability* obs_ = nullptr;
   // Per-kind latency recorders, resolved once at attach time.
   std::array<LatencyRecorder*, kRpcKindCount> latency_rec_{};
+  // Scratch for the sub-phase spans Call() gathers while tracing, reused
+  // across calls instead of reallocated. Call() can recurse (SyncEpoch runs
+  // the reopen storm, whose kReopen calls re-enter Call), so each
+  // invocation works on the suffix starting at its recorded base index and
+  // truncates back to it after emitting.
+  std::vector<Span> span_scratch_;
 };
 
 // Client-side stub for one (client, server) pair: mirrors the Server API but

@@ -1,5 +1,6 @@
 #include "src/fs/server.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -140,12 +141,24 @@ SimDuration Server::DiskRead(BlockKey key, int64_t bytes) {
 }
 
 void Server::RegisterClient(ClientId client, CacheControl* control) {
+  if (clients_.size() <= client) {
+    clients_.resize(client + 1, nullptr);
+  }
   clients_[client] = control;
 }
 
 CacheControl* Server::ControlFor(ClientId client) const {
-  auto it = clients_.find(client);
-  return it == clients_.end() ? nullptr : it->second;
+  return client < clients_.size() ? clients_[client] : nullptr;
+}
+
+Server::OpenEntry& Server::OpenFor(OpenState& state, ClientId client) {
+  auto it = std::lower_bound(
+      state.opens.begin(), state.opens.end(), client,
+      [](const OpenEntry& e, ClientId c) { return e.client < c; });
+  if (it == state.opens.end() || it->client != client) {
+    it = state.opens.insert(it, OpenEntry{client, 0, 0});
+  }
+  return *it;
 }
 
 Server::FileMeta& Server::EnsureFile(FileId file) {
@@ -235,9 +248,8 @@ bool Server::ComputeWriteShared(const OpenState& state) {
   if (state.opens.size() < 2) {
     return false;
   }
-  for (const auto& [client, counts] : state.opens) {
-    (void)client;
-    if (counts.second > 0) {
+  for (const OpenEntry& open : state.opens) {
+    if (open.writers > 0) {
       return true;
     }
   }
@@ -268,9 +280,8 @@ void Server::EnforceSharing(FileId file, OpenState& state, ClientId client, bool
         }
         if (state.cacheable) {
           state.cacheable = false;
-          for (const auto& [open_client, open_counts] : state.opens) {
-            (void)open_counts;
-            if (CacheControl* control = ControlFor(open_client)) {
+          for (const OpenEntry& open : state.opens) {
+            if (CacheControl* control = ControlFor(open.client)) {
               control->DisableCaching(file, now);
             }
           }
@@ -290,19 +301,18 @@ void Server::EnforceSharing(FileId file, OpenState& state, ClientId client, bool
       }
       if (writer_open) {
         // A write token conflicts with every other client's token.
-        for (const auto& [open_client, open_counts] : state.opens) {
-          (void)open_counts;
-          if (open_client != client) {
-            if (CacheControl* control = ControlFor(open_client)) {
+        for (const OpenEntry& open : state.opens) {
+          if (open.client != client) {
+            if (CacheControl* control = ControlFor(open.client)) {
               control->RecallToken(file, now, /*invalidate=*/true);
             }
           }
         }
       } else {
         // A read token conflicts only with another client's write token.
-        for (const auto& [open_client, open_counts] : state.opens) {
-          if (open_client != client && open_counts.second > 0) {
-            if (CacheControl* control = ControlFor(open_client)) {
+        for (const OpenEntry& open : state.opens) {
+          if (open.client != client && open.writers > 0) {
+            if (CacheControl* control = ControlFor(open.client)) {
               control->RecallToken(file, now, /*invalidate=*/false);
             }
           }
@@ -348,12 +358,12 @@ Server::OpenReply Server::Open(ClientId client, FileId file, OpenMode mode, bool
   }
 
   // Register this open.
-  auto& counts = state.opens[client];
+  OpenEntry& open = OpenFor(state, client);
   const bool writer_open = mode != OpenMode::kRead;
   if (writer_open) {
-    ++counts.second;
+    ++open.writers;
   } else {
-    ++counts.first;
+    ++open.readers;
   }
   UpdateWriteShared(state);
 
@@ -385,14 +395,16 @@ Server::CloseReply Server::Close(ClientId client, FileId file, OpenMode mode, bo
     return reply;
   }
   OpenState& state = state_it->second;
-  auto open_it = state.opens.find(client);
-  if (open_it != state.opens.end()) {
+  auto open_it = std::lower_bound(
+      state.opens.begin(), state.opens.end(), client,
+      [](const OpenEntry& e, ClientId c) { return e.client < c; });
+  if (open_it != state.opens.end() && open_it->client == client) {
     const bool writer_open = mode != OpenMode::kRead;
-    int& counter = writer_open ? open_it->second.second : open_it->second.first;
+    int& counter = writer_open ? open_it->writers : open_it->readers;
     if (counter > 0) {
       --counter;
     }
-    if (open_it->second.first == 0 && open_it->second.second == 0) {
+    if (open_it->readers == 0 && open_it->writers == 0) {
       state.opens.erase(open_it);
     }
     UpdateWriteShared(state);
@@ -403,9 +415,8 @@ Server::CloseReply Server::Close(ClientId client, FileId file, OpenMode mode, bo
         policy_ == ConsistencyPolicy::kSpriteModified ? !IsWriteShared(state) : state.opens.empty();
     if (reenable) {
       state.cacheable = true;
-      for (const auto& [open_client, open_counts] : state.opens) {
-        (void)open_counts;
-        if (CacheControl* control = ControlFor(open_client)) {
+      for (const OpenEntry& open : state.opens) {
+        if (CacheControl* control = ControlFor(open.client)) {
           control->EnableCaching(file, now);
         }
       }
@@ -494,7 +505,12 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
   }
   for (auto it = open_states_.begin(); it != open_states_.end();) {
     OpenState& state = it->second;
-    state.opens.erase(client);
+    auto open_it = std::lower_bound(
+        state.opens.begin(), state.opens.end(), client,
+        [](const OpenEntry& e, ClientId c) { return e.client < c; });
+    if (open_it != state.opens.end() && open_it->client == client) {
+      state.opens.erase(open_it);
+    }
     UpdateWriteShared(state);
     if (!state.cacheable) {
       const bool reenable = policy_ == ConsistencyPolicy::kSpriteModified
@@ -502,9 +518,8 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
                                 : state.opens.empty();
       if (reenable) {
         state.cacheable = true;
-        for (const auto& [open_client, counts] : state.opens) {
-          (void)counts;
-          if (CacheControl* control = ControlFor(open_client)) {
+        for (const OpenEntry& open : state.opens) {
+          if (CacheControl* control = ControlFor(open.client)) {
             control->EnableCaching(it->first, now);
           }
         }
@@ -567,12 +582,12 @@ Server::ReopenReply Server::Reopen(ClientId client, FileId file, OpenMode mode,
   }
   if (has_handle) {
     OpenState& state = open_states_[file];
-    auto& counts = state.opens[client];
+    OpenEntry& open = OpenFor(state, client);
     const bool writer_open = mode != OpenMode::kRead;
     if (writer_open) {
-      ++counts.second;
+      ++open.writers;
     } else {
-      ++counts.first;
+      ++open.readers;
     }
     UpdateWriteShared(state);
     // Re-registration can recreate concurrent write-sharing among the

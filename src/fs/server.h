@@ -16,11 +16,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/fs/block_cache.h"
 #include "src/fs/config.h"
@@ -223,27 +222,41 @@ class Server {
   ConsistencyPolicy policy() const { return policy_; }
   int open_state_count() const { return static_cast<int>(open_states_.size()); }
   // Test hook: recomputes every open state's write-sharing bit from its
-  // opens map and compares with the cached bit (which is invalidated on
+  // opens table and compares with the cached bit (which is invalidated on
   // open/close/crash/reopen). True when all cached bits are consistent.
   bool OpenStateSharingConsistent() const;
 
  private:
+  // One client's open handles on one file. Kept in a flat vector sorted by
+  // client id: a file is rarely open on more than a couple of clients, so a
+  // sorted vector beats a std::map node per client, and ascending order
+  // preserves the deterministic callback order the old map gave the
+  // consistency engine (DisableCaching/EnableCaching/RecallToken fire in
+  // client-id order).
+  struct OpenEntry {
+    ClientId client = 0;
+    int readers = 0;
+    int writers = 0;
+  };
+
   struct OpenState {
-    // client -> (reader handles, writer handles)
-    std::map<ClientId, std::pair<int, int>> opens;
+    std::vector<OpenEntry> opens;  // sorted by OpenEntry::client
     bool cacheable = true;
     // Cached result of ComputeWriteShared(opens); kept current by
     // UpdateWriteShared at every opens mutation so the hot consistency
-    // checks need not rescan the map.
+    // checks need not rescan the table.
     bool write_shared = false;
   };
+
+  // Find-or-insert keeping `opens` sorted by client id.
+  static OpenEntry& OpenFor(OpenState& state, ClientId client);
 
   FileMeta& EnsureFile(FileId file);
   // True if `state` is in concurrent write-sharing (open on more than one
   // client with at least one writer). Reads the cached bit.
   static bool IsWriteShared(const OpenState& state) { return state.write_shared; }
-  // Recomputes write-sharing from the opens map (the cached bit's source of
-  // truth).
+  // Recomputes write-sharing from the opens table (the cached bit's source
+  // of truth).
   static bool ComputeWriteShared(const OpenState& state);
   static void UpdateWriteShared(OpenState& state) {
     state.write_shared = ComputeWriteShared(state);
@@ -299,7 +312,10 @@ class Server {
 
   std::unordered_map<FileId, FileMeta> files_;
   std::unordered_map<FileId, OpenState> open_states_;
-  std::map<ClientId, CacheControl*> clients_;
+  // Client control interfaces, indexed by contiguous ClientId (null when
+  // unregistered) — the consistency callbacks look these up per conflicting
+  // open, so this is a hot table.
+  std::vector<CacheControl*> clients_;
 };
 
 }  // namespace sprite

@@ -4,6 +4,15 @@
 // src/workload both run on this queue. Events scheduled for the same
 // timestamp run in scheduling (FIFO) order, which makes runs deterministic
 // given a fixed seed.
+//
+// Storage layout (hot path): callbacks live in a slot pool recycled through
+// a freelist, and the pending set is an implicit four-ary min-heap of
+// 24-byte {at, sequence, slot} records. Scheduling an event whose closure
+// fits UniqueCallback's inline buffer performs no heap allocation at all;
+// the old representation (std::shared_ptr<std::function> per entry) paid
+// two per event. The dispatch order is a total order on (at, sequence), so
+// the heap shape is unobservable — four-ary vs. binary cannot change any
+// simulation output.
 
 #ifndef SPRITE_DFS_SRC_SIM_EVENT_QUEUE_H_
 #define SPRITE_DFS_SRC_SIM_EVENT_QUEUE_H_
@@ -11,16 +20,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/util/unique_callback.h"
 #include "src/util/units.h"
 
 namespace sprite {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -31,8 +40,10 @@ class EventQueue {
 
   // Schedules `callback` at absolute time `at`. Scheduling in the past is an
   // error (throws std::logic_error) — it would silently reorder causality.
-  // `at == now()` is allowed and dispatches after already-pending events at
-  // the same timestamp (FIFO tie-break).
+  // The rejection happens before any state changes, so the queue remains
+  // fully usable afterwards (strong guarantee). `at == now()` is allowed and
+  // dispatches after already-pending events at the same timestamp (FIFO
+  // tie-break).
   void Schedule(SimTime at, Callback callback);
 
   // Schedules `callback` `delay` microseconds from now (delay >= 0).
@@ -62,23 +73,33 @@ class EventQueue {
   size_t max_pending_count() const { return max_pending_; }
 
  private:
-  struct Entry {
+  // Heap records are value types kept apart from the callback storage so
+  // sift operations move 24 bytes, never a closure.
+  struct HeapItem {
     SimTime at;
     uint64_t sequence;
-    // Heap entries hold the callback by shared_ptr so Entry stays copyable
-    // for priority_queue.
-    std::shared_ptr<Callback> callback;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.sequence > b.sequence;
-    }
+    uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static bool Earlier(const HeapItem& a, const HeapItem& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.sequence < b.sequence;
+  }
+
+  void SiftUp(size_t index);
+  void SiftDown(size_t index);
+
+  // Implicit four-ary min-heap on (at, sequence): same total order as the
+  // old binary priority_queue, half the tree depth, and all four children
+  // of a node share a cache line pair.
+  std::vector<HeapItem> heap_;
+  // Slot pool: heap items index into pool_; free_slots_ recycles storage.
+  // Slot numbers carry no ordering information, so reuse order cannot
+  // perturb dispatch order.
+  std::vector<Callback> pool_;
+  std::vector<uint32_t> free_slots_;
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
   uint64_t dispatched_ = 0;
@@ -101,15 +122,22 @@ class PeriodicTask {
   PeriodicTask& operator=(const PeriodicTask&) = delete;
 
   void Cancel();
-  bool cancelled() const { return *cancelled_; }
+  bool cancelled() const { return state_->cancelled; }
 
  private:
-  void Arm(SimTime at);
+  // All long-lived state sits behind one shared_ptr allocated at
+  // construction; each rearm captures only {state, at}, which fits the
+  // pooled event slot inline — ticking allocates nothing.
+  struct State {
+    EventQueue& queue;
+    SimDuration period;
+    std::function<void(SimTime)> callback;
+    bool cancelled = false;
+  };
 
-  EventQueue& queue_;
-  SimDuration period_;
-  std::function<void(SimTime)> callback_;
-  std::shared_ptr<bool> cancelled_;
+  static void Arm(std::shared_ptr<State> state, SimTime at);
+
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace sprite

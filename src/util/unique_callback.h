@@ -1,0 +1,114 @@
+// Move-only callable wrapper with small-buffer storage.
+//
+// The event queue used to store every callback as
+// std::shared_ptr<std::function<void()>> — two heap allocations per
+// scheduled event once the closure outgrew std::function's 16-byte inline
+// buffer, which every capture of [this, shared_ptr, SimTime] does. This
+// wrapper holds closures up to kInlineSize bytes in place and is move-only,
+// so pooled event slots can recycle storage without reference counting.
+// Larger closures fall back to a single heap allocation.
+
+#ifndef SPRITE_DFS_SRC_UTIL_UNIQUE_CALLBACK_H_
+#define SPRITE_DFS_SRC_UTIL_UNIQUE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sprite {
+
+class UniqueCallback {
+ public:
+  // Fits the simulator's hot closures (a shared_ptr plus a couple of ids
+  // and timestamps) without touching the heap.
+  static constexpr size_t kInlineSize = 48;
+
+  UniqueCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  UniqueCallback(UniqueCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
+
+  ~UniqueCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char* storage);
+    // Move-construct into `to` and destroy the source representation.
+    void (*relocate)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char* storage);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](unsigned char* from, unsigned char* to) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (static_cast<void*>(to)) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](unsigned char* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* storage) { (**reinterpret_cast<Fn**>(storage))(); },
+      [](unsigned char* from, unsigned char* to) {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](unsigned char* storage) { delete *reinterpret_cast<Fn**>(storage); },
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_UTIL_UNIQUE_CALLBACK_H_

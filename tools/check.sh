@@ -18,6 +18,14 @@
 # with --shard-report, the report must name the policy and carry skew
 # metrics, and the default modulo run must stay byte-identical to the
 # committed golden baseline.
+# A fifth smoke pins determinism directly: the standard 8u/4c/2s run's
+# stdout hash and kernel dispatched-event count must match the committed
+# values in tools/baselines/sim_hash_u8c4s2m10w2.txt — perf refactors of the
+# event queue / RPC / cache layers must not move either.
+# Finally (plain mode only) a perf gate builds a Release tree and runs the
+# BM_SimulateCluster trajectory via tools/bench_trajectory.py check: a >10%
+# events/sec regression against the newest committed BENCH_sim_*.json entry
+# fails the build. Skipped gracefully when google-benchmark is not installed.
 #
 # Usage: tools/check.sh [--plain-only|--sanitize-only]
 set -eu
@@ -190,6 +198,43 @@ sharding_smoke() {
   echo "sharding smoke: all policies report, modulo matches the baseline"
 }
 
+determinism_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: determinism hash =="
+  det_out="${build_dir}/determinism_smoke.txt"
+  det_err="${build_dir}/determinism_smoke.err"
+  det_base="tools/baselines/sim_hash_u8c4s2m10w2.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --rpc-ledger \
+    > "${det_out}" 2> "${det_err}"
+  hash="$(sha256sum "${det_out}" | cut -d' ' -f1)"
+  expected_hash="$(grep '^sha256 ' "${det_base}" | cut -d' ' -f2)"
+  if [ "${hash}" != "${expected_hash}" ]; then
+    echo "determinism smoke: output hash ${hash} != committed ${expected_hash}" >&2
+    exit 1
+  fi
+  dispatched="$(grep -o 'dispatched [0-9]* events' "${det_err}")"
+  expected_dispatched="$(grep '^dispatched ' "${det_base}")"
+  if [ "${dispatched}" != "${expected_dispatched}" ]; then
+    echo "determinism smoke: '${dispatched}' != committed '${expected_dispatched}'" >&2
+    exit 1
+  fi
+  echo "determinism smoke: hash and event count match (${dispatched})"
+}
+
+perf_gate() {
+  build_dir="build-release"
+  echo "== ${build_dir}: perf gate =="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${build_dir}" -j "${jobs}"
+  if [ ! -x "${build_dir}/bench/micro_perf" ]; then
+    echo "perf gate: google-benchmark not installed; skipping"
+    return 0
+  fi
+  python3 tools/bench_trajectory.py check --bin "${build_dir}/bench/micro_perf" \
+    --min-time 0.5 --threshold 0.10
+}
+
 run_pass() {
   build_dir="$1"
   shift
@@ -201,6 +246,7 @@ run_pass() {
   recovery_smoke "${build_dir}"
   async_smoke "${build_dir}"
   sharding_smoke "${build_dir}"
+  determinism_smoke "${build_dir}"
 }
 
 mode="${1:-all}"
@@ -214,6 +260,7 @@ esac
 
 if [ "${mode}" != "--sanitize-only" ]; then
   run_pass build
+  perf_gate
 fi
 if [ "${mode}" != "--plain-only" ]; then
   run_pass build-sanitize "-DSPRITE_SANITIZE=address;undefined"

@@ -297,6 +297,10 @@ int main(int argc, char** argv) {
                            static_cast<SimDuration>(warmup) * kMinute);
     obs = generator->cluster().observability();
     end_time = generator->queue().now();
+    // Determinism witness (stderr, so stdout baselines are unaffected): the
+    // kernel-level event count must not move under perf refactors.
+    std::fprintf(stderr, "dispatched %llu events\n",
+                 static_cast<unsigned long long>(generator->queue().dispatched_count()));
   } else {
     try {
       if (text) {
