@@ -28,6 +28,7 @@ Client::Client(ClientId id, const ClientConfig& config, ServerRouter router, Tra
 
 void Client::AttachObservability(Observability* obs) {
   obs_ = obs;
+  cp_ = (obs != nullptr && obs->critical_path_enabled()) ? &obs->critical_path() : nullptr;
   miss_fill_counter_ = nullptr;
   write_fetch_counter_ = nullptr;
   cleaned_block_counter_ = nullptr;
@@ -124,6 +125,7 @@ void Client::EnsureCacheRoom(SimTime now) {
 
 Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
                                 OpenDisposition disposition, bool migrated, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kOpen, id_, now);
   ServerStub server = ServerFor(file);
   if (!server.FileExists(file, now)) {
     server.CreateFile(file, /*is_directory=*/false, now);
@@ -173,7 +175,7 @@ Client::OpenResult Client::Open(UserId user, FileId file, OpenMode mode,
   r.file_size = of.size;
   Emit(r);
 
-  return OpenResult{handle, reply.latency};
+  return OpenResult{handle, op.Finish(reply.latency)};
 }
 
 SimDuration Client::UncacheableRead(OpenFile& of, int64_t bytes, SimTime now, HandleId handle) {
@@ -211,6 +213,7 @@ SimDuration Client::UncacheableWrite(OpenFile& of, int64_t bytes, SimTime now, H
 }
 
 SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kRead, id_, now);
   OpenFile* live = FindLiveHandle(handle);
   if (live == nullptr) {
     return 0;
@@ -303,10 +306,11 @@ SimDuration Client::Read(HandleId handle, int64_t bytes, SimTime now) {
   of.offset += bytes;
   of.run_read += bytes;
   of.total_read += bytes;
-  return latency;
+  return op.Finish(latency);
 }
 
 SimDuration Client::Write(HandleId handle, int64_t bytes, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kWrite, id_, now);
   OpenFile* live = FindLiveHandle(handle);
   if (live == nullptr) {
     return 0;
@@ -360,7 +364,7 @@ SimDuration Client::Write(HandleId handle, int64_t bytes, SimTime now) {
   of.run_write += bytes;
   of.total_write += bytes;
   of.size = std::max(of.size, of.offset);
-  return latency;
+  return op.Finish(latency);
 }
 
 void Client::Seek(HandleId handle, int64_t new_offset, SimTime now) {
@@ -390,6 +394,7 @@ void Client::Seek(HandleId handle, int64_t new_offset, SimTime now) {
 }
 
 SimDuration Client::Fsync(HandleId handle, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kFsync, id_, now);
   OpenFile* live = FindLiveHandle(handle);
   if (live == nullptr) {
     return 0;
@@ -409,6 +414,7 @@ SimDuration Client::Fsync(HandleId handle, SimTime now) {
 }
 
 SimDuration Client::Close(HandleId handle, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kClose, id_, now);
   OpenFile* live = FindLiveHandle(handle);
   if (live == nullptr) {
     return 0;
@@ -437,10 +443,11 @@ SimDuration Client::Close(HandleId handle, SimTime now) {
     cache_.AdoptVersion(of.file, close_reply.version);
   }
   handles_.erase(handle);
-  return close_reply.latency;
+  return op.Finish(close_reply.latency);
 }
 
 void Client::Create(UserId user, FileId file, bool is_directory, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kNameOp, id_, now);
   ServerStub server = ServerFor(file);
   server.CreateFile(file, is_directory, now);
   Record r;
@@ -454,6 +461,7 @@ void Client::Create(UserId user, FileId file, bool is_directory, SimTime now) {
 }
 
 SimDuration Client::Delete(UserId user, FileId file, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kNameOp, id_, now);
   ServerStub server = ServerFor(file);
   // Locally cached dirty data for a deleted file never needs to reach the
   // server — the saving the 30-second delay is designed to capture.
@@ -470,10 +478,11 @@ SimDuration Client::Delete(UserId user, FileId file, SimTime now) {
   r.file = file;
   r.file_size = reply.size;
   Emit(r);
-  return reply.latency;
+  return op.Finish(reply.latency);
 }
 
 SimDuration Client::Truncate(UserId user, FileId file, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kNameOp, id_, now);
   ServerStub server = ServerFor(file);
   cache_.InvalidateFile(file, now);
   if (stale_tracker_ != nullptr) {
@@ -488,10 +497,11 @@ SimDuration Client::Truncate(UserId user, FileId file, SimTime now) {
   r.file = file;
   r.file_size = reply.size;
   Emit(r);
-  return reply.latency;
+  return op.Finish(reply.latency);
 }
 
 SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kDirRead, id_, now);
   ServerStub server = ServerFor(dir);
   if (!server.FileExists(dir, now)) {
     server.CreateFile(dir, /*is_directory=*/true, now);
@@ -535,7 +545,7 @@ SimDuration Client::ReadDirectory(UserId user, FileId dir, int64_t bytes, SimTim
   close_record.handle = handle;
   close_record.is_directory = true;
   Emit(close_record);
-  return latency;
+  return op.Finish(latency);
 }
 
 void Client::NoteMigrationArrival(UserId user, ClientId from, SimTime now) {
@@ -555,6 +565,7 @@ void Client::NoteMigrationArrival(UserId user, ClientId from, SimTime now) {
 
 SimDuration Client::PageFault(PageKind kind, FileId backing_file, int64_t page_index,
                               SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kPaging, id_, now);
   SimDuration latency = 0;
   const bool consults_cache = kind == PageKind::kCode || kind == PageKind::kInitData;
   if (consults_cache) {
@@ -618,10 +629,11 @@ SimDuration Client::PageFault(PageKind kind, FileId backing_file, int64_t page_i
   }
 
   vm_.AddPage(kind, now);
-  return latency;
+  return op.Finish(latency);
 }
 
 SimDuration Client::EvictVmPages(int64_t pages, FileId backing_file, SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kPaging, id_, now);
   const int64_t dirty = vm_.EvictColdPages(pages);
   SimDuration latency = 0;
   for (int64_t i = 0; i < dirty; ++i) {
@@ -629,7 +641,7 @@ SimDuration Client::EvictVmPages(int64_t pages, FileId backing_file, SimTime now
     latency += ServerFor(backing_file).Writeback(backing_file, i, kBlockSize, /*paging=*/true,
                                                  IssueAt(now, latency));
   }
-  return latency;
+  return op.Finish(latency);
 }
 
 int64_t Client::Crash(SimTime now) {
@@ -660,6 +672,9 @@ int64_t Client::Crash(SimTime now) {
 }
 
 SimDuration Client::ReplayOpens(ServerId server, SimTime now) {
+  // The storm runs nested inside whichever op's RPC detected the restart;
+  // its own frame keeps the reopen RPCs out of that op's phase rows.
+  CriticalPathCollector::OpScope op(cp_, OpKind::kRecovery, id_, now);
   // Handles homed on the rebooted server, in handle order (handles_ is
   // unordered; the storm must be deterministic).
   std::vector<HandleId> to_reopen;
@@ -742,7 +757,7 @@ SimDuration Client::ReplayOpens(ServerId server, SimTime now) {
                            {"dropped_bytes", dropped_bytes}});
     }
   }
-  return storm;
+  return op.Finish(storm);
 }
 
 std::optional<StaleHandleInfo> Client::TakeStaleHandle(HandleId handle) {
@@ -757,6 +772,7 @@ std::optional<StaleHandleInfo> Client::TakeStaleHandle(HandleId handle) {
 }
 
 void Client::CleanerTick(SimTime now) {
+  CriticalPathCollector::OpScope op(cp_, OpKind::kCleaner, id_, now);
   // The daemon wakes every 5 seconds and writes back blocks dirty >= 30 s.
   // Group writebacks per file through the router.
   SimDuration write_time = 0;
@@ -777,6 +793,7 @@ void Client::CleanerTick(SimTime now) {
                           {{"blocks", blocks}, {"bytes", bytes_cleaned}});
     }
   }
+  op.Finish(write_time);
 }
 
 void Client::RecallDirtyData(FileId file, SimTime now) {

@@ -211,6 +211,10 @@ class Client final : public CacheControl {
   // Observability (null when disabled). The counters are cluster-wide
   // (shared by name across clients via the registry).
   Observability* obs_ = nullptr;
+  // Critical-path op frames (null unless ObservabilityConfig::critical_path);
+  // every kernel-call entry point opens a frame so RPC phase times attribute
+  // to the op that caused them.
+  CriticalPathCollector* cp_ = nullptr;
   Counter* miss_fill_counter_ = nullptr;
   Counter* write_fetch_counter_ = nullptr;
   Counter* cleaned_block_counter_ = nullptr;

@@ -21,6 +21,11 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     throw std::invalid_argument("Cluster: need at least one client and one server");
   }
   transport_->AttachObservability(obs_.get());
+  if (obs_ != nullptr && obs_->metrics_enabled() && config.observability.hotspot) {
+    hotspot_ = std::make_unique<HotspotDetector>(config.observability.hotspot_rules,
+                                                 config.num_servers);
+    hotspot_->AttachObservability(obs_.get());
+  }
   stale_tracker_.AttachObservability(obs_.get());
   transport_->SetStaleTracker(&stale_tracker_);
   // Async mode schedules request-arrival/completion events here; in sync
@@ -127,8 +132,61 @@ void Cluster::StartDaemons(SimDuration sample_period) {
     const SimDuration interval = config_.observability.snapshot_interval;
     daemons_.push_back(std::make_unique<PeriodicTask>(
         queue_, queue_.now() + interval, interval,
-        [this](SimTime now) { obs_->metrics().RecordSnapshot(now); }));
+        [this](SimTime now) { CaptureMetricsWindow(now, /*final_partial=*/false); }));
   }
+}
+
+void Cluster::CaptureMetricsWindow(SimTime now, bool final_partial) {
+  if (obs_ == nullptr || !obs_->metrics_enabled()) {
+    return;
+  }
+  obs_->CaptureWindow(now, final_partial);
+  if (hotspot_ == nullptr) {
+    return;
+  }
+  // Feed the detector the window that was just captured. Signals index by
+  // server id; a missing sample (metric not registered, e.g. sync mode has
+  // no queue recorders) reads as zero and can never flag.
+  const MetricsWindow* w = obs_->series().latest();
+  if (w == nullptr) {
+    return;
+  }
+  std::vector<HotspotSignal> signals(servers_.size());
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    const std::string prefix = "server." + std::to_string(s) + ".";
+    if (const WindowSample* q = w->Find(prefix + "queue_us")) {
+      signals[s].queue_p99 = q->win_p99;
+    }
+    if (const WindowSample* d = w->Find(prefix + "queue_depth")) {
+      signals[s].queue_depth = d->value;
+    }
+    if (const WindowSample* h = w->Find(prefix + "bytes_homed")) {
+      signals[s].bytes_homed = h->value;
+    }
+  }
+  hotspot_->Observe(w->start, w->end, signals);
+}
+
+void Cluster::FinalizeObservability() {
+  if (obs_ == nullptr || !obs_->metrics_enabled() ||
+      config_.observability.snapshot_interval <= 0) {
+    return;
+  }
+  // RunUntil's inclusive deadline already fired the boundary snapshot when
+  // the run length divides evenly; only a trailing partial window is left.
+  if (obs_->series().last_capture_time() < queue_.now()) {
+    CaptureMetricsWindow(queue_.now(), /*final_partial=*/true);
+  }
+  if (hotspot_ != nullptr) {
+    hotspot_->Finalize();
+  }
+}
+
+std::string Cluster::HotspotReport() const {
+  if (hotspot_ == nullptr) {
+    return "== Hot-spot report ==\ndetector disabled (requires --metrics)\n";
+  }
+  return hotspot_->Report();
 }
 
 CacheCounters Cluster::AggregateCacheCounters() const {
@@ -239,7 +297,12 @@ void Cluster::ResetMeasurements() {
   trace_.clear();
   cache_size_samples_.clear();
   if (obs_ != nullptr) {
-    obs_->Reset();
+    // Re-baseline the windowed series at the current time so the first
+    // post-warmup window spans [warmup_end, warmup_end + interval).
+    obs_->Reset(queue_.now());
+  }
+  if (hotspot_ != nullptr) {
+    hotspot_->Reset();
   }
 }
 

@@ -28,6 +28,7 @@
 #include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/fs/sharding.h"
+#include "src/obs/hotspot.h"
 #include "src/sim/event_queue.h"
 #include "src/trace/record.h"
 
@@ -68,6 +69,25 @@ class Cluster {
   // one of them. All components share this one sink.
   Observability* observability() { return obs_.get(); }
   const Observability* observability() const { return obs_.get(); }
+
+  // Captures one metrics window (registry snapshot + time-series delta) and
+  // feeds the hot-spot detector the per-server signals from the new window.
+  // No-op when metrics are disabled. Called by the snapshot daemon on its
+  // period and by FinalizeObservability for the trailing partial window.
+  void CaptureMetricsWindow(SimTime now, bool final_partial = false);
+
+  // End-of-run hook: captures the final partial window if the run length was
+  // not a multiple of the snapshot interval (the exact-multiple boundary
+  // window has already fired from the daemon), then closes any hot-spot
+  // episode still open. Safe to call when observability is off.
+  void FinalizeObservability();
+
+  // Hot-spot detector over the windowed series; null unless metrics and
+  // config.observability.hotspot are both enabled.
+  const HotspotDetector* hotspot() const { return hotspot_.get(); }
+
+  // Renders the detector's episode report (sprite_analyze --hotspot-report).
+  std::string HotspotReport() const;
 
   // The server that owns `file`, per the configured sharding policy
   // (default: the historical modulo partition). Every routing decision is
@@ -129,6 +149,7 @@ class Cluster {
   ClusterConfig config_;
   EventQueue& queue_;
   std::unique_ptr<Observability> obs_;
+  std::unique_ptr<HotspotDetector> hotspot_;
   std::unique_ptr<Sharder> sharder_;
   PlacementLedger placement_;
   std::unique_ptr<RpcTransport> transport_;

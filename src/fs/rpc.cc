@@ -83,6 +83,9 @@ bool RpcTransport::IsCallback(RpcKind kind) {
 void RpcTransport::AttachObservability(Observability* obs) {
   obs_ = obs;
   latency_rec_.fill(nullptr);
+  critical_path_ = (obs_ != nullptr && obs_->critical_path_enabled())
+                       ? &obs_->critical_path()
+                       : nullptr;
   if (obs_ == nullptr || !obs_->metrics_enabled()) {
     return;
   }
@@ -340,6 +343,11 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   if (LatencyRecorder* rec = latency_rec_[static_cast<size_t>(kind)]; rec != nullptr) {
     rec->Record(total);
   }
+  if (critical_path_ != nullptr) {
+    // Exactly the values charged to the ledger below, so the collector's
+    // phase totals reconcile with the ledger columns to the microsecond.
+    critical_path_->AddRpc(wait, net, queue_wait, service, IsCallback(kind));
+  }
 
   const auto charge = [&](RpcStat& s) {
     ++s.calls;
@@ -494,6 +502,7 @@ Server::ReopenReply ServerStub::Reopen(FileId file, OpenMode mode, uint64_t cach
 
 SimDuration ServerStub::FetchBlock(FileId file, int64_t block, bool paging, SimTime now) {
   const SimDuration disk_time = server_->FetchBlock(file, block, paging, now);
+  transport_->NoteDisk(disk_time);
   return disk_time + transport_->Call(paging ? RpcKind::kPageIn : RpcKind::kReadBlock, client_,
                                       server_->id(), kBlockSize, now);
 }
@@ -507,6 +516,7 @@ SimDuration ServerStub::Writeback(FileId file, int64_t block, int64_t bytes, boo
 
 SimDuration ServerStub::PassThroughRead(FileId file, int64_t bytes, SimTime now) {
   const SimDuration disk_time = server_->PassThroughRead(file, bytes, now);
+  transport_->NoteDisk(disk_time);
   return disk_time +
          transport_->Call(RpcKind::kUncachedRead, client_, server_->id(), bytes, now);
 }
@@ -768,6 +778,69 @@ std::string FormatRpcLatencySummary(const MetricsRegistry& metrics) {
   std::snprintf(total_ms, sizeof(total_ms), "%.1f", static_cast<double>(total_time) / 1000.0);
   table.AddRow({"total", std::to_string(total_calls), total_ms, "", "", ""});
   return table.Render();
+}
+
+std::string FormatCriticalPath(const CriticalPathCollector& cp, const RpcLedger& ledger) {
+  const auto ms = [](SimDuration v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(v) / 1000.0);
+    return std::string(buf);
+  };
+  TextTable table({"Op", "Ops", "E2E (ms)", "Wait (ms)", "Wire (ms)", "Queue (ms)",
+                   "Service (ms)", "Disk (ms)", "Other (ms)", "RPCs", "Cbs"});
+  for (int k = 0; k < kOpKindCount; ++k) {
+    const CriticalPathCollector::PhaseTotals& t = cp.totals(static_cast<OpKind>(k));
+    if (t.ops == 0 && t.rpcs == 0) {
+      continue;
+    }
+    table.AddRow({OpKindName(static_cast<OpKind>(k)), std::to_string(t.ops), ms(t.e2e),
+                  ms(t.rpc_wait), ms(t.wire), ms(t.queue), ms(t.service), ms(t.disk),
+                  ms(t.e2e - t.attributed()), std::to_string(t.rpcs),
+                  std::to_string(t.callbacks)});
+  }
+  table.AddSeparator();
+  const CriticalPathCollector::PhaseTotals sum = cp.Sum();
+  table.AddRow({"total", std::to_string(sum.ops), ms(sum.e2e), ms(sum.rpc_wait),
+                ms(sum.wire), ms(sum.queue), ms(sum.service), ms(sum.disk),
+                ms(sum.e2e - sum.attributed()), std::to_string(sum.rpcs),
+                std::to_string(sum.callbacks)});
+  std::string out = table.Render();
+  out +=
+      "other = e2e minus attributed phases; negative means overlapped work\n"
+      "(readahead, delayed writebacks) charged to the op but not its latency\n";
+
+  // Cross-check against the RPC ledger: both sides are charged once per
+  // Call with the same values, so every line must say OK.
+  int64_t calls = 0;
+  int64_t callback_calls = 0;
+  SimDuration net = 0;
+  SimDuration wait = 0;
+  SimDuration queue = 0;
+  SimDuration service = 0;
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const RpcStat& s = ledger.by_kind[static_cast<size_t>(k)];
+    calls += s.calls;
+    if (RpcTransport::IsCallback(static_cast<RpcKind>(k))) {
+      callback_calls += s.calls;
+    }
+    net += s.net_time;
+    wait += s.wait_time;
+    queue += s.queue_time;
+    service += s.service_time;
+  }
+  const auto check = [&out](const char* label, long long got, long long want) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "reconcile %s: %lld vs ledger %lld %s\n", label, got,
+                  want, got == want ? "OK" : "MISMATCH");
+    out += buf;
+  };
+  check("rpcs", sum.rpcs, calls);
+  check("callbacks", sum.callbacks, callback_calls);
+  check("wait_us", sum.rpc_wait, wait);
+  check("wire_us", sum.wire, net);
+  check("queue_us", sum.queue, queue);
+  check("service_us", sum.service, service);
+  return out;
 }
 
 }  // namespace sprite

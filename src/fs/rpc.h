@@ -122,8 +122,18 @@ class RpcTransport {
   // enabled this registers one "rpc.<kind>.latency_us" recorder per kind
   // plus "rpc.calls" / "rpc.payload_bytes" gauges over the ledger; with
   // tracing enabled every Call() emits spans for the full RPC lifecycle
-  // (issue, per-attempt timeout/backoff, blocked recovery wait, wire time).
+  // (issue, per-attempt timeout/backoff, blocked recovery wait, wire time);
+  // with critical-path attribution enabled every Call() charges its phase
+  // times to the innermost op frame (CriticalPathCollector).
   void AttachObservability(Observability* obs);
+
+  // Charges server disk time folded synchronously into a reply to the
+  // current op frame (no-op unless critical-path attribution is attached).
+  void NoteDisk(SimDuration disk) {
+    if (critical_path_ != nullptr) {
+      critical_path_->AddDisk(disk);
+    }
+  }
 
   // Null for the in-process transport.
   const Network* network() const { return network_.get(); }
@@ -231,6 +241,9 @@ class RpcTransport {
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   Observability* obs_ = nullptr;
+  // Op-frame phase attribution, resolved once at attach time (null unless
+  // ObservabilityConfig::critical_path).
+  CriticalPathCollector* critical_path_ = nullptr;
   // Per-kind latency recorders, resolved once at attach time.
   std::array<LatencyRecorder*, kRpcKindCount> latency_rec_{};
   // Scratch for the sub-phase spans Call() gathers while tracing, reused
@@ -317,6 +330,12 @@ std::string FormatRpcLatencySummary(const MetricsRegistry& metrics);
 // from an async transport additionally render queue/service-time columns
 // and per-server queue wait; sync-mode output is unchanged.
 std::string FormatRpcLedger(const RpcLedger& ledger);
+
+// Renders the critical-path breakdown (per-op-kind phase table plus a
+// reconciliation footer cross-checking the collector's phase grand totals
+// against the ledger's wait/net/queue/service columns — they must match
+// exactly, since both are charged from the same RpcTransport::Call site).
+std::string FormatCriticalPath(const CriticalPathCollector& cp, const RpcLedger& ledger);
 
 }  // namespace sprite
 

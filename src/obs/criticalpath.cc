@@ -1,0 +1,119 @@
+#include "src/obs/criticalpath.h"
+
+namespace sprite {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kOpen:
+      return "open";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kClose:
+      return "close";
+    case OpKind::kFsync:
+      return "fsync";
+    case OpKind::kDirRead:
+      return "dir-read";
+    case OpKind::kNameOp:
+      return "name-op";
+    case OpKind::kPaging:
+      return "paging";
+    case OpKind::kCleaner:
+      return "cleaner";
+    case OpKind::kRecovery:
+      return "recovery";
+    case OpKind::kBackground:
+      return "background";
+    case OpKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+void CriticalPathCollector::BeginOp(OpKind kind, int64_t client, SimTime now) {
+  Frame frame;
+  frame.kind = kind;
+  frame.client = client;
+  frame.start = now;
+  stack_.push_back(frame);
+}
+
+void CriticalPathCollector::EndOp(SimDuration e2e) {
+  if (stack_.empty()) {
+    return;
+  }
+  Frame frame = stack_.back();
+  stack_.pop_back();
+  PhaseTotals& totals = totals_[static_cast<size_t>(frame.kind)];
+  totals.ops += 1;
+  totals.e2e += e2e;
+  totals.rpc_wait += frame.phases.rpc_wait;
+  totals.wire += frame.phases.wire;
+  totals.queue += frame.phases.queue;
+  totals.service += frame.phases.service;
+  totals.disk += frame.phases.disk;
+  totals.rpcs += frame.phases.rpcs;
+  totals.callbacks += frame.phases.callbacks;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(OpKindName(frame.kind), "op", ClientTrack(frame.client), frame.start,
+                  e2e,
+                  {{"rpcs", frame.phases.rpcs},
+                   {"wait_us", frame.phases.rpc_wait},
+                   {"wire_us", frame.phases.wire},
+                   {"queue_us", frame.phases.queue},
+                   {"service_us", frame.phases.service},
+                   {"disk_us", frame.phases.disk}});
+  }
+}
+
+void CriticalPathCollector::AddRpc(SimDuration wait, SimDuration net, SimDuration queue,
+                                   SimDuration service, bool callback) {
+  PhaseTotals& sink = stack_.empty()
+                          ? totals_[static_cast<size_t>(OpKind::kBackground)]
+                          : stack_.back().phases;
+  sink.rpc_wait += wait;
+  sink.wire += net;
+  sink.queue += queue;
+  sink.service += service;
+  sink.rpcs += 1;
+  if (callback) {
+    sink.callbacks += 1;
+  }
+}
+
+void CriticalPathCollector::AddDisk(SimDuration disk) {
+  PhaseTotals& sink = stack_.empty()
+                          ? totals_[static_cast<size_t>(OpKind::kBackground)]
+                          : stack_.back().phases;
+  sink.disk += disk;
+}
+
+CriticalPathCollector::PhaseTotals CriticalPathCollector::Sum() const {
+  PhaseTotals sum;
+  for (const PhaseTotals& t : totals_) {
+    sum.ops += t.ops;
+    sum.e2e += t.e2e;
+    sum.rpc_wait += t.rpc_wait;
+    sum.wire += t.wire;
+    sum.queue += t.queue;
+    sum.service += t.service;
+    sum.disk += t.disk;
+    sum.rpcs += t.rpcs;
+    sum.callbacks += t.callbacks;
+  }
+  return sum;
+}
+
+void CriticalPathCollector::Reset() {
+  totals_.fill(PhaseTotals{});
+  // Frames open across a warmup reset keep accumulating; their phase sums
+  // land in the post-reset totals when they pop. In practice ResetMeasurements
+  // runs between events, so the stack is empty here.
+  for (Frame& frame : stack_) {
+    frame.phases = PhaseTotals{};
+  }
+}
+
+}  // namespace sprite

@@ -1,0 +1,131 @@
+// Request-level critical-path attribution.
+//
+// A logical file-system operation (open, read, write, ...) fans out into a
+// causal chain: RPC fault waits (timeouts, backoff, blocked opens, recovery
+// grace), wire transfers, server service-queue waits, server service time,
+// and synchronous disk reads folded into replies. The simulation is
+// single-threaded and runs each op's chain to completion inline, so a
+// simple op stack recovers exact causality: Client methods push an op
+// frame on entry, every RpcTransport::Call charges its phase times to the
+// innermost open frame (or to a "background" bucket when no op is active),
+// and popping the frame folds the phase sums into per-op-kind totals.
+//
+// Because AddRpc is called once per RPC with exactly the values charged to
+// the RpcLedger, the per-phase grand totals reconcile *exactly* with the
+// ledger's wait/net/queue/service columns — FormatCriticalPath (rpc.h)
+// renders the table and asserts that cross-check.
+
+#ifndef SPRITE_DFS_SRC_OBS_CRITICALPATH_H_
+#define SPRITE_DFS_SRC_OBS_CRITICALPATH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/tracer.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+enum class OpKind {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kClose,
+  kFsync,
+  kDirRead,
+  kNameOp,    // create / delete / truncate
+  kPaging,    // page faults and VM evictions
+  kCleaner,   // 30-second delayed-write cleaner ticks
+  kRecovery,  // reopen storms after a server crash
+  kBackground,  // RPCs issued with no op frame open
+  kCount,
+};
+inline constexpr int kOpKindCount = static_cast<int>(OpKind::kCount);
+
+const char* OpKindName(OpKind kind);
+
+class CriticalPathCollector {
+ public:
+  struct PhaseTotals {
+    int64_t ops = 0;
+    SimDuration e2e = 0;       // client-visible op latency
+    SimDuration rpc_wait = 0;  // timeouts, backoff, blocked opens, grace waits
+    SimDuration wire = 0;      // network time
+    SimDuration queue = 0;     // server service-queue wait (async mode)
+    SimDuration service = 0;   // server service time (async mode)
+    SimDuration disk = 0;      // synchronous server disk reads in replies
+    int64_t rpcs = 0;
+    int64_t callbacks = 0;
+
+    SimDuration attributed() const { return rpc_wait + wire + queue + service + disk; }
+  };
+
+  // RAII frame for client op entry points. `Finish` records the op's
+  // client-visible latency and passes it through, so return sites read
+  // `return op.Finish(latency);`. A null collector makes the scope a no-op.
+  class OpScope {
+   public:
+    OpScope(CriticalPathCollector* collector, OpKind kind, int64_t client, SimTime now)
+        : collector_(collector) {
+      if (collector_ != nullptr) {
+        collector_->BeginOp(kind, client, now);
+      }
+    }
+    ~OpScope() {
+      if (collector_ != nullptr) {
+        collector_->EndOp(e2e_);
+      }
+    }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+    SimDuration Finish(SimDuration e2e) {
+      e2e_ = e2e;
+      return e2e;
+    }
+
+   private:
+    CriticalPathCollector* collector_;
+    SimDuration e2e_ = 0;
+  };
+
+  // Optional: emit one "op" span per finished op on the client's track.
+  void SetTracer(SpanTracer* tracer) { tracer_ = tracer; }
+
+  void BeginOp(OpKind kind, int64_t client, SimTime now);
+  // Pops the innermost frame, crediting its client-visible latency.
+  void EndOp(SimDuration e2e);
+
+  // Called once per RPC from RpcTransport::Call with exactly the phase
+  // values charged to the RpcLedger.
+  void AddRpc(SimDuration wait, SimDuration net, SimDuration queue, SimDuration service,
+              bool callback);
+  // Called for server disk time folded synchronously into a reply.
+  void AddDisk(SimDuration disk);
+
+  const PhaseTotals& totals(OpKind kind) const {
+    return totals_[static_cast<size_t>(kind)];
+  }
+  // Grand totals across every op kind (including background).
+  PhaseTotals Sum() const;
+  bool in_op() const { return !stack_.empty(); }
+
+  void Reset();
+
+ private:
+  struct Frame {
+    OpKind kind = OpKind::kBackground;
+    int64_t client = 0;
+    SimTime start = 0;
+    PhaseTotals phases;  // this frame's own RPCs only (ops/e2e unused)
+  };
+
+  std::array<PhaseTotals, kOpKindCount> totals_{};
+  std::vector<Frame> stack_;
+  SpanTracer* tracer_ = nullptr;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_OBS_CRITICALPATH_H_

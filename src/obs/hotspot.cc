@@ -1,0 +1,174 @@
+#include "src/obs/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sprite {
+
+HotspotDetector::HotspotDetector(const HotspotConfig& config, int num_servers)
+    : config_(config), num_servers_(num_servers), state_(std::max(num_servers, 0)) {}
+
+void HotspotDetector::AttachObservability(Observability* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr && obs_->metrics_enabled()) {
+    flagged_windows_counter_ = obs_->metrics().AddCounter("hotspot.windows_flagged");
+    episodes_counter_ = obs_->metrics().AddCounter("hotspot.episodes");
+    obs_->metrics().AddGauge("hotspot.active_episodes", [this] {
+      int64_t open = 0;
+      for (const ServerState& st : state_) {
+        if (st.open) {
+          ++open;
+        }
+      }
+      return open;
+    });
+  }
+}
+
+void HotspotDetector::Observe(SimTime window_start, SimTime window_end,
+                              const std::vector<HotspotSignal>& signals) {
+  ++windows_;
+  const size_t n = std::min(signals.size(), state_.size());
+  double p99_sum = 0.0;
+  double homed_sum = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    p99_sum += static_cast<double>(signals[s].queue_p99);
+    homed_sum += static_cast<double>(signals[s].bytes_homed);
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const HotspotSignal& sig = signals[s];
+    // Compare against the mean of the *other* servers so one saturated
+    // server cannot hide inside a mean it dominates.
+    double ratio = 0.0;
+    double homed_ratio = 0.0;
+    bool skewed = true;
+    if (n > 1) {
+      const double others_p99 =
+          (p99_sum - static_cast<double>(sig.queue_p99)) / static_cast<double>(n - 1);
+      ratio = static_cast<double>(sig.queue_p99) / std::max(others_p99, 1.0);
+      const double others_homed =
+          (homed_sum - static_cast<double>(sig.bytes_homed)) / static_cast<double>(n - 1);
+      homed_ratio = static_cast<double>(sig.bytes_homed) / std::max(others_homed, 1.0);
+      // The placement gate: queue pain on a server that also homes an
+      // outsized share of the bytes is a placement hot spot (what a
+      // rebalancer can fix); a burst on a balanced placement is just load.
+      skewed = ratio >= config_.queue_ratio && homed_ratio >= config_.homed_ratio;
+    }
+    const bool hot = sig.queue_p99 >= config_.min_queue_p99 && skewed;
+    ServerState& st = state_[s];
+    if (hot) {
+      if (st.streak == 0) {
+        st.episode = HotspotEpisode{};
+        st.episode.server = static_cast<int>(s);
+        st.episode.start = window_start;
+      }
+      ++st.streak;
+      st.cool = 0;
+      st.episode.windows = st.streak;
+      st.episode.end = window_end;
+      st.episode.peak_queue_p99 = std::max(st.episode.peak_queue_p99, sig.queue_p99);
+      st.episode.peak_ratio = std::max(st.episode.peak_ratio, ratio);
+      st.episode.peak_homed_ratio = std::max(st.episode.peak_homed_ratio, homed_ratio);
+      st.episode.peak_queue_depth = std::max(st.episode.peak_queue_depth, sig.queue_depth);
+      if (!st.open && st.streak >= config_.sustain_windows) {
+        st.open = true;
+        hot_windows_ += st.streak;
+        if (episodes_counter_ != nullptr) {
+          episodes_counter_->Add(1);
+        }
+        if (flagged_windows_counter_ != nullptr) {
+          flagged_windows_counter_->Add(st.streak);
+        }
+      } else if (st.open) {
+        hot_windows_ += 1;
+        if (flagged_windows_counter_ != nullptr) {
+          flagged_windows_counter_->Add(1);
+        }
+      }
+    } else if (st.streak > 0) {
+      // Grace: bursty workloads (periodic large reads) interleave hot and
+      // quiet windows; only cool_windows consecutive quiet ones end the
+      // streak. The episode's end stays at the last *hot* window.
+      ++st.cool;
+      if (st.cool >= config_.cool_windows) {
+        if (st.open) {
+          CloseEpisode(st);
+        }
+        st.streak = 0;
+        st.cool = 0;
+      }
+    }
+  }
+}
+
+void HotspotDetector::CloseEpisode(ServerState& state) {
+  episodes_.push_back(state.episode);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit(
+        "hotspot", "hotspot", ServerTrack(state.episode.server), state.episode.start,
+        state.episode.end - state.episode.start,
+        {{"windows", state.episode.windows},
+         {"peak_p99_us", state.episode.peak_queue_p99},
+         {"peak_ratio_x100", static_cast<int64_t>(std::lround(state.episode.peak_ratio * 100.0))},
+         {"peak_depth", state.episode.peak_queue_depth}});
+  }
+  state.open = false;
+}
+
+void HotspotDetector::Finalize() {
+  for (ServerState& st : state_) {
+    if (st.open) {
+      CloseEpisode(st);
+    }
+    st.streak = 0;
+    st.cool = 0;
+  }
+}
+
+bool HotspotDetector::active(int server) const {
+  return server >= 0 && static_cast<size_t>(server) < state_.size() &&
+         state_[static_cast<size_t>(server)].open;
+}
+
+std::string HotspotDetector::Report() const {
+  char buf[320];
+  std::string out = "== Hot-spot report ==\n";
+  std::snprintf(buf, sizeof(buf),
+                "rules: win queue p99 >= %.1f ms, >= %.1fx mean of other servers, "
+                "homed bytes >= %.1fx others, sustained >= %d hot windows "
+                "(tolerating %d-window lulls)\n",
+                static_cast<double>(config_.min_queue_p99) / 1000.0, config_.queue_ratio,
+                config_.homed_ratio, config_.sustain_windows, config_.cool_windows - 1);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "windows observed: %lld | hot server-windows: %lld | episodes: %lld\n",
+                static_cast<long long>(windows_), static_cast<long long>(hot_windows_),
+                static_cast<long long>(episodes_.size()));
+  out += buf;
+  if (episodes_.empty()) {
+    out += "no hot spots detected\n";
+    return out;
+  }
+  for (const HotspotEpisode& e : episodes_) {
+    std::snprintf(buf, sizeof(buf),
+                  "server %d: HOT t=[%.1fs, %.1fs] windows=%d peak win p99=%.3f ms "
+                  "(%.1fx others) peak depth=%lld homed %.1fx others\n",
+                  e.server, ToSeconds(e.start), ToSeconds(e.end), e.windows,
+                  static_cast<double>(e.peak_queue_p99) / 1000.0, e.peak_ratio,
+                  static_cast<long long>(e.peak_queue_depth), e.peak_homed_ratio);
+    out += buf;
+  }
+  return out;
+}
+
+void HotspotDetector::Reset() {
+  for (ServerState& st : state_) {
+    st = ServerState{};
+  }
+  episodes_.clear();
+  windows_ = 0;
+  hot_windows_ = 0;
+}
+
+}  // namespace sprite

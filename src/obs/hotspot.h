@@ -1,0 +1,102 @@
+// Windowed hot-spot detector.
+//
+// Consumes the metrics time series — per-server windowed queue-wait p99,
+// queue depth, and bytes_homed — and flags servers whose queue wait stays a
+// configurable multiple above the mean of the other servers (with an
+// absolute floor) while also homing an outsized share of the bytes, for a
+// sustained run of windows. The placement gate separates skew a rebalancer
+// could fix from transient load bursts on a balanced placement. The rules
+// are pure threshold arithmetic on captured windows, so the set of flagged
+// windows is deterministic for a given seed.
+//
+// This is the signal the ROADMAP's live shard rebalancer will subscribe to:
+// under modulo placement with a skewed workload one server's service queue
+// saturates (episodes fire); hashed placement dissolves the skew on the same
+// seed (no episodes). Detection emits `hotspot.*` counters, `hotspot` spans
+// on the server's track, and a text report (sprite_analyze --hotspot-report).
+
+#ifndef SPRITE_DFS_SRC_OBS_HOTSPOT_H_
+#define SPRITE_DFS_SRC_OBS_HOTSPOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/observability.h"
+#include "src/util/units.h"
+
+namespace sprite {
+
+// Per-server inputs for one window, pulled from the latest MetricsWindow.
+struct HotspotSignal {
+  SimDuration queue_p99 = 0;  // windowed server.N.queue_us p99
+  int64_t queue_depth = 0;    // server.N.queue_depth gauge at window end
+  int64_t bytes_homed = 0;    // server.N.bytes_homed gauge at window end
+};
+
+// One sustained outlier: [start, end] spans the first through last hot
+// window of the streak (quiet grace windows inside the streak are covered
+// but not counted in `windows`).
+struct HotspotEpisode {
+  int server = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  int windows = 0;                 // hot windows in the episode
+  SimDuration peak_queue_p99 = 0;  // worst windowed p99 seen
+  double peak_ratio = 0.0;         // worst p99 ratio vs mean of others
+  double peak_homed_ratio = 0.0;   // worst bytes_homed ratio vs mean of others
+  int64_t peak_queue_depth = 0;    // worst end-of-window queue depth
+};
+
+class HotspotDetector {
+ public:
+  HotspotDetector(const HotspotConfig& config, int num_servers);
+  HotspotDetector(const HotspotDetector&) = delete;
+  HotspotDetector& operator=(const HotspotDetector&) = delete;
+
+  // Registers hotspot.* counters and resolves the tracer. Optional: without
+  // it the detector still tracks episodes, it just emits nothing.
+  void AttachObservability(Observability* obs);
+
+  // Feeds one closed window; `signals` is indexed by server id.
+  void Observe(SimTime window_start, SimTime window_end,
+               const std::vector<HotspotSignal>& signals);
+  // Closes any episode still open at end of run (emits its span).
+  void Finalize();
+
+  const std::vector<HotspotEpisode>& episodes() const { return episodes_; }
+  int64_t windows_observed() const { return windows_; }
+  // Server-windows inside flagged episodes (a window with two hot servers
+  // counts twice).
+  int64_t hot_server_windows() const { return hot_windows_; }
+  bool active(int server) const;
+
+  std::string Report() const;
+
+  // Drops episodes and streak state (warmup reset); attachments survive.
+  void Reset();
+
+ private:
+  struct ServerState {
+    int streak = 0;          // hot windows in the current streak
+    int cool = 0;            // consecutive quiet windows since the last hot one
+    bool open = false;       // streak reached sustain_windows
+    HotspotEpisode episode;  // accumulating while the streak lives
+  };
+
+  void CloseEpisode(ServerState& state);
+
+  HotspotConfig config_;
+  int num_servers_;
+  std::vector<ServerState> state_;
+  std::vector<HotspotEpisode> episodes_;
+  int64_t windows_ = 0;
+  int64_t hot_windows_ = 0;
+  Counter* flagged_windows_counter_ = nullptr;  // hotspot.windows_flagged
+  Counter* episodes_counter_ = nullptr;         // hotspot.episodes
+  Observability* obs_ = nullptr;
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_OBS_HOTSPOT_H_

@@ -59,6 +59,20 @@ LatencyRecorder* MetricsRegistry::AddLatency(const std::string& name, double min
   return &latencies_.back()->instrument;
 }
 
+void MetricsRegistry::ForEachLatency(
+    const std::function<void(const std::string&, const LatencyRecorder&)>& fn) const {
+  for (const auto& entry : latencies_) {
+    fn(entry->name, entry->instrument);
+  }
+}
+
+void MetricsRegistry::RecordSnapshot(SimTime now) {
+  history_.push_back(Snapshot(now));
+  if (history_limit_ > 0 && history_.size() > history_limit_) {
+    history_.erase(history_.begin());
+  }
+}
+
 const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
   for (const auto& entry : counters_) {
     if (entry->name == name) {

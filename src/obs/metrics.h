@@ -60,6 +60,9 @@ class LatencyRecorder {
   SimDuration total() const { return total_; }
   // Approximate quantile in microseconds (0 when nothing nonzero recorded).
   SimDuration Quantile(double q) const;
+  // Bucket state, exposed so the metrics time series can diff consecutive
+  // captures (LogHistogram::Subtract) for windowed percentiles.
+  const LogHistogram& histogram() const { return hist_; }
 
   void Reset();
 
@@ -113,13 +116,23 @@ class MetricsRegistry {
   const Counter* FindCounter(const std::string& name) const;
   const LatencyRecorder* FindLatency(const std::string& name) const;
 
+  // Visits every latency recorder in registration order. The metrics time
+  // series uses this to capture per-window histogram baselines.
+  void ForEachLatency(
+      const std::function<void(const std::string&, const LatencyRecorder&)>& fn) const;
+
   // Reads every instrument now. Samples are ordered: counters, gauges,
   // latencies, each in registration order.
   MetricsSnapshot Snapshot(SimTime now) const;
   // Takes a snapshot and appends it to the retained history (the periodic
-  // collector daemon calls this).
-  void RecordSnapshot(SimTime now) { history_.push_back(Snapshot(now)); }
+  // collector daemon calls this). When a history limit is set, the oldest
+  // snapshot is evicted once the limit is exceeded.
+  void RecordSnapshot(SimTime now);
   const std::vector<MetricsSnapshot>& history() const { return history_; }
+
+  // Bounds the retained snapshot history (0 = unbounded, the default).
+  void SetHistoryLimit(size_t limit) { history_limit_ = limit; }
+  size_t history_limit() const { return history_limit_; }
 
   // Zeroes counters and latency recorders and drops the snapshot history;
   // gauges read live state and need no reset. Used to discard a warmup
@@ -142,6 +155,7 @@ class MetricsRegistry {
   std::vector<Named<std::function<int64_t()>>> gauges_;
   std::vector<std::unique_ptr<Named<LatencyRecorder>>> latencies_;
   std::vector<MetricsSnapshot> history_;
+  size_t history_limit_ = 0;
 };
 
 // Renders one snapshot in the machine-readable format above (including the

@@ -17,11 +17,33 @@
 #ifndef SPRITE_DFS_SRC_OBS_OBSERVABILITY_H_
 #define SPRITE_DFS_SRC_OBS_OBSERVABILITY_H_
 
+#include <cstddef>
+
+#include "src/obs/criticalpath.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/tracer.h"
 #include "src/util/units.h"
 
 namespace sprite {
+
+// Deterministic rules for the windowed hot-spot detector (src/obs/hotspot.h).
+// A server is hot in a window when its windowed queue-wait p99 clears an
+// absolute floor AND a multiple of the mean of the other servers AND the
+// bytes homed on it are skewed the same way (the placement gate: a transient
+// burst on a balanced placement is load, not a hot spot a rebalancer could
+// fix). An episode is flagged once `sustain_windows` hot windows accumulate
+// without `cool_windows` consecutive quiet ones in between.
+struct HotspotConfig {
+  SimDuration min_queue_p99 = 2 * kMillisecond;  // absolute floor
+  double queue_ratio = 4.0;   // windowed p99 vs mean of the other servers
+  double homed_ratio = 2.0;   // bytes_homed vs mean of the other servers
+  int sustain_windows = 3;    // hot windows before an episode is flagged
+  // Bursty workloads (periodic large reads) interleave hot windows with
+  // quiet ones; a streak tolerates up to cool_windows - 1 consecutive quiet
+  // windows, and ends after cool_windows of them.
+  int cool_windows = 3;
+};
 
 struct ObservabilityConfig {
   // Enables the metrics registry (counters/gauges/latency recorders).
@@ -31,37 +53,69 @@ struct ObservabilityConfig {
   // When > 0 and metrics are enabled, the cluster snapshots the registry on
   // this sim-time period (the paper's user-level counter poller).
   SimDuration snapshot_interval = 0;
+  // Enables per-op critical-path attribution (src/obs/criticalpath.h).
+  bool critical_path = false;
+  // Enables the windowed hot-spot detector (requires metrics + a snapshot
+  // interval to produce windows).
+  bool hotspot = false;
+  HotspotConfig hotspot_rules;
+  // Ring capacity for the retained snapshot history and windowed series.
+  size_t history_windows = 512;
 
-  bool enabled() const { return metrics || tracing; }
+  bool enabled() const { return metrics || tracing || critical_path; }
 };
 
 class Observability {
  public:
-  explicit Observability(const ObservabilityConfig& config) : config_(config) {}
+  explicit Observability(const ObservabilityConfig& config)
+      : config_(config), series_(&metrics_, config.history_windows) {
+    metrics_.SetHistoryLimit(config.history_windows);
+    if (config_.critical_path && config_.tracing) {
+      critical_path_.SetTracer(&tracer_);
+    }
+  }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
   const ObservabilityConfig& config() const { return config_; }
   bool metrics_enabled() const { return config_.metrics; }
   bool tracing_enabled() const { return config_.tracing; }
+  bool critical_path_enabled() const { return config_.critical_path; }
+  bool hotspot_enabled() const { return config_.hotspot; }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   SpanTracer& tracer() { return tracer_; }
   const SpanTracer& tracer() const { return tracer_; }
+  MetricsTimeSeries& series() { return series_; }
+  const MetricsTimeSeries& series() const { return series_; }
+  CriticalPathCollector& critical_path() { return critical_path_; }
+  const CriticalPathCollector& critical_path() const { return critical_path_; }
 
-  // Discards recorded spans, counter values, and snapshot history (e.g. at
-  // the end of a warmup window). Registered instruments and track names are
+  // Records one snapshot + one windowed-series capture at `now` (the
+  // periodic collector daemon and the end-of-run finalizer call this).
+  void CaptureWindow(SimTime now, bool final_partial = false) {
+    metrics_.RecordSnapshot(now);
+    series_.Capture(now, final_partial);
+  }
+
+  // Discards recorded spans, counter values, snapshot history, windows, and
+  // critical-path totals (e.g. at the end of a warmup window); the series
+  // re-baselines at `now`. Registered instruments and track names are
   // wiring and survive.
-  void Reset() {
+  void Reset(SimTime now = 0) {
     metrics_.Reset();
     tracer_.Reset();
+    series_.Reset(now);
+    critical_path_.Reset();
   }
 
  private:
   ObservabilityConfig config_;
   MetricsRegistry metrics_;
   SpanTracer tracer_;
+  MetricsTimeSeries series_;
+  CriticalPathCollector critical_path_;
 };
 
 }  // namespace sprite

@@ -38,6 +38,28 @@ void AppendEvent(std::string& out, bool& first, const std::string& event) {
 
 }  // namespace
 
+int32_t CounterTrackPid(std::string_view name) {
+  for (const auto& [prefix, base] :
+       {std::pair<std::string_view, int32_t>{"server.", kServerPidBase},
+        std::pair<std::string_view, int32_t>{"client.", kClientPidBase}}) {
+    if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    int32_t id = 0;
+    size_t i = prefix.size();
+    bool any_digit = false;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9' && id < 100000) {
+      id = id * 10 + (name[i] - '0');
+      any_digit = true;
+      ++i;
+    }
+    if (any_digit && i < name.size() && name[i] == '.') {
+      return base + id;
+    }
+  }
+  return kMetricsPid;
+}
+
 void SpanTracer::Emit(const char* name, const char* category, SpanTrack track, SimTime start,
                       SimDuration duration, std::initializer_list<Span::Arg> args) {
   Span span;
@@ -116,7 +138,7 @@ void SpanTracer::WriteChromeTrace(std::ostream& out,
         AppendEscaped(e, s.name);
         std::snprintf(buf, sizeof(buf),
                       "\",\"pid\":%d,\"tid\":0,\"ts\":%lld,\"args\":{\"value\":%lld}}",
-                      kMetricsPid, static_cast<long long>(snapshot.time),
+                      CounterTrackPid(s.name), static_cast<long long>(snapshot.time),
                       static_cast<long long>(s.value));
         e += buf;
         AppendEvent(body, first, e);

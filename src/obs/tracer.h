@@ -52,6 +52,12 @@ inline constexpr SpanTrack ServerTrack(int64_t server) {
   return SpanTrack{kServerPidBase + static_cast<int32_t>(server), 1};
 }
 
+// Process a counter/gauge name belongs to in the trace export: per-machine
+// instruments ("server.<N>.x", "client.<N>.x") land on that machine's
+// process so their counter tracks line up with its spans; everything else
+// goes to the synthetic metrics process.
+int32_t CounterTrackPid(std::string_view name);
+
 struct Span {
   struct Arg {
     const char* key = "";

@@ -45,6 +45,18 @@ void LogHistogram::Merge(const LogHistogram& other) {
   total_weight_ += other.total_weight_;
 }
 
+void LogHistogram::Subtract(const LogHistogram& baseline) {
+  if (baseline.counts_.size() != counts_.size() || baseline.min_ != min_ ||
+      baseline.base_ != base_) {
+    throw std::invalid_argument("LogHistogram::Subtract: incompatible layouts");
+  }
+  total_weight_ = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] = std::max(0.0, counts_[i] - baseline.counts_[i]);
+    total_weight_ += counts_[i];
+  }
+}
+
 void LogHistogram::Reset() {
   counts_.assign(counts_.size(), 0.0);
   total_weight_ = 0.0;

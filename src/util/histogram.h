@@ -22,6 +22,11 @@ class LogHistogram {
 
   void Add(double value, double weight = 1.0);
   void Merge(const LogHistogram& other);
+  // Removes a previously-captured baseline: after Subtract, the histogram
+  // holds only the weight added since `baseline` was copied from this
+  // histogram (per-bucket difference, clamped at zero). The windowed
+  // percentiles in the metrics time series are computed this way.
+  void Subtract(const LogHistogram& baseline);
   // Zeroes every bucket; the bucket layout is preserved.
   void Reset();
 

@@ -121,6 +121,9 @@ TraceLog Generator::Run(SimDuration duration, SimDuration warmup) {
     cluster_->ResetMeasurements();
   }
   queue_.RunUntil(end_time);
+  // Capture the trailing partial metrics window (runs whose length is not a
+  // multiple of the snapshot interval) and close any open hot-spot episode.
+  cluster_->FinalizeObservability();
   const TraceLog raw = cluster_->TakeTrace();
   // Post-merge filtering, as in the paper: drop the trace-collector's and
   // the backup daemon's own records.

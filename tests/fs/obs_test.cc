@@ -148,6 +148,158 @@ TEST(ObservabilityTest, PeriodicSnapshotsCoverTheMeasuredWindow) {
   EXPECT_TRUE(saw_cache_counter);
 }
 
+TEST(ObservabilityTest, FinalPartialWindowOnlyWhenRunLengthNotAMultiple) {
+  // 12 minutes total is an exact multiple of the one-minute interval: the
+  // boundary snapshot fires from the periodic daemon (RunUntil's deadline is
+  // inclusive) and the finalizer must not double-capture.
+  Generator even(QuickParams(), ObsCluster(/*metrics=*/true, /*tracing=*/false));
+  even.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  const MetricsTimeSeries& even_series = even.cluster().observability()->series();
+  ASSERT_GT(even_series.size(), 0u);
+  EXPECT_FALSE(even_series.latest()->final_partial);
+  EXPECT_EQ(even_series.latest()->end, even.queue().now());
+  // Warmup reset re-baselines the series, so the first measured window
+  // starts at the warmup boundary.
+  EXPECT_EQ(even_series.window(0).start, 2 * kMinute);
+
+  // A run length that is not a multiple leaves a trailing 30-second tail;
+  // the finalizer captures it as a marked partial window.
+  Generator odd(QuickParams(), ObsCluster(/*metrics=*/true, /*tracing=*/false));
+  odd.Run(10 * kMinute + 30 * kSecond, /*warmup=*/2 * kMinute);
+  const MetricsTimeSeries& odd_series = odd.cluster().observability()->series();
+  ASSERT_GT(odd_series.size(), 0u);
+  EXPECT_TRUE(odd_series.latest()->final_partial);
+  EXPECT_EQ(odd_series.latest()->end, odd.queue().now());
+  EXPECT_EQ(odd_series.latest()->end - odd_series.latest()->start, 30 * kSecond);
+}
+
+TEST(ObservabilityTest, CriticalPathReconcilesExactlyWithTheLedger) {
+  ClusterConfig config = ObsCluster(/*metrics=*/true, /*tracing=*/false);
+  config.observability.critical_path = true;
+  config.rpc.async = true;  // exercise the queue/service phases too
+  Generator generator(QuickParams(), config);
+  generator.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  const Observability* obs = generator.cluster().observability();
+  ASSERT_NE(obs, nullptr);
+  const RpcLedger& ledger = generator.cluster().rpc_ledger();
+
+  int64_t ledger_calls = 0;
+  int64_t ledger_callbacks = 0;
+  SimDuration ledger_wait = 0;
+  SimDuration ledger_net = 0;
+  SimDuration ledger_queue = 0;
+  SimDuration ledger_service = 0;
+  for (int k = 0; k < kRpcKindCount; ++k) {
+    const RpcKind kind = static_cast<RpcKind>(k);
+    const RpcStat& stat = ledger.stat(kind);
+    ledger_calls += stat.calls;  // collector counts callbacks among rpcs too
+    if (RpcTransport::IsCallback(kind)) {
+      ledger_callbacks += stat.calls;
+    }
+    ledger_wait += stat.wait_time;
+    ledger_net += stat.net_time;
+    ledger_queue += stat.queue_time;
+    ledger_service += stat.service_time;
+  }
+
+  const CriticalPathCollector::PhaseTotals sum = obs->critical_path().Sum();
+  EXPECT_GT(sum.ops, 0);
+  EXPECT_EQ(sum.rpcs, ledger_calls);
+  EXPECT_EQ(sum.callbacks, ledger_callbacks);
+  EXPECT_EQ(sum.rpc_wait, ledger_wait);
+  EXPECT_EQ(sum.wire, ledger_net);
+  EXPECT_EQ(sum.queue, ledger_queue);
+  EXPECT_EQ(sum.service, ledger_service);
+
+  // Per-op rows exist for the core kernel calls, and the rendered table's
+  // reconciliation lines all pass.
+  EXPECT_GT(obs->critical_path().totals(OpKind::kRead).ops, 0);
+  EXPECT_GT(obs->critical_path().totals(OpKind::kWrite).ops, 0);
+  EXPECT_GT(obs->critical_path().totals(OpKind::kOpen).ops, 0);
+  const std::string table = FormatCriticalPath(obs->critical_path(), ledger);
+  EXPECT_NE(table.find("reconcile rpcs:"), std::string::npos);
+  EXPECT_NE(table.find("OK"), std::string::npos);
+  EXPECT_EQ(table.find("MISMATCH"), std::string::npos);
+}
+
+TEST(ObservabilityTest, CriticalPathAndHotspotDoNotPerturbTheSimulation) {
+  ClusterConfig full = ObsCluster(/*metrics=*/true, /*tracing=*/true);
+  full.observability.critical_path = true;
+  full.observability.hotspot = true;
+  Generator observed(QuickParams(), full);
+  const TraceLog observed_trace = observed.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+
+  Generator bare(QuickParams(), ObsCluster(/*metrics=*/false, /*tracing=*/false));
+  const TraceLog bare_trace = bare.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+
+  EXPECT_EQ(observed_trace, bare_trace);
+  EXPECT_EQ(observed.cluster().rpc_ledger(), bare.cluster().rpc_ledger());
+}
+
+// The sharding hot-spot scenario from bench/ablation_sharding and check.sh:
+// heavy workload (simulation tasks dominate) on the event-driven transport
+// with 2 servers. Modulo placement aims every user's simulation input at one
+// server; hash placement spreads them on the same seed.
+WorkloadParams HeavyParams() {
+  WorkloadParams p;
+  p.num_users = 8;
+  p.seed = 1991;
+  for (auto& group : p.groups) {
+    group.task_weights[static_cast<int>(TaskKind::kSimulate)] *= 4.0;
+    group.sim_input_bytes *= 2;
+  }
+  return p;
+}
+
+ClusterConfig HotspotCluster(ShardingPolicy policy) {
+  ClusterConfig c;
+  c.num_clients = 4;
+  c.num_servers = 2;
+  c.rpc.async = true;
+  c.sharding.policy = policy;
+  c.observability.metrics = true;
+  c.observability.hotspot = true;
+  c.observability.snapshot_interval = kMinute;
+  return c;
+}
+
+TEST(ObservabilityTest, HotspotFlagsModuloSkewAndStaysQuietUnderHash) {
+  Generator modulo(HeavyParams(), HotspotCluster(ShardingPolicy::kModulo));
+  modulo.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  const HotspotDetector* det = modulo.cluster().hotspot();
+  ASSERT_NE(det, nullptr);
+  ASSERT_FALSE(det->episodes().empty());
+  EXPECT_EQ(det->episodes()[0].server, 0);  // all sim inputs share residue 0 mod 2
+  EXPECT_GE(det->episodes()[0].windows, HotspotConfig{}.sustain_windows);
+  EXPECT_NE(modulo.cluster().HotspotReport().find("server 0: HOT"), std::string::npos);
+
+  Generator hashed(HeavyParams(), HotspotCluster(ShardingPolicy::kHash));
+  hashed.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+  ASSERT_NE(hashed.cluster().hotspot(), nullptr);
+  EXPECT_TRUE(hashed.cluster().hotspot()->episodes().empty());
+  EXPECT_NE(hashed.cluster().HotspotReport().find("no hot spots detected"),
+            std::string::npos);
+}
+
+TEST(ObservabilityTest, HotspotEpisodesAreDeterministicAcrossRuns) {
+  auto run_episodes = [] {
+    Generator g(HeavyParams(), HotspotCluster(ShardingPolicy::kModulo));
+    g.Run(10 * kMinute, /*warmup=*/2 * kMinute);
+    return g.cluster().hotspot()->episodes();
+  };
+  const std::vector<HotspotEpisode> a = run_episodes();
+  const std::vector<HotspotEpisode> b = run_episodes();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_EQ(a[i].windows, b[i].windows);
+    EXPECT_EQ(a[i].peak_queue_p99, b[i].peak_queue_p99);
+    EXPECT_EQ(a[i].peak_queue_depth, b[i].peak_queue_depth);
+  }
+}
+
 TEST(ObservabilityTest, ServerAndCacheSpansUseTheirOwnTracks) {
   const ObsRun run = RunObserved();
   bool saw_server_span = false;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "src/util/units.h"
 
@@ -122,6 +123,33 @@ TEST(MetricsRegistryTest, HistoryAndReset) {
   EXPECT_TRUE(m.history().empty());
   EXPECT_EQ(c->value(), 0);               // zeroed, not unregistered
   EXPECT_EQ(m.instrument_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistoryLimitBoundsRetention) {
+  MetricsRegistry m;
+  m.AddCounter("c");
+  m.SetHistoryLimit(3);
+  for (SimTime t = 1; t <= 5; ++t) {
+    m.RecordSnapshot(t);
+  }
+  ASSERT_EQ(m.history().size(), 3u);
+  EXPECT_EQ(m.history().front().time, 3);  // oldest snapshots evicted
+  EXPECT_EQ(m.history().back().time, 5);
+}
+
+TEST(MetricsRegistryTest, ForEachLatencyVisitsInRegistrationOrder) {
+  MetricsRegistry m;
+  m.AddLatency("z.second")->Record(10);
+  m.AddCounter("a.counter");
+  m.AddLatency("a.first")->Record(20);
+  std::vector<std::string> seen;
+  m.ForEachLatency([&seen](const std::string& name, const LatencyRecorder& rec) {
+    seen.push_back(name);
+    EXPECT_EQ(rec.count(), 1);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "z.second");  // registration order, not name order
+  EXPECT_EQ(seen[1], "a.first");
 }
 
 TEST(FormatMetricsSnapshotTest, RendersDocumentedLineFormat) {

@@ -99,6 +99,34 @@ TEST(SpanTracerTest, ExportsMetricsHistoryAsCounterEvents) {
             std::string::npos);
 }
 
+TEST(CounterTrackPidTest, RoutesPrefixedNamesToComponentTracks) {
+  EXPECT_EQ(CounterTrackPid("server.0.queue_depth"), kServerPidBase + 0);
+  EXPECT_EQ(CounterTrackPid("server.12.bytes_homed"), kServerPidBase + 12);
+  EXPECT_EQ(CounterTrackPid("client.3.cache_bytes"), kClientPidBase + 3);
+  // Unprefixed and cluster-wide names stay on the synthetic metrics track.
+  EXPECT_EQ(CounterTrackPid("rpc.calls"), kMetricsPid);
+  EXPECT_EQ(CounterTrackPid("sim.queue.pending"), kMetricsPid);
+  EXPECT_EQ(CounterTrackPid("hotspot.episodes"), kMetricsPid);
+  // Malformed near-misses must not route: no id, no dot after the id, or a
+  // non-numeric id.
+  EXPECT_EQ(CounterTrackPid("server."), kMetricsPid);
+  EXPECT_EQ(CounterTrackPid("server.7"), kMetricsPid);
+  EXPECT_EQ(CounterTrackPid("server.x.queue"), kMetricsPid);
+  EXPECT_EQ(CounterTrackPid("servers.0.queue"), kMetricsPid);
+}
+
+TEST(CounterTrackPidTest, GaugesExportOnPerServerTracks) {
+  MetricsRegistry metrics;
+  metrics.AddGauge("server.1.queue_depth", [] { return int64_t{4}; });
+  metrics.RecordSnapshot(1000);
+  SpanTracer tracer;
+  std::ostringstream out;
+  tracer.WriteChromeTrace(out, &metrics);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("{\"ph\":\"C\",\"name\":\"server.1.queue_depth\",\"pid\":1001,"),
+            std::string::npos);
+}
+
 TEST(SpanTracerTest, SpanEqualityComparesContentNotPointers) {
   const std::string name1 = "open";
   const std::string name2 = "open";  // distinct storage, equal content

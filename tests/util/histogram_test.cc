@@ -134,6 +134,44 @@ TEST(LogHistogramTest, MergeCombinesBucketwise) {
   EXPECT_DOUBLE_EQ(b.total_weight(), 2.0);
 }
 
+TEST(LogHistogramTest, SubtractRemovesBaselineBucketwise) {
+  LogHistogram h(1.0, 64.0, 2.0);
+  h.Add(3.0, 2.0);   // [2,4)
+  h.Add(10.0);       // [8,16)
+  LogHistogram baseline = h;  // snapshot at a window boundary
+  h.Add(3.0);        // window adds one more fast sample
+  h.Add(1000.0);     // ... and an overflow
+  h.Subtract(baseline);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketWeight(2), 1.0);  // the new [2,4) sample survives
+  EXPECT_DOUBLE_EQ(h.BucketWeight(h.bucket_count() - 1), 1.0);
+  // The quantiles now describe only the window's samples.
+  EXPECT_GT(h.ApproxQuantile(0.99), 64.0);
+  // The baseline itself is untouched.
+  EXPECT_DOUBLE_EQ(baseline.total_weight(), 3.0);
+}
+
+TEST(LogHistogramTest, SubtractClampsNegativeDifferencesToZero) {
+  // A baseline with weight the current histogram lacks (e.g. after an
+  // external Reset) must clamp at zero rather than produce negative mass.
+  LogHistogram h(1.0, 64.0, 2.0);
+  LogHistogram baseline(1.0, 64.0, 2.0);
+  baseline.Add(3.0, 5.0);
+  h.Add(3.0);
+  h.Add(10.0);
+  h.Subtract(baseline);
+  EXPECT_DOUBLE_EQ(h.BucketWeight(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+}
+
+TEST(LogHistogramTest, SubtractRejectsIncompatibleLayouts) {
+  LogHistogram h(1.0, 64.0, 2.0);
+  LogHistogram other_range(1.0, 128.0, 2.0);
+  LogHistogram other_base(1.0, 64.0, 1.25);
+  EXPECT_THROW(h.Subtract(other_range), std::invalid_argument);
+  EXPECT_THROW(h.Subtract(other_base), std::invalid_argument);
+}
+
 TEST(LogHistogramTest, ResetZeroesWeightsButKeepsLayout) {
   LogHistogram h(1.0, 100.0, 2.0);
   const size_t buckets = h.bucket_count();

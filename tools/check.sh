@@ -22,6 +22,13 @@
 # stdout hash and kernel dispatched-event count must match the committed
 # values in tools/baselines/sim_hash_u8c4s2m10w2.txt — perf refactors of the
 # event queue / RPC / cache layers must not move either.
+# A sixth smoke covers observability v2: the windowed metrics / critical-path
+# / hot-spot streams route to --metrics-out (never stdout), the critical-path
+# table reconciles against the RPC ledger, the hot-spot detector flags the
+# modulo-placement server in the heavy+async skew scenario and stays quiet
+# under hash on the same seed, gauge counter tracks route to per-server pids
+# in the Perfetto export, and a full-observability run leaves the paper
+# tables byte-identical to the committed determinism baseline.
 # Finally (plain mode only) a perf gate builds a Release tree and runs the
 # BM_SimulateCluster trajectory via tools/bench_trajectory.py check: a >10%
 # events/sec regression against the newest committed BENCH_sim_*.json entry
@@ -44,7 +51,8 @@ metrics_smoke() {
     --servers 2 --minutes 30 --warmup 5 --heavy --metrics \
     --metrics-interval 60 --trace-out "${smoke_json}" > "${smoke_out}"
   for needle in \
-      "# sprite-metrics v1" \
+      "# sprite-metrics v2" \
+      "window seq=0" \
       "gauge sim.queue.dispatched" \
       "counter cache.miss_fills" \
       "latency rpc.read-block.latency_us"; do
@@ -222,6 +230,83 @@ determinism_smoke() {
   echo "determinism smoke: hash and event count match (${dispatched})"
 }
 
+obs_v2_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: observability v2 smoke =="
+  # The sharding hot-spot scenario: heavy + async + modulo placement aims
+  # every user's simulation input at server 0; the detector must flag it.
+  hot_metrics="${build_dir}/obs_v2_hot.metrics"
+  hot_out="${build_dir}/obs_v2_hot.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --heavy --async \
+    --metrics --critical-path --hotspot-report \
+    --metrics-out "${hot_metrics}" > "${hot_out}" 2> /dev/null
+  for needle in \
+      "# sprite-metrics v2" \
+      "window seq=0" \
+      "win_p99_us=" \
+      "== Critical path" \
+      "reconcile rpcs:" \
+      "== Hot-spot report ==" \
+      "server 0: HOT"; do
+    if ! grep -qF "${needle}" "${hot_metrics}"; then
+      echo "obs v2 smoke: '${needle}' missing from ${hot_metrics}" >&2
+      exit 1
+    fi
+  done
+  if grep -q "MISMATCH" "${hot_metrics}"; then
+    echo "obs v2 smoke: critical-path totals do not reconcile with the ledger" >&2
+    grep "MISMATCH" "${hot_metrics}" >&2
+    exit 1
+  fi
+  if grep -qE "sprite-metrics|reconcile|Hot-spot" "${hot_out}"; then
+    echo "obs v2 smoke: metric streams leaked onto stdout despite --metrics-out" >&2
+    exit 1
+  fi
+  # Same seed, hash placement: the skew dissolves and the detector is quiet.
+  quiet_metrics="${build_dir}/obs_v2_quiet.metrics"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --heavy --async --shard-policy hash \
+    --hotspot-report --metrics-out "${quiet_metrics}" > /dev/null 2> /dev/null
+  if ! grep -qF "no hot spots detected" "${quiet_metrics}"; then
+    echo "obs v2 smoke: detector fired under hash placement" >&2
+    exit 1
+  fi
+  # Gauge/counter series render as per-server counter tracks in Perfetto.
+  obs_json="${build_dir}/obs_v2_trace.json"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --async --metrics \
+    --trace-out "${obs_json}" > /dev/null 2> /dev/null
+  python3 - "${obs_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+tracks = {}
+for e in doc["traceEvents"]:
+    if e.get("ph") == "C":
+        tracks.setdefault(e["name"], set()).add(e["pid"])
+assert tracks.get("rpc.calls") == {9999}, "unprefixed counters must stay on the metrics track"
+for s in (0, 1):
+    name = f"server.{s}.queue_depth"
+    assert tracks.get(name) == {1000 + s}, f"{name} not routed to the server {s} track"
+print(f"obs v2 smoke: {len(tracks)} counter tracks, per-server routing OK")
+EOF
+  # Full observability routed through --metrics-out must leave the paper
+  # tables byte-identical to the committed determinism baseline.
+  det_full="${build_dir}/obs_v2_det.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --rpc-ledger --metrics \
+    --critical-path --hotspot-report \
+    --metrics-out "${build_dir}/obs_v2_det.metrics" > "${det_full}" 2> /dev/null
+  expected_hash="$(grep '^sha256 ' tools/baselines/sim_hash_u8c4s2m10w2.txt | cut -d' ' -f2)"
+  hash="$(sha256sum "${det_full}" | cut -d' ' -f1)"
+  if [ "${hash}" != "${expected_hash}" ]; then
+    echo "obs v2 smoke: obs-on stdout hash ${hash} != committed ${expected_hash}" >&2
+    exit 1
+  fi
+  echo "obs v2 smoke: verdicts, reconciliation, track routing, and baseline OK"
+}
+
 perf_gate() {
   build_dir="build-release"
   echo "== ${build_dir}: perf gate =="
@@ -247,6 +332,7 @@ run_pass() {
   async_smoke "${build_dir}"
   sharding_smoke "${build_dir}"
   determinism_smoke "${build_dir}"
+  obs_v2_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

@@ -11,15 +11,31 @@
 // through the RPC transport model and prints the per-kind ledger table.
 //
 // Observability options:
-//   --metrics              collect and print metrics (snapshot history in
-//                          the sprite-metrics v1 format documented in
-//                          DESIGN.md "Observability", plus per-RPC-kind
-//                          p50/p90/p99 latency percentiles)
+//   --metrics              collect and print metrics. Live --simulate runs
+//                          print the windowed time series (sprite-metrics v2:
+//                          per-window deltas, rates, and windowed latency
+//                          percentiles; DESIGN.md "Observability v2"); trace
+//                          replay falls back to the v1 snapshot history. Both
+//                          modes append per-RPC-kind p50/p90/p99 latency
+//                          percentiles.
 //   --metrics-interval N   registry snapshot period in seconds (default 60;
 //                          implies --metrics)
+//   --metrics-out FILE     write the metric streams (--metrics windows,
+//                          --critical-path, --hotspot-report) to FILE instead
+//                          of interleaving them with the paper tables on
+//                          stdout; --metrics-out=FILE also accepted
+//   --critical-path        collect per-operation critical-path frames and
+//                          print the "where the time goes" table attributing
+//                          end-to-end op latency to RPC wait / wire / queue /
+//                          service / disk phases, cross-checked against the
+//                          RPC ledger (requires --simulate)
+//   --hotspot-report       run the windowed hot-spot detector over the
+//                          per-server series and print flagged episodes
+//                          (implies --metrics; requires --simulate)
 //   --trace-out FILE       write spans as Chrome trace-event JSON, loadable
 //                          in Perfetto (ui.perfetto.dev); --trace-out=FILE
-//                          also accepted
+//                          also accepted. Gauges/counters export as per-track
+//                          counter series alongside the spans.
 //
 // With a trace-file input the observability data is reconstructed by the
 // ledger replay, which can only see trace-visible RPC kinds (paging never
@@ -95,25 +111,43 @@ void Usage() {
       stderr,
       "usage: sprite_analyze [--text] [--interval SECONDS] [--rpc-ledger]\n"
       "                      [--metrics] [--metrics-interval SECONDS]\n"
-      "                      [--trace-out FILE] TRACE\n"
+      "                      [--metrics-out FILE] [--trace-out FILE] TRACE\n"
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
       "                      [--async] [--crash-schedule SPEC]\n"
       "                      [--shard-policy modulo|hash|range|dir-affinity]\n"
-      "                      [--shard-report]\n"
+      "                      [--shard-report] [--critical-path] [--hotspot-report]\n"
       "                      [observability options as above]\n");
 }
 
-void PrintMetrics(const Observability& obs, SimTime now) {
+void PrintMetrics(const Observability& obs, SimTime now, FILE* sink) {
   const MetricsRegistry& metrics = obs.metrics();
-  std::printf("\n== Metrics (sprite-metrics v1; see DESIGN.md \"Observability\") ==\n");
-  for (const MetricsSnapshot& snapshot : metrics.history()) {
-    std::printf("%s", FormatMetricsSnapshot(snapshot).c_str());
+  const MetricsTimeSeries& series = obs.series();
+  if (series.size() > 0) {
+    // Live cluster: windowed time series (deltas/rates plus windowed latency
+    // percentiles). The final window carries final_partial=1 when the run
+    // length was not a multiple of the snapshot interval.
+    std::fprintf(sink,
+                 "\n== Metrics (sprite-metrics v2, windowed; see DESIGN.md "
+                 "\"Observability v2\") ==\n");
+    if (series.windows_evicted() > 0) {
+      std::fprintf(sink, "# %lld oldest windows evicted (ring capacity %zu)\n",
+                   static_cast<long long>(series.windows_evicted()), series.capacity());
+    }
+    for (size_t i = 0; i < series.size(); ++i) {
+      std::fprintf(sink, "%s", FormatMetricsWindow(series.window(i)).c_str());
+    }
+  } else {
+    // Trace replay reconstructs plain snapshots only; keep the v1 stream.
+    std::fprintf(sink, "\n== Metrics (sprite-metrics v1; see DESIGN.md \"Observability\") ==\n");
+    for (const MetricsSnapshot& snapshot : metrics.history()) {
+      std::fprintf(sink, "%s", FormatMetricsSnapshot(snapshot).c_str());
+    }
+    // Final snapshot at end of run, regardless of the periodic history.
+    std::fprintf(sink, "%s", FormatMetricsSnapshot(metrics.Snapshot(now)).c_str());
   }
-  // Final snapshot at end of run, regardless of the periodic history.
-  std::printf("%s", FormatMetricsSnapshot(metrics.Snapshot(now)).c_str());
-  std::printf("\n== RPC latency percentiles (from recorded spans) ==\n%s",
-              FormatRpcLatencySummary(metrics).c_str());
+  std::fprintf(sink, "\n== RPC latency percentiles (from recorded spans) ==\n%s",
+               FormatRpcLatencySummary(metrics).c_str());
 }
 
 bool WriteTraceJson(const Observability& obs, const std::string& path) {
@@ -137,10 +171,13 @@ int main(int argc, char** argv) {
   bool async_rpc = false;
   bool heavy = false;
   bool shard_report = false;
+  bool critical_path = false;
+  bool hotspot_report = false;
   ShardingPolicy shard_policy = ShardingPolicy::kModulo;
   SimDuration interval = 10 * kMinute;
   SimDuration metrics_interval = kMinute;
   std::string trace_out;
+  std::string metrics_out;
   std::string crash_schedule_spec;
   std::string path;
   int users = 20;
@@ -180,6 +217,14 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg == "--critical-path") {
+      critical_path = true;
+    } else if (arg == "--hotspot-report") {
+      hotspot_report = true;
     } else if (arg == "--shard-report") {
       shard_report = true;
     } else if ((arg == "--shard-policy" && i + 1 < argc) || arg.rfind("--shard-policy=", 0) == 0) {
@@ -239,6 +284,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if ((critical_path || hotspot_report) && !simulate) {
+    std::fprintf(stderr, "--critical-path / --hotspot-report require --simulate\n");
+    Usage();
+    return 2;
+  }
   FaultSchedule fault_schedule;
   if (!crash_schedule_spec.empty()) {
     try {
@@ -249,7 +299,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ObservabilityConfig obs_config{metrics, !trace_out.empty(), metrics_interval};
+  ObservabilityConfig obs_config;
+  // The detector consumes the windowed series, so --hotspot-report turns the
+  // registry on even without --metrics (windows print only with --metrics).
+  obs_config.metrics = metrics || hotspot_report;
+  obs_config.tracing = !trace_out.empty();
+  obs_config.snapshot_interval = metrics_interval;
+  obs_config.critical_path = critical_path;
+  obs_config.hotspot = hotspot_report;
 
   TraceLog trace;
   // Live-cluster mode: the cluster owns the Observability; replay mode
@@ -443,8 +500,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Metric streams (windows, critical path, hot spots) go to --metrics-out
+  // when given, so they never interleave with the paper tables on stdout.
+  FILE* metrics_file = nullptr;
+  FILE* msink = stdout;
+  if (!metrics_out.empty()) {
+    metrics_file = std::fopen(metrics_out.c_str(), "w");
+    if (metrics_file == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    msink = metrics_file;
+  }
   if (metrics && obs != nullptr) {
-    PrintMetrics(*obs, end_time);
+    PrintMetrics(*obs, end_time, msink);
+  }
+  if (critical_path && obs != nullptr) {
+    std::fprintf(msink, "\n== Critical path (where the time goes) ==\n%s",
+                 FormatCriticalPath(obs->critical_path(),
+                                    generator->cluster().rpc_ledger()).c_str());
+  }
+  if (hotspot_report && generator != nullptr) {
+    std::fprintf(msink, "\n%s", generator->cluster().HotspotReport().c_str());
+  }
+  if (metrics_file != nullptr) {
+    std::fclose(metrics_file);
+    std::fprintf(stderr, "wrote metric streams to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty() && obs != nullptr) {
     if (!WriteTraceJson(*obs, trace_out)) {
