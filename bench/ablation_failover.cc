@@ -1,0 +1,138 @@
+// Ablation: availability under server crashes — reopen-storm recovery vs
+// primary/backup fail-over.
+//
+// Baker et al.'s Sprite rebuilds a rebooted server's open-state table from
+// client reopens: every crash costs the full outage plus a reopen storm and
+// grace window, and the server-cache dirty bytes die with the machine. With
+// replication the primary shadows open registrations and dirty writebacks to
+// a deterministic backup, so a crash is a promotion plus a short shadow-delta
+// replay instead. This bench runs the SAME workload under the SAME crash
+// schedule twice — replication off, then on — and compares the availability
+// gap, the recovery traffic, and the dirty data lost, plus the steady-state
+// shadow-RPC tax the fail-over capability costs.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/fs/recovery.h"
+#include "src/util/table.h"
+
+using namespace sprite;
+
+namespace {
+
+struct AvailabilityResult {
+  int64_t failovers = 0;
+  int64_t degraded = 0;
+  SimDuration mean_failover = 0;   // availability gap per crash, replication on
+  int64_t reopen_rpcs = 0;
+  SimDuration storm_p99 = 0;
+  int64_t blocked_waits = 0;
+  SimDuration wait_time = 0;       // total fault-induced wait across all RPCs
+  int64_t dirty_lost = 0;          // server dirty bytes that never reached disk
+  int64_t dirty_preserved = 0;     // shadowed dirty bytes the backup replayed
+  int64_t stale_handles = 0;
+  int64_t shadow_rpcs = 0;
+  int64_t shadow_kb = 0;
+};
+
+AvailabilityResult RunWith(const sprite_bench::Scale& scale, bool replication,
+                           const FaultSchedule& schedule) {
+  WorkloadParams params = sprite_bench::DefaultWorkload(scale);
+  ClusterConfig cluster_config = sprite_bench::DefaultCluster(scale);
+  cluster_config.observability.metrics = true;
+  cluster_config.replication.enabled = replication;
+  Generator generator(params, cluster_config);
+  ApplyFaultSchedule(generator.cluster(), schedule);
+  generator.Run(scale.duration, scale.warmup);
+
+  const Cluster& c = generator.cluster();
+  const MetricsRegistry& metrics = c.observability()->metrics();
+  const auto counter = [&](const char* name) {
+    const Counter* v = metrics.FindCounter(name);
+    return v != nullptr ? v->value() : 0;
+  };
+  AvailabilityResult result;
+  result.failovers = c.failovers();
+  result.degraded = c.degraded_crashes();
+  result.mean_failover =
+      c.failovers() > 0 ? c.total_failover_us() / c.failovers() : 0;
+  result.dirty_lost = counter("recovery.server_dirty_lost_bytes");
+  result.dirty_preserved = c.failover_preserved_bytes();
+  result.stale_handles = counter("recovery.stale_handles");
+  if (const LatencyRecorder* storm = metrics.FindLatency("recovery.reopen_storm_us")) {
+    result.storm_p99 = storm->Quantile(0.99);
+  }
+  const RpcLedger& ledger = c.rpc_ledger();
+  result.reopen_rpcs = ledger.stat(RpcKind::kReopen).calls;
+  for (const RpcStat& s : ledger.by_kind) {
+    result.blocked_waits += s.blocked_waits;
+    result.wait_time += s.wait_time;
+  }
+  result.shadow_rpcs = ledger.stat(RpcKind::kShadowOpen).calls +
+                       ledger.stat(RpcKind::kShadowClose).calls +
+                       ledger.stat(RpcKind::kShadowWrite).calls;
+  result.shadow_kb = (ledger.stat(RpcKind::kShadowOpen).payload_bytes +
+                      ledger.stat(RpcKind::kShadowClose).payload_bytes +
+                      ledger.stat(RpcKind::kShadowWrite).payload_bytes) /
+                     1024;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  sprite_bench::Scale scale = sprite_bench::DefaultScale();
+  scale.duration = std::min<SimDuration>(scale.duration, 60 * kMinute);
+  scale.warmup = std::min<SimDuration>(scale.warmup, 15 * kMinute);
+
+  sprite_bench::PrintHeader(
+      "Ablation: availability — reopen-storm recovery vs primary/backup fail-over",
+      "Identical crash schedules; only the replication switch differs between rows.");
+
+  // Three single-server crashes (each 20 s) plus one correlated two-server
+  // group, all inside the measured window. The correlated group kills a
+  // primary together with its backup, so even replication degrades there —
+  // that row's point.
+  FaultSchedule schedule;
+  for (int k = 1; k <= 3; ++k) {
+    CrashEvent crash;
+    crash.server = 0;
+    crash.at = scale.warmup + k * (scale.duration / 5);
+    crash.down_for = 20 * kSecond;
+    schedule.crashes.push_back(crash);
+  }
+  for (ServerId s = 2; s <= 3; ++s) {
+    CrashEvent crash;
+    crash.server = s;
+    crash.at = scale.warmup + 4 * (scale.duration / 5);
+    crash.down_for = 20 * kSecond;
+    schedule.crashes.push_back(crash);
+  }
+
+  TextTable table({"Replication", "Failovers", "Degraded", "Mean failover", "Reopen RPCs",
+                   "Storm p99", "Blocked waits", "Fault wait", "Dirty lost",
+                   "Dirty preserved", "Stale handles", "Shadow RPCs", "Shadow KB"});
+  for (const bool replication : {false, true}) {
+    const AvailabilityResult r = RunWith(scale, replication, schedule);
+    table.AddRow({replication ? "on" : "off", std::to_string(r.failovers),
+                  std::to_string(r.degraded), FormatDuration(r.mean_failover),
+                  std::to_string(r.reopen_rpcs), FormatDuration(r.storm_p99),
+                  std::to_string(r.blocked_waits), FormatDuration(r.wait_time),
+                  FormatBytes(r.dirty_lost), FormatBytes(r.dirty_preserved),
+                  std::to_string(r.stale_handles), std::to_string(r.shadow_rpcs),
+                  std::to_string(r.shadow_kb)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Reading: with replication off every crash costs the full outage (blocked\n");
+  std::printf("waits, fault wait time), a reopen storm, and the server-cache dirty bytes.\n");
+  std::printf("With replication on, single-server crashes fail over in roughly the\n");
+  std::printf("detection delay — no reopens, dirty bytes preserved — at the price of the\n");
+  std::printf("steady-state shadow-RPC stream; only the correlated group (primary and\n");
+  std::printf("backup down together) still degrades to the classic recovery path.\n");
+  sprite_bench::PrintScale(scale);
+  return 0;
+}

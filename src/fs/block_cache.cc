@@ -275,6 +275,19 @@ std::vector<uint64_t> BlockCache::DirtyFiles() const {
   return std::vector<uint64_t>(dirty_files_.begin(), dirty_files_.end());
 }
 
+void BlockCache::ForEachDirtyBlock(
+    uint64_t file, const std::function<void(int64_t block, int64_t extent)>& fn) const {
+  auto fit = files_.find(file);
+  if (fit == files_.end() || fit->second.dirty_count == 0) {
+    return;
+  }
+  for (const auto& [index, entry] : fit->second.blocks) {
+    if (entry->dirty) {
+      fn(index, entry->dirty_extent);
+    }
+  }
+}
+
 uint64_t BlockCache::CachedVersion(uint64_t file) const {
   auto fit = files_.find(file);
   return fit == files_.end() ? 0 : fit->second.version;

@@ -112,6 +112,12 @@ class BlockCache {
   // deterministic reopen storms during crash recovery).
   std::vector<uint64_t> DirtyFiles() const;
 
+  // Visits every dirty block of `file` in ascending block order with its
+  // dirty extent, without touching LRU or dirty state. Replication uses this
+  // to rebuild a standby's shadow from the live primary's cache.
+  void ForEachDirtyBlock(uint64_t file,
+                         const std::function<void(int64_t block, int64_t extent)>& fn) const;
+
   // The version last reported/adopted for `file`, or 0 if unknown.
   uint64_t CachedVersion(uint64_t file) const;
 

@@ -20,6 +20,14 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
   if (config.num_clients <= 0 || config.num_servers <= 0) {
     throw std::invalid_argument("Cluster: need at least one client and one server");
   }
+  if (config.replication.enabled) {
+    // Throws on unreplicable configs (one server, self-backup offset).
+    replica_ = std::make_unique<ReplicaMap>(config.replication, config.num_servers);
+    // Before AttachObservability: the shadow-kind latency recorders exist
+    // only in replication-on runs (off-mode metric output stays identical).
+    transport_->SetReplicationEnabled(true);
+  }
+  down_until_.assign(static_cast<size_t>(config.num_servers), 0);
   transport_->AttachObservability(obs_.get());
   if (obs_ != nullptr && obs_->metrics_enabled() && config.observability.hotspot) {
     hotspot_ = std::make_unique<HotspotDetector>(config.observability.hotspot_rules,
@@ -43,6 +51,15 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
                [this] { return static_cast<int64_t>(queue_.dispatched_count()); });
     m.AddGauge("sim.queue.max_pending",
                [this] { return static_cast<int64_t>(queue_.max_pending_count()); });
+    if (replica_ != nullptr) {
+      // Fail-over instruments exist only in replication-on runs, after the
+      // recovery counters above so off-mode registration order is unchanged.
+      failover_rec_ = m.AddLatency("recovery.failover_us");
+      failover_counter_ = m.AddCounter("recovery.failovers");
+      degraded_counter_ = m.AddCounter("recovery.degraded_crashes");
+      preserved_counter_ = m.AddCounter("recovery.failover_preserved_bytes");
+      resync_counter_ = m.AddCounter("recovery.resyncs");
+    }
   }
   servers_.reserve(static_cast<size_t>(config.num_servers));
   for (int s = 0; s < config.num_servers; ++s) {
@@ -63,6 +80,26 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
       const ServerId sid = servers_.back()->id();
       obs_->metrics().AddGauge("server." + std::to_string(s) + ".files_placed",
                                [this, sid] { return placement_.files_placed(sid); });
+      if (replica_ != nullptr) {
+        // Homes this server currently serves: 1 = plain primary, 0 = failed
+        // over, 2+ = absorbed a failed peer's homes.
+        obs_->metrics().AddGauge("server." + std::to_string(s) + ".role",
+                                 [this, sid] { return replica_->ActiveHomeCount(sid); });
+      }
+    }
+  }
+
+  if (replica_ != nullptr) {
+    // A primary's disk flush makes the block durable: the standby shadowing
+    // that home drops the extent so the shadow tracks only at-risk bytes.
+    for (auto& server : servers_) {
+      server->SetShadowFlushHook([this](FileId file, int64_t block) {
+        const ServerId home = sharder_->ServerFor(file);
+        if (!replica_->shadowing(home)) {
+          return;
+        }
+        servers_[replica_->standby(home)]->ShadowBlockClean(file, block);
+      });
     }
   }
 
@@ -76,7 +113,7 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     const ClientId id = static_cast<ClientId>(c);
     // Each client's router hands out stubs that route through the transport.
     Client::ServerRouter router = [this, id](FileId file) {
-      return ServerStub(id, ServerForFile(file), *transport_);
+      return ServerStub(id, ServerForFile(file), *transport_, StandbyForFile(file));
     };
     clients_.push_back(std::make_unique<Client>(id, config.client, std::move(router), sink,
                                                 &handle_counter_));
@@ -97,9 +134,22 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
 }
 
 Server& Cluster::ServerForFile(FileId file) {
-  const ServerId server = sharder_->ServerFor(file);
-  placement_.Note(server, file);
-  return *servers_[server];
+  const ServerId home = sharder_->ServerFor(file);
+  // The ledger records the POLICY's placement decision; which physical
+  // replica serves the home is the replication layer's concern.
+  placement_.Note(home, file);
+  return *servers_[replica_ != nullptr ? replica_->active(home) : home];
+}
+
+Server* Cluster::StandbyForFile(FileId file) {
+  if (replica_ == nullptr) {
+    return nullptr;
+  }
+  const ServerId home = sharder_->ServerFor(file);
+  if (!replica_->shadowing(home)) {
+    return nullptr;  // standby down or not yet resynced: shadowing paused
+  }
+  return servers_[replica_->standby(home)].get();
 }
 
 void Cluster::StartDaemons(SimDuration sample_period) {
@@ -246,22 +296,142 @@ TrafficCounters Cluster::AggregateTrafficCounters() const {
 int64_t Cluster::CrashServer(ServerId server, SimDuration down_for) {
   const SimTime now = queue_.now();
   Server& s = *servers_.at(server);
+  if (replica_ == nullptr) {
+    const int64_t lost = s.Crash(now);
+    // The transport learns the new epoch immediately: no request completes
+    // while the server is down, so the bump cannot be observed early.
+    transport_->ScheduleServerCrash(server, now, now + down_for, s.epoch());
+    if (server_crash_counter_ != nullptr) {
+      server_crash_counter_->Add();
+      server_crash_dirty_lost_->Add(lost);
+    }
+    if (obs_ != nullptr && obs_->tracing_enabled()) {
+      const auto epoch = static_cast<int64_t>(s.epoch());
+      obs_->tracer().Emit("server.down", "recovery", ServerTrack(server), now, down_for,
+                          {{"epoch", epoch}, {"dirty_lost", lost}});
+      obs_->tracer().Emit("server.recovering", "recovery", ServerTrack(server), now + down_for,
+                          transport_->config().recovery_grace, {{"epoch", epoch}});
+    }
+    return lost;
+  }
+
+  // Replication path. Overlapping crashes extend the outage; the stale
+  // rejoin event checks down_until_ and yields to the later one.
+  down_until_[server] = std::max(down_until_[server], now + down_for);
   const int64_t lost = s.Crash(now);
-  // The transport learns the new epoch immediately: no request completes
-  // while the server is down, so the bump cannot be observed early.
-  transport_->ScheduleServerCrash(server, now, now + down_for, s.epoch());
   if (server_crash_counter_ != nullptr) {
     server_crash_counter_->Add();
-    server_crash_dirty_lost_->Add(lost);
   }
-  if (obs_ != nullptr && obs_->tracing_enabled()) {
-    const auto epoch = static_cast<int64_t>(s.epoch());
+  const auto epoch = static_cast<int64_t>(s.epoch());
+  const bool tracing = obs_ != nullptr && obs_->tracing_enabled();
+  if (tracing) {
     obs_->tracer().Emit("server.down", "recovery", ServerTrack(server), now, down_for,
                         {{"epoch", epoch}, {"dirty_lost", lost}});
-    obs_->tracer().Emit("server.recovering", "recovery", ServerTrack(server), now + down_for,
-                        transport_->config().recovery_grace, {{"epoch", epoch}});
   }
+  bool degraded = false;
+  for (ServerId home : replica_->HomesActiveOn(server)) {
+    if (!replica_->shadowing(home)) {
+      // No live shadow (the standby is down too, or has not resynced after
+      // its own crash): this home rides out the classic reopen-storm
+      // recovery below.
+      degraded = true;
+      continue;
+    }
+    // Fail over: the standby becomes the home's active replica. It adopts
+    // the home's disk image, replays the shadow delta into real state, and
+    // is unavailable while the failure detector fires and the replay runs —
+    // that window is the fail-over availability gap.
+    const ServerId backup = replica_->standby(home);
+    replica_->Promote(home);
+    Server& b = *servers_[backup];
+    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    const int64_t files_adopted = b.TakeOverMetadata(s, mine);
+    const Server::FailoverDelta delta = b.InstallShadow(mine, now);
+    const SimDuration failover_us = config_.replication.detection_delay +
+                                    delta.entries * config_.replication.replay_per_entry;
+    transport_->SetServerUnavailable(backup, now, now + failover_us);
+    ++failovers_;
+    preserved_bytes_ += delta.preserved_bytes;
+    total_failover_us_ += failover_us;
+    if (failover_rec_ != nullptr) {
+      failover_rec_->Record(failover_us);
+      failover_counter_->Add();
+      preserved_counter_->Add(delta.preserved_bytes);
+    }
+    if (tracing) {
+      obs_->tracer().Emit("failover", "recovery", ServerTrack(backup), now, failover_us,
+                          {{"home", static_cast<int64_t>(home)},
+                           {"entries", delta.entries},
+                           {"files_adopted", files_adopted},
+                           {"preserved_bytes", delta.preserved_bytes}});
+    }
+  }
+  // Shadows this server was providing die with its memory; the homes they
+  // covered fail over no more until it rejoins and resyncs.
+  for (ServerId home : replica_->HomesStandbyOn(server)) {
+    replica_->SetShadowing(home, false);
+  }
+  if (degraded) {
+    // Correlated failure: classic Sprite recovery for the unshadowed homes —
+    // epoch bump, reopen storm, grace window, dirty bytes lost.
+    ++degraded_crashes_;
+    transport_->ScheduleServerCrash(server, now, now + down_for, s.epoch());
+    if (server_crash_dirty_lost_ != nullptr) {
+      server_crash_dirty_lost_->Add(lost);
+    }
+    if (degraded_counter_ != nullptr) {
+      degraded_counter_->Add();
+    }
+    if (tracing) {
+      obs_->tracer().Emit("server.recovering", "recovery", ServerTrack(server), now + down_for,
+                          transport_->config().recovery_grace, {{"epoch", epoch}});
+    }
+  }
+  queue_.Schedule(now + down_for, [this, server] { RejoinServer(server); });
   return lost;
+}
+
+void Cluster::RejoinServer(ServerId server) {
+  const SimTime now = queue_.now();
+  if (replica_ == nullptr || now < down_until_[server]) {
+    return;  // a later overlapping crash extended the outage; its event wins
+  }
+  const bool tracing = obs_ != nullptr && obs_->tracing_enabled();
+  const auto resynced = [&](ServerId standby, ServerId home) {
+    replica_->SetShadowing(home, true);
+    ++resyncs_;
+    if (resync_counter_ != nullptr) {
+      resync_counter_->Add();
+    }
+    if (tracing) {
+      obs_->tracer().Emit("replication.resync", "recovery", ServerTrack(standby), now, 0,
+                          {{"home", static_cast<int64_t>(home)}});
+    }
+  };
+  // Re-arm the shadows this server provides, from each home's live active.
+  for (ServerId home : replica_->HomesStandbyOn(server)) {
+    const ServerId active = replica_->active(home);
+    if (now < down_until_[active]) {
+      continue;  // correlated crash: the active is down too; re-arm when it rejoins
+    }
+    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    servers_[server]->ResyncShadowFrom(*servers_[active], mine);
+    resynced(server, home);
+  }
+  // Heal deferred shadows for homes this server serves whose standby is
+  // alive but was never resynced (the degraded-crash aftermath).
+  for (ServerId home : replica_->HomesActiveOn(server)) {
+    if (replica_->shadowing(home)) {
+      continue;
+    }
+    const ServerId standby = replica_->standby(home);
+    if (now < down_until_[standby]) {
+      continue;
+    }
+    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    servers_[standby]->ResyncShadowFrom(*servers_[server], mine);
+    resynced(standby, home);
+  }
 }
 
 void Cluster::PartitionClients(ClientId first, ClientId last, ServerId server, SimTime from,

@@ -25,6 +25,7 @@
 #include "src/fs/config.h"
 #include "src/fs/net.h"
 #include "src/fs/recovery.h"
+#include "src/fs/replication.h"
 #include "src/fs/rpc.h"
 #include "src/fs/server.h"
 #include "src/fs/sharding.h"
@@ -132,6 +133,16 @@ class Cluster {
   // then serves only reopen traffic for the configured recovery grace
   // window; clients detect the new epoch on their next RPC and replay their
   // opens. Returns the server-cache dirty bytes that never reached disk.
+  //
+  // With replication enabled (ReplicationConfig) and a live shadow, the
+  // crash FAILS OVER instead: each home the server was serving is promoted
+  // onto its standby, which adopts the home's disk metadata, replays the
+  // shadow delta (open registrations, last writers, dirty extents), and is
+  // briefly unavailable for detection_delay + entries * replay_per_entry —
+  // no epoch bump, no reopen storm, and the shadowed dirty bytes survive.
+  // A crash with no live shadow (the standby is down too — a correlated
+  // failure) degrades to the classic reopen-storm recovery above. Either
+  // way the rejoining server resyncs and re-arms shadows when it returns.
   int64_t CrashServer(ServerId server, SimDuration down_for);
 
   // Asymmetric partition: clients [first, last] lose `server` for
@@ -145,7 +156,24 @@ class Cluster {
   StaleDataTracker& stale_tracker() { return stale_tracker_; }
   const StaleDataTracker& stale_tracker() const { return stale_tracker_; }
 
+  // Replication role map; null when replication is off.
+  const ReplicaMap* replica() const { return replica_.get(); }
+  // Fail-over statistics, maintained whether or not metrics are enabled
+  // (sprite_analyze renders them without --metrics).
+  int64_t failovers() const { return failovers_; }
+  int64_t degraded_crashes() const { return degraded_crashes_; }
+  int64_t resyncs() const { return resyncs_; }
+  int64_t failover_preserved_bytes() const { return preserved_bytes_; }
+  SimDuration total_failover_us() const { return total_failover_us_; }
+
  private:
+  // A file's standby stub target: the shadowing backup of the file's home,
+  // or null when replication is off / the shadow is not live.
+  Server* StandbyForFile(FileId file);
+  // Outage-end hook (scheduled by CrashServer): the rebooted server resyncs
+  // the shadows it provides and re-arms any deferred ones it is owed.
+  void RejoinServer(ServerId server);
+
   ClusterConfig config_;
   EventQueue& queue_;
   std::unique_ptr<Observability> obs_;
@@ -159,6 +187,19 @@ class Cluster {
   StaleDataTracker stale_tracker_;
   Counter* server_crash_counter_ = nullptr;
   Counter* server_crash_dirty_lost_ = nullptr;
+  // Replication (null / unused when ReplicationConfig::enabled is false).
+  std::unique_ptr<ReplicaMap> replica_;
+  std::vector<SimTime> down_until_;  // [server] end of latest injected outage
+  int64_t failovers_ = 0;
+  int64_t degraded_crashes_ = 0;
+  int64_t resyncs_ = 0;
+  int64_t preserved_bytes_ = 0;
+  SimDuration total_failover_us_ = 0;
+  LatencyRecorder* failover_rec_ = nullptr;
+  Counter* failover_counter_ = nullptr;
+  Counter* degraded_counter_ = nullptr;
+  Counter* preserved_counter_ = nullptr;
+  Counter* resync_counter_ = nullptr;
   TraceLog trace_;
   uint64_t handle_counter_ = 0;
   std::vector<CacheSizeSample> cache_size_samples_;

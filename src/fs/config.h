@@ -138,6 +138,28 @@ struct RpcConfig {
   int max_queue_depth = 64;
 };
 
+// Primary/backup server replication (DESIGN.md §8). When enabled, every
+// home server shadows its volatile state — open registrations and
+// dirty-byte writebacks — to a deterministic backup (home + backup_offset,
+// modulo the server count) via kShadow* RPCs, and Cluster::CrashServer
+// *fails over* to the backup instead of scheduling the epoch handshake and
+// reopen storm: the backup installs the shadow delta and clients are
+// re-routed to it. Off by default; off-mode output is byte-identical to the
+// committed baselines.
+struct ReplicationConfig {
+  bool enabled = false;
+  // Backup for home h is (h + backup_offset) % num_servers. Must not be a
+  // multiple of num_servers (a server cannot back itself up).
+  int backup_offset = 1;
+  // Fail-over latency model: a fixed failure-detection delay plus a replay
+  // cost per shadow-delta entry (open registrations + dirty blocks
+  // installed). The promoted backup is unavailable for the resulting
+  // window, so clients pay a short timeout/backoff stall — the availability
+  // gap the ablation measures against a full reopen storm.
+  SimDuration detection_delay = 500 * kMillisecond;
+  SimDuration replay_per_entry = 100 * kMicrosecond;
+};
+
 // How FileIds map to their home server (implementations and semantics in
 // src/fs/sharding.h). kModulo is the historical `file % num_servers`
 // partition and stays the default so every committed paper table is
@@ -169,6 +191,8 @@ struct ClusterConfig {
   DiskConfig disk;
   // File -> server placement policy (default: the historical modulo).
   ShardingConfig sharding;
+  // Primary/backup replication with fail-over (default: off).
+  ReplicationConfig replication;
   // When true, the cluster appends kernel-call records to its TraceLog as a
   // side effect of client operations (the paper's server-side tracing).
   bool tracing_enabled = true;

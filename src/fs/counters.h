@@ -167,8 +167,14 @@ enum class RpcKind : uint8_t {
   kCacheEnable,     // caching allowed again
   kTokenRecall,     // token policies: flush and maybe invalidate
   kDiscardFile,     // contents destroyed remotely: drop cached blocks
+  // Primary -> backup replication shadowing (ReplicationConfig). Issued by
+  // the ServerStub alongside the primary operation, so shadowing costs real
+  // wire/queue time and shows up in the ledger and critical path.
+  kShadowOpen,      // mirror an open registration to the backup
+  kShadowClose,     // mirror a close (and its last-writer update)
+  kShadowWrite,     // mirror a dirty-byte writeback to the backup
 };
-inline constexpr int kRpcKindCount = 19;
+inline constexpr int kRpcKindCount = 22;
 
 const char* RpcKindName(RpcKind kind);
 

@@ -96,13 +96,36 @@ FaultSchedule ParseFaultSchedule(const std::string& spec) {
   while (pos < spec.size()) {
     if (spec.compare(pos, 6, "crash:") == 0) {
       pos += 6;
-      CrashEvent e;
-      e.server = static_cast<ServerId>(ParseNumber(spec, &pos));
+      // One or more '+'-joined servers before the '@': a correlated crash
+      // group, every member down for the same window.
+      std::vector<ServerId> group;
+      group.push_back(static_cast<ServerId>(ParseNumber(spec, &pos)));
+      while (pos < spec.size() && spec[pos] == '+') {
+        ++pos;
+        const ServerId server = static_cast<ServerId>(ParseNumber(spec, &pos));
+        for (ServerId seen : group) {
+          if (seen == server) {
+            throw std::invalid_argument("FaultSchedule: server " + std::to_string(server) +
+                                        " appears twice in one crash group in \"" + spec +
+                                        "\"");
+          }
+        }
+        group.push_back(server);
+      }
+      Expect(spec, &pos, '@');
+      const SimTime at = ParseNumber(spec, &pos) * kSecond;
+      Expect(spec, &pos, '+');
+      const SimDuration down_for = ParseNumber(spec, &pos) * kSecond;
+      for (ServerId server : group) {
+        schedule.crashes.push_back(CrashEvent{server, at, down_for});
+      }
+    } else if (spec.compare(pos, 7, "ccrash:") == 0) {
+      pos += 7;
+      ClientCrashEvent e;
+      e.client = static_cast<ClientId>(ParseNumber(spec, &pos));
       Expect(spec, &pos, '@');
       e.at = ParseNumber(spec, &pos) * kSecond;
-      Expect(spec, &pos, '+');
-      e.down_for = ParseNumber(spec, &pos) * kSecond;
-      schedule.crashes.push_back(e);
+      schedule.client_crashes.push_back(e);
     } else if (spec.compare(pos, 5, "part:") == 0) {
       pos += 5;
       PartitionEvent e;
@@ -121,7 +144,7 @@ FaultSchedule ParseFaultSchedule(const std::string& spec) {
       schedule.partitions.push_back(e);
     } else {
       throw std::invalid_argument("FaultSchedule: unknown event in \"" + spec + "\" at offset " +
-                                  std::to_string(pos) + " (want crash: or part:)");
+                                  std::to_string(pos) + " (want crash:, ccrash:, or part:)");
     }
     if (pos < spec.size()) {
       Expect(spec, &pos, ',');
@@ -150,6 +173,14 @@ void ApplyFaultSchedule(Cluster& cluster, const FaultSchedule& schedule) {
       cluster.PartitionClients(e.first_client, e.last_client, e.server, e.at,
                                e.at + e.heal_after);
     });
+  }
+  for (const ClientCrashEvent& e : schedule.client_crashes) {
+    if (e.client >= static_cast<ClientId>(cluster.num_clients())) {
+      throw std::invalid_argument("FaultSchedule: ccrash names client " +
+                                  std::to_string(e.client) + " but the cluster has " +
+                                  std::to_string(cluster.num_clients()));
+    }
+    cluster.queue().Schedule(e.at, [&cluster, e] { cluster.CrashClient(e.client, e.at); });
   }
 }
 

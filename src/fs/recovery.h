@@ -116,20 +116,35 @@ struct PartitionEvent {
   SimDuration heal_after = 0;
 };
 
+struct ClientCrashEvent {
+  ClientId client = 0;
+  SimTime at = 0;
+};
+
 struct FaultSchedule {
   std::vector<CrashEvent> crashes;
   std::vector<PartitionEvent> partitions;
+  std::vector<ClientCrashEvent> client_crashes;
 
-  bool empty() const { return crashes.empty() && partitions.empty(); }
+  bool empty() const {
+    return crashes.empty() && partitions.empty() && client_crashes.empty();
+  }
 };
 
 // Parses the `--crash-schedule` mini-language: comma-separated events of
-//   crash:<server>@<at_sec>+<down_sec>         server crash + reboot
+//   crash:<server>[+<server>...]@<at_sec>+<down_sec>
+//                                              server crash + reboot; a
+//                                              '+'-joined group crashes
+//                                              together (correlated failure:
+//                                              one CrashEvent per member,
+//                                              same window)
 //   part:<first>-<last>x<server>@<at_sec>+<dur_sec>
 //                                              clients [first,last] lose one
 //                                              server, healing after dur_sec
+//   ccrash:<client>@<at_sec>                   client crash + instant reboot
 // Times are seconds of simulated time from the start of the run (warmup
-// included). Throws std::invalid_argument on malformed specs.
+// included). Throws std::invalid_argument on malformed specs, including a
+// duplicated server inside one crash group.
 FaultSchedule ParseFaultSchedule(const std::string& spec);
 
 // Schedules every event of `schedule` on the cluster's event queue (crashes

@@ -1,0 +1,64 @@
+#include "src/fs/replication.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sprite {
+
+ReplicaMap::ReplicaMap(const ReplicationConfig& config, int num_servers) {
+  if (num_servers < 2) {
+    throw std::invalid_argument(
+        "ReplicaMap: replication requires at least 2 servers, got " +
+        std::to_string(num_servers));
+  }
+  const int offset = config.backup_offset % num_servers;
+  if (offset == 0) {
+    throw std::invalid_argument(
+        "ReplicaMap: backup_offset " + std::to_string(config.backup_offset) +
+        " is a multiple of the server count (a server cannot back itself up)");
+  }
+  active_.resize(num_servers);
+  standby_.resize(num_servers);
+  shadowing_.assign(num_servers, 1);
+  for (int h = 0; h < num_servers; ++h) {
+    active_[h] = static_cast<ServerId>(h);
+    standby_[h] = static_cast<ServerId>((h + offset) % num_servers);
+  }
+}
+
+void ReplicaMap::Promote(ServerId home) {
+  std::swap(active_[home], standby_[home]);
+  shadowing_[home] = 0;  // the new active has no live shadow behind it
+}
+
+std::vector<ServerId> ReplicaMap::HomesActiveOn(ServerId s) const {
+  std::vector<ServerId> homes;
+  for (size_t h = 0; h < active_.size(); ++h) {
+    if (active_[h] == s) {
+      homes.push_back(static_cast<ServerId>(h));
+    }
+  }
+  return homes;
+}
+
+std::vector<ServerId> ReplicaMap::HomesStandbyOn(ServerId s) const {
+  std::vector<ServerId> homes;
+  for (size_t h = 0; h < standby_.size(); ++h) {
+    if (standby_[h] == s) {
+      homes.push_back(static_cast<ServerId>(h));
+    }
+  }
+  return homes;
+}
+
+int64_t ReplicaMap::ActiveHomeCount(ServerId s) const {
+  int64_t count = 0;
+  for (ServerId a : active_) {
+    if (a == s) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace sprite

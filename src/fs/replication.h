@@ -1,0 +1,67 @@
+// Primary/backup replication roles (ReplicationConfig).
+//
+// The Sharder decides which HOME a file belongs to; the ReplicaMap decides
+// which physical server currently serves that home (the active) and which
+// one shadows it (the standby). At construction home h is served by server
+// h and backed up by server (h + backup_offset) % num_servers, and the
+// standby is shadowing. A crash of the active PROMOTES the standby: the
+// roles swap and shadowing stops (the new active has no live peer to mirror
+// to) until the crashed server rejoins, resyncs, and re-arms the shadow.
+//
+// Pure bookkeeping: every transition is driven explicitly by the Cluster
+// (CrashServer / RejoinServer), so recovery replay and crash schedules stay
+// deterministic. Roles are per-home, not per-server — after a promotion one
+// physical server can be active for two homes, which the "server.N.role"
+// gauge (ActiveHomeCount) makes visible.
+
+#ifndef SPRITE_DFS_SRC_FS_REPLICATION_H_
+#define SPRITE_DFS_SRC_FS_REPLICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fs/config.h"
+#include "src/fs/types.h"
+
+namespace sprite {
+
+class ReplicaMap {
+ public:
+  // Throws std::invalid_argument when the config cannot replicate: fewer
+  // than two servers, or a backup_offset that is a multiple of num_servers
+  // (a server cannot back itself up).
+  ReplicaMap(const ReplicationConfig& config, int num_servers);
+
+  int num_homes() const { return static_cast<int>(active_.size()); }
+
+  // The physical server currently serving home `h` / shadowing it.
+  ServerId active(ServerId home) const { return active_[home]; }
+  ServerId standby(ServerId home) const { return standby_[home]; }
+  // True while the standby holds a live shadow of the home's volatile state
+  // (fail-over is possible). Cleared when either replica crashes; re-armed
+  // by the Cluster after a resync.
+  bool shadowing(ServerId home) const { return shadowing_[home] != 0; }
+  void SetShadowing(ServerId home, bool on) { shadowing_[home] = on ? 1 : 0; }
+
+  // Fail-over: the standby becomes active, the failed active becomes the
+  // (dead, not shadowing) standby.
+  void Promote(ServerId home);
+
+  // Homes whose active / standby replica is physical server `s`, ascending.
+  std::vector<ServerId> HomesActiveOn(ServerId s) const;
+  std::vector<ServerId> HomesStandbyOn(ServerId s) const;
+
+  // Number of homes `s` currently serves — the "server.N.role" gauge: 1 is
+  // a plain primary, 0 a demoted (failed-over) server, 2+ a server that
+  // absorbed failed peers' homes.
+  int64_t ActiveHomeCount(ServerId s) const;
+
+ private:
+  std::vector<ServerId> active_;    // [home] -> serving server
+  std::vector<ServerId> standby_;   // [home] -> shadowing server
+  std::vector<uint8_t> shadowing_;  // [home] -> shadow is live
+};
+
+}  // namespace sprite
+
+#endif  // SPRITE_DFS_SRC_FS_REPLICATION_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/fs/sharding.h"  // SplitMix64 (backoff jitter)
 #include "src/util/table.h"
 
 namespace sprite {
@@ -29,9 +30,24 @@ const char* RpcKindName(RpcKind kind) {
     case RpcKind::kCacheEnable: return "cache-enable";
     case RpcKind::kTokenRecall: return "token-recall";
     case RpcKind::kDiscardFile: return "discard-file";
+    case RpcKind::kShadowOpen: return "shadow-open";
+    case RpcKind::kShadowClose: return "shadow-close";
+    case RpcKind::kShadowWrite: return "shadow-write";
   }
   return "unknown";
 }
+
+namespace {
+
+// Replication shadowing kinds exist in the metric namespace only when the
+// cluster enables replication (see AttachObservability), keeping the
+// replication-off metrics output byte-identical to pre-replication runs.
+bool IsShadowKind(RpcKind kind) {
+  return kind == RpcKind::kShadowOpen || kind == RpcKind::kShadowClose ||
+         kind == RpcKind::kShadowWrite;
+}
+
+}  // namespace
 
 RpcTransport::RpcTransport(const NetworkConfig& net_config, const RpcConfig& rpc_config)
     : network_(std::make_unique<Network>(net_config)), config_(rpc_config) {
@@ -49,6 +65,23 @@ SimDuration RpcTransport::BackoffForAttempt(const RpcConfig& config, int attempt
   return backoff;
 }
 
+SimDuration RpcTransport::JitteredBackoffForAttempt(const RpcConfig& config, ClientId client,
+                                                    int attempt) {
+  const SimDuration base = BackoffForAttempt(config, attempt);
+  if (base <= 0) {
+    return base;
+  }
+  // splitmix64 over (client, attempt): every client gets its own retry
+  // schedule, so a fleet unblocked by the same outage spreads out instead of
+  // re-stampeding the rebooted server in lockstep. The jitter never exceeds
+  // a quarter of the base step, which keeps the retry-budget arithmetic of
+  // existing fault scenarios (how many timeouts fit in an outage) intact.
+  const uint64_t seed = (static_cast<uint64_t>(client) + 1) * 0x9E3779B97F4A7C15ULL ^
+                        static_cast<uint64_t>(attempt + 1);
+  const uint64_t span = static_cast<uint64_t>(base / 4) + 1;
+  return base + static_cast<SimDuration>(SplitMix64(seed) % span);
+}
+
 bool RpcTransport::ChargesNetwork(RpcKind kind) {
   switch (kind) {
     case RpcKind::kOpen:
@@ -61,6 +94,11 @@ bool RpcTransport::ChargesNetwork(RpcKind kind) {
     case RpcKind::kPageOut:
     case RpcKind::kReadDir:
     case RpcKind::kReopen:
+    // Shadowing is a real wire message to the backup: the RPC amplification
+    // replication pays is measurable, not free.
+    case RpcKind::kShadowOpen:
+    case RpcKind::kShadowClose:
+    case RpcKind::kShadowWrite:
       return true;
     default:
       return false;
@@ -91,8 +129,15 @@ void RpcTransport::AttachObservability(Observability* obs) {
   }
   MetricsRegistry& metrics = obs_->metrics();
   for (int k = 0; k < kRpcKindCount; ++k) {
-    latency_rec_[static_cast<size_t>(k)] = metrics.AddLatency(
-        std::string("rpc.") + RpcKindName(static_cast<RpcKind>(k)) + ".latency_us");
+    const RpcKind kind = static_cast<RpcKind>(k);
+    // Shadow recorders only when replication can issue them: the metrics
+    // window prints every registered instrument (zeros included), so
+    // registering them unconditionally would perturb replication-off output.
+    if (IsShadowKind(kind) && !replication_enabled_) {
+      continue;
+    }
+    latency_rec_[static_cast<size_t>(k)] =
+        metrics.AddLatency(std::string("rpc.") + RpcKindName(kind) + ".latency_us");
   }
   metrics.AddGauge("rpc.calls", [this] { return ledger_.TotalCalls(); });
   metrics.AddGauge("rpc.payload_bytes", [this] { return ledger_.TotalPayloadBytes(); });
@@ -244,7 +289,7 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
         t += config_.timeout;
         ++timeouts;
         if (tries < config_.max_retries) {
-          const SimDuration backoff = BackoffForAttempt(config_, tries);
+          const SimDuration backoff = JitteredBackoffForAttempt(config_, client, tries);
           phase("backoff", t, backoff);
           wait += backoff;
           t += backoff;
@@ -478,6 +523,14 @@ Server::OpenReply ServerStub::Open(FileId file, OpenMode mode, bool is_directory
       transport_->Call(RpcKind::kOpen, client_, server_->id(), kControlRpcBytes, now);
   Server::OpenReply reply = server_->Open(client_, file, mode, is_directory, now);
   reply.latency = latency;
+  // Replication: mirror the open registration to the backup before the reply
+  // completes (directories take no part in the consistency machinery, so
+  // there is no volatile state to shadow for them).
+  if (standby_ != nullptr && !is_directory) {
+    reply.latency += transport_->Call(RpcKind::kShadowOpen, client_, standby_->id(),
+                                      kControlRpcBytes, now + reply.latency);
+    standby_->ShadowOpen(client_, file, mode);
+  }
   return reply;
 }
 
@@ -487,6 +540,14 @@ Server::CloseReply ServerStub::Close(FileId file, OpenMode mode, bool wrote, int
       transport_->Call(RpcKind::kClose, client_, server_->id(), kControlRpcBytes, now);
   Server::CloseReply reply = server_->Close(client_, file, mode, wrote, final_size, now);
   reply.latency = latency;
+  // The standby is the oracle for whether this close needs mirroring: opens
+  // it never saw (directories, opens predating shadowing) issue no shadow
+  // RPC, so the shadow table never goes negative.
+  if (standby_ != nullptr && standby_->HasShadowOpen(file, client_)) {
+    reply.latency += transport_->Call(RpcKind::kShadowClose, client_, standby_->id(),
+                                      kControlRpcBytes, now + reply.latency);
+    standby_->ShadowClose(client_, file, mode, wrote);
+  }
   return reply;
 }
 
@@ -497,6 +558,17 @@ Server::ReopenReply ServerStub::Reopen(FileId file, OpenMode mode, uint64_t cach
   Server::ReopenReply reply =
       server_->Reopen(client_, file, mode, cached_version, has_dirty, has_handle, now);
   reply.latency = latency;
+  // A successful handle re-registration is new volatile state on the (new)
+  // primary and is shadowed like a fresh open; a reasserted last writer rides
+  // along without a second RPC.
+  if (standby_ != nullptr && reply.status == Status::kOk && has_handle) {
+    reply.latency += transport_->Call(RpcKind::kShadowOpen, client_, standby_->id(),
+                                      kControlRpcBytes, now + reply.latency);
+    standby_->ShadowOpen(client_, file, mode);
+    if (has_dirty) {
+      standby_->ShadowLastWriter(file, client_);
+    }
+  }
   return reply;
 }
 
@@ -510,8 +582,16 @@ SimDuration ServerStub::FetchBlock(FileId file, int64_t block, bool paging, SimT
 SimDuration ServerStub::Writeback(FileId file, int64_t block, int64_t bytes, bool paging,
                                   SimTime now) {
   server_->Writeback(file, block, bytes, paging, now);
-  return transport_->Call(paging ? RpcKind::kPageOut : RpcKind::kWriteBlock, client_,
-                          server_->id(), bytes, now);
+  SimDuration latency = transport_->Call(paging ? RpcKind::kPageOut : RpcKind::kWriteBlock,
+                                         client_, server_->id(), bytes, now);
+  // Replication: dirty bytes reach the backup's shadow before the writeback
+  // completes, so a primary crash fails over without losing them.
+  if (standby_ != nullptr) {
+    latency +=
+        transport_->Call(RpcKind::kShadowWrite, client_, standby_->id(), bytes, now + latency);
+    standby_->ShadowWriteback(file, block, bytes);
+  }
+  return latency;
 }
 
 SimDuration ServerStub::PassThroughRead(FileId file, int64_t bytes, SimTime now) {

@@ -106,6 +106,13 @@ class RpcTransport {
   // times, saturating at backoff_max (never overshooting it). Exposed for
   // the backoff regression tests.
   static SimDuration BackoffForAttempt(const RpcConfig& config, int attempt);
+  // The backoff Call() actually waits: BackoffForAttempt plus a
+  // deterministic per-(client, attempt) jitter in [0, base/4], seeded by
+  // splitmix64, so clients retrying after the same outage de-synchronize
+  // instead of thundering in lockstep. Same inputs always give the same
+  // jitter; the exact sequences are pinned by tests.
+  static SimDuration JitteredBackoffForAttempt(const RpcConfig& config, ClientId client,
+                                               int attempt);
 
   // Wraps a client's CacheControl so the server's consistency callbacks are
   // recorded as kRecallDirty/kCacheDisable/... RPCs. The returned object is
@@ -126,6 +133,11 @@ class RpcTransport {
   // with critical-path attribution enabled every Call() charges its phase
   // times to the innermost op frame (CriticalPathCollector).
   void AttachObservability(Observability* obs);
+
+  // Wired by the Cluster before AttachObservability when primary/backup
+  // replication is on: the kShadow* latency recorders are registered only
+  // then, so replication-off metric streams are unchanged line for line.
+  void SetReplicationEnabled(bool enabled) { replication_enabled_ = enabled; }
 
   // Charges server disk time folded synchronously into a reply to the
   // current op frame (no-op unless critical-path attribution is attached).
@@ -240,6 +252,7 @@ class RpcTransport {
   std::vector<Server*> servers_;  // [server]
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
+  bool replication_enabled_ = false;
   Observability* obs_ = nullptr;
   // Op-frame phase attribution, resolved once at attach time (null unless
   // ObservabilityConfig::critical_path).
@@ -260,8 +273,14 @@ class RpcTransport {
 // server and transport must outlive the call.
 class ServerStub {
  public:
-  ServerStub(ClientId client, Server& server, RpcTransport& transport)
-      : client_(client), server_(&server), transport_(&transport) {}
+  // `standby` is the file's backup server when primary/backup replication
+  // shadows this home (null otherwise — the default keeps every existing
+  // call site and the replication-off fast path unchanged). With a standby,
+  // opens/closes/reopens/writebacks additionally issue a kShadow* RPC to it
+  // and mirror the volatile state, so shadowing costs real wire/queue time.
+  ServerStub(ClientId client, Server& server, RpcTransport& transport,
+             Server* standby = nullptr)
+      : client_(client), server_(&server), transport_(&transport), standby_(standby) {}
 
   ServerId id() const { return server_->id(); }
   // True when the transport runs event-driven completion; callers use this
@@ -297,6 +316,7 @@ class ServerStub {
   ClientId client_;
   Server* server_;
   RpcTransport* transport_;
+  Server* standby_ = nullptr;  // backup shadowing this home, or null
 };
 
 // Table 7 input: the per-server byte counters implied by the ledger (the

@@ -77,6 +77,11 @@ SimDuration Server::ServiceTimeFor(RpcKind kind) const {
     case RpcKind::kPageOut:
     case RpcKind::kReadDir:
       return data_service_time_;
+    case RpcKind::kShadowOpen:
+    case RpcKind::kShadowClose:
+      return control_service_time_;
+    case RpcKind::kShadowWrite:
+      return data_service_time_;
     default:
       return 0;  // ledger-only kinds and callbacks never hold the lane
   }
@@ -503,6 +508,23 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
       meta.last_writer.reset();
     }
   }
+  // Standby role: the crashed client's mirrored opens vanish exactly as its
+  // real opens vanish on the primary (which drops them via its own
+  // ClientCrashed — no shadow-close RPC will ever arrive for them). Dirty
+  // extents stay: the writebacks carrying them did complete on the primary.
+  for (auto it = shadow_.begin(); it != shadow_.end();) {
+    ShadowFile& sf = it->second;
+    auto open_it = std::lower_bound(
+        sf.opens.begin(), sf.opens.end(), client,
+        [](const ShadowOpenEntry& e, ClientId c) { return e.client < c; });
+    if (open_it != sf.opens.end() && open_it->client == client) {
+      sf.opens.erase(open_it);
+    }
+    if (sf.last_writer == client) {
+      sf.last_writer.reset();
+    }
+    it = sf.empty() ? shadow_.erase(it) : std::next(it);
+  }
   for (auto it = open_states_.begin(); it != open_states_.end();) {
     OpenState& state = it->second;
     auto open_it = std::lower_bound(
@@ -535,9 +557,12 @@ void Server::ClientCrashed(ClientId client, SimTime now) {
 
 int64_t Server::Crash(SimTime now) {
   // Volatile state: the open-state table, the block cache (dirty blocks not
-  // yet flushed by the cleaner are lost), and the last-writer bookkeeping.
-  // files_ metadata is disk state and survives the reboot.
+  // yet flushed by the cleaner are lost), the last-writer bookkeeping, and
+  // any standby shadow this server held for other homes (a rebooted standby
+  // resyncs from the live primary). files_ metadata is disk state and
+  // survives the reboot.
   open_states_.clear();
+  shadow_.clear();
   for (auto& [file, meta] : files_) {
     (void)file;
     meta.last_writer.reset();
@@ -600,12 +625,195 @@ Server::ReopenReply Server::Reopen(ClientId client, FileId file, OpenMode mode,
   return reply;
 }
 
+// --- Primary/backup replication: the standby's shadow ------------------------
+
+void Server::ShadowOpen(ClientId client, FileId file, OpenMode mode) {
+  ShadowFile& sf = shadow_[file];
+  auto it = std::lower_bound(
+      sf.opens.begin(), sf.opens.end(), client,
+      [](const ShadowOpenEntry& e, ClientId c) { return e.client < c; });
+  if (it == sf.opens.end() || it->client != client) {
+    it = sf.opens.insert(it, ShadowOpenEntry{client, 0, 0});
+  }
+  if (mode != OpenMode::kRead) {
+    ++it->writers;
+  } else {
+    ++it->readers;
+  }
+}
+
+void Server::ShadowClose(ClientId client, FileId file, OpenMode mode, bool wrote) {
+  auto sit = shadow_.find(file);
+  if (sit == shadow_.end()) {
+    return;
+  }
+  ShadowFile& sf = sit->second;
+  if (wrote) {
+    sf.last_writer = client;  // the closer's cache holds the newest data
+  }
+  auto it = std::lower_bound(
+      sf.opens.begin(), sf.opens.end(), client,
+      [](const ShadowOpenEntry& e, ClientId c) { return e.client < c; });
+  if (it != sf.opens.end() && it->client == client) {
+    int& counter = mode != OpenMode::kRead ? it->writers : it->readers;
+    if (counter > 0) {
+      --counter;
+    }
+    if (it->readers == 0 && it->writers == 0) {
+      sf.opens.erase(it);
+    }
+  }
+  if (sf.empty()) {
+    shadow_.erase(sit);
+  }
+}
+
+void Server::ShadowWriteback(FileId file, int64_t block, int64_t bytes) {
+  ShadowFile& sf = shadow_[file];
+  const int64_t extent = std::min<int64_t>(bytes, kBlockSize);
+  auto it = std::lower_bound(
+      sf.dirty.begin(), sf.dirty.end(), block,
+      [](const std::pair<int64_t, int64_t>& p, int64_t b) { return p.first < b; });
+  if (it == sf.dirty.end() || it->first != block) {
+    sf.dirty.insert(it, {block, extent});
+  } else {
+    it->second = std::max(it->second, extent);
+  }
+}
+
+void Server::ShadowLastWriter(FileId file, ClientId client) {
+  shadow_[file].last_writer = client;
+}
+
+void Server::ShadowBlockClean(FileId file, int64_t block) {
+  auto sit = shadow_.find(file);
+  if (sit == shadow_.end()) {
+    return;
+  }
+  ShadowFile& sf = sit->second;
+  for (auto it = sf.dirty.begin(); it != sf.dirty.end(); ++it) {
+    if (it->first == block) {
+      sf.dirty.erase(it);
+      break;
+    }
+  }
+  if (sf.empty()) {
+    shadow_.erase(sit);
+  }
+}
+
+bool Server::HasShadowOpen(FileId file, ClientId client) const {
+  auto sit = shadow_.find(file);
+  if (sit == shadow_.end()) {
+    return false;
+  }
+  const auto& opens = sit->second.opens;
+  auto it = std::lower_bound(
+      opens.begin(), opens.end(), client,
+      [](const ShadowOpenEntry& e, ClientId c) { return e.client < c; });
+  return it != opens.end() && it->client == client;
+}
+
+int64_t Server::TakeOverMetadata(Server& failed, const std::function<bool(FileId)>& mine) {
+  std::vector<FileId> moved;
+  for (const auto& [file, meta] : failed.files_) {
+    (void)meta;
+    if (mine(file)) {
+      moved.push_back(file);
+    }
+  }
+  std::sort(moved.begin(), moved.end());
+  for (FileId file : moved) {
+    // The failed home's disk image is authoritative for its files.
+    files_[file] = failed.files_[file];
+    failed.files_.erase(file);
+  }
+  return static_cast<int64_t>(moved.size());
+}
+
+Server::FailoverDelta Server::InstallShadow(const std::function<bool(FileId)>& mine,
+                                            SimTime now) {
+  FailoverDelta delta;
+  for (auto it = shadow_.begin(); it != shadow_.end();) {
+    const FileId file = it->first;
+    if (!mine(file)) {
+      ++it;
+      continue;
+    }
+    ShadowFile& sf = it->second;
+    auto fit = files_.find(file);
+    if (fit != files_.end() && fit->second.exists && !fit->second.is_directory) {
+      if (!sf.opens.empty()) {
+        OpenState& state = open_states_[file];
+        for (const ShadowOpenEntry& e : sf.opens) {
+          OpenEntry& open = OpenFor(state, e.client);
+          open.readers += e.readers;
+          open.writers += e.writers;
+          ++delta.entries;
+        }
+        UpdateWriteShared(state);
+        // Mirror what the failed primary had already enforced on the clients
+        // (they were told to stop caching when sharing began); no callbacks
+        // fire here — promotion installs state, it does not renegotiate.
+        state.cacheable =
+            policy_ == ConsistencyPolicy::kToken ? true : !IsWriteShared(state);
+      }
+      if (sf.last_writer.has_value()) {
+        fit->second.last_writer = sf.last_writer;
+      }
+      for (const auto& [block, extent] : sf.dirty) {
+        cache_.Write(BlockKey{file, block}, now, extent, /*writeback=*/nullptr);
+        delta.preserved_bytes += extent;
+        ++delta.entries;
+      }
+    }
+    it = shadow_.erase(it);
+  }
+  return delta;
+}
+
+void Server::ResyncShadowFrom(const Server& primary, const std::function<bool(FileId)>& mine) {
+  std::vector<FileId> ids;
+  for (const auto& [file, meta] : primary.files_) {
+    (void)meta;
+    if (mine(file)) {
+      ids.push_back(file);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (FileId file : ids) {
+    shadow_.erase(file);  // the primary's live state supersedes any residue
+    const FileMeta& meta = primary.files_.at(file);
+    if (!meta.exists || meta.is_directory) {
+      continue;
+    }
+    ShadowFile sf;
+    if (auto oit = primary.open_states_.find(file); oit != primary.open_states_.end()) {
+      sf.opens.reserve(oit->second.opens.size());
+      for (const OpenEntry& e : oit->second.opens) {
+        sf.opens.push_back(ShadowOpenEntry{e.client, e.readers, e.writers});
+      }
+    }
+    sf.last_writer = meta.last_writer;
+    primary.cache_.ForEachDirtyBlock(file, [&sf](int64_t block, int64_t extent) {
+      sf.dirty.push_back({block, extent});
+    });
+    if (!sf.empty()) {
+      shadow_[file] = std::move(sf);
+    }
+  }
+}
+
 void Server::CleanerTick(SimTime now) {
   SimDuration disk_time = 0;
   int64_t blocks = 0;
   cache_.CleanAged(now, [&](BlockKey key, int64_t bytes) {
     disk_time += DiskWrite(key, bytes);
     ++blocks;
+    if (shadow_flush_hook_) {
+      // The block is durable now; the standby can drop its shadow extent.
+      shadow_flush_hook_(key.file, key.index);
+    }
   });
   if (obs_ != nullptr && obs_->tracing_enabled() && blocks > 0) {
     obs_->tracer().Emit("server.clean-aged", "server", ServerTrack(id_), now, disk_time,

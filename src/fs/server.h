@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -165,6 +167,63 @@ class Server {
   ReopenReply Reopen(ClientId client, FileId file, OpenMode mode, uint64_t client_version,
                      bool has_dirty, bool has_handle, SimTime now);
 
+  // --- Primary/backup replication: the standby's shadow ----------------------
+  // When this server is the standby for some home (ReplicationConfig), the
+  // primary mirrors its volatile state here via kShadow* RPCs: open-handle
+  // registrations, last-writer updates, and per-block dirty extents. The
+  // shadow is inert bookkeeping — no callbacks, no consistency actions —
+  // until a fail-over turns it into real open state and cached dirty blocks
+  // (InstallShadow). Files are ordered so the replay is deterministic.
+
+  // Mirror one open registration (ServerStub::Open/Reopen on the primary).
+  void ShadowOpen(ClientId client, FileId file, OpenMode mode);
+  // Mirror a close; `wrote` carries the last-writer update the primary made.
+  void ShadowClose(ClientId client, FileId file, OpenMode mode, bool wrote);
+  // Mirror a dirty-byte writeback: block `block` of `file` is dirty in the
+  // primary's cache to (at least) `bytes` from the block start.
+  void ShadowWriteback(FileId file, int64_t block, int64_t bytes);
+  // Reassert `client` as the file's last writer (dirty reopen piggyback).
+  void ShadowLastWriter(FileId file, ClientId client);
+  // Drop the shadow dirty extent for one block: the primary's cleaner put it
+  // on disk, so the block no longer needs the shadow to survive a crash (the
+  // backup adopts the disk image at fail-over). Piggybacks on the primary's
+  // flush batching — no wire charge.
+  void ShadowBlockClean(FileId file, int64_t block);
+  // Cluster wiring: called (file, block) after this server writes a dirty
+  // cache block to disk, so the standby shadowing the file's home can drop
+  // the now-durable extent. Unset when replication is off.
+  using ShadowFlushHook = std::function<void(FileId, int64_t)>;
+  void SetShadowFlushHook(ShadowFlushHook hook) { shadow_flush_hook_ = std::move(hook); }
+  // True when the shadow has an open registration for (file, client); the
+  // primary's stub consults this so closes of never-shadowed opens
+  // (directories, opens predating shadowing) issue no shadow RPC.
+  bool HasShadowOpen(FileId file, ClientId client) const;
+
+  // What a fail-over replayed from the shadow.
+  struct FailoverDelta {
+    int64_t entries = 0;          // open registrations + dirty blocks installed
+    int64_t preserved_bytes = 0;  // dirty bytes that survived via the shadow
+  };
+
+  // Fail-over promotion, step 1: adopt the failed home's disk image — file
+  // metadata for every file selected by `mine` moves from `failed` (in
+  // ascending id order, deterministically) to this server. Returns the
+  // number of files adopted. The failed server has already crashed, so its
+  // last-writer fields are clear.
+  int64_t TakeOverMetadata(Server& failed, const std::function<bool(FileId)>& mine);
+  // Fail-over promotion, step 2: replay the shadow delta for homes selected
+  // by `mine` into real state — opens enter the open-state table (write
+  // sharing recomputed, no callbacks fired: the primary already enforced it
+  // on the clients), last writers land in metadata, dirty extents enter the
+  // block cache. Installed entries leave the shadow. Entries for files that
+  // no longer exist are discarded.
+  FailoverDelta InstallShadow(const std::function<bool(FileId)>& mine, SimTime now);
+  // Rebuilds this standby's shadow for homes selected by `mine` from the
+  // live primary's current volatile state (rejoin after an outage, or
+  // re-arming a deferred shadow after a degraded crash).
+  void ResyncShadowFrom(const Server& primary, const std::function<bool(FileId)>& mine);
+  int shadow_file_count() const { return static_cast<int>(shadow_.size()); }
+
   // --- Service queue (event-driven transport) --------------------------------
   // In async transport mode (RpcConfig::async) every wire-occupying request
   // passes through a per-server FIFO service queue: it arrives after its
@@ -251,6 +310,21 @@ class Server {
   // Find-or-insert keeping `opens` sorted by client id.
   static OpenEntry& OpenFor(OpenState& state, ClientId client);
 
+  // One file's shadow (standby role): mirrored opens (sorted by client id,
+  // like OpenState::opens), the mirrored last writer, and the primary-cache
+  // dirty extents by block index (sorted).
+  struct ShadowOpenEntry {
+    ClientId client = 0;
+    int readers = 0;
+    int writers = 0;
+  };
+  struct ShadowFile {
+    std::vector<ShadowOpenEntry> opens;       // sorted by client
+    std::optional<ClientId> last_writer;
+    std::vector<std::pair<int64_t, int64_t>> dirty;  // (block, extent), sorted
+    bool empty() const { return opens.empty() && !last_writer.has_value() && dirty.empty(); }
+  };
+
   FileMeta& EnsureFile(FileId file);
   // True if `state` is in concurrent write-sharing (open on more than one
   // client with at least one writer). Reads the cached bit.
@@ -312,6 +386,11 @@ class Server {
 
   std::unordered_map<FileId, FileMeta> files_;
   std::unordered_map<FileId, OpenState> open_states_;
+  // Standby role: shadows of the homes this server backs up. Ordered map so
+  // fail-over installation and resync walk files deterministically. Volatile
+  // (cleared by Crash) — a rebooted standby resyncs from the live primary.
+  std::map<FileId, ShadowFile> shadow_;
+  ShadowFlushHook shadow_flush_hook_;
   // Client control interfaces, indexed by contiguous ClientId (null when
   // unregistered) — the consistency callbacks look these up per conflicting
   // open, so this is a hot table.

@@ -114,6 +114,14 @@ TEST(ObservabilityTest, LatencyRecordersAgreeWithLedgerTotals) {
     const RpcKind kind = static_cast<RpcKind>(k);
     const LatencyRecorder* rec =
         metrics.FindLatency(std::string("rpc.") + RpcKindName(kind) + ".latency_us");
+    if (kind == RpcKind::kShadowOpen || kind == RpcKind::kShadowClose ||
+        kind == RpcKind::kShadowWrite) {
+      // Replication is off here, so the shadow kinds register no recorder: a
+      // permanent zero row would change the metrics-window output of every
+      // replication-free run.
+      EXPECT_EQ(rec, nullptr) << RpcKindName(kind);
+      continue;
+    }
     ASSERT_NE(rec, nullptr) << RpcKindName(kind);
     const RpcStat& stat = ledger.stat(kind);
     EXPECT_EQ(rec->count(), stat.calls) << RpcKindName(kind);

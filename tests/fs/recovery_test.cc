@@ -244,11 +244,47 @@ TEST(FaultScheduleTest, ParsesCrashAndPartitionEvents) {
   EXPECT_TRUE(ParseFaultSchedule("").empty());
 }
 
+TEST(FaultScheduleTest, ParsesCorrelatedCrashGroups) {
+  // A '+'-joined server list before the '@' crashes together: one CrashEvent
+  // per member, identical window — the correlated-failure input that defeats
+  // primary/backup replication.
+  const FaultSchedule s = ParseFaultSchedule("crash:0+2+3@30+20,crash:1@90+5");
+  ASSERT_EQ(s.crashes.size(), 4u);
+  EXPECT_EQ(s.crashes[0].server, 0u);
+  EXPECT_EQ(s.crashes[1].server, 2u);
+  EXPECT_EQ(s.crashes[2].server, 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.crashes[i].at, 30 * kSecond);
+    EXPECT_EQ(s.crashes[i].down_for, 20 * kSecond);
+  }
+  EXPECT_EQ(s.crashes[3].server, 1u);
+  EXPECT_EQ(s.crashes[3].at, 90 * kSecond);
+}
+
+TEST(FaultScheduleTest, ParsesClientCrashEvents) {
+  const FaultSchedule s = ParseFaultSchedule("ccrash:2@45,crash:0@60+10");
+  ASSERT_EQ(s.client_crashes.size(), 1u);
+  EXPECT_EQ(s.client_crashes[0].client, 2u);
+  EXPECT_EQ(s.client_crashes[0].at, 45 * kSecond);
+  ASSERT_EQ(s.crashes.size(), 1u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(ParseFaultSchedule("ccrash:0@1").crashes.empty());
+}
+
 TEST(FaultScheduleTest, RejectsMalformedSpecs) {
   EXPECT_THROW(ParseFaultSchedule("crash:1"), std::invalid_argument);
   EXPECT_THROW(ParseFaultSchedule("crash:x@1+1"), std::invalid_argument);
   EXPECT_THROW(ParseFaultSchedule("part:0x2@1+1"), std::invalid_argument);
   EXPECT_THROW(ParseFaultSchedule("boom:0@1+1"), std::invalid_argument);
+  // Crash-group malformations: a duplicated member, a dangling '+', and a
+  // group with no '@' window.
+  EXPECT_THROW(ParseFaultSchedule("crash:0+0@1+1"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("crash:0+@1+1"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("crash:0+1+2"), std::invalid_argument);
+  // Client-crash malformations: missing '@', trailing junk, no duration arm.
+  EXPECT_THROW(ParseFaultSchedule("ccrash:1"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("ccrash:1@"), std::invalid_argument);
+  EXPECT_THROW(ParseFaultSchedule("ccrash:1@5+2"), std::invalid_argument);
 }
 
 TEST(FaultScheduleTest, ApplyRejectsOutOfRangeIds) {
@@ -260,6 +296,59 @@ TEST(FaultScheduleTest, ApplyRejectsOutOfRangeIds) {
   FaultSchedule bad_client;
   bad_client.partitions.push_back({0, 9, 0, kSecond, kSecond});
   EXPECT_THROW(ApplyFaultSchedule(cluster, bad_client), std::invalid_argument);
+  FaultSchedule bad_ccrash;
+  bad_ccrash.client_crashes.push_back({7, kSecond});
+  EXPECT_THROW(ApplyFaultSchedule(cluster, bad_ccrash), std::invalid_argument);
+}
+
+TEST(FaultScheduleTest, AppliedClientCrashFires) {
+  EventQueue queue;
+  Cluster cluster(SmallCluster(2, 1), queue);
+  auto open = cluster.client(0).Open(1, 7, OpenMode::kWrite, OpenDisposition::kNormal,
+                                     false, 0);
+  cluster.client(0).Write(open.handle, 1000, 0);
+  ApplyFaultSchedule(cluster, ParseFaultSchedule("ccrash:0@5"));
+  queue.RunUntil(6 * kSecond);
+  EXPECT_EQ(cluster.client(0).open_handle_count(), 0) << "the reboot dropped every handle";
+  EXPECT_EQ(cluster.server(0).open_state_count(), 0) << "the server was told";
+}
+
+// ---------------- Client reboot inside a server's grace window ----------------
+
+// A client that crash-reboots while its server is still in the post-crash
+// grace window must not resurrect its pre-crash handles: the reboot emptied
+// its open table, so the epoch handshake replays nothing, and the old
+// handles stay dead instead of surfacing as stale.
+TEST(RecoveryTest, ClientRebootDuringGraceWindowResurrectsNothing) {
+  EventQueue queue;
+  Cluster cluster(SmallCluster(), queue);
+  auto open = cluster.client(0).Open(1, 7, OpenMode::kWrite, OpenDisposition::kNormal,
+                                     false, 0);
+  cluster.client(0).Write(open.handle, 3000, 0);
+
+  cluster.CrashServer(0, 10 * kSecond);
+  // The server reboots at 10 s and then serves only reopen traffic for the
+  // grace window; the client's reboot lands inside that window.
+  queue.RunUntil(10 * kSecond);
+  cluster.CrashClient(0, 10 * kSecond);
+  EXPECT_EQ(cluster.client(0).open_handle_count(), 0);
+
+  // First post-reboot RPC runs the epoch handshake; with no surviving
+  // handles the reopen storm is empty.
+  const SimTime after = 10 * kSecond + cluster.config().rpc.recovery_grace + kSecond;
+  auto fresh = cluster.client(0).Open(1, 8, OpenMode::kRead, OpenDisposition::kNormal,
+                                      false, after);
+  EXPECT_EQ(cluster.rpc_ledger().stat(RpcKind::kReopen).calls, 0);
+  EXPECT_EQ(cluster.client(0).stale_handle_count(), 0) << "dead, not stale";
+  EXPECT_EQ(cluster.server(0).open_state_count(), 1) << "only the fresh open";
+
+  // The pre-crash handle is below the crash watermark: I/O on it is a no-op
+  // and it never reappears in any server table.
+  EXPECT_EQ(cluster.client(0).Read(open.handle, 100, after + kSecond), 0);
+  EXPECT_FALSE(cluster.client(0).TakeStaleHandle(open.handle).has_value());
+  cluster.client(0).Close(fresh.handle, after + kSecond);
+  EXPECT_EQ(cluster.server(0).open_state_count(), 0);
+  EXPECT_TRUE(cluster.server(0).OpenStateSharingConsistent());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/fs/cluster.h"
 #include "src/util/rng.h"
 
@@ -25,6 +27,11 @@ TEST(RpcKindTest, ChargedKindsOccupyTheWire) {
   EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kPageIn));
   EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kPageOut));
   EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kReadDir));
+  // Replication shadow traffic is real wire traffic (the cost of running
+  // primary/backup is the point of measuring it).
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kShadowOpen));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kShadowClose));
+  EXPECT_TRUE(RpcTransport::ChargesNetwork(RpcKind::kShadowWrite));
   // Metadata and consistency callbacks are ledger-only.
   EXPECT_FALSE(RpcTransport::ChargesNetwork(RpcKind::kCreate));
   EXPECT_FALSE(RpcTransport::ChargesNetwork(RpcKind::kGetAttr));
@@ -182,10 +189,14 @@ TEST(RpcFaultTest, ShortOutageEndsDuringBackoff) {
   RpcTransport transport{NetworkConfig{}, TightRpcConfig()};
   transport.SetServerUnavailable(0, 0, 700 * kMillisecond);
   const SimDuration net = Network{NetworkConfig{}}.RpcTime(kControlRpcBytes);
-  // Two timeouts (at 0 and 600 ms) and two backoffs; by 1300 ms the server
-  // is back and the call completes without spending the whole retry budget.
+  // Two timeouts (at 0 and ~600 ms) and two jittered backoffs; the jitter is
+  // at most a quarter of each base backoff, so the second retry still lands
+  // inside the outage and the third attempt (at >= 1300 ms) succeeds without
+  // spending the whole retry budget.
+  const SimDuration jittered0 = RpcTransport::JitteredBackoffForAttempt(TightRpcConfig(), 0, 0);
+  const SimDuration jittered1 = RpcTransport::JitteredBackoffForAttempt(TightRpcConfig(), 0, 1);
   const SimDuration latency = transport.Call(RpcKind::kOpen, 0, 0, kControlRpcBytes, 0);
-  EXPECT_EQ(latency, 1300 * kMillisecond + net);
+  EXPECT_EQ(latency, 1000 * kMillisecond + jittered0 + jittered1 + net);
   const RpcStat& s = transport.ledger().stat(RpcKind::kOpen);
   EXPECT_EQ(s.timeouts, 2);
   EXPECT_EQ(s.retries, 2);
@@ -300,6 +311,52 @@ TEST(RpcBackoffTest, DegenerateConfigs) {
   zero.backoff_initial = 0;
   EXPECT_EQ(RpcTransport::BackoffForAttempt(zero, 0), 0);
   EXPECT_EQ(RpcTransport::BackoffForAttempt(zero, 4), 0);
+}
+
+TEST(RpcBackoffTest, JitterIsDeterministicAndBounded) {
+  // Retries from different clients after the same outage must not march in
+  // lockstep; the jitter that breaks the thundering herd is seeded from the
+  // (client, attempt) pair so a rerun of the same seed reproduces it exactly.
+  const RpcConfig config;
+  for (ClientId client = 0; client < 8; ++client) {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const SimDuration base = RpcTransport::BackoffForAttempt(config, attempt);
+      const SimDuration jittered = RpcTransport::JitteredBackoffForAttempt(config, client, attempt);
+      EXPECT_GE(jittered, base);
+      EXPECT_LE(jittered, base + base / 4);
+      EXPECT_EQ(jittered, RpcTransport::JitteredBackoffForAttempt(config, client, attempt))
+          << "same seed, same jitter";
+    }
+  }
+}
+
+TEST(RpcBackoffTest, JitterDesynchronizesClients) {
+  // The point of the jitter: clients retrying after the same outage spread
+  // out instead of hammering the rebooted server in the same microsecond.
+  const RpcConfig config;
+  std::set<SimDuration> first_backoffs;
+  for (ClientId client = 0; client < 16; ++client) {
+    first_backoffs.insert(RpcTransport::JitteredBackoffForAttempt(config, client, 0));
+  }
+  EXPECT_GT(first_backoffs.size(), 12u) << "16 clients should rarely collide";
+}
+
+TEST(RpcBackoffTest, JitterPinnedSequence) {
+  // Pin the exact jittered values for client 0 with the default config
+  // (initial 100 ms). Any change to the seeding or span arithmetic shifts
+  // every committed fault-run baseline; this pin makes that visible here
+  // instead of in a sim-hash diff.
+  const RpcConfig config;
+  EXPECT_EQ(RpcTransport::JitteredBackoffForAttempt(config, 0, 0),
+            100 * kMillisecond + 18304);
+  EXPECT_EQ(RpcTransport::JitteredBackoffForAttempt(config, 0, 1),
+            200 * kMillisecond + 22253);
+  EXPECT_EQ(RpcTransport::JitteredBackoffForAttempt(config, 1, 0),
+            100 * kMillisecond + 827);
+  // A zero base takes no jitter at all (no busy-spin on degenerate configs).
+  RpcConfig zero;
+  zero.backoff_initial = 0;
+  EXPECT_EQ(RpcTransport::JitteredBackoffForAttempt(zero, 0, 0), 0);
 }
 
 // ---------------- Crash epochs and the reopen handshake -----------------------

@@ -29,6 +29,13 @@
 # under hash on the same seed, gauge counter tracks route to per-server pids
 # in the Perfetto export, and a full-observability run leaves the paper
 # tables byte-identical to the committed determinism baseline.
+# A seventh smoke covers primary/backup replication: a --replication run
+# under a crash schedule with a correlated crash group and a client crash
+# must report fail-overs, a degraded crash, and preserved dirty bytes in the
+# recovery summary, surface the failover instruments in --metrics and the
+# shadow kinds in --rpc-ledger, emit "failover" and shadow spans in the
+# trace, stay byte-identical across two identical faulted runs, and — with
+# replication off — register no shadow or failover instruments at all.
 # Finally (plain mode only) a perf gate builds a Release tree and runs the
 # BM_SimulateCluster trajectory via tools/bench_trajectory.py check: a >10%
 # events/sec regression against the newest committed BENCH_sim_*.json entry
@@ -307,6 +314,69 @@ EOF
   echo "obs v2 smoke: verdicts, reconciliation, track routing, and baseline OK"
 }
 
+failover_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: failover smoke =="
+  fo_out="${build_dir}/failover_smoke.txt"
+  fo_json="${build_dir}/failover_smoke.json"
+  # One clean single-server crash (fails over), one client crash during the
+  # run, and one correlated group that kills a primary together with its
+  # backup (degrades to the classic reopen-storm path).
+  fo_schedule="crash:0@240+30,ccrash:1@300,crash:0+1@420+20"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --replication --metrics --rpc-ledger \
+    --crash-schedule "${fo_schedule}" --trace-out "${fo_json}" > "${fo_out}"
+  for needle in \
+      "latency recovery.failover_us" \
+      "counter recovery.failovers" \
+      "gauge server.0.role" \
+      "shadow-open" \
+      "replication: 1 failover(s)" \
+      "1 degraded crash(es)" \
+      "dirty preserved by fail-over" \
+      "1 client crash(es)"; do
+    if ! grep -qF "${needle}" "${fo_out}"; then
+      echo "failover smoke: '${needle}' missing from ${fo_out}" >&2
+      exit 1
+    fi
+  done
+  python3 - "${fo_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+failovers = [e for e in events if e.get("ph") == "X" and e["name"] == "failover"]
+assert failovers, "no failover spans in replicated trace"
+assert all(e["dur"] > 0 for e in failovers), "failover span with zero duration"
+shadow = [e for e in events if e.get("ph") == "X" and e["name"].startswith("shadow-")]
+assert shadow, "no shadow RPC spans in replicated trace"
+print(f"failover smoke: {len(failovers)} failover span(s), {len(shadow)} shadow spans")
+EOF
+  # Same seed, same schedule: a replicated faulted run must be reproducible
+  # byte for byte, fail-over timing included.
+  fo_rerun="${build_dir}/failover_smoke_rerun.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --replication --metrics --rpc-ledger \
+    --crash-schedule "${fo_schedule}" > "${fo_rerun}"
+  if ! cmp -s "${fo_out}" "${fo_rerun}"; then
+    echo "failover smoke: replicated faulted run is not deterministic" >&2
+    diff "${fo_out}" "${fo_rerun}" | head -20 >&2
+    exit 1
+  fi
+  # Replication off (the default): no shadow or failover instrument may
+  # register — the metrics block and ledger must not mention them, keeping
+  # the committed baselines byte-identical (determinism_smoke pins the hash).
+  fo_off="${build_dir}/failover_smoke_off.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --metrics --rpc-ledger > "${fo_off}"
+  if grep -qE "shadow-|failover|server\.[0-9]+\.role" "${fo_off}"; then
+    echo "failover smoke: replication machinery leaked into off-mode output" >&2
+    grep -nE "shadow-|failover|server\.[0-9]+\.role" "${fo_off}" | head -5 >&2
+    exit 1
+  fi
+  echo "failover smoke: fail-over, degraded path, determinism, and off-mode OK"
+}
+
 perf_gate() {
   build_dir="build-release"
   echo "== ${build_dir}: perf gate =="
@@ -333,6 +403,7 @@ run_pass() {
   sharding_smoke "${build_dir}"
   determinism_smoke "${build_dir}"
   obs_v2_smoke "${build_dir}"
+  failover_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

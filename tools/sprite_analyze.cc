@@ -70,15 +70,30 @@
 //
 // Fault injection (requires --simulate):
 //   --crash-schedule SPEC  comma-separated deterministic fault events:
-//                            crash:<server>@<at_sec>+<down_sec>
+//                            crash:<server>[+<server>...]@<at_sec>+<down_sec>
 //                            part:<first>-<last>x<server>@<at_sec>+<dur_sec>
+//                            ccrash:<client>@<at_sec>
 //                          Times are seconds from the start of the run
 //                          (warmup included). Server crashes lose volatile
-//                          open state and trigger client reopen storms;
-//                          partitions drop consistency callbacks to the
-//                          named clients (silent cache staleness). A
-//                          recovery summary section is printed after the
-//                          standard tables.
+//                          open state and trigger client reopen storms; a
+//                          '+'-joined server group crashes together
+//                          (correlated failure); partitions drop consistency
+//                          callbacks to the named clients (silent cache
+//                          staleness); ccrash crash-reboots one client
+//                          (cold caches, dropped handles). A recovery
+//                          summary section is printed after the standard
+//                          tables.
+//   --replication          primary/backup server replication: each home's
+//                          primary shadows open registrations and dirty
+//                          writebacks to a deterministic backup (real,
+//                          ledgered shadow-* RPC traffic), and a crash with
+//                          a live shadow FAILS OVER — the backup is promoted
+//                          and replays the shadow delta instead of the
+//                          epoch-bump reopen storm. Correlated crashes that
+//                          kill every replica degrade to classic recovery.
+//                          Fail-over counts and latency appear in the
+//                          recovery summary (and recovery.failover_us under
+//                          --metrics).
 
 #include <cstdio>
 #include <cstdlib>
@@ -114,7 +129,7 @@ void Usage() {
       "                      [--metrics-out FILE] [--trace-out FILE] TRACE\n"
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
-      "                      [--async] [--crash-schedule SPEC]\n"
+      "                      [--async] [--crash-schedule SPEC] [--replication]\n"
       "                      [--shard-policy modulo|hash|range|dir-affinity]\n"
       "                      [--shard-report] [--critical-path] [--hotspot-report]\n"
       "                      [observability options as above]\n");
@@ -169,6 +184,7 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool simulate = false;
   bool async_rpc = false;
+  bool replication = false;
   bool heavy = false;
   bool shard_report = false;
   bool critical_path = false;
@@ -206,6 +222,8 @@ int main(int argc, char** argv) {
       simulate = true;
     } else if (arg == "--async") {
       async_rpc = true;
+    } else if (arg == "--replication") {
+      replication = true;
     } else if (arg == "--heavy") {
       heavy = true;
     } else if (arg == "--interval" && i + 1 < argc) {
@@ -279,6 +297,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (replication && !simulate) {
+    std::fprintf(stderr, "--replication requires --simulate\n");
+    Usage();
+    return 2;
+  }
   if ((shard_report || shard_policy != ShardingPolicy::kModulo) && !simulate) {
     std::fprintf(stderr, "--shard-policy / --shard-report require --simulate\n");
     Usage();
@@ -338,6 +361,7 @@ int main(int argc, char** argv) {
     cluster.num_servers = servers;
     cluster.observability = obs_config;
     cluster.rpc.async = async_rpc;
+    cluster.replication.enabled = replication;
     cluster.sharding.policy = shard_policy;
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
                  minutes, warmup, users, clients);
@@ -451,9 +475,36 @@ int main(int argc, char** argv) {
     Cluster& c = generator->cluster();
     const StaleDataTracker& tracker = c.stale_tracker();
     std::printf("\n== Crash recovery and partitions (live cluster) ==\n");
-    std::printf("injected: %lld server crash(es), %lld partition(s)\n",
+    std::printf("injected: %lld server crash(es), %lld partition(s)",
                 static_cast<long long>(fault_schedule.crashes.size()),
                 static_cast<long long>(fault_schedule.partitions.size()));
+    if (!fault_schedule.client_crashes.empty()) {
+      std::printf(", %lld client crash(es)",
+                  static_cast<long long>(fault_schedule.client_crashes.size()));
+    }
+    std::printf("\n");
+    if (replication) {
+      const double mean_failover_ms =
+          c.failovers() > 0
+              ? static_cast<double>(c.total_failover_us()) /
+                    (static_cast<double>(c.failovers()) * 1000.0)
+              : 0.0;
+      std::printf("replication: %lld failover(s) (mean %.1f ms), %lld degraded crash(es), "
+                  "%lld resync(s)\n",
+                  static_cast<long long>(c.failovers()), mean_failover_ms,
+                  static_cast<long long>(c.degraded_crashes()),
+                  static_cast<long long>(c.resyncs()));
+      const RpcLedger& ledger = c.rpc_ledger();
+      const int64_t shadow_calls = ledger.stat(RpcKind::kShadowOpen).calls +
+                                   ledger.stat(RpcKind::kShadowClose).calls +
+                                   ledger.stat(RpcKind::kShadowWrite).calls;
+      std::printf("replication: %.1f KB dirty preserved by fail-over | %lld shadow RPCs "
+                  "(%.1f KB shadowed writeback)\n",
+                  static_cast<double>(c.failover_preserved_bytes()) / 1024.0,
+                  static_cast<long long>(shadow_calls),
+                  static_cast<double>(ledger.stat(RpcKind::kShadowWrite).payload_bytes) /
+                      1024.0);
+    }
     for (int sv = 0; sv < c.num_servers(); ++sv) {
       const uint64_t epoch = c.server(static_cast<ServerId>(sv)).epoch();
       if (epoch > 1) {
