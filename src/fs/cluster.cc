@@ -28,6 +28,9 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     transport_->SetReplicationEnabled(true);
   }
   down_until_.assign(static_cast<size_t>(config.num_servers), 0);
+  // Before AttachObservability: RegisterServer validates ids against this,
+  // and the contended network's per-link recorders need the server count.
+  transport_->SetExpectedServers(config.num_servers);
   transport_->AttachObservability(obs_.get());
   if (obs_ != nullptr && obs_->metrics_enabled() && config.observability.hotspot) {
     hotspot_ = std::make_unique<HotspotDetector>(config.observability.hotspot_rules,
@@ -216,6 +219,8 @@ void Cluster::CaptureMetricsWindow(SimTime now, bool final_partial) {
   }
   hotspot_->Observe(w->start, w->end, signals);
 }
+
+void Cluster::FlushWire() { transport_->FlushAllWire(queue_.now()); }
 
 void Cluster::FinalizeObservability() {
   if (obs_ == nullptr || !obs_->metrics_enabled() ||
@@ -455,6 +460,9 @@ int64_t Cluster::CrashClient(ClientId client, SimTime now) {
 }
 
 void Cluster::ResetMeasurements() {
+  // Drain deferred wire batches first so their flush charges land in the
+  // warmup ledger being discarded, not astride the measurement boundary.
+  transport_->FlushAllWire(queue_.now());
   for (auto& client : clients_) {
     client->ResetCounters();
   }

@@ -83,6 +83,11 @@ class Cluster {
   // episode still open. Safe to call when observability is off.
   void FinalizeObservability();
 
+  // Drains any wire batches the honest-wire layer is still holding
+  // (RpcConfig::batching) as kBatch exchanges at the current sim time.
+  // Called at end of run before the tables are read; no-op otherwise.
+  void FlushWire();
+
   // Hot-spot detector over the windowed series; null unless metrics and
   // config.observability.hotspot are both enabled.
   const HotspotDetector* hotspot() const { return hotspot_.get(); }

@@ -91,6 +91,30 @@ struct NetworkConfig {
   // Fixed per-RPC latency; combined with the transfer time this yields the
   // paper's ~6-7 ms for a 4-Kbyte block fetch.
   SimDuration rpc_latency = 3 * kMillisecond;
+
+  // --- Contended medium (default off: analytic, uncontended) ---------------
+  // When true, transfers occupy per-(client, server) link horizons plus a
+  // shared medium horizon: a transfer issued while its link or the medium is
+  // busy waits (reported as WireOutcome::queued, the "net.link.N.queued_us"
+  // recorders, and "net.queued" spans). Off keeps the analytic model and
+  // every committed baseline byte-identical.
+  bool contention = false;
+  // How many link-bandwidths the shared medium can carry concurrently. 1.0
+  // is classic Ethernet (one transmission at a time); larger values model a
+  // switched fabric where only same-link transfers serialize fully.
+  double medium_capacity = 1.0;
+  // Deterministic per-transfer loss probability (splitmix64 over the
+  // transfer sequence number, seed-stable). Each loss costs a retransmit
+  // timeout plus a full resend, and halves the link's congestion window.
+  double loss_rate = 0.0;
+  SimDuration retransmit_timeout = 20 * kMillisecond;
+  // Congestion-window pacer (RACK/BBR-shaped, radically simplified): a
+  // transfer of more than cwnd maximum-segment-size segments pays one extra
+  // rpc_latency round trip per additional window. The window opens by one
+  // segment per loss-free transfer up to cwnd_max and halves on loss.
+  int64_t mss_bytes = 1500;
+  int64_t cwnd_initial = 4;
+  int64_t cwnd_max = 64;
 };
 
 struct DiskConfig {
@@ -136,6 +160,29 @@ struct RpcConfig {
   // that stall is charged as queue wait — but the server-resident queue
   // (the "server.N.queue_depth" gauge) stays bounded.
   int max_queue_depth = 64;
+
+  // --- Honest wire: piggybacking and batching (default off) ----------------
+  // When true, ledger-only control kinds (getattr, create/delete/truncate,
+  // consistency callbacks) stop being free: one that cannot ride a recent
+  // exchange pays a full wire exchange of kControlRpcBytes. A control RPC
+  // issued within piggyback_window of the *end* of the last wire exchange on
+  // the same (client, server) pair piggybacks for free (the paper's "these
+  // ride on other messages" semantics, made explicit). Off keeps ledger-only
+  // kinds free and every committed baseline byte-identical.
+  bool honest_wire = false;
+  SimDuration piggyback_window = 50 * kMillisecond;
+  // When true (implies honest wire for control kinds), small control RPCs —
+  // and the replication shadow stream (kShadowOpen/kShadowClose/
+  // kShadowWrite) — defer their wire exchange into a per-(client, server)
+  // batch that flushes as one kBatch exchange when it reaches batch_max_ops,
+  // when the next batched op finds it older than batch_window, or at a
+  // measurement boundary (Cluster::FlushWire). Member RPCs keep their fault
+  // handling, epoch handshake, and ledger rows (net = 0); the flush carries
+  // the summed wire bytes in the kBatch ledger row, so Tables 7/12 and the
+  // critical-path reconciliation stay microsecond-exact.
+  bool batching = false;
+  int batch_max_ops = 8;
+  SimDuration batch_window = 20 * kMillisecond;
 };
 
 // Primary/backup server replication (DESIGN.md §8). When enabled, every

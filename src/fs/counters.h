@@ -173,8 +173,12 @@ enum class RpcKind : uint8_t {
   kShadowOpen,      // mirror an open registration to the backup
   kShadowClose,     // mirror a close (and its last-writer update)
   kShadowWrite,     // mirror a dirty-byte writeback to the backup
+  // Honest-wire batching (RpcConfig::batching): one coalesced wire exchange
+  // flushing a per-(client, server) batch of deferred control/shadow RPCs.
+  // Synthesized by the transport's flush path, never issued by clients.
+  kBatch,
 };
-inline constexpr int kRpcKindCount = 22;
+inline constexpr int kRpcKindCount = 23;
 
 const char* RpcKindName(RpcKind kind);
 
@@ -296,6 +300,14 @@ struct RpcLedger {
   // Per-server-epoch breakdown. Populated only once a server crash has been
   // injected (epoch numbers exist), so fault-free runs render identically.
   DenseIdStats<uint64_t> by_epoch;
+
+  // Honest-wire bookkeeping (RpcConfig::honest_wire / batching). All zero —
+  // and the renderer's wire footer absent — in the default free-control
+  // mode, so committed ledgers are unchanged.
+  int64_t piggybacked_ops = 0;      // control RPCs that rode a recent exchange
+  int64_t charged_control_ops = 0;  // control RPCs that paid their own exchange
+  int64_t batched_ops = 0;          // control/shadow RPCs deferred into batches
+  int64_t batches = 0;              // kBatch wire exchanges flushed
 
   RpcStat& stat(RpcKind kind) { return by_kind[static_cast<size_t>(kind)]; }
   const RpcStat& stat(RpcKind kind) const { return by_kind[static_cast<size_t>(kind)]; }

@@ -33,6 +33,7 @@ const char* RpcKindName(RpcKind kind) {
     case RpcKind::kShadowOpen: return "shadow-open";
     case RpcKind::kShadowClose: return "shadow-close";
     case RpcKind::kShadowWrite: return "shadow-write";
+    case RpcKind::kBatch: return "batch";
   }
   return "unknown";
 }
@@ -99,10 +100,19 @@ bool RpcTransport::ChargesNetwork(RpcKind kind) {
     case RpcKind::kShadowOpen:
     case RpcKind::kShadowClose:
     case RpcKind::kShadowWrite:
+    // A batch flush is one coalesced wire exchange.
+    case RpcKind::kBatch:
       return true;
     default:
       return false;
   }
+}
+
+bool RpcTransport::Batchable(RpcKind kind) {
+  // The deferrable small-message set: ledger-only control kinds (getattr,
+  // create/delete/truncate, consistency callbacks) plus the replication
+  // shadow stream — everything whose reply the caller never waits on.
+  return (!ChargesNetwork(kind) || IsShadowKind(kind)) && kind != RpcKind::kBatch;
 }
 
 bool RpcTransport::IsCallback(RpcKind kind) {
@@ -121,6 +131,7 @@ bool RpcTransport::IsCallback(RpcKind kind) {
 void RpcTransport::AttachObservability(Observability* obs) {
   obs_ = obs;
   latency_rec_.fill(nullptr);
+  link_rec_.clear();
   critical_path_ = (obs_ != nullptr && obs_->critical_path_enabled())
                        ? &obs_->critical_path()
                        : nullptr;
@@ -136,11 +147,45 @@ void RpcTransport::AttachObservability(Observability* obs) {
     if (IsShadowKind(kind) && !replication_enabled_) {
       continue;
     }
+    // Same rule for the batch-flush recorder: only batching synthesizes one.
+    if (kind == RpcKind::kBatch && !config_.batching) {
+      continue;
+    }
     latency_rec_[static_cast<size_t>(k)] =
         metrics.AddLatency(std::string("rpc.") + RpcKindName(kind) + ".latency_us");
   }
   metrics.AddGauge("rpc.calls", [this] { return ledger_.TotalCalls(); });
   metrics.AddGauge("rpc.payload_bytes", [this] { return ledger_.TotalPayloadBytes(); });
+  // Honest-wire and contention instruments, gated on their modes so the
+  // default metric stream is unchanged line for line.
+  if (config_.honest_wire || config_.batching) {
+    metrics.AddGauge("wire.piggybacked_ops", [this] { return ledger_.piggybacked_ops; });
+    metrics.AddGauge("wire.charged_control_ops",
+                     [this] { return ledger_.charged_control_ops; });
+    metrics.AddGauge("wire.batched_ops", [this] { return ledger_.batched_ops; });
+    metrics.AddGauge("wire.batches", [this] { return ledger_.batches; });
+  }
+  if (network_ != nullptr && network_->contention_enabled()) {
+    for (int s = 0; s < expected_servers_; ++s) {
+      link_rec_.push_back(
+          metrics.AddLatency("net.link." + std::to_string(s) + ".queued_us"));
+    }
+    metrics.AddGauge("net.retransmits", [this] { return network_->retransmits(); });
+    metrics.AddGauge("net.contended_transfers",
+                     [this] { return network_->contended_transfers(); });
+  }
+}
+
+void RpcTransport::RegisterServer(ServerId id, Server* server) {
+  if (expected_servers_ > 0 && id >= static_cast<ServerId>(expected_servers_)) {
+    throw std::invalid_argument("RpcTransport::RegisterServer: server id " +
+                                std::to_string(id) + " out of range [0, " +
+                                std::to_string(expected_servers_) + ")");
+  }
+  if (id >= servers_.size()) {
+    servers_.resize(id + 1, nullptr);
+  }
+  servers_[id] = server;
 }
 
 void RpcTransport::SetServerUnavailable(ServerId server, SimTime from, SimTime until) {
@@ -250,6 +295,115 @@ SimDuration RpcTransport::SyncEpoch(ClientId client, ServerId server, SimTime t)
   return reopen_handlers_[client](server, t);
 }
 
+RpcTransport::PairWire& RpcTransport::PairState(ClientId client, ServerId server) {
+  if (static_cast<size_t>(client) >= pair_wire_.size()) {
+    pair_wire_.resize(client + 1);
+  }
+  auto& row = pair_wire_[client];
+  if (static_cast<size_t>(server) >= row.size()) {
+    row.resize(server + 1);
+  }
+  return row[server];
+}
+
+SimDuration RpcTransport::FlushBatch(ClientId client, ServerId server, SimTime now) {
+  PairWire& pw = PairState(client, server);
+  if (pw.batch.ops == 0) {
+    return 0;
+  }
+  const int64_t ops = pw.batch.ops;
+  const int64_t bytes = pw.batch.bytes;
+  pw.batch = WireBatch{};
+
+  // One wire exchange carrying the batch's summed bytes.
+  SimDuration net = 0;
+  if (network_ != nullptr) {
+    const Network::WireOutcome outcome = network_->Transfer(client, server, bytes, now);
+    net = outcome.latency;
+    if (server < link_rec_.size() && link_rec_[server] != nullptr) {
+      link_rec_[server]->Record(outcome.queued);
+    }
+    if (obs_ != nullptr && obs_->tracing_enabled() && outcome.queued > 0) {
+      obs_->tracer().Emit("net.queued", "net", ServerTrack(server), now, outcome.queued,
+                          {{"client", client},
+                           {"kind", static_cast<int64_t>(RpcKind::kBatch)}});
+    }
+  }
+
+  // In async mode the flush is one control-time admission through the
+  // server's service queue, exactly like any charged RPC.
+  SimDuration queue_wait = 0;
+  SimDuration service = 0;
+  if (config_.async) {
+    Server* srv = server < servers_.size() ? servers_[server] : nullptr;
+    if (srv != nullptr && srv->service_queue_enabled()) {
+      const Server::Admission adm =
+          srv->AdmitRequest(RpcKind::kBatch, now + net, /*priority=*/false);
+      queue_wait = adm.queue_wait();
+      service = adm.service;
+      if (queue_ != nullptr) {
+        const SimTime base = queue_->now();
+        queue_->Schedule(std::max(adm.arrival, base), [srv] { srv->RequestArrived(); });
+        queue_->Schedule(std::max(adm.completion(), base),
+                         [srv] { srv->RequestCompleted(); });
+      }
+      if (obs_ != nullptr && obs_->tracing_enabled() && queue_wait > 0) {
+        obs_->tracer().Emit("rpc.queued", "rpc.server", ServerTrack(server), adm.arrival,
+                            queue_wait,
+                            {{"client", client},
+                             {"kind", static_cast<int64_t>(RpcKind::kBatch)}});
+      }
+    }
+  }
+  const SimDuration total = net + queue_wait + service;
+
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit(RpcKindName(RpcKind::kBatch), "rpc", ClientTrack(client), now, total,
+                        {{"server", server}, {"ops", ops}, {"bytes", bytes}, {"net_us", net}});
+  }
+  if (LatencyRecorder* rec = latency_rec_[static_cast<size_t>(RpcKind::kBatch)];
+      rec != nullptr) {
+    rec->Record(total);
+  }
+  if (critical_path_ != nullptr) {
+    // Charged here — not on the member rows — so the collector's phase
+    // totals still reconcile with the ledger to the microsecond.
+    critical_path_->AddRpc(/*wait=*/0, net, queue_wait, service, /*callback=*/false);
+  }
+
+  // The members already charged their calls/payload; the kBatch row carries
+  // only the wire exchange itself, so TotalPayloadBytes is not
+  // double-counted.
+  const auto charge = [&](RpcStat& s) {
+    ++s.calls;
+    s.net_time += net;
+    s.queue_time += queue_wait;
+    s.service_time += service;
+  };
+  charge(ledger_.stat(RpcKind::kBatch));
+  charge(ledger_.by_client[client]);
+  charge(ledger_.by_server[server]);
+  if (has_epochs_) {
+    const bool crashed = server < epoch_set_.size() && epoch_set_[server];
+    charge(ledger_.by_epoch[crashed ? server_epochs_[server] : 1]);
+  }
+  ++ledger_.batches;
+
+  pw.has_exchange = true;
+  pw.last_exchange_end = now + total;
+  return total;
+}
+
+void RpcTransport::FlushAllWire(SimTime now) {
+  for (size_t c = 0; c < pair_wire_.size(); ++c) {
+    for (size_t s = 0; s < pair_wire_[c].size(); ++s) {
+      if (pair_wire_[c][s].batch.ops > 0) {
+        FlushBatch(static_cast<ClientId>(c), static_cast<ServerId>(s), now);
+      }
+    }
+  }
+}
+
 SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
                                int64_t payload_bytes, SimTime now) {
   SimDuration wait = 0;
@@ -330,10 +484,66 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
     }
   }
 
+  // Honest-wire layer (defaults off; see the class comment). Decides whether
+  // this call piggybacks, pays its own control exchange, or defers into the
+  // pair's wire batch — and absorbs any batch flush it triggers.
+  SimDuration flush_wait = 0;
+  bool defer_wire = false;
+  bool pays_control_exchange = false;
+  PairWire* pw = nullptr;
+  if (config_.honest_wire || config_.batching) {
+    pw = &PairState(client, server);
+    const SimTime t = now + wait;
+    if (config_.batching && Batchable(kind)) {
+      if (pw->batch.ops > 0 && t - pw->batch.started >= config_.batch_window) {
+        // The pending batch aged out: this op pays its flush, then starts a
+        // fresh one (lazy age-out keeps the sync transport event-free).
+        flush_wait += FlushBatch(client, server, t);
+      }
+      if (pw->batch.ops == 0) {
+        pw->batch.started = t + flush_wait;
+      }
+      ++pw->batch.ops;
+      pw->batch.bytes += payload_bytes > 0 ? payload_bytes : kControlRpcBytes;
+      ++ledger_.batched_ops;
+      defer_wire = true;
+      if (pw->batch.ops >= config_.batch_max_ops) {
+        flush_wait += FlushBatch(client, server, t + flush_wait);
+      }
+    } else if (!ChargesNetwork(kind)) {
+      // honest_wire: a control RPC inside the piggyback window rides the
+      // pair's last exchange for free; otherwise it pays a full exchange.
+      if (pw->has_exchange && t < pw->last_exchange_end + config_.piggyback_window) {
+        ++ledger_.piggybacked_ops;
+      } else {
+        pays_control_exchange = true;
+        ++ledger_.charged_control_ops;
+      }
+    }
+  }
+
   SimDuration net = 0;
-  if (network_ != nullptr && ChargesNetwork(kind)) {
-    net = network_->Rpc(payload_bytes);
-    phase("wire", now + wait, net);
+  if (network_ != nullptr && !defer_wire &&
+      (ChargesNetwork(kind) || pays_control_exchange)) {
+    const int64_t wire_bytes =
+        pays_control_exchange && payload_bytes == 0 ? kControlRpcBytes : payload_bytes;
+    const SimTime wire_start = now + wait + flush_wait;
+    const Network::WireOutcome outcome =
+        network_->Transfer(client, server, wire_bytes, wire_start);
+    net = outcome.latency;
+    phase("wire", wire_start, net);
+    if (server < link_rec_.size() && link_rec_[server] != nullptr) {
+      link_rec_[server]->Record(outcome.queued);
+    }
+    if (tracing && outcome.queued > 0) {
+      obs_->tracer().Emit("net.queued", "net", ServerTrack(server), wire_start,
+                          outcome.queued,
+                          {{"client", client}, {"kind", static_cast<int64_t>(kind)}});
+    }
+    if (pw != nullptr) {
+      pw->has_exchange = true;
+      pw->last_exchange_end = wire_start + net;
+    }
   }
 
   // Event-driven completion: the request reaches the server after its wire
@@ -342,10 +552,10 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
   // the default synchronous transport is untouched byte-for-byte.
   SimDuration queue_wait = 0;
   SimDuration service = 0;
-  if (config_.async && ChargesNetwork(kind)) {
+  if (config_.async && ChargesNetwork(kind) && !defer_wire) {
     Server* srv = server < servers_.size() ? servers_[server] : nullptr;
     if (srv != nullptr && srv->service_queue_enabled()) {
-      const SimTime arrival = now + wait + net;
+      const SimTime arrival = now + wait + flush_wait + net;
       // Reopen traffic during the recovery grace window jumps the queue.
       const bool priority =
           kind == RpcKind::kReopen && GraceUntil(server, arrival) > arrival;
@@ -368,7 +578,10 @@ SimDuration RpcTransport::Call(RpcKind kind, ClientId client, ServerId server,
       }
     }
   }
-  const SimDuration total = wait + net + queue_wait + service;
+  // flush_wait is time this caller absorbed flushing a batch; the flush
+  // charged its own ledger/critical-path rows, so it rides only in the
+  // returned total (and this kind's latency recorder), never in this row.
+  const SimDuration total = wait + flush_wait + net + queue_wait + service;
 
   if (tracing) {
     obs_->tracer().Emit(RpcKindName(kind), IsCallback(kind) ? "rpc.callback" : "rpc",
@@ -664,6 +877,11 @@ RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_conf
   Counter* payload_counter = nullptr;
   if (metrics) {
     for (int k = 0; k < kRpcKindCount; ++k) {
+      // kBatch is synthesized by the live transport's flush path only; a
+      // replayed trace never contains one.
+      if (static_cast<RpcKind>(k) == RpcKind::kBatch) {
+        continue;
+      }
       recorders[static_cast<size_t>(k)] = obs->metrics().AddLatency(
           std::string("rpc.") + RpcKindName(static_cast<RpcKind>(k)) + ".latency_us");
     }
@@ -829,6 +1047,15 @@ std::string FormatRpcLedger(const RpcLedger& ledger) {
     out += "epoch " + std::to_string(epoch) + ": " + std::to_string(s.calls) + " RPCs, " +
            std::to_string(s.retries) + " retries, " + std::to_string(s.timeouts) +
            " timeouts, " + std::to_string(s.blocked_waits) + " blocked waits\n";
+  }
+  // Honest-wire footer, present only when the wire model ran (default runs
+  // never set these, keeping the committed ledgers unchanged).
+  if (ledger.piggybacked_ops > 0 || ledger.charged_control_ops > 0 ||
+      ledger.batched_ops > 0 || ledger.batches > 0) {
+    out += "wire: " + std::to_string(ledger.piggybacked_ops) + " piggybacked, " +
+           std::to_string(ledger.charged_control_ops) + " charged control, " +
+           std::to_string(ledger.batched_ops) + " batched ops in " +
+           std::to_string(ledger.batches) + " batches\n";
   }
   return out;
 }

@@ -14,9 +14,28 @@
 //     directory reads) occupy the Ethernet: the transport charges the
 //     Network model and the latency is returned to the caller;
 //   * ledger-only kinds (create/delete/truncate/getattr and the
-//     consistency callbacks) are counted but cost no simulated time —
-//     in real Sprite these piggyback on other messages or overlap with
-//     the operations that triggered them.
+//     consistency callbacks) are counted but, by default, cost no simulated
+//     time — in real Sprite these piggyback on other messages or overlap
+//     with the operations that triggered them.
+//
+// Honest wire (RpcConfig::honest_wire / batching, both default off): the
+// piggybacking above becomes explicit instead of assumed. With honest_wire,
+// a ledger-only control kind issued within piggyback_window of the end of
+// the last wire exchange on its (client, server) pair rides it for free
+// (ledger.piggybacked_ops); one that cannot pays a full kControlRpcBytes
+// exchange of its own (ledger.charged_control_ops). With batching, control
+// kinds — and the replication kShadow* stream — instead defer their wire
+// exchange into a per-pair batch that flushes as a single kBatch exchange
+// when it fills (batch_max_ops), ages out (batch_window, checked lazily on
+// the next batched op), or hits a measurement boundary (FlushAllWire, wired
+// by the Cluster). Member RPCs keep their fault handling, epoch handshake,
+// and ledger rows with net = 0; the kBatch row carries the flush's wire and
+// queue/service time, charged to the critical path at the flush site, so
+// ledger<->critical-path reconciliation stays exact. Deviations from real
+// piggybacking are deliberate: the window trails the last exchange (a
+// synchronous simulator cannot hold an RPC for a future carrier), and a
+// batch's members complete logically before their bytes move (fire-and-
+// forget control stream) — see DESIGN.md.
 //
 // Fault injection: a server can be marked unavailable for an interval.
 // While it is down, client requests time out (RpcConfig.timeout per
@@ -93,14 +112,22 @@ class RpcTransport {
   // Binds the cluster's event queue; async mode schedules request-arrival
   // and completion events on it (sync mode never touches it).
   void BindEventQueue(EventQueue* queue) { queue_ = queue; }
+  // Declares how many servers the owning cluster has. Once set,
+  // RegisterServer validates ids against it (and the per-link contention
+  // recorders know how many links to register). Bare test harnesses that
+  // never call this keep the permissive grow-on-demand behavior.
+  void SetExpectedServers(int count) { expected_servers_ = count; }
   // Registers the server object behind `id` so async admission can reach
   // its service queue (wired by the Cluster; harmless in sync mode).
-  void RegisterServer(ServerId id, Server* server) {
-    if (id >= servers_.size()) {
-      servers_.resize(id + 1, nullptr);
-    }
-    servers_[id] = server;
-  }
+  // Throws std::invalid_argument when SetExpectedServers was called and
+  // `id` is out of range — a silent resize here used to mask misrouted ids.
+  void RegisterServer(ServerId id, Server* server);
+
+  // Flushes every pending per-(client, server) wire batch as kBatch
+  // exchanges at `now` (no-op unless batching deferred something). The
+  // Cluster calls this at measurement boundaries — before the warmup ledger
+  // reset and at end of run — so deferred bytes are never silently dropped.
+  void FlushAllWire(SimTime now);
 
   // The exact per-attempt retry backoff: backoff_initial doubled `attempt`
   // times, saturating at backoff_max (never overshooting it). Exposed for
@@ -227,6 +254,25 @@ class RpcTransport {
   // duration (0 when the client is current).
   SimDuration SyncEpoch(ClientId client, ServerId server, SimTime t);
 
+  // --- Honest-wire state (per (client, server) pair) -------------------------
+  struct WireBatch {
+    int64_t ops = 0;
+    int64_t bytes = 0;
+    SimTime started = 0;  // issue time of the first deferred op
+  };
+  struct PairWire {
+    bool has_exchange = false;     // any wire exchange yet on this pair
+    SimTime last_exchange_end = 0;  // end of the most recent one
+    WireBatch batch;
+  };
+  PairWire& PairState(ClientId client, ServerId server);
+  // True for kinds that defer into a wire batch when batching is on:
+  // ledger-only control kinds plus the replication shadow stream.
+  static bool Batchable(RpcKind kind);
+  // Flushes the pair's pending batch as one kBatch wire exchange at `now`
+  // and returns the latency the triggering caller absorbs (0 if empty).
+  SimDuration FlushBatch(ClientId client, ServerId server, SimTime now);
+
   std::unique_ptr<Network> network_;
   RpcConfig config_;
   RpcLedger ledger_;
@@ -250,6 +296,10 @@ class RpcTransport {
   // whose service queues admit requests (both wired by the Cluster).
   EventQueue* queue_ = nullptr;
   std::vector<Server*> servers_;  // [server]
+  // Cluster server count (0 = unset: bare harness, no validation).
+  int expected_servers_ = 0;
+  // Honest-wire piggyback/batch state, lazily sized like the fault tables.
+  std::vector<std::vector<PairWire>> pair_wire_;  // [client][server]
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   bool replication_enabled_ = false;
@@ -259,6 +309,9 @@ class RpcTransport {
   CriticalPathCollector* critical_path_ = nullptr;
   // Per-kind latency recorders, resolved once at attach time.
   std::array<LatencyRecorder*, kRpcKindCount> latency_rec_{};
+  // Per-server link-queueing recorders ("net.link.N.queued_us"), registered
+  // only when the network runs contended (and SetExpectedServers was set).
+  std::vector<LatencyRecorder*> link_rec_;
   // Scratch for the sub-phase spans Call() gathers while tracing, reused
   // across calls instead of reallocated. Call() can recurse (SyncEpoch runs
   // the reopen storm, whose kReopen calls re-enter Call), so each

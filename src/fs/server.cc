@@ -82,6 +82,10 @@ SimDuration Server::ServiceTimeFor(RpcKind kind) const {
       return control_service_time_;
     case RpcKind::kShadowWrite:
       return data_service_time_;
+    // A flushed wire batch is handled as one control-time request: its
+    // members are the small control messages that never held the lane.
+    case RpcKind::kBatch:
+      return control_service_time_;
     default:
       return 0;  // ledger-only kinds and callbacks never hold the lane
   }

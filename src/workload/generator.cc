@@ -121,8 +121,11 @@ TraceLog Generator::Run(SimDuration duration, SimDuration warmup) {
     cluster_->ResetMeasurements();
   }
   queue_.RunUntil(end_time);
-  // Capture the trailing partial metrics window (runs whose length is not a
+  // Drain wire batches still pending at end of run (batching mode) so the
+  // ledger and critical path account for every deferred byte, then capture
+  // the trailing partial metrics window (runs whose length is not a
   // multiple of the snapshot interval) and close any open hot-spot episode.
+  cluster_->FlushWire();
   cluster_->FinalizeObservability();
   const TraceLog raw = cluster_->TakeTrace();
   // Post-merge filtering, as in the paper: drop the trace-collector's and

@@ -36,6 +36,13 @@
 # shadow kinds in --rpc-ledger, emit "failover" and shadow spans in the
 # trace, stay byte-identical across two identical faulted runs, and — with
 # replication off — register no shadow or failover instruments at all.
+# An eighth smoke covers the honest wire: a --honest-wire --rpc-batching
+# --net-contention run must render the wire summary, the kBatch ledger row,
+# per-link queue recorders in --metrics-out, and a critical-path table that
+# reconciles exactly ("OK" lines, no MISMATCH); an honest-wire-only run must
+# report piggybacked ops; two identical batched runs must be byte-identical;
+# and with every wire flag off the paper tables must stay byte-identical to
+# the committed sync baseline.
 # Finally (plain mode only) a perf gate builds a Release tree and runs the
 # BM_SimulateCluster trajectory via tools/bench_trajectory.py check: a >10%
 # events/sec regression against the newest committed BENCH_sim_*.json entry
@@ -377,6 +384,93 @@ EOF
   echo "failover smoke: fail-over, degraded path, determinism, and off-mode OK"
 }
 
+batching_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: batching smoke =="
+  bt_out="${build_dir}/batching_smoke.txt"
+  bt_metrics="${build_dir}/batching_smoke_metrics.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --honest-wire --rpc-batching \
+    --net-contention --net-loss 0.02 --rpc-ledger --critical-path --metrics \
+    --metrics-out "${bt_metrics}" > "${bt_out}"
+  for needle in \
+      "== Wire (honest wire / contention) ==" \
+      "wire exchanges:" \
+      "batched" \
+      "contention:" \
+      "retransmit(s)"; do
+    if ! grep -qF "${needle}" "${bt_out}"; then
+      echo "batching smoke: '${needle}' missing from ${bt_out}" >&2
+      exit 1
+    fi
+  done
+  # The coalesced exchanges land on their own ledger row.
+  if ! grep -qE "^batch " "${bt_out}"; then
+    echo "batching smoke: no kBatch row in the RPC ledger" >&2
+    exit 1
+  fi
+  for needle in \
+      "gauge wire.batched_ops" \
+      "gauge wire.batches" \
+      "gauge net.retransmits" \
+      "latency net.link.0.queued_us" \
+      "latency net.link.1.queued_us"; do
+    if ! grep -qF "${needle}" "${bt_metrics}"; then
+      echo "batching smoke: '${needle}' missing from ${bt_metrics}" >&2
+      exit 1
+    fi
+  done
+  # Batch flushes feed the critical path the same terms they charge to the
+  # ledger, so the reconciliation must stay microsecond-exact.
+  if grep -q "MISMATCH" "${bt_metrics}"; then
+    echo "batching smoke: critical path does not reconcile under batching" >&2
+    grep -n "MISMATCH" "${bt_metrics}" | head -5 >&2
+    exit 1
+  fi
+  if ! grep -q "reconcile wire_us: .* OK" "${bt_metrics}"; then
+    echo "batching smoke: critical-path wire reconciliation line missing" >&2
+    exit 1
+  fi
+  # Honest wire without batching: the piggyback window must absorb some
+  # control ops and charge the rest.
+  bt_honest="${build_dir}/batching_smoke_honest.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --honest-wire --rpc-ledger \
+    > "${bt_honest}"
+  if ! grep -qE "wire: [1-9][0-9]* piggybacked, [1-9][0-9]* charged control" \
+      "${bt_honest}"; then
+    echo "batching smoke: honest-wire run shows no piggybacked/charged ops" >&2
+    exit 1
+  fi
+  # Same seed, same flags: the contended batched run must be reproducible
+  # byte for byte, loss and queueing included.
+  bt_rerun="${build_dir}/batching_smoke_rerun.txt"
+  bt_rerun_metrics="${build_dir}/batching_smoke_rerun_metrics.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --honest-wire --rpc-batching \
+    --net-contention --net-loss 0.02 --rpc-ledger --critical-path --metrics \
+    --metrics-out "${bt_rerun_metrics}" > "${bt_rerun}"
+  if ! cmp -s "${bt_out}" "${bt_rerun}" || \
+     ! cmp -s "${bt_metrics}" "${bt_rerun_metrics}"; then
+    echo "batching smoke: contended batched run is not deterministic" >&2
+    diff "${bt_out}" "${bt_rerun}" | head -20 >&2
+    diff "${bt_metrics}" "${bt_rerun_metrics}" | head -20 >&2
+    exit 1
+  fi
+  # All wire flags off: the paper tables must stay byte-identical to the
+  # committed sync baseline — the honest-wire machinery may not perturb the
+  # default path by a single byte.
+  bt_off="${build_dir}/batching_smoke_off.txt"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --rpc-ledger > "${bt_off}"
+  if ! cmp -s "${bt_off}" tools/baselines/sync_tables_u8c4s2m10w2.txt; then
+    echo "batching smoke: off-mode output diverged from the committed baseline" >&2
+    diff "${bt_off}" tools/baselines/sync_tables_u8c4s2m10w2.txt | head -20 >&2
+    exit 1
+  fi
+  echo "batching smoke: wire summary, reconciliation, determinism, and off-mode OK"
+}
+
 perf_gate() {
   build_dir="build-release"
   echo "== ${build_dir}: perf gate =="
@@ -404,6 +498,7 @@ run_pass() {
   determinism_smoke "${build_dir}"
   obs_v2_smoke "${build_dir}"
   failover_smoke "${build_dir}"
+  batching_smoke "${build_dir}"
 }
 
 mode="${1:-all}"

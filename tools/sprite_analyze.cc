@@ -55,6 +55,25 @@
 //                          --metrics; Queue/Service columns in
 //                          --rpc-ledger; "rpc.queued" spans in --trace-out)
 //
+// Honest wire and contended network (requires --simulate):
+//   --honest-wire          ledger-only control RPCs (getattr, create/delete/
+//                          truncate, consistency callbacks) stop being free:
+//                          one issued within the piggyback window of the last
+//                          exchange on its (client, server) pair rides it for
+//                          free, otherwise it pays a full control exchange
+//                          ("wire:" footer in --rpc-ledger)
+//   --rpc-batching         defer small control RPCs — and the --replication
+//                          shadow stream — into per-(client, server) batches
+//                          that flush as single "batch" wire exchanges
+//                          (implies the honest-wire cost model for them)
+//   --net-contention       per-link + shared-medium queueing on the wire:
+//                          overlapping transfers wait, measurable as
+//                          net.link.N.queued_us in --metrics and
+//                          "net.queued" spans in --trace-out
+//   --net-loss RATE        deterministic per-transfer loss probability on the
+//                          contended wire (implies --net-contention); each
+//                          loss pays a retransmit timeout plus a resend
+//
 // Server sharding (requires --simulate):
 //   --shard-policy NAME    file -> server placement policy: modulo (the
 //                          default, the historical `file % servers`
@@ -130,6 +149,8 @@ void Usage() {
       "       sprite_analyze --simulate [--users N] [--clients N] [--servers N]\n"
       "                      [--minutes N] [--warmup N] [--seed N] [--heavy]\n"
       "                      [--async] [--crash-schedule SPEC] [--replication]\n"
+      "                      [--honest-wire] [--rpc-batching]\n"
+      "                      [--net-contention] [--net-loss RATE]\n"
       "                      [--shard-policy modulo|hash|range|dir-affinity]\n"
       "                      [--shard-report] [--critical-path] [--hotspot-report]\n"
       "                      [observability options as above]\n");
@@ -185,6 +206,10 @@ int main(int argc, char** argv) {
   bool simulate = false;
   bool async_rpc = false;
   bool replication = false;
+  bool honest_wire = false;
+  bool rpc_batching = false;
+  bool net_contention = false;
+  double net_loss = 0.0;
   bool heavy = false;
   bool shard_report = false;
   bool critical_path = false;
@@ -224,6 +249,22 @@ int main(int argc, char** argv) {
       async_rpc = true;
     } else if (arg == "--replication") {
       replication = true;
+    } else if (arg == "--honest-wire") {
+      honest_wire = true;
+    } else if (arg == "--rpc-batching") {
+      rpc_batching = true;
+    } else if (arg == "--net-contention") {
+      net_contention = true;
+    } else if ((arg == "--net-loss" && i + 1 < argc) || arg.rfind("--net-loss=", 0) == 0) {
+      const std::string rate = arg == "--net-loss"
+                                   ? std::string(argv[++i])
+                                   : arg.substr(std::strlen("--net-loss="));
+      net_loss = std::atof(rate.c_str());
+      if (net_loss < 0.0 || net_loss >= 1.0) {
+        std::fprintf(stderr, "--net-loss wants a rate in [0, 1), got %s\n", rate.c_str());
+        return 2;
+      }
+      net_contention = true;
     } else if (arg == "--heavy") {
       heavy = true;
     } else if (arg == "--interval" && i + 1 < argc) {
@@ -302,6 +343,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if ((honest_wire || rpc_batching || net_contention) && !simulate) {
+    std::fprintf(stderr, "--honest-wire/--rpc-batching/--net-contention require --simulate\n");
+    Usage();
+    return 2;
+  }
   if ((shard_report || shard_policy != ShardingPolicy::kModulo) && !simulate) {
     std::fprintf(stderr, "--shard-policy / --shard-report require --simulate\n");
     Usage();
@@ -361,6 +407,10 @@ int main(int argc, char** argv) {
     cluster.num_servers = servers;
     cluster.observability = obs_config;
     cluster.rpc.async = async_rpc;
+    cluster.rpc.honest_wire = honest_wire;
+    cluster.rpc.batching = rpc_batching;
+    cluster.network.contention = net_contention;
+    cluster.network.loss_rate = net_loss;
     cluster.replication.enabled = replication;
     cluster.sharding.policy = shard_policy;
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
@@ -534,6 +584,34 @@ int main(int argc, char** argv) {
     if (rpc_ledger) {
       std::printf("\n== RPC transport ledger (live cluster) ==\n%s",
                   FormatRpcLedger(generator->cluster().rpc_ledger()).c_str());
+    }
+    if (honest_wire || rpc_batching || net_contention) {
+      const Cluster& c = generator->cluster();
+      const RpcLedger& ledger = c.rpc_ledger();
+      const Network& net = c.network();
+      // Busy time spans warmup too (the network is never reset), so
+      // utilization is taken over the whole run, like the ablations do.
+      const SimDuration elapsed =
+          static_cast<SimDuration>(minutes + warmup) * kMinute;
+      std::printf("\n== Wire (honest wire / contention) ==\n");
+      std::printf("wire exchanges: %lld | piggybacked %lld | charged control %lld | "
+                  "batched %lld ops in %lld batches\n",
+                  static_cast<long long>(net.rpc_count()),
+                  static_cast<long long>(ledger.piggybacked_ops),
+                  static_cast<long long>(ledger.charged_control_ops),
+                  static_cast<long long>(ledger.batched_ops),
+                  static_cast<long long>(ledger.batches));
+      std::printf("net busy %.1f s | utilization %.2f%%%s\n",
+                  static_cast<double>(net.busy_time()) / 1e6,
+                  net.Utilization(elapsed) * 100.0,
+                  net.Saturated(elapsed) ? " [saturated]" : "");
+      if (net_contention) {
+        std::printf("contention: %lld queued transfer(s) (%.1f s waited) | "
+                    "%lld retransmit(s)\n",
+                    static_cast<long long>(net.contended_transfers()),
+                    static_cast<double>(net.queued_time()) / 1e6,
+                    static_cast<long long>(net.retransmits()));
+      }
     }
   } else if (rpc_ledger || obs_config.enabled()) {
     if (obs_config.enabled()) {
