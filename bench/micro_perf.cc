@@ -188,6 +188,50 @@ BENCHMARK(BM_SimulateCluster)
     ->Args({400, 32})
     ->Unit(benchmark::kMillisecond);
 
+// The rebalance ablation scenario (BENCH_sim_rebalance_<c>x<s>.json): the
+// modulo hot-spot recipe — heavy simulation load on an async transport with
+// windowed metrics, the detector, and the rebalancer all armed — so perf
+// PRs gate the migration machinery's end-to-end cost, not just the quiet
+// default path.
+void BM_SimulateRebalance(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int servers = static_cast<int>(state.range(1));
+  const SimDuration measured = 10 * kMinute;
+  const SimDuration warmup = 2 * kMinute;
+  uint64_t events = 0;
+  double sim_hours = 0.0;
+  for (auto _ : state) {
+    WorkloadParams params;
+    params.num_users = 2 * clients;
+    params.seed = 1991;
+    for (auto& group : params.groups) {
+      group.task_weights[static_cast<int>(TaskKind::kSimulate)] *= 4.0;
+      group.sim_input_bytes *= 2;
+    }
+    ClusterConfig cluster;
+    cluster.num_clients = clients;
+    cluster.num_servers = servers;
+    cluster.rpc.async = true;
+    cluster.observability.metrics = true;
+    cluster.observability.hotspot = true;
+    cluster.observability.snapshot_interval = kMinute;
+    cluster.rebalance.enabled = true;
+    Generator generator(params, cluster);
+    const TraceLog trace = generator.Run(measured, warmup);
+    benchmark::DoNotOptimize(trace.size());
+    events += generator.queue().dispatched_count();
+    sim_hours += static_cast<double>(measured + warmup) / kHour;
+  }
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sim_hours"] =
+      benchmark::Counter(sim_hours, benchmark::Counter::kAvgIterations);
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  state.counters["peak_rss_mb"] = static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+BENCHMARK(BM_SimulateRebalance)->Args({4, 2})->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace sprite
 

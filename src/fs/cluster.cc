@@ -1,5 +1,6 @@
 #include "src/fs/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "src/util/table.h"
@@ -27,7 +28,13 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     // only in replication-on runs (off-mode metric output stays identical).
     transport_->SetReplicationEnabled(true);
   }
+  if (config.rebalance.enabled) {
+    // Same contract as replication: kMigrate* latency recorders register
+    // only when the cluster can actually issue migrations.
+    transport_->SetRebalanceEnabled(true);
+  }
   down_until_.assign(static_cast<size_t>(config.num_servers), 0);
+  retired_servers_.assign(static_cast<size_t>(config.num_servers), false);
   // Before AttachObservability: RegisterServer validates ids against this,
   // and the contended network's per-link recorders need the server count.
   transport_->SetExpectedServers(config.num_servers);
@@ -36,6 +43,10 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     hotspot_ = std::make_unique<HotspotDetector>(config.observability.hotspot_rules,
                                                  config.num_servers);
     hotspot_->AttachObservability(obs_.get());
+  }
+  if (config.rebalance.enabled) {
+    rebalancer_ = std::make_unique<Rebalancer>(config.rebalance, sharder_.get(),
+                                               static_cast<RebalanceHost*>(this));
   }
   stale_tracker_.AttachObservability(obs_.get());
   transport_->SetStaleTracker(&stale_tracker_);
@@ -62,6 +73,14 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
       degraded_counter_ = m.AddCounter("recovery.degraded_crashes");
       preserved_counter_ = m.AddCounter("recovery.failover_preserved_bytes");
       resync_counter_ = m.AddCounter("recovery.resyncs");
+    }
+    if (rebalancer_ != nullptr) {
+      // Rebalance instruments exist only in rebalance-on runs, after the
+      // fail-over block so off-mode registration order is unchanged.
+      m.AddGauge("rebalance.migrations", [this] { return rebalancer_->migrations(); });
+      m.AddGauge("rebalance.moved_bytes", [this] { return rebalancer_->moved_bytes(); });
+      m.AddGauge("rebalance.resize_moved_bytes",
+                 [this] { return rebalancer_->resize_moved_bytes(); });
     }
   }
   servers_.reserve(static_cast<size_t>(config.num_servers));
@@ -97,7 +116,7 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
     // that home drops the extent so the shadow tracks only at-risk bytes.
     for (auto& server : servers_) {
       server->SetShadowFlushHook([this](FileId file, int64_t block) {
-        const ServerId home = sharder_->ServerFor(file);
+        const ServerId home = RouteHome(file);
         if (!replica_->shadowing(home)) {
           return;
         }
@@ -136,8 +155,12 @@ Cluster::Cluster(const ClusterConfig& config, EventQueue& queue)
   }
 }
 
+ServerId Cluster::RouteHome(FileId file) const {
+  return rebalancer_ != nullptr ? rebalancer_->Route(file) : sharder_->ServerFor(file);
+}
+
 Server& Cluster::ServerForFile(FileId file) {
-  const ServerId home = sharder_->ServerFor(file);
+  const ServerId home = RouteHome(file);
   // The ledger records the POLICY's placement decision; which physical
   // replica serves the home is the replication layer's concern.
   placement_.Note(home, file);
@@ -148,7 +171,7 @@ Server* Cluster::StandbyForFile(FileId file) {
   if (replica_ == nullptr) {
     return nullptr;
   }
-  const ServerId home = sharder_->ServerFor(file);
+  const ServerId home = RouteHome(file);
   if (!replica_->shadowing(home)) {
     return nullptr;  // standby down or not yet resynced: shadowing paused
   }
@@ -156,6 +179,7 @@ Server* Cluster::StandbyForFile(FileId file) {
 }
 
 void Cluster::StartDaemons(SimDuration sample_period) {
+  daemons_started_ = true;
   const SimDuration period = config_.client.cache.cleaner_period;
   for (size_t c = 0; c < clients_.size(); ++c) {
     // Stagger cleaner wakeups so all clients do not write back in lockstep.
@@ -218,6 +242,12 @@ void Cluster::CaptureMetricsWindow(SimTime now, bool final_partial) {
     }
   }
   hotspot_->Observe(w->start, w->end, signals);
+  if (rebalancer_ != nullptr) {
+    // React to episodes the window just opened/closed. Migrations execute
+    // atomically at the window boundary (one sim instant), charging their
+    // RPCs at `now`; the next window sees the moved bytes_homed.
+    rebalancer_->OnWindow(hotspot_->TakeEpisodes(), now);
+  }
 }
 
 void Cluster::FlushWire() { transport_->FlushAllWire(queue_.now()); }
@@ -242,6 +272,215 @@ std::string Cluster::HotspotReport() const {
     return "== Hot-spot report ==\ndetector disabled (requires --metrics)\n";
   }
   return hotspot_->Report();
+}
+
+// --- Live rebalancing (RebalanceHost + resize entry points) ------------------
+
+int Cluster::NumServers() const { return static_cast<int>(servers_.size()); }
+
+bool Cluster::IsLive(ServerId server) const {
+  return static_cast<size_t>(server) < servers_.size() &&
+         !retired_servers_[static_cast<size_t>(server)];
+}
+
+bool Cluster::IsDown(ServerId server, SimTime now) const {
+  const ServerId physical = replica_ != nullptr ? replica_->active(server) : server;
+  return static_cast<size_t>(physical) < down_until_.size() && now < down_until_[physical];
+}
+
+std::vector<std::pair<FileId, int64_t>> Cluster::HomedFiles(ServerId server) const {
+  const ServerId physical = replica_ != nullptr ? replica_->active(server) : server;
+  return servers_.at(physical)->HomedFiles();
+}
+
+int64_t Cluster::HomedBytes(ServerId server) const {
+  const ServerId physical = replica_ != nullptr ? replica_->active(server) : server;
+  return servers_.at(physical)->HomedBytes();
+}
+
+MigrationOutcome Cluster::Migrate(FileId file, ServerId from, ServerId to, SimTime now) {
+  MigrationOutcome out;
+  const ServerId src_id = replica_ != nullptr ? replica_->active(from) : from;
+  const ServerId dst_id = replica_ != nullptr ? replica_->active(to) : to;
+  if (src_id == dst_id) {
+    return out;
+  }
+  Server& src = *servers_.at(src_id);
+  Server& dst = *servers_.at(dst_id);
+  // Crash safety first: the file's dirty server-cache extents reach the
+  // source's own disk before anything moves, so a crash at any point of the
+  // protocol can lose at most what a crash without migration would.
+  const int64_t flushed = src.FlushFileDirty(file, now);
+  const Server::MigratedFile image = src.ExportFile(file, now);
+  if (!image.valid) {
+    return out;  // raced with nothing homed here: no state was touched
+  }
+  // The charged protocol: a virtual migration coordinator — client id one
+  // past the real clients, so its ledger rows are distinguishable — issues
+  // real transport calls that pay wire, contention, queueing, and outage
+  // costs like any client RPC.
+  const ClientId coordinator = static_cast<ClientId>(clients_.size());
+  const int64_t state_bytes =
+      kControlRpcBytes * (1 + static_cast<int64_t>(image.opens.size()));
+  SimDuration latency =
+      transport_->Call(RpcKind::kMigrateState, coordinator, src_id, state_bytes, now);
+  if (flushed > 0) {
+    latency += transport_->Call(RpcKind::kMigrateDirty, coordinator, src_id, flushed, now);
+  }
+  const int64_t commit_bytes = std::max<int64_t>(image.meta.size, kControlRpcBytes);
+  latency += transport_->Call(RpcKind::kMigrateCommit, coordinator, dst_id, commit_bytes, now);
+  dst.ImportFile(file, image);
+  // New opens of the moving file stall until the transfer's charged latency
+  // has elapsed (the freeze window); in-flight handles stay valid because
+  // clients route every operation through ServerForFile.
+  dst.FreezeFileUntil(file, now + latency + config_.rebalance.freeze_overhead);
+  if (replica_ != nullptr) {
+    // The backup follows the home: the old slot's standby forgets the file,
+    // the new slot's standby shadows it from its new primary.
+    if (replica_->shadowing(from)) {
+      servers_[replica_->standby(from)]->DropShadowFile(file);
+    }
+    if (replica_->shadowing(to)) {
+      servers_[replica_->standby(to)]->ResyncShadowFrom(
+          dst, [file](FileId f) { return f == file; });
+    }
+  }
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("migrate", "rebalance", ServerTrack(src_id), now, latency,
+                        {{"file", static_cast<int64_t>(file)},
+                         {"to", static_cast<int64_t>(dst_id)},
+                         {"bytes", image.meta.size},
+                         {"dirty_flushed", flushed}});
+  }
+  out.ok = true;
+  out.moved_bytes = image.meta.size;
+  out.latency = latency;
+  return out;
+}
+
+std::vector<std::pair<FileId, ServerId>> Cluster::HomeCensus() const {
+  std::vector<std::pair<FileId, ServerId>> census;
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    if (retired_servers_[s]) {
+      continue;
+    }
+    for (const FileId file : servers_[s]->AllFileIds()) {
+      census.emplace_back(file, static_cast<ServerId>(s));
+    }
+  }
+  std::sort(census.begin(), census.end());
+  return census;
+}
+
+ServerId Cluster::AddServer() {
+  if (rebalancer_ == nullptr) {
+    throw std::logic_error("Cluster::AddServer requires RebalanceConfig::enabled");
+  }
+  if (replica_ != nullptr) {
+    throw std::logic_error(
+        "Cluster::AddServer: live resize is unsupported with replication "
+        "(the ReplicaMap's home->backup ring is fixed at construction)");
+  }
+  const SimTime now = queue_.now();
+  const ServerId id = static_cast<ServerId>(servers_.size());
+  // Census before the topology event: these are the (file, old_home) pairs
+  // the bounded steal is computed against.
+  const std::vector<std::pair<FileId, ServerId>> census = HomeCensus();
+  servers_.push_back(std::make_unique<Server>(id, config_.server, config_.disk,
+                                              config_.consistency));
+  Server& added = *servers_.back();
+  if (config_.rpc.async) {
+    added.EnableServiceQueue(config_.rpc);
+  }
+  added.AttachObservability(obs_.get());
+  transport_->SetExpectedServers(static_cast<int>(servers_.size()));
+  transport_->RegisterServer(id, &added);
+  retired_servers_.push_back(false);
+  down_until_.push_back(0);
+  placement_.Grow(static_cast<int>(servers_.size()));
+  if (hotspot_ != nullptr) {
+    hotspot_->GrowTo(static_cast<int>(servers_.size()));
+  }
+  if (obs_ != nullptr && obs_->metrics_enabled()) {
+    obs_->metrics().AddGauge("server." + std::to_string(id) + ".files_placed",
+                             [this, id] { return placement_.files_placed(id); });
+  }
+  for (auto& client : clients_) {
+    added.RegisterClient(client->id(),
+                         transport_->WrapCallbacks(id, client->id(), client.get()));
+  }
+  if (daemons_started_) {
+    const SimDuration period = config_.client.cache.cleaner_period;
+    Server* server_ptr = &added;
+    daemons_.push_back(std::make_unique<PeriodicTask>(
+        queue_, now + period + static_cast<SimDuration>(id) * (period / 8 + 1), period,
+        [server_ptr](SimTime t) { server_ptr->CleanerTick(t); }));
+  }
+  const auto moves = rebalancer_->OnServerAdded(id, census, now);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("resize.add", "rebalance", ServerTrack(id), now, 0,
+                        {{"moves", static_cast<int64_t>(moves.size())}});
+  }
+  return id;
+}
+
+void Cluster::RetireServer(ServerId server) {
+  if (rebalancer_ == nullptr) {
+    throw std::logic_error("Cluster::RetireServer requires RebalanceConfig::enabled");
+  }
+  if (replica_ != nullptr) {
+    throw std::logic_error(
+        "Cluster::RetireServer: live resize is unsupported with replication "
+        "(the ReplicaMap's home->backup ring is fixed at construction)");
+  }
+  if (static_cast<size_t>(server) >= servers_.size() ||
+      retired_servers_[static_cast<size_t>(server)]) {
+    throw std::logic_error("Cluster::RetireServer: unknown or already-retired server");
+  }
+  int live = 0;
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    if (!retired_servers_[s] && static_cast<ServerId>(s) != server) {
+      ++live;
+    }
+  }
+  if (live == 0) {
+    throw std::logic_error("Cluster::RetireServer: would empty the live set");
+  }
+  const SimTime now = queue_.now();
+  std::vector<std::pair<FileId, ServerId>> census;
+  for (const FileId file : servers_[server]->AllFileIds()) {
+    census.emplace_back(file, server);
+  }
+  // Mark before the event so the retiree is excluded from the remap targets
+  // and from destination selection.
+  retired_servers_[static_cast<size_t>(server)] = true;
+  const auto moves = rebalancer_->OnServerRetired(server, census, now);
+  if (obs_ != nullptr && obs_->tracing_enabled()) {
+    obs_->tracer().Emit("resize.retire", "rebalance", ServerTrack(server), now, 0,
+                        {{"moves", static_cast<int64_t>(moves.size())}});
+  }
+}
+
+int Cluster::MigrateOffServer(ServerId server, SimTime now) {
+  if (rebalancer_ == nullptr) {
+    throw std::logic_error("Cluster::MigrateOffServer requires RebalanceConfig::enabled");
+  }
+  if (static_cast<size_t>(server) >= servers_.size()) {
+    throw std::logic_error("Cluster::MigrateOffServer: unknown server");
+  }
+  HotspotEvent ev;
+  ev.kind = HotspotEvent::Kind::kOpened;
+  ev.episode.server = static_cast<int>(server);
+  ev.episode.start = now;
+  ev.episode.end = now;
+  return rebalancer_->OnWindow({ev}, now);
+}
+
+std::string Cluster::RebalanceReport() const {
+  if (rebalancer_ == nullptr) {
+    return "== Rebalance report ==\nrebalancing disabled (requires --rebalance)\n";
+  }
+  return rebalancer_->Report();
 }
 
 CacheCounters Cluster::AggregateCacheCounters() const {
@@ -301,6 +540,9 @@ TrafficCounters Cluster::AggregateTrafficCounters() const {
 int64_t Cluster::CrashServer(ServerId server, SimDuration down_for) {
   const SimTime now = queue_.now();
   Server& s = *servers_.at(server);
+  // Both paths maintain down_until_: the rebalancer consults it (IsDown) so
+  // migrations never target or pull from a server mid-outage.
+  down_until_[server] = std::max(down_until_[server], now + down_for);
   if (replica_ == nullptr) {
     const int64_t lost = s.Crash(now);
     // The transport learns the new epoch immediately: no request completes
@@ -322,7 +564,6 @@ int64_t Cluster::CrashServer(ServerId server, SimDuration down_for) {
 
   // Replication path. Overlapping crashes extend the outage; the stale
   // rejoin event checks down_until_ and yields to the later one.
-  down_until_[server] = std::max(down_until_[server], now + down_for);
   const int64_t lost = s.Crash(now);
   if (server_crash_counter_ != nullptr) {
     server_crash_counter_->Add();
@@ -349,7 +590,7 @@ int64_t Cluster::CrashServer(ServerId server, SimDuration down_for) {
     const ServerId backup = replica_->standby(home);
     replica_->Promote(home);
     Server& b = *servers_[backup];
-    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    const auto mine = [this, home](FileId f) { return RouteHome(f) == home; };
     const int64_t files_adopted = b.TakeOverMetadata(s, mine);
     const Server::FailoverDelta delta = b.InstallShadow(mine, now);
     const SimDuration failover_us = config_.replication.detection_delay +
@@ -419,7 +660,7 @@ void Cluster::RejoinServer(ServerId server) {
     if (now < down_until_[active]) {
       continue;  // correlated crash: the active is down too; re-arm when it rejoins
     }
-    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    const auto mine = [this, home](FileId f) { return RouteHome(f) == home; };
     servers_[server]->ResyncShadowFrom(*servers_[active], mine);
     resynced(server, home);
   }
@@ -433,7 +674,7 @@ void Cluster::RejoinServer(ServerId server) {
     if (now < down_until_[standby]) {
       continue;
     }
-    const auto mine = [this, home](FileId f) { return sharder_->ServerFor(f) == home; };
+    const auto mine = [this, home](FileId f) { return RouteHome(f) == home; };
     servers_[standby]->ResyncShadowFrom(*servers_[server], mine);
     resynced(standby, home);
   }

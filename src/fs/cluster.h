@@ -24,6 +24,7 @@
 #include "src/fs/client.h"
 #include "src/fs/config.h"
 #include "src/fs/net.h"
+#include "src/fs/rebalance.h"
 #include "src/fs/recovery.h"
 #include "src/fs/replication.h"
 #include "src/fs/rpc.h"
@@ -35,7 +36,7 @@
 
 namespace sprite {
 
-class Cluster {
+class Cluster : private RebalanceHost {
  public:
   // One cache-size observation (input to Table 4).
   struct CacheSizeSample {
@@ -94,6 +95,35 @@ class Cluster {
 
   // Renders the detector's episode report (sprite_analyze --hotspot-report).
   std::string HotspotReport() const;
+
+  // --- Live rebalancing (config.rebalance; DESIGN.md §11) -------------------
+  // Null unless RebalanceConfig::enabled: with it off, no rebalance object,
+  // no kMigrate* instruments, and every committed baseline is byte-identical.
+  const Rebalancer* rebalancer() const { return rebalancer_.get(); }
+  // Renders the migration/burst summary (sprite_analyze --rebalance).
+  std::string RebalanceReport() const;
+
+  // Live resize: adds one server at the queue's current time, fully wired
+  // (service queue, observability, callbacks, cleaner daemon), then runs the
+  // bounded-movement steal — only ~1/(live+1) of each existing server's
+  // files migrate to the newcomer, through the charged migration protocol.
+  // Returns the new id. Throws std::logic_error when rebalancing is off or
+  // replication is on (the ReplicaMap's home->backup ring is fixed-size).
+  ServerId AddServer();
+  // Retires `server`: it stops being a routing target and a migration
+  // destination, and every file homed there is evacuated (charged
+  // migrations) into the surviving live set. The retired server object
+  // remains registered so in-flight references stay valid, but nothing
+  // routes to it afterward. Same preconditions as AddServer; also throws
+  // when it would empty the live set or the server is already retired.
+  void RetireServer(ServerId server);
+
+  // Operator-forced drain: runs one hot-spot migration burst off `server`
+  // exactly as if the detector had opened an episode there at `now` (same
+  // victim selection, caps, budget, and charged protocol). Returns the
+  // number of files migrated. Throws std::logic_error when rebalancing is
+  // off. Also the deterministic trigger the migration tests use.
+  int MigrateOffServer(ServerId server, SimTime now);
 
   // The server that owns `file`, per the configured sharding policy
   // (default: the historical modulo partition). Every routing decision is
@@ -172,6 +202,36 @@ class Cluster {
   SimDuration total_failover_us() const { return total_failover_us_; }
 
  private:
+  // The effective home SLOT for `file`: the rebalancer's routed home when
+  // rebalancing is on, the immutable sharding policy otherwise. Which
+  // physical server serves the slot is the replication layer's concern
+  // (replica_->active). Pure — no placement-ledger note.
+  ServerId RouteHome(FileId file) const;
+
+  // RebalanceHost: the Rebalancer's view of the cluster. Ids are home
+  // slots; under replication they map through replica_->active to the
+  // physical server currently serving the slot.
+  int NumServers() const override;
+  bool IsLive(ServerId server) const override;
+  bool IsDown(ServerId server, SimTime now) const override;
+  std::vector<std::pair<FileId, int64_t>> HomedFiles(ServerId server) const override;
+  int64_t HomedBytes(ServerId server) const override;
+  // Executes the charged three-RPC migration protocol for one file
+  // (DESIGN.md §11): flush the source's dirty extents for the file to its
+  // own disk (crash-safety: the image is never volatile-dirty), export the
+  // metadata + open-state image, charge kMigrateState/kMigrateDirty to the
+  // source and kMigrateCommit to the destination as real transport calls
+  // from the virtual migration coordinator (client id = num_clients), import
+  // on the destination, and freeze new opens of the file there until the
+  // charged latency (+ freeze_overhead) has elapsed. Under replication the
+  // old home's standby drops its shadow of the file and the new home's
+  // standby resyncs it, so the backup follows the migrated home.
+  MigrationOutcome Migrate(FileId file, ServerId from, ServerId to, SimTime now) override;
+
+  // The pre-resize (file, home) census over live servers, sorted by file id
+  // — the candidate set a topology event's moves are computed from.
+  std::vector<std::pair<FileId, ServerId>> HomeCensus() const;
+
   // A file's standby stub target: the shadowing backup of the file's home,
   // or null when replication is off / the shadow is not live.
   Server* StandbyForFile(FileId file);
@@ -194,6 +254,10 @@ class Cluster {
   Counter* server_crash_dirty_lost_ = nullptr;
   // Replication (null / unused when ReplicationConfig::enabled is false).
   std::unique_ptr<ReplicaMap> replica_;
+  // Live rebalancing (null when RebalanceConfig::enabled is false).
+  std::unique_ptr<Rebalancer> rebalancer_;
+  std::vector<bool> retired_servers_;  // [server] RetireServer happened
+  bool daemons_started_ = false;       // AddServer wires cleaners only if so
   std::vector<SimTime> down_until_;  // [server] end of latest injected outage
   int64_t failovers_ = 0;
   int64_t degraded_crashes_ = 0;

@@ -207,6 +207,33 @@ struct ReplicationConfig {
   SimDuration replay_per_entry = 100 * kMicrosecond;
 };
 
+// Live shard rebalancing (DESIGN.md §11). When enabled, the cluster feeds
+// HotspotDetector episodes into a Rebalancer (src/fs/rebalance.h) that
+// migrates file homes off a flagged server mid-run via a charged
+// kMigrate* protocol, and Cluster::AddServer/RetireServer perform
+// bounded-movement resize migrations. Off by default; off-mode output is
+// byte-identical to the committed baselines (no rebalance instruments
+// register, no override table exists, routing is the pure Sharder).
+struct RebalanceConfig {
+  bool enabled = false;
+  // Per-episode movement caps: at most this many victim files, carrying at
+  // most this many homed bytes, migrate in response to one hot-spot episode.
+  int max_files_per_episode = 4;
+  int64_t max_bytes_per_episode = 64 * kMegabyte;
+  // Files smaller than this never migrate (moving them cannot dent the
+  // imbalance but still pays the freeze + commit round trips).
+  int64_t min_victim_bytes = 4 * kKilobyte;
+  // Global hot-spot movement budget across the whole run; 0 means
+  // unbounded. Resize moves are exempt: a retire MUST evacuate every file
+  // or the retiree would keep serving, and an add's steal is already
+  // bounded to ~1/(live+1) of the id space. The property suite asserts
+  // hot-spot moved bytes never exceed it.
+  int64_t max_total_bytes = 0;
+  // Fixed coordination overhead added to the freeze window on top of the
+  // charged RPC latencies (route repoint, bookkeeping).
+  SimDuration freeze_overhead = 1 * kMillisecond;
+};
+
 // How FileIds map to their home server (implementations and semantics in
 // src/fs/sharding.h). kModulo is the historical `file % num_servers`
 // partition and stays the default so every committed paper table is
@@ -240,6 +267,8 @@ struct ClusterConfig {
   ShardingConfig sharding;
   // Primary/backup replication with fail-over (default: off).
   ReplicationConfig replication;
+  // Live hot-spot-driven home migration and elastic resize (default: off).
+  RebalanceConfig rebalance;
   // When true, the cluster appends kernel-call records to its TraceLog as a
   // side effect of client operations (the paper's server-side tracing).
   bool tracing_enabled = true;

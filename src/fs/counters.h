@@ -177,8 +177,15 @@ enum class RpcKind : uint8_t {
   // flushing a per-(client, server) batch of deferred control/shadow RPCs.
   // Synthesized by the transport's flush path, never issued by clients.
   kBatch,
+  // Live rebalancing (RebalanceConfig): the charged home-migration protocol.
+  // Issued by the cluster's migration coordinator, never by clients: the
+  // open-state snapshot and dirty extents leave the source, then one commit
+  // installs the bulk image on the destination and repoints the route.
+  kMigrateState,    // source -> coordinator: open-state + metadata snapshot
+  kMigrateDirty,    // source -> coordinator: flushed dirty extents
+  kMigrateCommit,   // coordinator -> destination: install image, repoint home
 };
-inline constexpr int kRpcKindCount = 23;
+inline constexpr int kRpcKindCount = 26;
 
 const char* RpcKindName(RpcKind kind);
 

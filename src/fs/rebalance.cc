@@ -1,0 +1,258 @@
+#include "src/fs/rebalance.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace sprite {
+
+namespace {
+// Per-event salt for the cascade draws. Distinct per event index so a file's
+// draw at event i is independent of its draw at event j.
+uint64_t EventDraw(FileId file, size_t event_index) {
+  return SplitMix64(static_cast<uint64_t>(file) ^
+                    (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(event_index + 1)));
+}
+}  // namespace
+
+Rebalancer::Rebalancer(const RebalanceConfig& config, const Sharder* base, RebalanceHost* host)
+    : config_(config), base_(base), host_(host),
+      retired_(static_cast<size_t>(base->num_servers()), false) {}
+
+bool Rebalancer::IsRetired(ServerId server) const {
+  return static_cast<size_t>(server) < retired_.size() && retired_[static_cast<size_t>(server)];
+}
+
+std::vector<ServerId> Rebalancer::LiveSet() const {
+  std::vector<ServerId> live;
+  const ServerId n = static_cast<ServerId>(host_->NumServers());
+  live.reserve(static_cast<size_t>(n));
+  for (ServerId s = 0; s < n; ++s) {
+    if (!IsRetired(s) && host_->IsLive(s)) {
+      live.push_back(s);
+    }
+  }
+  return live;
+}
+
+ServerId Rebalancer::CascadedHome(FileId file) const {
+  ServerId home = base_->ServerFor(file);
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TopologyEvent& ev = events_[i];
+    const uint64_t draw = EventDraw(file, i);
+    if (ev.kind == TopologyEvent::Kind::kAdd) {
+      // Consistent-hash-style steal: the new server claims a deterministic
+      // 1/|live_after| slice of every file population; everything else stays
+      // put, which is the bounded-movement guarantee.
+      if (draw % ev.live_after.size() == 0) {
+        home = ev.server;
+      }
+    } else if (home == ev.server) {
+      // Only the retiree's files move; the live set is frozen at event time
+      // so later retirements cannot re-route files settled by this one.
+      home = ev.live_after[draw % ev.live_after.size()];
+    }
+  }
+  return home;
+}
+
+ServerId Rebalancer::Route(FileId file) const {
+  auto it = overrides_.find(file);
+  if (it != overrides_.end() && !IsRetired(it->second)) {
+    return it->second;
+  }
+  return CascadedHome(file);
+}
+
+ServerId Rebalancer::PickDestination(ServerId avoid, SimTime now) const {
+  ServerId best = kNoServer;
+  int64_t best_bytes = std::numeric_limits<int64_t>::max();
+  const ServerId n = static_cast<ServerId>(host_->NumServers());
+  for (ServerId s = 0; s < n; ++s) {
+    if (s == avoid || IsRetired(s) || !host_->IsLive(s) || host_->IsDown(s, now)) {
+      continue;
+    }
+    const int64_t bytes = host_->HomedBytes(s);
+    if (bytes < best_bytes) {  // ties keep the lowest id
+      best_bytes = bytes;
+      best = s;
+    }
+  }
+  return best;
+}
+
+int64_t Rebalancer::BudgetRemaining() const {
+  if (config_.max_total_bytes <= 0) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return std::max<int64_t>(0, config_.max_total_bytes - moved_bytes_);
+}
+
+bool Rebalancer::BudgetExhausted() const {
+  return config_.max_total_bytes > 0 && moved_bytes_ >= config_.max_total_bytes;
+}
+
+int Rebalancer::OnWindow(const std::vector<HotspotEvent>& events, SimTime now) {
+  int moved = 0;
+  for (const HotspotEvent& ev : events) {
+    if (ev.kind == HotspotEvent::Kind::kClosed) {
+      // The hot streak the detector opened has cooled off: credit every
+      // burst we ran against that server as having dissolved the spot.
+      for (RebalanceAction& a : actions_) {
+        if (a.server == ev.episode.server && !a.dissolved) {
+          a.dissolved = true;
+        }
+      }
+      continue;
+    }
+    const ServerId hot = ev.episode.server;
+    if (IsRetired(hot) || !host_->IsLive(hot) || host_->IsDown(hot, now)) {
+      continue;
+    }
+    // Victims: the hot server's heaviest homed files, largest first (moving
+    // bytes_homed share is what flips the detector's placement gate).
+    std::vector<std::pair<FileId, int64_t>> victims = host_->HomedFiles(hot);
+    std::sort(victims.begin(), victims.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) {
+        return a.second > b.second;
+      }
+      return a.first < b.first;
+    });
+    RebalanceAction action;
+    action.server = hot;
+    action.at = now;
+    int64_t episode_bytes = 0;
+    for (const auto& [file, bytes] : victims) {
+      if (action.files_moved >= config_.max_files_per_episode) {
+        break;
+      }
+      if (bytes < config_.min_victim_bytes) {
+        break;  // sorted descending: nothing smaller qualifies either
+      }
+      if (episode_bytes + bytes > config_.max_bytes_per_episode) {
+        continue;  // a smaller victim may still fit
+      }
+      if (bytes > BudgetRemaining()) {
+        ++skipped_budget_;
+        continue;
+      }
+      const ServerId dest = PickDestination(hot, now);
+      if (dest == kNoServer) {
+        break;
+      }
+      const MigrationOutcome outcome = host_->Migrate(file, hot, dest, now);
+      if (!outcome.ok) {
+        continue;
+      }
+      overrides_[file] = dest;
+      ++migrations_;
+      moved_bytes_ += outcome.moved_bytes;
+      episode_bytes += bytes;
+      ++action.files_moved;
+      action.bytes_moved += outcome.moved_bytes;
+      ++moved;
+    }
+    if (action.files_moved > 0) {
+      actions_.push_back(action);
+    }
+  }
+  return moved;
+}
+
+std::vector<Rebalancer::Move> Rebalancer::ExecuteResizeMoves(
+    const std::vector<std::pair<FileId, ServerId>>& candidates, SimTime now) {
+  std::vector<Move> moves;
+  for (const auto& [file, old_home] : candidates) {
+    const ServerId new_home = Route(file);
+    if (new_home == old_home) {
+      continue;
+    }
+    const MigrationOutcome outcome = host_->Migrate(file, old_home, new_home, now);
+    if (!outcome.ok) {
+      continue;
+    }
+    ++resize_moves_;
+    resize_moved_bytes_ += outcome.moved_bytes;
+    moves.push_back(Move{file, old_home, new_home});
+  }
+  return moves;
+}
+
+std::vector<Rebalancer::Move> Rebalancer::OnServerAdded(
+    ServerId added, const std::vector<std::pair<FileId, ServerId>>& candidates, SimTime now) {
+  if (static_cast<size_t>(added) >= retired_.size()) {
+    retired_.resize(static_cast<size_t>(added) + 1, false);
+  }
+  TopologyEvent ev;
+  ev.kind = TopologyEvent::Kind::kAdd;
+  ev.server = added;
+  ev.live_after = LiveSet();
+  events_.push_back(std::move(ev));
+  return ExecuteResizeMoves(candidates, now);
+}
+
+std::vector<Rebalancer::Move> Rebalancer::OnServerRetired(
+    ServerId retired, const std::vector<std::pair<FileId, ServerId>>& candidates, SimTime now) {
+  retired_[static_cast<size_t>(retired)] = true;
+  TopologyEvent ev;
+  ev.kind = TopologyEvent::Kind::kRetire;
+  ev.server = retired;
+  ev.live_after = LiveSet();
+  const size_t event_index = events_.size();
+  events_.push_back(std::move(ev));
+  // Rewrite overrides stranded on the retiree to the cascade's remap target
+  // (deterministic order: sorted file ids, not map order).
+  std::vector<FileId> stale;
+  for (const auto& [file, home] : overrides_) {
+    if (home == retired) {
+      stale.push_back(file);
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  const TopologyEvent& rec = events_.back();
+  for (const FileId file : stale) {
+    overrides_[file] = rec.live_after[EventDraw(file, event_index) % rec.live_after.size()];
+  }
+  return ExecuteResizeMoves(candidates, now);
+}
+
+std::string Rebalancer::Report() const {
+  char buf[320];
+  std::string out = "== Rebalance report ==\n";
+  std::snprintf(buf, sizeof(buf),
+                "hot-spot migrations: %lld files / %lld bytes | resize moves: %lld files / "
+                "%lld bytes | overrides live: %lld\n",
+                static_cast<long long>(migrations_), static_cast<long long>(moved_bytes_),
+                static_cast<long long>(resize_moves_),
+                static_cast<long long>(resize_moved_bytes_),
+                static_cast<long long>(overrides_.size()));
+  out += buf;
+  if (config_.max_total_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), "budget: %lld / %lld bytes spent (%lld victims skipped)\n",
+                  static_cast<long long>(moved_bytes_),
+                  static_cast<long long>(config_.max_total_bytes),
+                  static_cast<long long>(skipped_budget_));
+    out += buf;
+  }
+  if (actions_.empty()) {
+    out += "no hot-spot bursts executed\n";
+    return out;
+  }
+  int64_t dissolved = 0;
+  for (const RebalanceAction& a : actions_) {
+    std::snprintf(buf, sizeof(buf),
+                  "server %d: t=%.1fs moved %d files / %lld bytes -> %s\n", a.server,
+                  ToSeconds(a.at), a.files_moved, static_cast<long long>(a.bytes_moved),
+                  a.dissolved ? "hot spot dissolved" : "still hot at end of run");
+    out += buf;
+    if (a.dissolved) {
+      ++dissolved;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "hot spots dissolved: %lld/%lld bursts\n",
+                static_cast<long long>(dissolved), static_cast<long long>(actions_.size()));
+  out += buf;
+  return out;
+}
+
+}  // namespace sprite

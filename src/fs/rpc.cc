@@ -34,6 +34,9 @@ const char* RpcKindName(RpcKind kind) {
     case RpcKind::kShadowClose: return "shadow-close";
     case RpcKind::kShadowWrite: return "shadow-write";
     case RpcKind::kBatch: return "batch";
+    case RpcKind::kMigrateState: return "migrate-state";
+    case RpcKind::kMigrateDirty: return "migrate-dirty";
+    case RpcKind::kMigrateCommit: return "migrate-commit";
   }
   return "unknown";
 }
@@ -46,6 +49,13 @@ namespace {
 bool IsShadowKind(RpcKind kind) {
   return kind == RpcKind::kShadowOpen || kind == RpcKind::kShadowClose ||
          kind == RpcKind::kShadowWrite;
+}
+
+// Likewise the migration protocol kinds exist in the metric namespace only
+// when the cluster enables live rebalancing.
+bool IsMigrateKind(RpcKind kind) {
+  return kind == RpcKind::kMigrateState || kind == RpcKind::kMigrateDirty ||
+         kind == RpcKind::kMigrateCommit;
 }
 
 }  // namespace
@@ -102,6 +112,11 @@ bool RpcTransport::ChargesNetwork(RpcKind kind) {
     case RpcKind::kShadowWrite:
     // A batch flush is one coalesced wire exchange.
     case RpcKind::kBatch:
+    // Migration state/extent transfers and the commit are real wire
+    // messages: moving a home pays for the bytes it moves.
+    case RpcKind::kMigrateState:
+    case RpcKind::kMigrateDirty:
+    case RpcKind::kMigrateCommit:
       return true;
     default:
       return false;
@@ -149,6 +164,10 @@ void RpcTransport::AttachObservability(Observability* obs) {
     }
     // Same rule for the batch-flush recorder: only batching synthesizes one.
     if (kind == RpcKind::kBatch && !config_.batching) {
+      continue;
+    }
+    // And for the migration protocol: only a rebalancing cluster issues it.
+    if (IsMigrateKind(kind) && !rebalance_enabled_) {
       continue;
     }
     latency_rec_[static_cast<size_t>(k)] =
@@ -732,8 +751,12 @@ CacheControl* RpcTransport::WrapCallbacks(ServerId server, ClientId client,
 // --- ServerStub --------------------------------------------------------------
 
 Server::OpenReply ServerStub::Open(FileId file, OpenMode mode, bool is_directory, SimTime now) {
+  // A home freshly migrated in holds new opens until its freeze window ends
+  // (zero outside a rebalancing run, so the default path is untouched).
+  const SimDuration stall = server_->MigrationStall(file, now);
   const SimDuration latency =
-      transport_->Call(RpcKind::kOpen, client_, server_->id(), kControlRpcBytes, now);
+      stall +
+      transport_->Call(RpcKind::kOpen, client_, server_->id(), kControlRpcBytes, now + stall);
   Server::OpenReply reply = server_->Open(client_, file, mode, is_directory, now);
   reply.latency = latency;
   // Replication: mirror the open registration to the backup before the reply
@@ -766,8 +789,11 @@ Server::CloseReply ServerStub::Close(FileId file, OpenMode mode, bool wrote, int
 
 Server::ReopenReply ServerStub::Reopen(FileId file, OpenMode mode, uint64_t cached_version,
                                        bool has_dirty, bool has_handle, SimTime now) {
+  // Reopen storms racing a migration wait out the freeze like fresh opens.
+  const SimDuration stall = server_->MigrationStall(file, now);
   const SimDuration latency =
-      transport_->Call(RpcKind::kReopen, client_, server_->id(), kControlRpcBytes, now);
+      stall +
+      transport_->Call(RpcKind::kReopen, client_, server_->id(), kControlRpcBytes, now + stall);
   Server::ReopenReply reply =
       server_->Reopen(client_, file, mode, cached_version, has_dirty, has_handle, now);
   reply.latency = latency;
@@ -877,9 +903,11 @@ RpcLedger ReplayTraceLedger(const TraceLog& trace, const NetworkConfig& net_conf
   Counter* payload_counter = nullptr;
   if (metrics) {
     for (int k = 0; k < kRpcKindCount; ++k) {
-      // kBatch is synthesized by the live transport's flush path only; a
-      // replayed trace never contains one.
-      if (static_cast<RpcKind>(k) == RpcKind::kBatch) {
+      // kBatch is synthesized by the live transport's flush path only, and
+      // the kMigrate* protocol by a rebalancing cluster's coordinator; a
+      // replayed trace never contains either.
+      if (static_cast<RpcKind>(k) == RpcKind::kBatch ||
+          IsMigrateKind(static_cast<RpcKind>(k))) {
         continue;
       }
       recorders[static_cast<size_t>(k)] = obs->metrics().AddLatency(

@@ -166,6 +166,11 @@ class RpcTransport {
   // then, so replication-off metric streams are unchanged line for line.
   void SetReplicationEnabled(bool enabled) { replication_enabled_ = enabled; }
 
+  // Same contract for live rebalancing: the kMigrate* latency recorders
+  // exist only when the cluster can issue migrations, so rebalance-off
+  // metric streams are unchanged line for line.
+  void SetRebalanceEnabled(bool enabled) { rebalance_enabled_ = enabled; }
+
   // Charges server disk time folded synchronously into a reply to the
   // current op frame (no-op unless critical-path attribution is attached).
   void NoteDisk(SimDuration disk) {
@@ -303,6 +308,7 @@ class RpcTransport {
   StaleDataTracker* stale_tracker_ = nullptr;
   std::vector<std::unique_ptr<CacheControl>> callback_stubs_;
   bool replication_enabled_ = false;
+  bool rebalance_enabled_ = false;
   Observability* obs_ = nullptr;
   // Op-frame phase attribution, resolved once at attach time (null unless
   // ObservabilityConfig::critical_path).

@@ -86,6 +86,13 @@ SimDuration Server::ServiceTimeFor(RpcKind kind) const {
     // members are the small control messages that never held the lane.
     case RpcKind::kBatch:
       return control_service_time_;
+    // Migration protocol: the open-state snapshot and the commit are
+    // control-sized work; the dirty-extent transfer moves data.
+    case RpcKind::kMigrateState:
+    case RpcKind::kMigrateCommit:
+      return control_service_time_;
+    case RpcKind::kMigrateDirty:
+      return data_service_time_;
     default:
       return 0;  // ledger-only kinds and callbacks never hold the lane
   }
@@ -581,6 +588,8 @@ int64_t Server::Crash(SimTime now) {
   // completion events, which keep it balanced.
   busy_until_ = 0;
   inflight_.clear();
+  // Migration freeze windows are volatile coordinator state too.
+  frozen_.clear();
   ++epoch_;
   if (obs_ != nullptr && obs_->tracing_enabled()) {
     obs_->tracer().Emit("recovery.crash", "recovery", ServerTrack(id_), now, 0,
@@ -806,6 +815,116 @@ void Server::ResyncShadowFrom(const Server& primary, const std::function<bool(Fi
       shadow_[file] = std::move(sf);
     }
   }
+}
+
+// --- Live rebalancing: charged home migration ---------------------------------
+
+int64_t Server::FlushFileDirty(FileId file, SimTime now) {
+  int64_t flushed = 0;
+  cache_.CleanFile(file, now, CleanReason::kRecall, [&](BlockKey key, int64_t bytes) {
+    flushed += bytes;
+    DiskWrite(key, bytes);
+    if (shadow_flush_hook_) {
+      // Durable on the source now; the standby can drop its shadow extent.
+      shadow_flush_hook_(key.file, key.index);
+    }
+  });
+  return flushed;
+}
+
+Server::MigratedFile Server::ExportFile(FileId file, SimTime now) {
+  MigratedFile image;
+  auto fit = files_.find(file);
+  if (fit == files_.end()) {
+    return image;
+  }
+  image.valid = true;
+  image.meta = fit->second;
+  files_.erase(fit);
+  if (auto oit = open_states_.find(file); oit != open_states_.end()) {
+    image.cacheable = oit->second.cacheable;
+    image.opens.reserve(oit->second.opens.size());
+    for (const OpenEntry& e : oit->second.opens) {
+      image.opens.push_back(MigratedOpen{e.client, e.readers, e.writers});
+    }
+    open_states_.erase(oit);
+  }
+  // Post-flush the cached blocks are clean; drop them so a stale copy can
+  // never be served if the home migrates back here later.
+  cache_.InvalidateFile(file, now);
+  return image;
+}
+
+void Server::ImportFile(FileId file, const MigratedFile& image) {
+  if (!image.valid) {
+    return;
+  }
+  files_[file] = image.meta;
+  if (!image.opens.empty()) {
+    OpenState& state = open_states_[file];
+    for (const MigratedOpen& e : image.opens) {
+      OpenEntry& open = OpenFor(state, e.client);
+      open.readers += e.readers;
+      open.writers += e.writers;
+    }
+    UpdateWriteShared(state);
+    // The old home already enforced sharing on the clients; installation
+    // adopts its verdict rather than renegotiating.
+    state.cacheable = image.cacheable;
+  }
+}
+
+void Server::FreezeFileUntil(FileId file, SimTime until) {
+  for (auto& [frozen_file, frozen_until] : frozen_) {
+    if (frozen_file == file) {
+      frozen_until = std::max(frozen_until, until);
+      return;
+    }
+  }
+  frozen_.push_back({file, until});
+}
+
+SimDuration Server::MigrationStall(FileId file, SimTime now) {
+  if (frozen_.empty()) {
+    return 0;
+  }
+  SimDuration stall = 0;
+  for (auto it = frozen_.begin(); it != frozen_.end();) {
+    if (it->second <= now) {
+      it = frozen_.erase(it);  // window over: lazy expiry
+      continue;
+    }
+    if (it->first == file) {
+      stall = it->second - now;
+    }
+    ++it;
+  }
+  return stall;
+}
+
+void Server::DropShadowFile(FileId file) { shadow_.erase(file); }
+
+std::vector<FileId> Server::AllFileIds() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (const auto& [file, meta] : files_) {
+    (void)meta;
+    out.push_back(file);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<FileId, int64_t>> Server::HomedFiles() const {
+  std::vector<std::pair<FileId, int64_t>> out;
+  out.reserve(files_.size());
+  for (const auto& [file, meta] : files_) {
+    if (meta.exists && !meta.is_directory) {
+      out.push_back({file, meta.size});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 void Server::CleanerTick(SimTime now) {

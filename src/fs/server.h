@@ -224,6 +224,61 @@ class Server {
   void ResyncShadowFrom(const Server& primary, const std::function<bool(FileId)>& mine);
   int shadow_file_count() const { return static_cast<int>(shadow_.size()); }
 
+  // --- Live rebalancing: charged home migration (DESIGN.md §11) --------------
+  // A migration moves one file's whole server-side state to a new home. The
+  // coordinator (Cluster::ExecuteMigration) flushes the file's dirty
+  // server-cache blocks to the source's own disk FIRST, so the image that
+  // moves is never volatile-dirty: a crash on either end mid-move cannot
+  // lose bytes that had reached the source.
+
+  // The serialized image of one migrating file: durable metadata plus the
+  // volatile open registrations and the consistency cacheable bit. Unlike
+  // TakeOverMetadata (crashed source, last writers already cleared), a live
+  // migration preserves last_writer and the enforced sharing state.
+  struct MigratedOpen {
+    ClientId client = 0;
+    int readers = 0;
+    int writers = 0;
+  };
+  struct MigratedFile {
+    bool valid = false;  // false: the source does not know the file
+    FileMeta meta;
+    std::vector<MigratedOpen> opens;  // sorted by client id
+    bool cacheable = true;
+  };
+
+  // Pre-transfer flush: writes the file's dirty server-cache blocks to this
+  // server's disk (the shadow flush hook fires per block, so a standby drops
+  // the now-durable extents). Returns the dirty bytes made durable.
+  int64_t FlushFileDirty(FileId file, SimTime now);
+  // Extracts the file's state and removes it from this server: metadata
+  // leaves the table, opens leave the open-state machinery, and the (clean,
+  // post-flush) cached blocks are dropped so a stale copy can never be
+  // served if the home later migrates back.
+  MigratedFile ExportFile(FileId file, SimTime now);
+  // Installs an exported image as this server's own. Opens re-enter the
+  // open-state table with write sharing recomputed but no callbacks fired —
+  // the old home already enforced sharing on the clients, and the cacheable
+  // bit travels with the image.
+  void ImportFile(FileId file, const MigratedFile& image);
+  // Freezes new opens/reopens of `file` until `until` (the migration's
+  // commit window): MigrationStall returns the remaining wait. Zero-cost
+  // when nothing is frozen, so the rebalance-off path is untouched.
+  void FreezeFileUntil(FileId file, SimTime until);
+  SimDuration MigrationStall(FileId file, SimTime now);
+  // Drops any standby shadow entry for `file`: its home migrated away, so
+  // this server no longer backs it up (the new standby resyncs from the
+  // destination).
+  void DropShadowFile(FileId file);
+  // Live (existing, non-directory) files homed here with their sizes,
+  // ascending by id — the deterministic victim-selection input for the
+  // Rebalancer.
+  std::vector<std::pair<FileId, int64_t>> HomedFiles() const;
+  // Every file id with metadata here, ascending — directories and delete
+  // tombstones included. The resize sweep moves all of them, so version
+  // history never strands on a server nothing routes to any more.
+  std::vector<FileId> AllFileIds() const;
+
   // --- Service queue (event-driven transport) --------------------------------
   // In async transport mode (RpcConfig::async) every wire-occupying request
   // passes through a per-server FIFO service queue: it arrives after its
@@ -391,6 +446,11 @@ class Server {
   // (cleared by Crash) — a rebooted standby resyncs from the live primary.
   std::map<FileId, ShadowFile> shadow_;
   ShadowFlushHook shadow_flush_hook_;
+  // Files frozen by an in-flight migration commit: (file, freeze end).
+  // Almost always empty (only a rebalancing cluster populates it), and
+  // rarely more than a handful of entries, so a flat vector with lazy
+  // expiry beats a map.
+  std::vector<std::pair<FileId, SimTime>> frozen_;
   // Client control interfaces, indexed by contiguous ClientId (null when
   // unregistered) — the consistency callbacks look these up per conflicting
   // open, so this is a hot table.

@@ -194,6 +194,13 @@ int64_t PlacementLedger::files_placed(ServerId server) const {
 
 int64_t PlacementLedger::routed(ServerId server) const { return routed_.at(server); }
 
+void PlacementLedger::Grow(int num_servers) {
+  if (static_cast<size_t>(num_servers) > files_.size()) {
+    files_.resize(static_cast<size_t>(num_servers));
+    routed_.resize(static_cast<size_t>(num_servers), 0);
+  }
+}
+
 int64_t PlacementLedger::total_routed() const {
   int64_t total = 0;
   for (const int64_t r : routed_) {

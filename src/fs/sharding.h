@@ -137,6 +137,9 @@ class PlacementLedger {
   int64_t total_routed() const;
   int num_servers() const { return static_cast<int>(files_.size()); }
 
+  // Extends the ledger for a live cluster resize; existing tallies survive.
+  void Grow(int num_servers);
+
   void Reset();
 
  private:

@@ -73,6 +73,7 @@ void HotspotDetector::Observe(SimTime window_start, SimTime window_end,
       st.episode.peak_queue_depth = std::max(st.episode.peak_queue_depth, sig.queue_depth);
       if (!st.open && st.streak >= config_.sustain_windows) {
         st.open = true;
+        pending_events_.push_back(HotspotEvent{HotspotEvent::Kind::kOpened, st.episode});
         hot_windows_ += st.streak;
         if (episodes_counter_ != nullptr) {
           episodes_counter_->Add(1);
@@ -104,6 +105,7 @@ void HotspotDetector::Observe(SimTime window_start, SimTime window_end,
 
 void HotspotDetector::CloseEpisode(ServerState& state) {
   episodes_.push_back(state.episode);
+  pending_events_.push_back(HotspotEvent{HotspotEvent::Kind::kClosed, state.episode});
   if (obs_ != nullptr && obs_->tracing_enabled()) {
     obs_->tracer().Emit(
         "hotspot", "hotspot", ServerTrack(state.episode.server), state.episode.start,
@@ -123,6 +125,19 @@ void HotspotDetector::Finalize() {
     }
     st.streak = 0;
     st.cool = 0;
+  }
+}
+
+std::vector<HotspotEvent> HotspotDetector::TakeEpisodes() {
+  std::vector<HotspotEvent> out;
+  out.swap(pending_events_);
+  return out;
+}
+
+void HotspotDetector::GrowTo(int num_servers) {
+  if (num_servers > num_servers_) {
+    num_servers_ = num_servers;
+    state_.resize(static_cast<size_t>(num_servers));
   }
 }
 
@@ -167,6 +182,7 @@ void HotspotDetector::Reset() {
     st = ServerState{};
   }
   episodes_.clear();
+  pending_events_.clear();
   windows_ = 0;
   hot_windows_ = 0;
 }

@@ -48,6 +48,18 @@ struct HotspotEpisode {
   int64_t peak_queue_depth = 0;    // worst end-of-window queue depth
 };
 
+// Edge-triggered episode event for consumers (the rebalancer). kOpened fires
+// the window the streak reaches sustain_windows (the episode snapshot covers
+// the streak so far); kClosed fires when the streak cools off (or at
+// Finalize) with the final episode. A consumer that drains TakeEpisodes()
+// after every window sees each episode open exactly once and close exactly
+// once.
+struct HotspotEvent {
+  enum class Kind { kOpened, kClosed };
+  Kind kind = Kind::kOpened;
+  HotspotEpisode episode;
+};
+
 class HotspotDetector {
  public:
   HotspotDetector(const HotspotConfig& config, int num_servers);
@@ -63,6 +75,15 @@ class HotspotDetector {
                const std::vector<HotspotSignal>& signals);
   // Closes any episode still open at end of run (emits its span).
   void Finalize();
+
+  // Drains the pending open/close events accumulated since the last call.
+  // Events are ordered by emission (window order; within a window, by server
+  // id), so replaying them is deterministic.
+  std::vector<HotspotEvent> TakeEpisodes();
+
+  // Grows the tracked-server set (live cluster resize). New servers start
+  // with clean streak state; shrinking is not supported.
+  void GrowTo(int num_servers);
 
   const std::vector<HotspotEpisode>& episodes() const { return episodes_; }
   int64_t windows_observed() const { return windows_; }
@@ -90,6 +111,7 @@ class HotspotDetector {
   int num_servers_;
   std::vector<ServerState> state_;
   std::vector<HotspotEpisode> episodes_;
+  std::vector<HotspotEvent> pending_events_;
   int64_t windows_ = 0;
   int64_t hot_windows_ = 0;
   Counter* flagged_windows_counter_ = nullptr;  // hotspot.windows_flagged

@@ -115,10 +115,12 @@ TEST(ObservabilityTest, LatencyRecordersAgreeWithLedgerTotals) {
     const LatencyRecorder* rec =
         metrics.FindLatency(std::string("rpc.") + RpcKindName(kind) + ".latency_us");
     if (kind == RpcKind::kShadowOpen || kind == RpcKind::kShadowClose ||
-        kind == RpcKind::kShadowWrite || kind == RpcKind::kBatch) {
-      // Replication and batching are off here, so the shadow kinds and the
-      // batch-flush kind register no recorder: a permanent zero row would
-      // change the metrics-window output of every default run.
+        kind == RpcKind::kShadowWrite || kind == RpcKind::kBatch ||
+        kind == RpcKind::kMigrateState || kind == RpcKind::kMigrateDirty ||
+        kind == RpcKind::kMigrateCommit) {
+      // Replication, batching, and rebalancing are off here, so the shadow,
+      // batch-flush, and migration kinds register no recorder: a permanent
+      // zero row would change the metrics-window output of every default run.
       EXPECT_EQ(rec, nullptr) << RpcKindName(kind);
       continue;
     }

@@ -199,6 +199,86 @@ TEST(HotspotDetectorTest, EmitsCountersAndSpanThroughObservability) {
   EXPECT_EQ(obs.metrics().FindCounter("hotspot.episodes")->value(), 1);
 }
 
+TEST(HotspotDetectorTest, TakeEpisodesDeliversOpenAndCloseEdges) {
+  HotspotConfig config;
+  config.sustain_windows = 2;
+  config.cool_windows = 2;
+  HotspotDetector det(config, 2);
+  // Ramp toward the streak: nothing pending until sustain is reached.
+  ObserveAt(det, 0, SkewedPair(10 * kMillisecond));
+  EXPECT_TRUE(det.TakeEpisodes().empty());
+  ObserveAt(det, 1, SkewedPair(20 * kMillisecond));
+  std::vector<HotspotEvent> events = det.TakeEpisodes();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, HotspotEvent::Kind::kOpened);
+  EXPECT_EQ(events[0].episode.server, 0);
+  EXPECT_EQ(events[0].episode.windows, 2);  // the streak so far, at open time
+  EXPECT_EQ(events[0].episode.peak_queue_p99, 20 * kMillisecond);
+  // The drain is consuming: a second Take returns nothing new.
+  EXPECT_TRUE(det.TakeEpisodes().empty());
+  // A one-window lull inside the streak (cool_windows = 2 tolerates it)
+  // produces NO close event — the episode is still open.
+  ObserveAt(det, 2, QuietPair());
+  EXPECT_TRUE(det.TakeEpisodes().empty());
+  ObserveAt(det, 3, SkewedPair(5 * kMillisecond));
+  EXPECT_TRUE(det.TakeEpisodes().empty());  // still the same open episode
+  // cool_windows consecutive quiet windows close it.
+  ObserveAt(det, 4, QuietPair());
+  ObserveAt(det, 5, QuietPair());
+  events = det.TakeEpisodes();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, HotspotEvent::Kind::kClosed);
+  EXPECT_EQ(events[0].episode.server, 0);
+  EXPECT_EQ(events[0].episode.windows, 3);        // lull windows don't count
+  EXPECT_EQ(events[0].episode.end, 4 * kMinute);  // last *hot* window's end
+  EXPECT_TRUE(det.TakeEpisodes().empty());
+}
+
+TEST(HotspotDetectorTest, TakeEpisodesFinalizeClosesOpenEpisode) {
+  HotspotDetector det(HotspotConfig{}, 2);
+  for (int w = 0; w < 3; ++w) {
+    ObserveAt(det, w, SkewedPair(10 * kMillisecond));
+  }
+  std::vector<HotspotEvent> events = det.TakeEpisodes();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, HotspotEvent::Kind::kOpened);
+  det.Finalize();
+  events = det.TakeEpisodes();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, HotspotEvent::Kind::kClosed);
+}
+
+TEST(HotspotDetectorTest, TakeEpisodesResetDropsPendingEvents) {
+  HotspotDetector det(HotspotConfig{}, 2);
+  for (int w = 0; w < 3; ++w) {
+    ObserveAt(det, w, SkewedPair(10 * kMillisecond));
+  }
+  det.Reset();  // warmup discard: the un-drained open event dies with it
+  EXPECT_TRUE(det.TakeEpisodes().empty());
+}
+
+TEST(HotspotDetectorTest, GrowToTracksAddedServers) {
+  HotspotDetector det(HotspotConfig{}, 2);
+  det.GrowTo(3);
+  // Three-server signals: the new server 2 runs hot, the others idle.
+  std::vector<HotspotSignal> signals(3);
+  signals[2].queue_p99 = 10 * kMillisecond;
+  signals[2].bytes_homed = 10 * kMegabyte;
+  signals[0].queue_p99 = 10;
+  signals[0].bytes_homed = kMegabyte;
+  signals[1].queue_p99 = 10;
+  signals[1].bytes_homed = kMegabyte;
+  for (int w = 0; w < 3; ++w) {
+    det.Observe(w * kMinute, (w + 1) * kMinute, signals);
+  }
+  EXPECT_TRUE(det.active(2));
+  const std::vector<HotspotEvent> events = det.TakeEpisodes();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].episode.server, 2);
+  det.GrowTo(2);  // shrink requests are ignored
+  EXPECT_TRUE(det.active(2));
+}
+
 TEST(HotspotDetectorTest, ReportNamesFlaggedServerAndRules) {
   HotspotDetector det(HotspotConfig{}, 2);
   for (int w = 0; w < 3; ++w) {

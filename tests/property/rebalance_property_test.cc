@@ -1,0 +1,208 @@
+// Rebalancing property sweeps: randomized sequences of hot-spot migration
+// bursts, AddServer steals, and RetireServer evacuations against a fake
+// host, checked after every step for the routing invariants the live
+// cluster depends on — every file routes to exactly one live server, the
+// router and the host never disagree on where a file lives, retired
+// servers hold nothing and receive nothing, adds steal only a bounded
+// slice, and the hot-spot movement budget is never overspent.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/fs/rebalance.h"
+#include "src/fs/sharding.h"
+#include "src/util/rng.h"
+
+namespace sprite {
+namespace {
+
+class SequenceHost : public RebalanceHost {
+ public:
+  explicit SequenceHost(int servers)
+      : files_(servers), live_(servers, true), down_(servers, false) {}
+
+  void Put(ServerId server, FileId file, int64_t bytes) { files_[server][file] = bytes; }
+  void AddEmptyServer() {
+    files_.emplace_back();
+    live_.push_back(true);
+    down_.push_back(false);
+  }
+
+  int NumServers() const override { return static_cast<int>(files_.size()); }
+  bool IsLive(ServerId server) const override { return live_[server]; }
+  bool IsDown(ServerId server, SimTime) const override { return down_[server]; }
+  std::vector<std::pair<FileId, int64_t>> HomedFiles(ServerId server) const override {
+    return {files_[server].begin(), files_[server].end()};
+  }
+  int64_t HomedBytes(ServerId server) const override {
+    int64_t total = 0;
+    for (const auto& [file, bytes] : files_[server]) {
+      total += bytes;
+    }
+    return total;
+  }
+  MigrationOutcome Migrate(FileId file, ServerId from, ServerId to, SimTime) override {
+    auto it = files_[from].find(file);
+    if (it == files_[from].end() || from == to) {
+      return {};
+    }
+    MigrationOutcome outcome;
+    outcome.ok = true;
+    outcome.moved_bytes = it->second;
+    outcome.latency = 25;
+    files_[to][file] = it->second;
+    files_[from].erase(it);
+    return outcome;
+  }
+
+  // The pre-event (file, home) census over live servers, sorted by file id
+  // (what Cluster::HomeCensus feeds the resize hooks).
+  std::vector<std::pair<FileId, ServerId>> Census() const {
+    std::map<FileId, ServerId> sorted;
+    for (size_t s = 0; s < files_.size(); ++s) {
+      if (!live_[s]) {
+        continue;
+      }
+      for (const auto& [file, bytes] : files_[s]) {
+        sorted[file] = static_cast<ServerId>(s);
+      }
+    }
+    return {sorted.begin(), sorted.end()};
+  }
+
+  std::vector<std::map<FileId, int64_t>> files_;
+  std::vector<char> live_;
+  std::vector<char> down_;
+};
+
+class RebalanceSequenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RebalanceSequenceProperty, RoutingStaysConsistentUnderRandomTopologyChurn) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 3);
+  constexpr int kInitialServers = 3;
+  constexpr FileId kFiles = 200;
+  constexpr int kMaxServers = 9;
+
+  SequenceHost host(kInitialServers);
+  ShardingConfig shard;
+  shard.policy = (seed % 2 == 0) ? ShardingPolicy::kModulo : ShardingPolicy::kHash;
+  std::unique_ptr<Sharder> base = MakeSharder(shard, kInitialServers);
+  RebalanceConfig config;
+  config.enabled = true;
+  // Odd seeds run with a finite hot-spot budget so the sweep exercises the
+  // skip path too.
+  config.max_total_bytes = (seed % 2 == 1) ? 64 * kMegabyte : 0;
+  Rebalancer reb(config, base.get(), &host);
+
+  for (FileId f = 0; f < kFiles; ++f) {
+    host.Put(base->ServerFor(f), f,
+             4 * kKilobyte + static_cast<int64_t>(rng.NextBelow(4 * kMegabyte)));
+  }
+
+  auto check_invariants = [&](const char* when, int step) {
+    for (FileId f = 0; f < kFiles; ++f) {
+      const ServerId routed = reb.Route(f);
+      ASSERT_NE(routed, kNoServer) << when << " step " << step << " file " << f;
+      ASSERT_LT(routed, static_cast<ServerId>(host.NumServers()));
+      ASSERT_TRUE(host.live_[routed])
+          << when << " step " << step << ": file " << f << " routed to dead server " << routed;
+      int copies = 0;
+      for (int s = 0; s < host.NumServers(); ++s) {
+        if (host.files_[s].count(f) != 0) {
+          ++copies;
+          ASSERT_EQ(static_cast<ServerId>(s), routed)
+              << when << " step " << step << ": router says " << routed << " but file " << f
+              << " lives on " << s;
+        }
+      }
+      ASSERT_EQ(copies, 1) << when << " step " << step << ": file " << f
+                           << " must live on exactly one server";
+    }
+    for (int s = 0; s < host.NumServers(); ++s) {
+      if (!host.live_[s]) {
+        ASSERT_TRUE(host.files_[s].empty())
+            << when << " step " << step << ": retired server " << s << " still holds files";
+      }
+    }
+  };
+  check_invariants("seed", 0);
+
+  SimTime now = 0;
+  for (int step = 1; step <= 40; ++step) {
+    now += kMinute;
+    const int live_count = [&] {
+      int n = 0;
+      for (const char alive : host.live_) {
+        n += alive != 0;
+      }
+      return n;
+    }();
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {  // hot-spot burst on a random live server
+        const ServerId hot = static_cast<ServerId>(rng.NextBelow(host.NumServers()));
+        if (host.live_[hot]) {
+          HotspotEvent ev;
+          ev.episode.server = static_cast<int>(hot);
+          reb.OnWindow({ev}, now);
+        }
+        break;
+      }
+      case 2: {  // add, bounded-steal
+        if (host.NumServers() >= kMaxServers) {
+          break;
+        }
+        const auto census = host.Census();
+        host.AddEmptyServer();
+        const ServerId added = static_cast<ServerId>(host.NumServers() - 1);
+        const auto moves = reb.OnServerAdded(added, census, now);
+        // Bounded movement: the steal expects |census|/(live+1); even with
+        // per-file randomness it stays far from a full reshuffle.
+        ASSERT_LE(moves.size(), census.size() * 2 / (live_count + 1) + 8)
+            << "add stole more than a bounded slice";
+        for (const auto& move : moves) {
+          ASSERT_EQ(move.to, added) << "an add only moves files TO the newcomer";
+        }
+        break;
+      }
+      case 3: {  // retire, full evacuation
+        if (live_count <= 1) {
+          break;
+        }
+        const ServerId victim = static_cast<ServerId>(rng.NextBelow(host.NumServers()));
+        if (!host.live_[victim]) {
+          break;
+        }
+        std::vector<std::pair<FileId, ServerId>> census;
+        for (const auto& [file, bytes] : host.files_[victim]) {
+          census.emplace_back(file, victim);
+        }
+        host.live_[victim] = false;
+        const auto moves = reb.OnServerRetired(victim, census, now);
+        ASSERT_EQ(moves.size(), census.size()) << "retire must evacuate every file";
+        break;
+      }
+    }
+    check_invariants("churn", step);
+  }
+
+  if (config.max_total_bytes > 0) {
+    EXPECT_LE(reb.moved_bytes(), config.max_total_bytes)
+        << "hot-spot movement budget overspent";
+  }
+  // Re-walking the id space is pure: a second pass routes identically.
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(reb.Route(f), reb.Route(f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RebalanceSequenceProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sprite

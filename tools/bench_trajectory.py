@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Perf trajectory for the end-to-end simulator scenarios.
 
-Runs the BM_SimulateCluster benchmarks from bench/micro_perf and maintains
-one committed BENCH_sim_<clients>x<servers>.json file per scenario at the
-repo root. Each file holds a `trajectory` list of labelled measurements
+Runs the BM_SimulateCluster benchmarks (and the BM_SimulateRebalance
+hot-spot/rebalancing recipe) from bench/micro_perf and maintains one
+committed BENCH_sim_<scenario>.json file per scenario at the repo root. Each file holds a `trajectory` list of labelled measurements
 (events/sec, wall-clock ms per simulated hour, peak RSS), appended once per
 PR, so speedups and regressions both leave a record.
 
@@ -31,13 +31,19 @@ import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-BENCH_PREFIX = "BM_SimulateCluster/"
+# Benchmark-name prefix -> scenario-name prefix. BM_SimulateCluster/26/4 is
+# scenario "26x4"; BM_SimulateRebalance/4/2 (the rebalance ablation recipe:
+# heavy + async + detector + rebalancer) is scenario "rebalance_4x2".
+BENCH_PREFIXES = {
+    "BM_SimulateCluster/": "",
+    "BM_SimulateRebalance/": "rebalance_",
+}
 
 
 def run_benchmarks(binary, min_time):
     cmd = [
         binary,
-        "--benchmark_filter=^BM_SimulateCluster/",
+        "--benchmark_filter=^BM_Simulate(Cluster|Rebalance)/",
         "--benchmark_format=json",
         "--benchmark_min_time=%g" % min_time,
     ]
@@ -46,10 +52,11 @@ def run_benchmarks(binary, min_time):
     measurements = {}
     for bench in doc.get("benchmarks", []):
         name = bench["name"]
-        if not name.startswith(BENCH_PREFIX):
+        prefix = next((p for p in BENCH_PREFIXES if name.startswith(p)), None)
+        if prefix is None:
             continue
-        clients, servers = name[len(BENCH_PREFIX):].split("/")[:2]
-        scenario = "%sx%s" % (clients, servers)
+        clients, servers = name[len(prefix):].split("/")[:2]
+        scenario = "%s%sx%s" % (BENCH_PREFIXES[prefix], clients, servers)
         # Unit(kMillisecond): real_time is ms per iteration.
         real_ms = float(bench["real_time"])
         sim_hours = float(bench["sim_hours"])

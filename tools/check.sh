@@ -43,6 +43,15 @@
 # report piggybacked ops; two identical batched runs must be byte-identical;
 # and with every wire flag off the paper tables must stay byte-identical to
 # the committed sync baseline.
+# A ninth smoke covers live rebalancing: a --rebalance run on the modulo
+# hot-spot scenario must surface the rebalance.* gauges and kMigrate* ledger
+# rows, render the rebalance report with a "hot spot dissolved" verdict,
+# emit "migrate" spans on the rebalance track in the trace, and repeat
+# byte-identically on the same seed; with --rebalance off the migration
+# machinery must be invisible (no rebalance instrument, report, or migrate
+# ledger row — determinism_smoke pins the off-mode hash). The sanitize pass
+# additionally re-runs the randomized rebalance suites through ctest
+# --repeat until-pass:1 as a determinism sweep.
 # Finally (plain mode only) a perf gate builds a Release tree and runs the
 # BM_SimulateCluster trajectory via tools/bench_trajectory.py check: a >10%
 # events/sec regression against the newest committed BENCH_sim_*.json entry
@@ -471,6 +480,91 @@ batching_smoke() {
   echo "batching smoke: wire summary, reconciliation, determinism, and off-mode OK"
 }
 
+rebalance_smoke() {
+  build_dir="$1"
+  echo "== ${build_dir}: rebalance smoke =="
+  rb_out="${build_dir}/rebalance_smoke.txt"
+  rb_metrics="${build_dir}/rebalance_smoke.metrics"
+  rb_json="${build_dir}/rebalance_smoke.json"
+  # The modulo hot-spot scenario with the rebalancer armed: the detector's
+  # episode must trigger a migration burst and the burst must dissolve it.
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --heavy --async --rebalance \
+    --metrics --rpc-ledger --metrics-out "${rb_metrics}" \
+    --trace-out "${rb_json}" > "${rb_out}" 2> /dev/null
+  for needle in \
+      "gauge rebalance.migrations" \
+      "gauge rebalance.moved_bytes" \
+      "== Rebalance report ==" \
+      "hot-spot migrations:" \
+      "hot spot dissolved" \
+      "hot spots dissolved: 1/1 bursts" \
+      "migration RPCs:"; do
+    if ! grep -qF "${needle}" "${rb_metrics}"; then
+      echo "rebalance smoke: '${needle}' missing from ${rb_metrics}" >&2
+      exit 1
+    fi
+  done
+  # The burst's wire traffic lands on the migrate ledger rows.
+  if ! grep -qE "^migrate-state " "${rb_out}"; then
+    echo "rebalance smoke: no migrate-state row in the RPC ledger" >&2
+    exit 1
+  fi
+  python3 - "${rb_json}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+moves = [e for e in events if e.get("ph") == "X" and e["name"] == "migrate"]
+assert moves, "no migrate spans in rebalanced trace"
+assert all(e.get("cat") == "rebalance" for e in moves), "migrate span off the rebalance track"
+assert all(e["dur"] > 0 for e in moves), "migrate span with zero duration"
+print(f"rebalance smoke: {len(moves)} migrate span(s) on the rebalance track")
+EOF
+  # Same seed, same flags: migrations included, the run must reproduce byte
+  # for byte on stdout and the metrics stream.
+  rb_rerun="${build_dir}/rebalance_smoke_rerun.txt"
+  rb_rerun_metrics="${build_dir}/rebalance_smoke_rerun.metrics"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --heavy --async --rebalance \
+    --metrics --rpc-ledger --metrics-out "${rb_rerun_metrics}" \
+    > "${rb_rerun}" 2> /dev/null
+  if ! cmp -s "${rb_out}" "${rb_rerun}" || \
+     ! cmp -s "${rb_metrics}" "${rb_rerun_metrics}"; then
+    echo "rebalance smoke: rebalanced run is not deterministic" >&2
+    diff "${rb_out}" "${rb_rerun}" | head -20 >&2
+    diff "${rb_metrics}" "${rb_rerun_metrics}" | head -20 >&2
+    exit 1
+  fi
+  # Off mode (the default): no rebalance instrument, report, or migrate
+  # ledger row may appear anywhere — the committed baselines stay
+  # byte-identical (determinism_smoke and obs_v2_smoke pin the hashes).
+  rb_off="${build_dir}/rebalance_smoke_off.txt"
+  rb_off_metrics="${build_dir}/rebalance_smoke_off.metrics"
+  "${build_dir}/tools/sprite_analyze" --simulate --users 8 --clients 4 \
+    --servers 2 --minutes 10 --warmup 2 --heavy --async \
+    --metrics --rpc-ledger --metrics-out "${rb_off_metrics}" \
+    > "${rb_off}" 2> /dev/null
+  if grep -qE "rebalance\.|migrate-(state|dirty|commit)|Rebalance report" \
+      "${rb_off}" "${rb_off_metrics}"; then
+    echo "rebalance smoke: rebalance machinery leaked into off-mode output" >&2
+    grep -nE "rebalance\.|migrate-(state|dirty|commit)|Rebalance report" \
+      "${rb_off}" "${rb_off_metrics}" | head -5 >&2
+    exit 1
+  fi
+  echo "rebalance smoke: burst, dissolution, spans, determinism, and off-mode OK"
+}
+
+randomized_sweep() {
+  build_dir="$1"
+  echo "== ${build_dir}: randomized-test determinism sweep =="
+  # Re-runs the seeded randomized suites (property churn sequences and the
+  # same-seed cluster runs) as their own stage under the sanitizers; any
+  # nondeterminism or sanitizer report fails the pass.
+  ctest --test-dir "${build_dir}" --output-on-failure --repeat until-pass:1 \
+    -R "RebalanceSequenceProperty|SameSeedRebalancedRuns|Deterministic"
+}
+
 perf_gate() {
   build_dir="build-release"
   echo "== ${build_dir}: perf gate =="
@@ -499,6 +593,10 @@ run_pass() {
   obs_v2_smoke "${build_dir}"
   failover_smoke "${build_dir}"
   batching_smoke "${build_dir}"
+  rebalance_smoke "${build_dir}"
+  case "${build_dir}" in
+    *sanitize*) randomized_sweep "${build_dir}" ;;
+  esac
 }
 
 mode="${1:-all}"

@@ -32,6 +32,13 @@
 //   --hotspot-report       run the windowed hot-spot detector over the
 //                          per-server series and print flagged episodes
 //                          (implies --metrics; requires --simulate)
+//   --rebalance            enable live shard rebalancing (DESIGN.md §11):
+//                          hot-spot episodes trigger charged home migrations
+//                          off the flagged server mid-run. Implies --metrics
+//                          and the hot-spot detector; prints the rebalance
+//                          report (migration bursts, moved bytes, whether
+//                          each hot spot dissolved) and the kMigrate* RPC
+//                          totals (requires --simulate)
 //   --trace-out FILE       write spans as Chrome trace-event JSON, loadable
 //                          in Perfetto (ui.perfetto.dev); --trace-out=FILE
 //                          also accepted. Gauges/counters export as per-track
@@ -153,7 +160,7 @@ void Usage() {
       "                      [--net-contention] [--net-loss RATE]\n"
       "                      [--shard-policy modulo|hash|range|dir-affinity]\n"
       "                      [--shard-report] [--critical-path] [--hotspot-report]\n"
-      "                      [observability options as above]\n");
+      "                      [--rebalance] [observability options as above]\n");
 }
 
 void PrintMetrics(const Observability& obs, SimTime now, FILE* sink) {
@@ -214,6 +221,7 @@ int main(int argc, char** argv) {
   bool shard_report = false;
   bool critical_path = false;
   bool hotspot_report = false;
+  bool rebalance = false;
   ShardingPolicy shard_policy = ShardingPolicy::kModulo;
   SimDuration interval = 10 * kMinute;
   SimDuration metrics_interval = kMinute;
@@ -284,6 +292,8 @@ int main(int argc, char** argv) {
       critical_path = true;
     } else if (arg == "--hotspot-report") {
       hotspot_report = true;
+    } else if (arg == "--rebalance") {
+      rebalance = true;
     } else if (arg == "--shard-report") {
       shard_report = true;
     } else if ((arg == "--shard-policy" && i + 1 < argc) || arg.rfind("--shard-policy=", 0) == 0) {
@@ -358,6 +368,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (rebalance && !simulate) {
+    std::fprintf(stderr, "--rebalance requires --simulate\n");
+    Usage();
+    return 2;
+  }
   FaultSchedule fault_schedule;
   if (!crash_schedule_spec.empty()) {
     try {
@@ -371,11 +386,13 @@ int main(int argc, char** argv) {
   ObservabilityConfig obs_config;
   // The detector consumes the windowed series, so --hotspot-report turns the
   // registry on even without --metrics (windows print only with --metrics).
-  obs_config.metrics = metrics || hotspot_report;
+  // --rebalance needs the whole chain — windows feed the detector, whose
+  // episodes drive the migrations — so it forces both on too.
+  obs_config.metrics = metrics || hotspot_report || rebalance;
   obs_config.tracing = !trace_out.empty();
   obs_config.snapshot_interval = metrics_interval;
   obs_config.critical_path = critical_path;
-  obs_config.hotspot = hotspot_report;
+  obs_config.hotspot = hotspot_report || rebalance;
 
   TraceLog trace;
   // Live-cluster mode: the cluster owns the Observability; replay mode
@@ -412,6 +429,7 @@ int main(int argc, char** argv) {
     cluster.network.contention = net_contention;
     cluster.network.loss_rate = net_loss;
     cluster.replication.enabled = replication;
+    cluster.rebalance.enabled = rebalance;
     cluster.sharding.policy = shard_policy;
     std::fprintf(stderr, "simulating %d min (+%d warmup) for %d users on %d clients...\n",
                  minutes, warmup, users, clients);
@@ -651,6 +669,21 @@ int main(int argc, char** argv) {
   }
   if (hotspot_report && generator != nullptr) {
     std::fprintf(msink, "\n%s", generator->cluster().HotspotReport().c_str());
+  }
+  if (rebalance && generator != nullptr) {
+    std::fprintf(msink, "\n%s", generator->cluster().RebalanceReport().c_str());
+    const RpcLedger& ledger = generator->cluster().rpc_ledger();
+    std::fprintf(msink,
+                 "migration RPCs: %lld state / %lld dirty / %lld commit (%.1f KB moved on "
+                 "the wire)\n",
+                 static_cast<long long>(ledger.stat(RpcKind::kMigrateState).calls),
+                 static_cast<long long>(ledger.stat(RpcKind::kMigrateDirty).calls),
+                 static_cast<long long>(ledger.stat(RpcKind::kMigrateCommit).calls),
+                 static_cast<double>(
+                     ledger.stat(RpcKind::kMigrateState).payload_bytes +
+                     ledger.stat(RpcKind::kMigrateDirty).payload_bytes +
+                     ledger.stat(RpcKind::kMigrateCommit).payload_bytes) /
+                     1024.0);
   }
   if (metrics_file != nullptr) {
     std::fclose(metrics_file);
